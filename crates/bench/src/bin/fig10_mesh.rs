@@ -1,0 +1,66 @@
+//! Figure 10 — clock mesh vs smart-NDR tree.
+//!
+//! The structural alternative to per-edge NDR tuning is to abandon the tree
+//! for a mesh: a redundant grid collapses skew but toggles its entire plane
+//! every cycle. This experiment sweeps mesh density and rule against the
+//! tree rows. The mesh model is deliberately optimistic for the mesh (ideal
+//! in-phase drivers, no pre-mesh distribution counted), so the tree's power
+//! win is a lower bound.
+
+use snr_bench::{banner, default_tree, fmt, Table};
+use snr_core::{NdrOptimizer, OptContext, SmartNdr};
+use snr_mesh::{ClockMesh, MeshSpec};
+use snr_netlist::BenchmarkSpec;
+use snr_power::PowerModel;
+use snr_tech::{Rule, Technology};
+
+fn main() {
+    banner(
+        "F10",
+        "clock mesh vs smart-NDR tree",
+        "design a800, N45; mesh skew from the resistive-grid solve (optimistic drivers)",
+    );
+    let tech = Technology::n45();
+    let design = BenchmarkSpec::new("a800", 800).seed(23).build().unwrap();
+
+    let mut table = Table::new(vec![
+        "structure", "skew_ps", "network_uw", "track_um", "wire_mm",
+    ]);
+
+    // Tree rows.
+    let tree = default_tree(&design, &tech);
+    let ctx = OptContext::new(&tree, &tech, PowerModel::new(design.freq_ghz()));
+    for out in [ctx.conservative_baseline(), SmartNdr::default().optimize(&ctx)] {
+        table.row(vec![
+            format!("tree/{}", out.name()),
+            fmt(out.timing().skew_ps(), 2),
+            fmt(out.power().network_uw(), 1),
+            fmt(out.power().track_cost_um(), 0),
+            fmt(tree.stats().wirelength_um / 1_000.0, 1),
+        ]);
+    }
+
+    // Mesh rows: density × rule sweep.
+    for (n, rule) in [
+        (8usize, Rule::DEFAULT),
+        (16, Rule::DEFAULT),
+        (32, Rule::DEFAULT),
+        (16, Rule::new(2.0, 2.0).expect("valid")),
+    ] {
+        let spec = MeshSpec::new(n, n, 3, rule).expect("valid spec");
+        let mesh = ClockMesh::build(&design, &tech, spec);
+        let rep = mesh.analyze(&tech, design.freq_ghz());
+        table.row(vec![
+            format!("mesh {n}x{n} {rule}"),
+            fmt(rep.skew_ps, 2),
+            fmt(rep.network_uw(), 1),
+            fmt(rep.track_cost_um, 0),
+            fmt((mesh.mesh_wire_um() + mesh.stub_wire_um()) / 1_000.0, 1),
+        ]);
+    }
+    table.emit("fig10_mesh");
+    println!(
+        "note: mesh skew excludes pre-mesh distribution and driver mismatch — \
+         real meshes add both; the power comparison is the honest axis."
+    );
+}

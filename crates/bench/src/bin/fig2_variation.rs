@@ -1,0 +1,68 @@
+//! Figure 2 — Monte-Carlo skew distributions under width variation.
+//!
+//! 500 samples of the default width-variation model on one design, for the
+//! three canonical assignments. Expected shape: uniform-1W1S has the widest
+//! distribution (the reason NDRs exist); smart-NDR sits close to
+//! uniform-2W2S despite its power saving, because the variation-critical
+//! trunk keeps conservative rules.
+
+use snr_bench::{banner, default_tree, fmt, Table};
+use snr_core::{GreedyDowngrade, NdrOptimizer, OptContext, SmartNdr};
+use snr_netlist::BenchmarkSpec;
+use snr_power::PowerModel;
+use snr_tech::Technology;
+use snr_variation::{MonteCarlo, VariationModel};
+
+fn main() {
+    let model = VariationModel::default();
+    banner(
+        "F2",
+        "skew distributions under width variation",
+        format!("500 MC samples, {model}; design a800, N45"),
+    );
+    let tech = Technology::n45();
+    let design = BenchmarkSpec::new("a800", 800).seed(23).build().unwrap();
+    let tree = default_tree(&design, &tech);
+    let ctx = OptContext::new(&tree, &tech, PowerModel::new(design.freq_ghz()));
+    let mc = MonteCarlo::new(model, 500, 2_013);
+
+    let cases = [
+        ("uniform-2w2s", ctx.conservative_assignment()),
+        ("uniform-1w1s", ctx.default_assignment()),
+        ("smart-greedy", GreedyDowngrade::default().assign(&ctx)),
+        ("smart-ndr", SmartNdr::default().assign(&ctx)),
+    ];
+    let mut table = Table::new(vec![
+        "assignment", "mean_skew_ps", "sigma_skew_ps", "q95_skew_ps", "max_skew_ps",
+        "mean_latency_ps",
+    ]);
+    let mut hist_rows = Table::new(vec!["assignment", "bin_lo_ps", "bin_hi_ps", "count"]);
+    for (name, asg) in &cases {
+        let rep = mc.run(&tree, &tech, asg);
+        table.row(vec![
+            (*name).to_owned(),
+            fmt(rep.mean_skew_ps(), 2),
+            fmt(rep.sigma_skew_ps(), 2),
+            fmt(rep.skew_quantile_ps(0.95), 2),
+            fmt(rep.max_skew_ps(), 2),
+            fmt(rep.mean_latency_ps(), 1),
+        ]);
+        // 12-bin histogram for the figure's curves.
+        let max = rep.max_skew_ps().max(1e-9);
+        let mut bins = [0usize; 12];
+        for &s in rep.skew_samples_ps() {
+            let b = ((s / max) * 12.0).floor().min(11.0) as usize;
+            bins[b] += 1;
+        }
+        for (b, count) in bins.iter().enumerate() {
+            hist_rows.row(vec![
+                (*name).to_owned(),
+                fmt(max * b as f64 / 12.0, 2),
+                fmt(max * (b + 1) as f64 / 12.0, 2),
+                count.to_string(),
+            ]);
+        }
+    }
+    table.emit("fig2_variation");
+    hist_rows.emit("fig2_variation_hist");
+}

@@ -1,0 +1,65 @@
+//! Figure 3 — rule usage by tree depth.
+//!
+//! For the largest suite design, the fraction of wirelength per rule at
+//! each tree depth under the smart assignment. Expected shape: the trunk
+//! (shallow depths) keeps 2W2S; mid-depths mix; the leaf-side wire runs on
+//! the cheap-capacitance rules (1W2S/1W1S).
+
+use snr_bench::{banner, default_tree, fmt, Table};
+use snr_core::{NdrOptimizer, OptContext, SmartNdr};
+use snr_netlist::ispd_like_suite;
+use snr_power::PowerModel;
+use snr_tech::Technology;
+
+fn main() {
+    banner(
+        "F3",
+        "rule usage by tree depth (smart assignment)",
+        "largest suite design (s3000), N45",
+    );
+    let tech = Technology::n45();
+    let design = ispd_like_suite().pop().expect("suite is non-empty");
+    let tree = default_tree(&design, &tech);
+    let ctx = OptContext::new(&tree, &tech, PowerModel::new(design.freq_ghz()));
+    let smart = SmartNdr::default().optimize(&ctx);
+    assert!(smart.meets_constraints(), "smart must meet the envelope");
+
+    let depths = tree.depths();
+    let max_depth = depths.iter().copied().max().unwrap_or(0);
+    let rules = tech.rules();
+
+    let mut header = vec!["depth".to_owned(), "total_um".to_owned()];
+    for (_, rule) in rules.iter() {
+        header.push(format!("{rule}_pct"));
+    }
+    let mut table = Table::new(header);
+    for d in 0..=max_depth {
+        let mut per_rule = vec![0.0f64; rules.len()];
+        let mut total = 0.0;
+        for (e, rid) in smart.assignment().iter_edges(&tree) {
+            if depths[e.0] == d {
+                let len = tree.node(e).edge_len_nm() as f64 / 1_000.0;
+                per_rule[rid.0] += len;
+                total += len;
+            }
+        }
+        if total < 1.0 {
+            continue;
+        }
+        let mut row = vec![d.to_string(), fmt(total, 0)];
+        for um in &per_rule {
+            row.push(fmt(100.0 * um / total, 1));
+        }
+        table.row(row);
+    }
+    table.emit("fig3_rule_usage");
+
+    // Aggregate mix, for the caption.
+    let usage = smart.assignment().usage_um(&tree, rules);
+    let total: f64 = usage.iter().sum();
+    print!("overall mix: ");
+    for (id, rule) in rules.iter() {
+        print!("{rule} {:.1}%  ", 100.0 * usage[id.0] / total);
+    }
+    println!();
+}

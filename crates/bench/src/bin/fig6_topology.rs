@@ -1,0 +1,56 @@
+//! Figure 6 — topology sensitivity.
+//!
+//! The NDR optimizer operates on whatever tree CTS hands it; this ablation
+//! builds the same designs with the two topology generators (balanced
+//! median bisection vs greedy nearest-neighbour pairing) and compares
+//! wirelength, baseline power and smart saving. Expected shape: the saving
+//! *fraction* is topology-robust even where absolute wirelength differs —
+//! the optimizer exploits per-edge slack, which both topologies expose.
+
+use snr_bench::{banner, fmt, pct, Table};
+use snr_core::{NdrOptimizer, OptContext, SmartNdr};
+use snr_cts::{
+    bisection_topology, build_buffered_tree, nearest_neighbor_topology, CtsOptions, TopologyPlan,
+};
+use snr_netlist::{BenchmarkSpec, Design};
+use snr_power::PowerModel;
+use snr_tech::Technology;
+
+fn main() {
+    banner(
+        "F6",
+        "topology sensitivity of the smart saving",
+        "same designs, two topology generators, identical constraints",
+    );
+    let tech = Technology::n45();
+    let mut table = Table::new(vec![
+        "design", "topology", "wire_mm", "buffers", "base_uw", "smart_uw", "save",
+    ]);
+    type Generator = fn(&Design) -> TopologyPlan;
+    for (n, seed) in [(300usize, 41u64), (600, 42), (1_000, 43)] {
+        let design = BenchmarkSpec::new(format!("t{n}"), n).seed(seed).build().unwrap();
+        let generators: [(&str, Generator); 2] = [
+            ("bisection", bisection_topology),
+            ("nearest-nbr", nearest_neighbor_topology),
+        ];
+        for (label, generator) in generators {
+            let plan = generator(&design);
+            let tree = build_buffered_tree(&design, &tech, &CtsOptions::default(), &plan)
+                .expect("suite designs synthesize");
+            let ctx = OptContext::new(&tree, &tech, PowerModel::new(design.freq_ghz()));
+            let base = ctx.conservative_baseline();
+            let smart = SmartNdr::default().optimize(&ctx);
+            assert!(smart.meets_constraints());
+            table.row(vec![
+                design.name().to_owned(),
+                label.to_owned(),
+                fmt(tree.stats().wirelength_um / 1_000.0, 2),
+                tree.stats().n_buffers.to_string(),
+                fmt(base.power().network_uw(), 1),
+                fmt(smart.power().network_uw(), 1),
+                pct(smart.network_saving_vs(&base)),
+            ]);
+        }
+    }
+    table.emit("fig6_topology");
+}

@@ -1,0 +1,86 @@
+//! Figure 8 — electromigration and routing-budget constrained optimization.
+//!
+//! Two sweeps on one design:
+//!
+//! * **EM limit** (mA per µm of drawn width): tighter limits floor
+//!   high-current edges to wide rules regardless of timing slack, eating
+//!   into the saving — the trunk carries each stage's full switched
+//!   capacitance, so it pins first.
+//! * **Track budget** (× the tree's default-rule wirelength): the router's
+//!   allowance for the clock net. The conservative start costs 2.0×; tight
+//!   budgets force the upgrade-repair construction (the downgrade start is
+//!   budget-infeasible), trading power saving against track relief.
+
+use snr_bench::{banner, default_tree, fmt, pct, Table};
+use snr_core::{Constraints, NdrOptimizer, OptContext, SmartNdr};
+use snr_netlist::BenchmarkSpec;
+use snr_power::PowerModel;
+use snr_tech::Technology;
+
+fn main() {
+    banner(
+        "F8",
+        "EM-limit and track-budget sweeps",
+        "design a800, N45; envelope 1.10 slew margin / 30 ps skew budget throughout",
+    );
+    let tech = Technology::n45();
+    let design = BenchmarkSpec::new("a800", 800).seed(23).build().unwrap();
+    let tree = default_tree(&design, &tech);
+    let envelope = Constraints::relative(&tree, &tech, 1.10, 30.0);
+    let base_ctx = OptContext::new(&tree, &tech, PowerModel::new(design.freq_ghz()))
+        .with_constraints(envelope);
+    let base = base_ctx.conservative_baseline();
+    let wirelength_um = tree.stats().wirelength_um;
+
+    let mut em_table = Table::new(vec![
+        "em_ma_per_um", "met", "network_uw", "save_vs_2w2s", "wide_wire_pct",
+    ]);
+    for limit in [f64::INFINITY, 4.0, 2.5, 2.0, 1.5, 1.2] {
+        let constraints = if limit.is_finite() {
+            envelope.with_em_limit(limit)
+        } else {
+            envelope
+        };
+        let ctx = OptContext::new(&tree, &tech, PowerModel::new(design.freq_ghz()))
+            .with_constraints(constraints);
+        let out = SmartNdr::default().optimize(&ctx);
+        let usage = out.assignment().usage_um(&tree, tech.rules());
+        let total: f64 = usage.iter().sum();
+        let wide: f64 = tech
+            .rules()
+            .iter()
+            .filter(|(_, r)| r.width_mult() >= 2.0)
+            .map(|(id, _)| usage[id.0])
+            .sum();
+        em_table.row(vec![
+            if limit.is_finite() {
+                fmt(limit, 1)
+            } else {
+                "none".to_owned()
+            },
+            out.meets_constraints().to_string(),
+            fmt(out.power().network_uw(), 1),
+            pct(out.network_saving_vs(&base)),
+            pct(wide / total.max(1e-12)),
+        ]);
+    }
+    em_table.emit("fig8_em_sweep");
+
+    let mut budget_table = Table::new(vec![
+        "budget_x_wl", "met", "network_uw", "save_vs_2w2s", "track_um",
+    ]);
+    for mult in [2.0, 1.5, 1.4, 1.35, 1.3, 1.2] {
+        let constraints = envelope.with_track_budget_um(mult * wirelength_um);
+        let ctx = OptContext::new(&tree, &tech, PowerModel::new(design.freq_ghz()))
+            .with_constraints(constraints);
+        let out = SmartNdr::default().optimize(&ctx);
+        budget_table.row(vec![
+            fmt(mult, 2),
+            out.meets_constraints().to_string(),
+            fmt(out.power().network_uw(), 1),
+            pct(out.network_saving_vs(&base)),
+            fmt(out.power().track_cost_um(), 0),
+        ]);
+    }
+    budget_table.emit("fig8_track_budget");
+}

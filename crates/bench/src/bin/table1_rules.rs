@@ -1,0 +1,41 @@
+//! Table 1 — NDR rule electrical characterization.
+//!
+//! For each routing rule on each layer of the 45 nm and 32 nm technologies:
+//! unit resistance, unit capacitance, the distributed-RC figure of merit,
+//! the track cost, and the relative resistance variability under the
+//! default width-variation sigma. This is the data that creates the smart-
+//! NDR trade-off: rules trade R (delay, robustness) against C (power) and
+//! track cost.
+
+use snr_bench::{banner, fmt, Table};
+use snr_tech::Technology;
+use snr_variation::VariationModel;
+
+fn main() {
+    banner(
+        "T1",
+        "NDR rule electrical characterization",
+        "unit R [kΩ/µm], unit C [fF/µm], RC [ps/µm²], track cost [×], σR/R [%]",
+    );
+    let sigma_w = VariationModel::default().sigma_w_um();
+    let mut table = Table::new(vec![
+        "tech", "layer", "rule", "r_kohm_um", "c_ff_um", "rc_ps_um2", "track", "sigma_r_pct",
+    ]);
+    for tech in [Technology::n45(), Technology::n32()] {
+        for layer in tech.layers() {
+            for (_, rule) in tech.rules().iter() {
+                table.row(vec![
+                    tech.name().to_owned(),
+                    layer.name().to_owned(),
+                    rule.to_string(),
+                    fmt(layer.unit_r(rule), 5),
+                    fmt(layer.unit_c(rule), 4),
+                    format!("{:.2e}", layer.unit_rc(rule)),
+                    fmt(rule.track_cost(), 2),
+                    fmt(100.0 * layer.r_sensitivity(rule, sigma_w), 2),
+                ]);
+            }
+        }
+    }
+    table.emit("table1_rules");
+}

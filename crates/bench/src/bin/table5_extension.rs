@@ -1,0 +1,61 @@
+//! Table 5 — the buffer-downsizing extension.
+//!
+//! After smart NDR strips capacitance, the buffers are oversized for their
+//! new loads. Constraint-verified downsizing recovers buffer input/internal
+//! power on top of the wire saving — the paper family's natural
+//! "future work" direction, implemented and measured here.
+
+use snr_bench::{banner, default_tree, fmt, pct, Table};
+use snr_core::{buffer_size_histogram, downsize_in_context, NdrOptimizer, OptContext, SmartNdr};
+use snr_netlist::ispd_like_suite;
+use snr_power::PowerModel;
+use snr_tech::Technology;
+
+fn main() {
+    banner(
+        "T5",
+        "smart NDR + verified buffer downsizing",
+        "every accepted downsize step re-verified against the full envelope",
+    );
+    let tech = Technology::n45();
+    let mut table = Table::new(vec![
+        "design",
+        "smart_uw",
+        "resized_uw",
+        "extra_save",
+        "total_save_vs_2w2s",
+        "downsized",
+        "buffers",
+    ]);
+    for design in ispd_like_suite().into_iter().take(5) {
+        let tree = default_tree(&design, &tech);
+        let ctx = OptContext::new(&tree, &tech, PowerModel::new(design.freq_ghz()));
+        let base = ctx.conservative_baseline();
+        let smart = SmartNdr::default().optimize(&ctx);
+        let n_buffers: usize = buffer_size_histogram(&tree, &tech).iter().sum();
+
+        let (resized_uw, extra, downsized) =
+            match downsize_in_context(&ctx, smart.assignment()) {
+                Some(out) => {
+                    let p = out.power.network_uw();
+                    (
+                        p,
+                        (smart.power().network_uw() - p) / smart.power().network_uw(),
+                        out.downsized,
+                    )
+                }
+                None => (smart.power().network_uw(), 0.0, 0),
+            };
+        let total_save = (base.power().network_uw() - resized_uw) / base.power().network_uw();
+        table.row(vec![
+            design.name().to_owned(),
+            fmt(smart.power().network_uw(), 1),
+            fmt(resized_uw, 1),
+            pct(extra),
+            pct(total_save),
+            downsized.to_string(),
+            n_buffers.to_string(),
+        ]);
+    }
+    table.emit("table5_extension");
+}

@@ -1,0 +1,86 @@
+//! Table 6 — shielding and the crosstalk-noise budget.
+//!
+//! Shielding is the third NDR lever. Under delay/power alone it is
+//! *dominated*: double spacing reduces coupling, Miller exposure, power and
+//! track cost all at once, so the optimizer never picks shields — an honest
+//! finding of this reproduction. What makes shields indispensable is the
+//! **noise budget**: spacing only reduces aggressor coupling, shields
+//! eliminate it. This experiment sweeps the per-edge aggressor-coupling
+//! limit and shows the crossover:
+//!
+//! * no budget — both menus behave identically, shields unused;
+//! * 0.05 fF/µm — min-spacing rules are banned, both menus still close;
+//! * 0.03 fF/µm — *every* unshielded rule is banned: the standard menu
+//!   cannot close at all, the shielded menu closes with shields everywhere.
+
+use snr_bench::{banner, default_tree, fmt, pct, Table};
+use snr_core::{Constraints, NdrOptimizer, OptContext, SmartNdr, Uniform};
+use snr_netlist::BenchmarkSpec;
+use snr_power::PowerModel;
+use snr_tech::{RuleSet, Technology};
+
+fn main() {
+    banner(
+        "T6",
+        "shielding under a crosstalk-noise budget",
+        "identical trees & timing envelopes; noise limit = max aggressor coupling per edge",
+    );
+    let mut table = Table::new(vec![
+        "design", "menu", "noise_ff_um", "met", "network_uw", "save_vs_2w2s", "track_um",
+        "shielded_wire_pct",
+    ]);
+    for (n, seed) in [(300usize, 21u64), (800, 23)] {
+        let design = BenchmarkSpec::new(format!("a{n}"), n).seed(seed).build().unwrap();
+        // Envelope and power baseline defined once, from the standard
+        // technology's 2W2S tree, and shared by both menus.
+        let std_tech = Technology::n45();
+        let tree = default_tree(&design, &std_tech);
+        let envelope = Constraints::relative(&tree, &std_tech, 1.10, 30.0);
+        let base_ctx = OptContext::new(&tree, &std_tech, PowerModel::new(design.freq_ghz()))
+            .with_constraints(envelope);
+        let base = base_ctx.conservative_baseline();
+
+        for (label, rules) in [
+            ("standard", RuleSet::standard()),
+            ("shielded", RuleSet::with_shielding()),
+        ] {
+            let tech = std_tech.with_rules(rules);
+            for noise in [None, Some(0.05), Some(0.03)] {
+                let constraints = match noise {
+                    None => envelope,
+                    Some(limit) => envelope.with_noise_limit(limit),
+                };
+                let ctx = OptContext::new(&tree, &tech, PowerModel::new(design.freq_ghz()))
+                    .with_constraints(constraints);
+                let out = SmartNdr::default().optimize(&ctx);
+                // When even the conservative fallback violates the noise
+                // budget (standard menu at 0.03), report the honest anchor:
+                // the uniform conservative itself.
+                let reported = if out.meets_constraints() {
+                    out
+                } else {
+                    Uniform::conservative().optimize(&ctx)
+                };
+                let usage = reported.assignment().usage_um(&tree, tech.rules());
+                let total: f64 = usage.iter().sum();
+                let shielded_um: f64 = tech
+                    .rules()
+                    .iter()
+                    .filter(|(_, r)| r.is_shielded())
+                    .map(|(id, _)| usage[id.0])
+                    .sum();
+                table.row(vec![
+                    design.name().to_owned(),
+                    label.to_owned(),
+                    noise.map_or("none".to_owned(), |v| format!("{v:.2}")),
+                    reported.meets_constraints().to_string(),
+                    fmt(reported.power().network_uw(), 1),
+                    pct(reported.network_saving_vs(&base)),
+                    fmt(reported.power().track_cost_um(), 0),
+                    pct(shielded_um / total.max(1e-12)),
+                ]);
+            }
+        }
+    }
+    table.emit("table6_shielding");
+}

@@ -1,0 +1,183 @@
+//! Experiment harness shared by the per-table/per-figure binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! reconstructed evaluation (see `DESIGN.md` §4): it prints the formatted
+//! table to stdout and writes a machine-readable CSV next to the repository
+//! root under `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use snr_cts::{synthesize, ClockTree, CtsOptions};
+use snr_netlist::Design;
+use snr_tech::Technology;
+use std::fmt::Display;
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// A simple fixed-width table printer that doubles as a CSV writer.
+///
+/// # Examples
+///
+/// ```
+/// let mut t = snr_bench::Table::new(vec!["design", "power"]);
+/// t.row(vec!["s400".into(), "123.4".into()]);
+/// assert!(t.render().contains("s400"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's length does not match the header.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row/header arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Formats the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut width = vec![0usize; ncols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.chars().count();
+        }
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                width[i] = width[i].max(c.chars().count());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = width[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(width.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serializes as CSV.
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        };
+        let mut out = self
+            .header
+            .iter()
+            .map(|h| esc(h))
+            .collect::<Vec<_>>()
+            .join(",");
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&r.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table and writes `results/<name>.csv`.
+    pub fn emit(&self, name: &str) {
+        println!("{}", self.render());
+        let dir = results_dir();
+        if let Err(e) = fs::create_dir_all(&dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+            return;
+        }
+        let path = dir.join(format!("{name}.csv"));
+        match fs::File::create(&path).and_then(|mut f| f.write_all(self.to_csv().as_bytes())) {
+            Ok(()) => println!("[written {}]", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// The repository `results/` directory (next to the workspace root).
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; results live two levels up.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results")
+}
+
+/// Formats a float with the given number of decimals.
+pub fn fmt(value: impl Into<f64>, decimals: usize) -> String {
+    format!("{:.*}", decimals, value.into())
+}
+
+/// Formats a percentage with one decimal.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", 100.0 * fraction)
+}
+
+/// Prints a standard experiment banner.
+pub fn banner(id: &str, what: &str, caption: impl Display) {
+    println!("=== {id}: {what} ===");
+    println!("{caption}\n");
+}
+
+/// Synthesizes the default clock tree for `design` under `tech`, as every
+/// experiment does.
+pub fn default_tree(design: &Design, tech: &Technology) -> ClockTree {
+    synthesize(design, tech, &CtsOptions::default())
+        .expect("suite designs synthesize under default options")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment_and_csv() {
+        let mut t = Table::new(vec!["a", "bbb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["10".into(), "x,y".into()]);
+        let text = t.render();
+        assert!(text.contains(" a  bbb"));
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn row_arity_checked() {
+        let mut t = Table::new(vec!["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(fmt(1.234f64, 2), "1.23");
+        assert_eq!(pct(0.123), "12.3%");
+        assert!(results_dir().ends_with("results"));
+    }
+}

@@ -1,0 +1,170 @@
+//! Simulated-annealing reference optimizer.
+
+use crate::{NdrOptimizer, OptContext};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use snr_cts::{Assignment, NodeId};
+use snr_tech::RuleId;
+
+/// Global-search reference: simulated annealing over the assignment vector.
+///
+/// The energy is `network power (µW) + λ · constraint violation (ps)`; a
+/// move re-rules one random edge. The best *feasible* state seen is
+/// returned (the conservative uniform if none was). Annealing explores
+/// moves greedy cannot (temporarily violating, multi-edge trades), so the
+/// ablation uses it to bound how much quality the one-pass heuristics give
+/// up.
+///
+/// Deterministic for a fixed seed.
+///
+/// # Examples
+///
+/// ```
+/// use snr_core::Annealing;
+/// let a = Annealing::new(5_000, 42);
+/// assert_eq!(snr_core::NdrOptimizer::name(&a), "annealing");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Annealing {
+    iterations: usize,
+    seed: u64,
+    t0: f64,
+    penalty_uw_per_ps: f64,
+}
+
+impl Annealing {
+    /// Creates an annealer with `iterations` moves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations` is zero.
+    pub fn new(iterations: usize, seed: u64) -> Self {
+        assert!(iterations > 0, "need at least one iteration");
+        Annealing {
+            iterations,
+            seed,
+            t0: 20.0,
+            penalty_uw_per_ps: 50.0,
+        }
+    }
+
+    /// Returns a copy with a different starting temperature (µW scale).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t0` is not positive.
+    pub fn with_t0(mut self, t0: f64) -> Self {
+        assert!(t0.is_finite() && t0 > 0.0, "temperature {t0} must be positive");
+        self.t0 = t0;
+        self
+    }
+
+    fn energy(&self, ctx: &OptContext<'_>, asg: &Assignment) -> (f64, bool) {
+        let timing = ctx.analyze(asg);
+        let violation = ctx.constraints().violation_ps(&timing);
+        let power = ctx.power(asg).network_uw();
+        let feasible = violation <= 0.0 && ctx.meets(asg, &timing);
+        (power + self.penalty_uw_per_ps * violation, feasible)
+    }
+}
+
+impl NdrOptimizer for Annealing {
+    fn name(&self) -> &str {
+        "annealing"
+    }
+
+    fn assign(&self, ctx: &OptContext<'_>) -> Assignment {
+        let tree = ctx.tree();
+        let rules = ctx.tech().rules();
+        let edges: Vec<NodeId> = tree.edges().collect();
+        if edges.is_empty() {
+            return ctx.conservative_assignment();
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        let mut current = ctx.conservative_assignment();
+        let (mut cur_energy, start_feasible) = self.energy(ctx, &current);
+        let mut best_feasible = start_feasible.then(|| (cur_energy, current.clone()));
+
+        for i in 0..self.iterations {
+            // Geometric cooling to ~1% of T0.
+            let progress = i as f64 / self.iterations as f64;
+            let temp = self.t0 * (0.01f64).powf(progress);
+
+            let e = edges[rng.gen_range(0..edges.len())];
+            let old_rule = current.rule(e);
+            let new_rule = RuleId(rng.gen_range(0..rules.len()));
+            if new_rule == old_rule {
+                continue;
+            }
+            current.set(e, new_rule);
+            let (new_energy, feasible) = self.energy(ctx, &current);
+            let accept = new_energy <= cur_energy
+                || rng.gen_bool(((cur_energy - new_energy) / temp).exp().clamp(0.0, 1.0));
+            if accept {
+                cur_energy = new_energy;
+                if feasible
+                    && best_feasible
+                        .as_ref()
+                        .is_none_or(|(be, _)| new_energy < *be)
+                {
+                    best_feasible = Some((new_energy, current.clone()));
+                }
+            } else {
+                current.set(e, old_rule);
+            }
+        }
+        best_feasible
+            .map(|(_, asg)| asg)
+            .unwrap_or_else(|| ctx.conservative_assignment())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snr_cts::{synthesize, ClockTree, CtsOptions};
+    use snr_netlist::BenchmarkSpec;
+    use snr_power::PowerModel;
+    use snr_tech::Technology;
+
+    fn fixture(n: usize) -> (ClockTree, Technology) {
+        let design = BenchmarkSpec::new("t", n).seed(8).build().unwrap();
+        let tech = Technology::n45();
+        let tree = synthesize(&design, &tech, &CtsOptions::default()).unwrap();
+        (tree, tech)
+    }
+
+    #[test]
+    fn feasible_and_saves_power() {
+        let (tree, tech) = fixture(60);
+        let ctx = OptContext::new(&tree, &tech, PowerModel::new(1.0));
+        let out = Annealing::new(3_000, 1).optimize(&ctx);
+        let base = ctx.conservative_baseline();
+        assert!(out.meets_constraints());
+        assert!(out.power().network_uw() < base.power().network_uw());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (tree, tech) = fixture(40);
+        let ctx = OptContext::new(&tree, &tech, PowerModel::new(1.0));
+        let a = Annealing::new(500, 7).assign(&ctx);
+        let b = Annealing::new(500, 7).assign(&ctx);
+        assert_eq!(a, b);
+        let c = Annealing::new(500, 8).assign(&ctx);
+        // Different seeds may coincide, but energies should match closely
+        // if they do; just ensure the call succeeds.
+        let _ = c;
+    }
+
+    #[test]
+    fn infeasible_constraints_return_conservative() {
+        use crate::Constraints;
+        let (tree, tech) = fixture(30);
+        let ctx = OptContext::new(&tree, &tech, PowerModel::new(1.0))
+            .with_constraints(Constraints::absolute(1.0, 0.001));
+        let asg = Annealing::new(200, 3).assign(&ctx);
+        assert_eq!(asg, ctx.conservative_assignment());
+    }
+}

@@ -1,0 +1,262 @@
+//! Timing constraints for NDR optimization.
+
+use snr_cts::{Assignment, ClockTree};
+use snr_tech::Technology;
+use snr_timing::{AnalysisOptions, Analyzer, TimingReport};
+use std::fmt;
+
+/// The slew/skew envelope an assignment must stay inside.
+///
+/// Two construction styles:
+///
+/// * [`Constraints::absolute`] — explicit ps limits;
+/// * [`Constraints::relative`] — limits derived from the tree's
+///   conservative-uniform baseline: `slew_margin ×` its max slew, plus an
+///   absolute skew budget. This mirrors the paper's setting, where the
+///   uniform-NDR tree *defines* acceptable timing and smart NDR must not
+///   degrade it beyond a margin.
+///
+/// # Examples
+///
+/// ```
+/// let c = snr_core::Constraints::absolute(150.0, 30.0);
+/// assert_eq!(c.slew_limit_ps(), 150.0);
+/// assert_eq!(c.skew_limit_ps(), 30.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constraints {
+    slew_limit_ps: f64,
+    skew_limit_ps: f64,
+    noise_limit_ff_per_um: Option<f64>,
+    em_limit_ma_per_um: Option<f64>,
+    track_budget_um: Option<f64>,
+}
+
+impl Constraints {
+    /// Explicit limits in ps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either limit is not positive and finite.
+    pub fn absolute(slew_limit_ps: f64, skew_limit_ps: f64) -> Self {
+        assert!(
+            slew_limit_ps.is_finite() && slew_limit_ps > 0.0,
+            "slew limit {slew_limit_ps} must be positive"
+        );
+        assert!(
+            skew_limit_ps.is_finite() && skew_limit_ps > 0.0,
+            "skew limit {skew_limit_ps} must be positive"
+        );
+        Constraints {
+            slew_limit_ps,
+            skew_limit_ps,
+            noise_limit_ff_per_um: None,
+            em_limit_ma_per_um: None,
+            track_budget_um: None,
+        }
+    }
+
+    /// Returns a copy that additionally enforces an electromigration limit:
+    /// the effective RMS current each edge carries (its stage-local
+    /// downstream switched capacitance × VDD × f) must not exceed
+    /// `limit` mA per µm of *drawn wire width* — so high-current edges are
+    /// floored to wide rules regardless of timing slack. Copper clock
+    /// wiring is typically rated at a few mA/µm of width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the limit is not positive and finite.
+    pub fn with_em_limit(mut self, limit_ma_per_um: f64) -> Self {
+        assert!(
+            limit_ma_per_um.is_finite() && limit_ma_per_um > 0.0,
+            "EM limit {limit_ma_per_um} must be positive"
+        );
+        self.em_limit_ma_per_um = Some(limit_ma_per_um);
+        self
+    }
+
+    /// The electromigration current limit, if any.
+    pub fn em_limit_ma_per_um(&self) -> Option<f64> {
+        self.em_limit_ma_per_um
+    }
+
+    /// Returns a copy that additionally caps the assignment's total
+    /// routing-track cost (wirelength weighted by each rule's track cost,
+    /// in equivalent default-rule µm) — the router's budget for the clock
+    /// net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget is not positive and finite.
+    pub fn with_track_budget_um(mut self, budget_um: f64) -> Self {
+        assert!(
+            budget_um.is_finite() && budget_um > 0.0,
+            "track budget {budget_um} must be positive"
+        );
+        self.track_budget_um = Some(budget_um);
+        self
+    }
+
+    /// The routing-track budget, if any.
+    pub fn track_budget_um(&self) -> Option<f64> {
+        self.track_budget_um
+    }
+
+    /// Returns a copy that additionally caps every edge's coupling to
+    /// switching aggressors at `limit` fF/µm (crosstalk-noise budget).
+    ///
+    /// Spacing rules *reduce* aggressor coupling; only shielded rules
+    /// reach zero, so a tight budget forces shields onto the menu — the
+    /// industrial reason clock shielding exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the limit is negative or non-finite.
+    pub fn with_noise_limit(mut self, limit_ff_per_um: f64) -> Self {
+        assert!(
+            limit_ff_per_um.is_finite() && limit_ff_per_um >= 0.0,
+            "noise limit {limit_ff_per_um} must be >= 0"
+        );
+        self.noise_limit_ff_per_um = Some(limit_ff_per_um);
+        self
+    }
+
+    /// The per-edge aggressor-coupling budget, if any.
+    pub fn noise_limit_ff_per_um(&self) -> Option<f64> {
+        self.noise_limit_ff_per_um
+    }
+
+    /// Limits derived from the conservative-uniform baseline of `tree`:
+    /// slew limit = `slew_margin` × the baseline's max slew; skew limit =
+    /// baseline skew + `skew_budget_ps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slew_margin < 1` (the baseline itself would violate) or
+    /// `skew_budget_ps <= 0`.
+    pub fn relative(tree: &ClockTree, tech: &Technology, slew_margin: f64, skew_budget_ps: f64) -> Self {
+        assert!(
+            slew_margin.is_finite() && slew_margin >= 1.0,
+            "slew margin {slew_margin} must be >= 1"
+        );
+        let base = Assignment::uniform(tree, tech.rules().most_conservative_id());
+        let report = Analyzer::new().run(tree, tech, &base, &AnalysisOptions::default());
+        Constraints::absolute(
+            slew_margin * report.max_slew_ps(),
+            report.skew_ps() + skew_budget_ps,
+        )
+    }
+
+    /// Max slew allowed at any sink or buffer input, ps.
+    pub fn slew_limit_ps(&self) -> f64 {
+        self.slew_limit_ps
+    }
+
+    /// Max global skew allowed, ps.
+    pub fn skew_limit_ps(&self) -> f64 {
+        self.skew_limit_ps
+    }
+
+    /// Whether `report` satisfies both limits.
+    pub fn met_by(&self, report: &TimingReport) -> bool {
+        report.meets(self.slew_limit_ps, self.skew_limit_ps)
+    }
+
+    /// Total constraint violation in ps (0 when met) — the penalty measure
+    /// used by the annealer and the repair optimizer.
+    pub fn violation_ps(&self, report: &TimingReport) -> f64 {
+        (report.max_slew_ps() - self.slew_limit_ps).max(0.0)
+            + (report.skew_ps() - self.skew_limit_ps).max(0.0)
+    }
+}
+
+impl fmt::Display for Constraints {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "slew <= {:.0} ps, skew <= {:.1} ps",
+            self.slew_limit_ps, self.skew_limit_ps
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snr_cts::{synthesize, CtsOptions};
+    use snr_netlist::BenchmarkSpec;
+
+    #[test]
+    fn absolute_accessors() {
+        let c = Constraints::absolute(100.0, 25.0);
+        assert_eq!(c.slew_limit_ps(), 100.0);
+        assert_eq!(c.skew_limit_ps(), 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_limit_panics() {
+        let _ = Constraints::absolute(0.0, 25.0);
+    }
+
+    #[test]
+    fn relative_always_met_by_baseline() {
+        let design = BenchmarkSpec::new("t", 80).seed(3).build().unwrap();
+        let tech = Technology::n45();
+        let tree = synthesize(&design, &tech, &CtsOptions::default()).unwrap();
+        let c = Constraints::relative(&tree, &tech, 1.05, 20.0);
+        let base = Assignment::uniform(&tree, tech.rules().most_conservative_id());
+        let report = Analyzer::new().run(&tree, &tech, &base, &AnalysisOptions::default());
+        assert!(c.met_by(&report));
+        assert_eq!(c.violation_ps(&report), 0.0);
+    }
+
+    #[test]
+    fn violation_measures_excess() {
+        let design = BenchmarkSpec::new("t", 80).seed(3).build().unwrap();
+        let tech = Technology::n45();
+        let tree = synthesize(&design, &tech, &CtsOptions::default()).unwrap();
+        // Impossible limits: everything violates.
+        let c = Constraints::absolute(1.0, 0.001);
+        let base = Assignment::uniform(&tree, tech.rules().most_conservative_id());
+        let report = Analyzer::new().run(&tree, &tech, &base, &AnalysisOptions::default());
+        assert!(!c.met_by(&report));
+        assert!(c.violation_ps(&report) > 0.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            Constraints::absolute(150.0, 30.0).to_string(),
+            "slew <= 150 ps, skew <= 30.0 ps"
+        );
+    }
+
+    #[test]
+    fn em_and_track_builders() {
+        let c = Constraints::absolute(150.0, 30.0)
+            .with_em_limit(2.0)
+            .with_track_budget_um(50_000.0);
+        assert_eq!(c.em_limit_ma_per_um(), Some(2.0));
+        assert_eq!(c.track_budget_um(), Some(50_000.0));
+        assert!(std::panic::catch_unwind(|| {
+            Constraints::absolute(150.0, 30.0).with_em_limit(0.0)
+        })
+        .is_err());
+        assert!(std::panic::catch_unwind(|| {
+            Constraints::absolute(150.0, 30.0).with_track_budget_um(-1.0)
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn noise_limit_builder() {
+        let c = Constraints::absolute(150.0, 30.0).with_noise_limit(0.03);
+        assert_eq!(c.noise_limit_ff_per_um(), Some(0.03));
+        assert_eq!(Constraints::absolute(150.0, 30.0).noise_limit_ff_per_um(), None);
+        assert!(std::panic::catch_unwind(|| {
+            Constraints::absolute(150.0, 30.0).with_noise_limit(-1.0)
+        })
+        .is_err());
+    }
+}

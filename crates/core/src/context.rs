@@ -1,0 +1,417 @@
+//! Shared optimization context.
+
+use crate::{Constraints, Outcome};
+use snr_cts::{Assignment, ClockTree, NodeId, NodeKind};
+use snr_netlist::TimingArc;
+use snr_power::{evaluate, PowerModel, PowerReport};
+use snr_tech::{Corner, Technology};
+use snr_timing::{AnalysisOptions, Analyzer, TimingReport};
+use std::cell::RefCell;
+use std::time::Duration;
+
+/// Everything an optimizer needs: the (immutable) tree, the technology, the
+/// power operating point and the constraints — plus a shared, reusable
+/// timing analyzer so candidate evaluations allocate nothing.
+///
+/// # Examples
+///
+/// ```
+/// use snr_netlist::BenchmarkSpec;
+/// use snr_tech::Technology;
+/// use snr_cts::{synthesize, CtsOptions};
+/// use snr_power::PowerModel;
+/// use snr_core::OptContext;
+///
+/// let design = BenchmarkSpec::new("demo", 32).seed(1).build()?;
+/// let tech = Technology::n45();
+/// let tree = synthesize(&design, &tech, &CtsOptions::default())?;
+/// let ctx = OptContext::new(&tree, &tech, PowerModel::new(1.0));
+/// let base = ctx.conservative_baseline();
+/// assert!(base.meets_constraints());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct OptContext<'a> {
+    tree: &'a ClockTree,
+    tech: &'a Technology,
+    power_model: PowerModel,
+    constraints: Constraints,
+    corners: Vec<Corner>,
+    /// Local-skew windows between sink pairs, with each sink id resolved
+    /// to its tree node.
+    arcs: Vec<(TimingArc, NodeId, NodeId)>,
+    /// Conservative-baseline skew at each corner, cached on first use.
+    corner_base_skew: RefCell<Option<Vec<f64>>>,
+    analyzer: RefCell<Analyzer>,
+    analysis_opts: AnalysisOptions,
+}
+
+impl<'a> OptContext<'a> {
+    /// Creates a context with constraints derived from the conservative
+    /// baseline (10 % slew margin, 30 ps skew budget).
+    pub fn new(tree: &'a ClockTree, tech: &'a Technology, power_model: PowerModel) -> Self {
+        let constraints = Constraints::relative(tree, tech, 1.10, 30.0);
+        OptContext {
+            tree,
+            tech,
+            power_model,
+            constraints,
+            corners: Vec::new(),
+            arcs: Vec::new(),
+            corner_base_skew: RefCell::new(None),
+            analyzer: RefCell::new(Analyzer::new()),
+            analysis_opts: AnalysisOptions::default(),
+        }
+    }
+
+    /// Returns a copy that additionally enforces the constraints at the
+    /// given process corners (interconnect R/C scaled globally), with the
+    /// skew/slew limits rescaled per corner relative to what the
+    /// conservative-uniform baseline achieves *at that corner*.
+    ///
+    /// Multi-corner checking makes every candidate evaluation
+    /// `1 + corners.len()` analyses; optimizers need no changes — they all
+    /// go through [`OptContext::meets`].
+    pub fn with_corners(mut self, corners: Vec<Corner>) -> Self {
+        self.corners = corners;
+        self.corner_base_skew = RefCell::new(None);
+        self
+    }
+
+    /// Returns a copy with explicit constraints.
+    pub fn with_constraints(mut self, constraints: Constraints) -> Self {
+        self.constraints = constraints;
+        self
+    }
+
+    /// Returns a copy that additionally enforces local-skew windows: for
+    /// each arc, `-hold <= arrival(to) - arrival(from) <= setup` — the
+    /// useful-skew form of the skew constraint, tied to actual datapaths
+    /// instead of the global extremes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an arc references a sink the tree does not contain.
+    pub fn with_timing_arcs(mut self, arcs: Vec<TimingArc>) -> Self {
+        // Resolve each sink id to its tree node once.
+        let mut sink_node = vec![None; arcs.iter().map(|a| a.from.0.max(a.to.0) + 1).max().unwrap_or(0)];
+        for node in self.tree.nodes() {
+            if let NodeKind::Sink { sink, .. } = node.kind() {
+                if sink.0 < sink_node.len() {
+                    sink_node[sink.0] = Some(node.id());
+                }
+            }
+        }
+        self.arcs = arcs
+            .into_iter()
+            .map(|a| {
+                let from = sink_node[a.from.0].unwrap_or_else(|| {
+                    panic!("arc references {} which is not in the tree", a.from)
+                });
+                let to = sink_node[a.to.0].unwrap_or_else(|| {
+                    panic!("arc references {} which is not in the tree", a.to)
+                });
+                (a, from, to)
+            })
+            .collect();
+        self
+    }
+
+    /// The local-skew arcs enforced by this context.
+    pub fn timing_arcs(&self) -> impl Iterator<Item = &TimingArc> + '_ {
+        self.arcs.iter().map(|(a, _, _)| a)
+    }
+
+    /// The clock tree under optimization.
+    pub fn tree(&self) -> &'a ClockTree {
+        self.tree
+    }
+
+    /// The technology (rules, layers, buffers).
+    pub fn tech(&self) -> &'a Technology {
+        self.tech
+    }
+
+    /// The power operating point.
+    pub fn power_model(&self) -> PowerModel {
+        self.power_model
+    }
+
+    /// The constraints assignments must meet.
+    pub fn constraints(&self) -> Constraints {
+        self.constraints
+    }
+
+    /// Runs timing analysis of `assignment` (reusing shared scratch
+    /// buffers).
+    pub fn analyze(&self, assignment: &Assignment) -> TimingReport {
+        self.analyzer
+            .borrow_mut()
+            .run(self.tree, self.tech, assignment, &self.analysis_opts)
+    }
+
+    /// Evaluates the power of `assignment`.
+    pub fn power(&self, assignment: &Assignment) -> PowerReport {
+        evaluate(self.tree, self.tech, assignment, &self.power_model)
+    }
+
+    /// The corners (beyond nominal) at which feasibility is enforced.
+    pub fn corners(&self) -> &[Corner] {
+        &self.corners
+    }
+
+    /// Whether `report` (a nominal analysis of `assignment`) plus the
+    /// corner re-analyses satisfy the constraints — the single feasibility
+    /// predicate every optimizer uses.
+    ///
+    /// Corner limits scale with the corner's own severity: the slew limit
+    /// scales by the corner's R·C product (wire transitions stretch by that
+    /// factor to first order) and the skew limit gains the baseline's own
+    /// corner-induced skew (even a perfectly balanced-at-nominal tree
+    /// de-balances when wire delays scale but buffer delays do not).
+    pub fn meets(&self, assignment: &Assignment, report: &TimingReport) -> bool {
+        if !self.constraints.met_by(report) {
+            return false;
+        }
+        for (arc, from, to) in &self.arcs {
+            if !arc.satisfied_by(report.arrival_ps(*from), report.arrival_ps(*to)) {
+                return false;
+            }
+        }
+        if let Some(budget) = self.constraints.track_budget_um() {
+            let rules = self.tech.rules();
+            let mut cost = 0.0;
+            for (e, rid) in assignment.iter_edges(self.tree) {
+                let rule = rules.get(rid).expect("assignment validated by analyze");
+                cost += rule.track_cost() * self.tree.node(e).edge_len_nm() as f64 / 1_000.0;
+            }
+            if cost > budget * (1.0 + 1e-12) {
+                return false;
+            }
+        }
+        if let Some(limit) = self.constraints.em_limit_ma_per_um() {
+            // Effective RMS current through an edge: the stage-local
+            // downstream switched capacitance it charges, at VDD and f.
+            // fF · V · GHz = µA; /1000 = mA.
+            let layer = self.tech.clock_layer();
+            let rules = self.tech.rules();
+            let vdd = self.tech.vdd_v();
+            let f = self.power_model.freq_ghz();
+            for (e, rid) in assignment.iter_edges(self.tree) {
+                if self.tree.node(e).edge_len_nm() == 0 {
+                    continue;
+                }
+                let rule = rules.get(rid).expect("assignment validated by analyze");
+                let i_ma = report.stage_load_ff(e) * vdd * f / 1_000.0;
+                let width_um = rule.width_mult() * layer.width_min_um();
+                if i_ma > limit * width_um * (1.0 + 1e-12) {
+                    return false;
+                }
+            }
+        }
+        if let Some(limit) = self.constraints.noise_limit_ff_per_um() {
+            let layer = self.tech.clock_layer();
+            let rules = self.tech.rules();
+            for (e, rid) in assignment.iter_edges(self.tree) {
+                if self.tree.node(e).edge_len_nm() == 0 {
+                    continue; // zero-length edges carry no aggressor charge
+                }
+                let rule = rules.get(rid).expect("assignment validated by analyze");
+                if layer.unit_c_aggressor(rule) > limit + 1e-12 {
+                    return false;
+                }
+            }
+        }
+        if self.corners.is_empty() {
+            return true;
+        }
+        // Baseline skews per corner are assignment-independent: cache them.
+        if self.corner_base_skew.borrow().is_none() {
+            let base = self.conservative_assignment();
+            let skews: Vec<f64> = self
+                .corners
+                .iter()
+                .map(|&c| {
+                    snr_timing::analyze_at_corner(
+                        self.tree,
+                        self.tech,
+                        &base,
+                        c,
+                        &self.analysis_opts,
+                    )
+                    .skew_ps()
+                })
+                .collect();
+            *self.corner_base_skew.borrow_mut() = Some(skews);
+        }
+        let base_skews = self.corner_base_skew.borrow();
+        let base_skews = base_skews.as_ref().expect("cached above");
+        for (i, &corner) in self.corners.iter().enumerate() {
+            let scale = corner.r_scale() * corner.c_scale();
+            let at = snr_timing::analyze_at_corner(
+                self.tree,
+                self.tech,
+                assignment,
+                corner,
+                &self.analysis_opts,
+            );
+            let slew_ok = at.max_slew_ps() <= self.constraints.slew_limit_ps() * scale.max(1.0);
+            let skew_ok = at.skew_ps() <= self.constraints.skew_limit_ps() + base_skews[i];
+            if !(slew_ok && skew_ok) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether `assignment` meets the constraints (including any corners).
+    pub fn feasible(&self, assignment: &Assignment) -> bool {
+        let report = self.analyze(assignment);
+        self.meets(assignment, &report)
+    }
+
+    /// The uniform assignment at the most conservative rule — the
+    /// industrial starting point every optimizer may fall back to.
+    pub fn conservative_assignment(&self) -> Assignment {
+        Assignment::uniform(self.tree, self.tech.rules().most_conservative_id())
+    }
+
+    /// The uniform assignment at the default rule.
+    pub fn default_assignment(&self) -> Assignment {
+        Assignment::uniform(self.tree, self.tech.rules().default_id())
+    }
+
+    /// Packages `assignment` with its evaluation under this context.
+    pub fn outcome(&self, name: &str, assignment: Assignment, elapsed: Duration) -> Outcome {
+        let timing = self.analyze(&assignment);
+        let power = self.power(&assignment);
+        let meets = self.meets(&assignment, &timing);
+        Outcome::new(name, assignment, power, timing, meets, elapsed)
+    }
+
+    /// The evaluated conservative-uniform baseline.
+    pub fn conservative_baseline(&self) -> Outcome {
+        self.outcome(
+            "uniform-2w2s",
+            self.conservative_assignment(),
+            Duration::ZERO,
+        )
+    }
+
+    /// The evaluated default-rule baseline (typically constraint-violating —
+    /// that is the point of NDRs).
+    pub fn default_baseline(&self) -> Outcome {
+        self.outcome("uniform-1w1s", self.default_assignment(), Duration::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snr_cts::{synthesize, CtsOptions};
+    use snr_netlist::BenchmarkSpec;
+
+    fn ctx_fixture() -> (ClockTree, Technology) {
+        let design = BenchmarkSpec::new("t", 64).seed(7).build().unwrap();
+        let tech = Technology::n45();
+        let tree = synthesize(&design, &tech, &CtsOptions::default()).unwrap();
+        (tree, tech)
+    }
+
+    #[test]
+    fn baselines_order_as_expected() {
+        let (tree, tech) = ctx_fixture();
+        let ctx = OptContext::new(&tree, &tech, PowerModel::new(1.0));
+        let hi = ctx.conservative_baseline();
+        let lo = ctx.default_baseline();
+        assert!(hi.power().total_uw() > lo.power().total_uw());
+        assert!(hi.meets_constraints());
+    }
+
+    #[test]
+    fn feasible_matches_constraints() {
+        let (tree, tech) = ctx_fixture();
+        let ctx = OptContext::new(&tree, &tech, PowerModel::new(1.0));
+        assert!(ctx.feasible(&ctx.conservative_assignment()));
+        let tight = OptContext::new(&tree, &tech, PowerModel::new(1.0))
+            .with_constraints(Constraints::absolute(1.0, 0.001));
+        assert!(!tight.feasible(&tight.conservative_assignment()));
+    }
+
+    #[test]
+    fn corner_checks_tighten_feasibility() {
+        use crate::{GreedyDowngrade, NdrOptimizer};
+        use snr_tech::Corner;
+        let (tree, tech) = ctx_fixture();
+        let nominal = OptContext::new(&tree, &tech, PowerModel::new(1.0));
+        let cornered = OptContext::new(&tree, &tech, PowerModel::new(1.0))
+            .with_corners(vec![Corner::slow(), Corner::fast()]);
+        // The conservative baseline passes both by construction of the
+        // per-corner rescaled limits.
+        assert!(cornered.feasible(&cornered.conservative_assignment()));
+        // Corner-aware smart is feasible at corners and costs at least as
+        // much power as nominal-only smart (a superset of constraints).
+        let s_nom = GreedyDowngrade::default().optimize(&nominal);
+        let s_cor = GreedyDowngrade::default().optimize(&cornered);
+        assert!(s_cor.meets_constraints());
+        assert!(
+            s_cor.power().network_uw() >= s_nom.power().network_uw() - 1e-9,
+            "corner closure cannot be free"
+        );
+    }
+
+    #[test]
+    fn timing_arcs_tighten_feasibility() {
+        use crate::{GreedyDowngrade, NdrOptimizer};
+        use snr_netlist::random_timing_arcs;
+        let design = BenchmarkSpec::new("arcs", 100).seed(9).build().unwrap();
+        let tech = Technology::n45();
+        let tree = synthesize(&design, &tech, &CtsOptions::default()).unwrap();
+
+        // Tight windows (setup 8-15 ps) bind harder than the 30 ps global
+        // budget; the optimizer must keep paired sinks aligned.
+        let arcs = random_timing_arcs(&design, 60, (8.0, 15.0), (8.0, 15.0), 4);
+        let plain = OptContext::new(&tree, &tech, PowerModel::new(1.0));
+        let arced = OptContext::new(&tree, &tech, PowerModel::new(1.0))
+            .with_timing_arcs(arcs.clone());
+        assert_eq!(arced.timing_arcs().count(), arcs.len());
+
+        // The zero-skew conservative start satisfies every window.
+        assert!(arced.feasible(&arced.conservative_assignment()));
+
+        let s_plain = GreedyDowngrade::default().optimize(&plain);
+        let s_arced = GreedyDowngrade::default().optimize(&arced);
+        assert!(s_arced.meets_constraints());
+        // Every window holds on the arced result.
+        let rep = arced.analyze(s_arced.assignment());
+        let sink_node: std::collections::HashMap<usize, snr_cts::NodeId> = tree
+            .nodes()
+            .iter()
+            .filter_map(|n| match n.kind() {
+                snr_cts::NodeKind::Sink { sink, .. } => Some((sink.0, n.id())),
+                _ => None,
+            })
+            .collect();
+        for a in &arcs {
+            assert!(a.satisfied_by(
+                rep.arrival_ps(sink_node[&a.from.0]),
+                rep.arrival_ps(sink_node[&a.to.0])
+            ));
+        }
+        // A superset of constraints cannot save more power.
+        assert!(
+            s_arced.power().network_uw() >= s_plain.power().network_uw() - 1e-9,
+            "windows cannot be free"
+        );
+    }
+
+    #[test]
+    fn analyze_reuses_buffers_consistently() {
+        let (tree, tech) = ctx_fixture();
+        let ctx = OptContext::new(&tree, &tech, PowerModel::new(1.0));
+        let a = ctx.analyze(&ctx.conservative_assignment());
+        let b = ctx.analyze(&ctx.default_assignment());
+        let a2 = ctx.analyze(&ctx.conservative_assignment());
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+    }
+}

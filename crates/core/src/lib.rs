@@ -1,0 +1,106 @@
+//! Smart non-default routing for clock power reduction — the paper's core
+//! contribution.
+//!
+//! Industrial clock trees are routed with a *uniform* conservative
+//! non-default rule (typically 2W2S) to control delay variability and slew.
+//! That uniformity is wasteful: most edges could use a cheaper rule without
+//! violating any constraint. This crate assigns a routing rule **per tree
+//! edge**, minimizing switched clock capacitance (≈ clock power) subject to
+//!
+//! * a **max-slew** limit at every buffer input and sink,
+//! * a **global skew** limit across sinks, and
+//! * optionally a **robustness** budget on the Monte-Carlo σ-skew under
+//!   wire-width variation (the reason NDRs exist in the first place).
+//!
+//! # Optimizers
+//!
+//! | Type | Strategy | Role |
+//! |------|----------|------|
+//! | [`Uniform`] | one rule everywhere | the industrial baselines |
+//! | [`LevelBased`] | conservative near the root, default near leaves | rule-of-thumb baseline |
+//! | [`GreedyDowngrade`] | sensitivity-ordered downgrades from the conservative start | the "smart" downgrade construction |
+//! | [`SmartNdr`] | best of the two greedy constructions | **the headline flow** |
+//! | [`GreedyUpgradeRepair`] | upgrades from the all-default start until feasible | dual construction |
+//! | [`Lagrangian`] | dualized constraints, separable per-edge re-choice | classic wire-sizing formulation |
+//! | [`Annealing`] | simulated annealing over assignments | global-search reference |
+//! | [`StageExhaustive`] | exact enumeration within small stages | optimality yardstick |
+//!
+//! All optimizers implement [`NdrOptimizer`] and are compared by the
+//! experiment harness in `snr-bench`.
+//!
+//! # Examples
+//!
+//! ```
+//! use snr_netlist::BenchmarkSpec;
+//! use snr_tech::Technology;
+//! use snr_cts::{synthesize, CtsOptions};
+//! use snr_power::PowerModel;
+//! use snr_core::{Constraints, GreedyDowngrade, NdrOptimizer, OptContext};
+//!
+//! let design = BenchmarkSpec::new("demo", 96).seed(3).build()?;
+//! let tech = Technology::n45();
+//! let tree = synthesize(&design, &tech, &CtsOptions::default())?;
+//! let ctx = OptContext::new(&tree, &tech, PowerModel::new(design.freq_ghz()))
+//!     .with_constraints(Constraints::relative(&tree, &tech, 1.10, 30.0));
+//!
+//! let smart = GreedyDowngrade::default().optimize(&ctx);
+//! let baseline = ctx.conservative_baseline();
+//! assert!(smart.power().total_uw() <= baseline.power().total_uw());
+//! assert!(smart.meets_constraints());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod anneal;
+mod constraints;
+mod context;
+mod greedy;
+mod lagrangian;
+mod level;
+mod outcome;
+mod resize;
+mod robustness;
+mod smart;
+mod stage_exhaustive;
+mod uniform;
+mod upgrade;
+
+pub use anneal::Annealing;
+pub use constraints::Constraints;
+pub use context::OptContext;
+pub use greedy::GreedyDowngrade;
+pub use lagrangian::Lagrangian;
+pub use level::LevelBased;
+pub use outcome::Outcome;
+pub use resize::{buffer_size_histogram, downsize_buffers, downsize_in_context, ResizeOutcome};
+pub use robustness::{enforce_robustness, RobustnessSpec};
+pub use smart::SmartNdr;
+pub use stage_exhaustive::StageExhaustive;
+pub use uniform::Uniform;
+pub use upgrade::GreedyUpgradeRepair;
+
+use snr_cts::Assignment;
+
+/// A per-edge NDR assignment strategy.
+///
+/// Implementations must return assignments valid for the context's tree and
+/// technology; they *should* return constraint-satisfying assignments
+/// whenever the conservative uniform baseline satisfies them (every
+/// optimizer here falls back to that baseline rather than return a
+/// violating result).
+pub trait NdrOptimizer {
+    /// Short stable name for tables (e.g. `"smart-greedy"`).
+    fn name(&self) -> &str;
+
+    /// Produces an assignment for the context's tree.
+    fn assign(&self, ctx: &OptContext<'_>) -> Assignment;
+
+    /// Runs the optimizer and packages the result with its evaluation.
+    fn optimize(&self, ctx: &OptContext<'_>) -> Outcome {
+        let start = std::time::Instant::now();
+        let assignment = self.assign(ctx);
+        ctx.outcome(self.name(), assignment, start.elapsed())
+    }
+}

@@ -1,0 +1,136 @@
+//! Optimizer results.
+
+use snr_cts::Assignment;
+use snr_power::PowerReport;
+use snr_timing::TimingReport;
+use std::fmt;
+use std::time::Duration;
+
+/// An optimizer's result: the assignment plus its full evaluation.
+///
+/// `Outcome` is the row type of every comparison table in the experiment
+/// harness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outcome {
+    name: String,
+    assignment: Assignment,
+    power: PowerReport,
+    timing: TimingReport,
+    meets: bool,
+    elapsed: Duration,
+}
+
+impl Outcome {
+    /// Packages an evaluated assignment. Prefer
+    /// [`crate::OptContext::outcome`], which performs the evaluation.
+    pub fn new(
+        name: &str,
+        assignment: Assignment,
+        power: PowerReport,
+        timing: TimingReport,
+        meets: bool,
+        elapsed: Duration,
+    ) -> Self {
+        Outcome {
+            name: name.to_owned(),
+            assignment,
+            power,
+            timing,
+            meets,
+            elapsed,
+        }
+    }
+
+    /// The optimizer's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The produced assignment.
+    pub fn assignment(&self) -> &Assignment {
+        &self.assignment
+    }
+
+    /// Power evaluation.
+    pub fn power(&self) -> &PowerReport {
+        &self.power
+    }
+
+    /// Timing evaluation.
+    pub fn timing(&self) -> &TimingReport {
+        &self.timing
+    }
+
+    /// Whether the context's constraints were met.
+    pub fn meets_constraints(&self) -> bool {
+        self.meets
+    }
+
+    /// Optimizer runtime.
+    pub fn elapsed(&self) -> Duration {
+        self.elapsed
+    }
+
+    /// Clock-network power saving relative to `baseline`, as a fraction
+    /// (0.12 = 12 % less network power than the baseline).
+    pub fn network_saving_vs(&self, baseline: &Outcome) -> f64 {
+        let base = baseline.power.network_uw();
+        if base <= 0.0 {
+            return 0.0;
+        }
+        (base - self.power.network_uw()) / base
+    }
+
+    /// Deconstructs into the assignment (e.g. to feed a robustness repair).
+    pub fn into_assignment(self) -> Assignment {
+        self.assignment
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {:.1} µW network, skew {:.2} ps, slew {:.1} ps, {}, {:.1} ms",
+            self.name,
+            self.power.network_uw(),
+            self.timing.skew_ps(),
+            self.timing.max_slew_ps(),
+            if self.meets { "MET" } else { "VIOLATED" },
+            self.elapsed.as_secs_f64() * 1e3,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::OptContext;
+    use snr_cts::{synthesize, CtsOptions};
+    use snr_netlist::BenchmarkSpec;
+    use snr_power::PowerModel;
+    use snr_tech::Technology;
+
+    #[test]
+    fn saving_computation() {
+        let design = BenchmarkSpec::new("t", 48).seed(7).build().unwrap();
+        let tech = Technology::n45();
+        let tree = synthesize(&design, &tech, &CtsOptions::default()).unwrap();
+        let ctx = OptContext::new(&tree, &tech, PowerModel::new(1.0));
+        let hi = ctx.conservative_baseline();
+        let lo = ctx.default_baseline();
+        let s = lo.network_saving_vs(&hi);
+        assert!(s > 0.0 && s < 1.0, "saving {s}");
+        assert!(hi.network_saving_vs(&hi).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_includes_verdict() {
+        let design = BenchmarkSpec::new("t", 16).seed(7).build().unwrap();
+        let tech = Technology::n45();
+        let tree = synthesize(&design, &tech, &CtsOptions::default()).unwrap();
+        let ctx = OptContext::new(&tree, &tech, PowerModel::new(1.0));
+        let o = ctx.conservative_baseline();
+        assert!(o.to_string().contains("MET"));
+        assert_eq!(o.name(), "uniform-2w2s");
+    }
+}

@@ -1,0 +1,123 @@
+//! The headline smart-NDR flow: best of both greedy constructions.
+
+use crate::{GreedyDowngrade, GreedyUpgradeRepair, NdrOptimizer, OptContext};
+use snr_cts::Assignment;
+
+/// The full smart-NDR flow as the experiments report it: run the
+/// downgrade construction (from uniform-conservative) *and* the
+/// upgrade-repair construction (from uniform-default), and keep the
+/// cheaper feasible result.
+///
+/// The two constructions explore the feasible region from opposite ends;
+/// which one wins depends on how much of the tree is constraint-critical,
+/// so the flow runs both. Either result alone is already feasible whenever
+/// the conservative baseline is, so the combination inherits that
+/// guarantee.
+///
+/// # Examples
+///
+/// ```
+/// use snr_core::SmartNdr;
+/// let s = SmartNdr::default();
+/// assert_eq!(snr_core::NdrOptimizer::name(&s), "smart-ndr");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SmartNdr {
+    downgrade: GreedyDowngrade,
+    upgrade: GreedyUpgradeRepair,
+}
+
+impl SmartNdr {
+    /// Creates the flow with both constructions at their defaults.
+    pub fn new() -> Self {
+        SmartNdr::default()
+    }
+
+    /// Returns a copy with a custom downgrade construction.
+    pub fn with_downgrade(mut self, downgrade: GreedyDowngrade) -> Self {
+        self.downgrade = downgrade;
+        self
+    }
+
+    /// Returns a copy with a custom upgrade-repair construction.
+    pub fn with_upgrade(mut self, upgrade: GreedyUpgradeRepair) -> Self {
+        self.upgrade = upgrade;
+        self
+    }
+}
+
+impl NdrOptimizer for SmartNdr {
+    fn name(&self) -> &str {
+        "smart-ndr"
+    }
+
+    fn assign(&self, ctx: &OptContext<'_>) -> Assignment {
+        let down = self.downgrade.assign(ctx);
+        // Polish the upgrade-repair result with downgrade passes: repair
+        // leaves slack on non-critical edges the downgrades can harvest.
+        let up = self.downgrade.refine(ctx, self.upgrade.assign(ctx));
+        let down_ok = ctx.feasible(&down);
+        let up_ok = ctx.feasible(&up);
+        match (down_ok, up_ok) {
+            (true, true) => {
+                if ctx.power(&up).network_uw() < ctx.power(&down).network_uw() {
+                    up
+                } else {
+                    down
+                }
+            }
+            (true, false) => down,
+            (false, true) => up,
+            // Both infeasible only when even the conservative start is.
+            (false, false) => down,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snr_cts::{synthesize, ClockTree, CtsOptions};
+    use snr_netlist::BenchmarkSpec;
+    use snr_power::PowerModel;
+    use snr_tech::Technology;
+
+    fn fixture(n: usize) -> (ClockTree, Technology) {
+        let design = BenchmarkSpec::new("t", n).seed(8).build().unwrap();
+        let tech = Technology::n45();
+        let tree = synthesize(&design, &tech, &CtsOptions::default()).unwrap();
+        (tree, tech)
+    }
+
+    #[test]
+    fn never_worse_than_either_construction() {
+        let (tree, tech) = fixture(120);
+        let ctx = OptContext::new(&tree, &tech, PowerModel::new(1.0));
+        let smart = SmartNdr::default().optimize(&ctx);
+        let down = GreedyDowngrade::default().optimize(&ctx);
+        let up = GreedyUpgradeRepair::default().optimize(&ctx);
+        assert!(smart.meets_constraints());
+        let best = down.power().network_uw().min(up.power().network_uw());
+        assert!(smart.power().network_uw() <= best + 1e-9);
+    }
+
+    #[test]
+    fn beats_every_baseline() {
+        use crate::{LevelBased, Uniform};
+        let (tree, tech) = fixture(120);
+        let ctx = OptContext::new(&tree, &tech, PowerModel::new(1.0));
+        let smart = SmartNdr::default().optimize(&ctx);
+        for baseline in [
+            Uniform::conservative().optimize(&ctx),
+            LevelBased.optimize(&ctx),
+        ] {
+            assert!(
+                smart.power().network_uw() <= baseline.power().network_uw() + 1e-9,
+                "smart {} vs {} {}",
+                smart.power().network_uw(),
+                baseline.name(),
+                baseline.power().network_uw()
+            );
+        }
+    }
+}

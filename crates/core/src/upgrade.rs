@@ -1,0 +1,270 @@
+//! Dual construction: repair the all-default tree by targeted upgrades.
+
+use crate::{NdrOptimizer, OptContext};
+use snr_cts::{Assignment, NodeId};
+
+/// Upgrade-repair: start with *no* NDR anywhere (uniform default) and,
+/// while the tree violates the envelope, upgrade the most effective edge
+/// one rule step at a time.
+///
+/// Candidates are restricted to edges that can actually help: the stages
+/// containing slew-violating nodes, and the root paths of the extreme
+/// (earliest/latest) sinks when skew violates. Each iteration applies the
+/// candidate with the best violation reduction per added capacitance.
+///
+/// This is the natural dual of [`crate::GreedyDowngrade`]; the ablation
+/// experiment compares the two constructions' power at identical
+/// constraints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GreedyUpgradeRepair {
+    max_iters: usize,
+}
+
+impl GreedyUpgradeRepair {
+    /// Creates the optimizer with a generous iteration cap.
+    pub fn new() -> Self {
+        GreedyUpgradeRepair { max_iters: 100_000 }
+    }
+
+    /// Returns a copy with a custom iteration cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_iters` is zero.
+    pub fn with_max_iters(mut self, max_iters: usize) -> Self {
+        assert!(max_iters > 0, "need at least one iteration");
+        self.max_iters = max_iters;
+        self
+    }
+
+    /// Edges worth upgrading for the current report: stage edges of
+    /// slew-violating nodes plus root-path edges of the extreme sinks.
+    fn candidates(&self, ctx: &OptContext<'_>, asg: &Assignment) -> Vec<NodeId> {
+        let tree = ctx.tree();
+        let report = ctx.analyze(asg);
+        let constraints = ctx.constraints();
+        let mut mark = vec![false; tree.len()];
+
+        // Slew violations: walk from each violating checked node up to its
+        // stage source, marking the stage's path edges.
+        if report.max_slew_ps() > constraints.slew_limit_ps() {
+            for node in tree.nodes() {
+                let checked = node.kind().is_sink() || node.kind().is_buffer();
+                if !(checked && node.parent().is_some()) {
+                    continue;
+                }
+                if report.slew_ps(node.id()) <= constraints.slew_limit_ps() {
+                    continue;
+                }
+                let mut cur = node.id();
+                while let Some(p) = tree.node(cur).parent() {
+                    mark[cur.0] = true;
+                    if tree.node(p).kind().is_buffer() {
+                        break;
+                    }
+                    cur = p;
+                }
+            }
+        }
+
+        // Skew violations: the latest sink's root path is where upgrades
+        // reduce delay (the earliest sink cannot be slowed by upgrading).
+        if report.skew_ps() > constraints.skew_limit_ps() {
+            let latest = tree
+                .sink_nodes()
+                .into_iter()
+                .max_by(|a, b| {
+                    report
+                        .arrival_ps(*a)
+                        .partial_cmp(&report.arrival_ps(*b))
+                        .expect("arrivals are finite")
+                })
+                .expect("trees have sinks");
+            let mut cur = latest;
+            while let Some(p) = tree.node(cur).parent() {
+                mark[cur.0] = true;
+                cur = p;
+            }
+        }
+
+        let most = ctx.tech().rules().most_conservative_id();
+        mark.iter()
+            .enumerate()
+            .filter(|(i, m)| **m && asg.rule(NodeId(*i)) != most)
+            .map(|(i, _)| NodeId(i))
+            .collect()
+    }
+}
+
+impl Default for GreedyUpgradeRepair {
+    fn default() -> Self {
+        GreedyUpgradeRepair::new()
+    }
+}
+
+impl NdrOptimizer for GreedyUpgradeRepair {
+    fn name(&self) -> &str {
+        "upgrade-repair"
+    }
+
+    fn assign(&self, ctx: &OptContext<'_>) -> Assignment {
+        let tree = ctx.tree();
+        let rules = ctx.tech().rules();
+        let layer = ctx.tech().clock_layer();
+        let constraints = ctx.constraints();
+
+        // Running routing-track cost, so upgrades can respect a budget.
+        let len_um = |e: NodeId| tree.node(e).edge_len_nm() as f64 / 1_000.0;
+        let mut asg = ctx.default_assignment();
+        let mut track_um: f64 = tree
+            .edges()
+            .map(|e| rules.rule(asg.rule(e)).track_cost() * len_um(e))
+            .sum();
+        let budget = constraints.track_budget_um().unwrap_or(f64::INFINITY);
+        for _ in 0..self.max_iters {
+            let report = ctx.analyze(&asg);
+            let violation = constraints.violation_ps(&report);
+            if violation <= 0.0
+                && ctx.meets(&asg, &report) {
+                    return asg;
+                }
+                // Nominal is clean but a corner still violates: fall through
+                // to the plateau branch, which keeps widening the longest
+                // cheap edges (terminating at uniform-conservative).
+            let candidates = self.candidates(ctx, &asg);
+            if candidates.is_empty() {
+                break;
+            }
+            // Best violation reduction per added capacitance.
+            let mut best: Option<(f64, NodeId, snr_tech::RuleId)> = None;
+            for e in candidates {
+                let current = asg.rule(e);
+                let Some(next) = rules.pricier_than(current).next() else {
+                    continue;
+                };
+                let d_track = (rules.rule(next).track_cost()
+                    - rules.rule(current).track_cost())
+                    * len_um(e);
+                if track_um + d_track > budget {
+                    continue; // this upgrade would blow the routing budget
+                }
+                let added_ff = ((layer.unit_c(rules.rule(next))
+                    - layer.unit_c(rules.rule(current)))
+                    * len_um(e))
+                    .max(1e-6);
+                asg.set(e, next);
+                let new_violation = constraints.violation_ps(&ctx.analyze(&asg));
+                asg.set(e, current);
+                let score = (violation - new_violation) / added_ff;
+                if best.is_none_or(|(s, _, _)| score > s) {
+                    best = Some((score, e, next));
+                }
+            }
+            match best {
+                Some((score, e, next)) if score > 0.0 => {
+                    track_um += (rules.rule(next).track_cost()
+                        - rules.rule(asg.rule(e)).track_cost())
+                        * len_um(e);
+                    asg.set(e, next);
+                }
+                // No single upgrade helps (plateau): take the largest
+                // candidate-free step — upgrade the longest still-cheap
+                // edge that fits the budget — before giving up.
+                _ => {
+                    let fallback = tree
+                        .edges()
+                        .filter(|e| {
+                            let cur = asg.rule(*e);
+                            if cur == rules.most_conservative_id() {
+                                return false;
+                            }
+                            let next = rules.pricier_than(cur).next().expect("not top");
+                            let d = (rules.rule(next).track_cost()
+                                - rules.rule(cur).track_cost())
+                                * len_um(*e);
+                            track_um + d <= budget
+                        })
+                        .max_by_key(|e| tree.node(*e).edge_len_nm());
+                    match fallback {
+                        Some(e) => {
+                            let next = rules
+                                .pricier_than(asg.rule(e))
+                                .next()
+                                .expect("not at most conservative");
+                            track_um += (rules.rule(next).track_cost()
+                                - rules.rule(asg.rule(e)).track_cost())
+                                * len_um(e);
+                            asg.set(e, next);
+                        }
+                        None => break, // nothing more fits the budget
+                    }
+                }
+            }
+        }
+        // Could not repair within budget: the conservative uniform tree is
+        // the guaranteed-feasible answer when one exists.
+        if ctx.feasible(&asg) {
+            asg
+        } else {
+            ctx.conservative_assignment()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snr_cts::{synthesize, ClockTree, CtsOptions};
+    use snr_netlist::BenchmarkSpec;
+    use snr_power::PowerModel;
+    use snr_tech::Technology;
+
+    fn fixture(n: usize) -> (ClockTree, Technology) {
+        let design = BenchmarkSpec::new("t", n).seed(8).build().unwrap();
+        let tech = Technology::n45();
+        let tree = synthesize(&design, &tech, &CtsOptions::default()).unwrap();
+        (tree, tech)
+    }
+
+    #[test]
+    fn repairs_to_feasibility() {
+        let (tree, tech) = fixture(120);
+        let ctx = OptContext::new(&tree, &tech, PowerModel::new(1.0));
+        // Default uniform violates the envelope...
+        assert!(!ctx.feasible(&ctx.default_assignment()));
+        // ...but the repair ends feasible.
+        let out = GreedyUpgradeRepair::default().optimize(&ctx);
+        assert!(out.meets_constraints());
+    }
+
+    #[test]
+    fn cheaper_than_conservative_baseline() {
+        let (tree, tech) = fixture(120);
+        let ctx = OptContext::new(&tree, &tech, PowerModel::new(1.0));
+        let out = GreedyUpgradeRepair::default().optimize(&ctx);
+        let base = ctx.conservative_baseline();
+        assert!(out.power().network_uw() <= base.power().network_uw() + 1e-9);
+    }
+
+    #[test]
+    fn already_feasible_start_returns_default() {
+        use crate::Constraints;
+        let (tree, tech) = fixture(40);
+        let ctx = OptContext::new(&tree, &tech, PowerModel::new(1.0))
+            .with_constraints(Constraints::absolute(1e9, 1e9));
+        let asg = GreedyUpgradeRepair::default().assign(&ctx);
+        assert_eq!(asg, ctx.default_assignment());
+    }
+
+    #[test]
+    fn iteration_cap_falls_back_to_conservative() {
+        let (tree, tech) = fixture(120);
+        let ctx = OptContext::new(&tree, &tech, PowerModel::new(1.0));
+        let asg = GreedyUpgradeRepair::default()
+            .with_max_iters(1)
+            .assign(&ctx);
+        // One iteration cannot repair a 120-sink tree; the guaranteed
+        // fallback is the conservative uniform.
+        assert_eq!(asg, ctx.conservative_assignment());
+    }
+}

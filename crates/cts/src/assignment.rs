@@ -1,0 +1,172 @@
+//! Per-edge routing-rule assignments.
+
+use crate::{ClockTree, NodeId};
+use snr_tech::{RuleId, RuleSet};
+use std::fmt;
+
+/// A routing-rule choice for every edge of a [`ClockTree`].
+///
+/// The edge above each non-root node is addressed by that node's id; the
+/// root's slot exists but is ignored by all consumers. An `Assignment` is
+/// the *decision variable* of the smart-NDR optimization: the tree and the
+/// technology stay fixed while optimizers mutate the assignment.
+///
+/// # Examples
+///
+/// ```
+/// use snr_cts::{Assignment, ClockTree, NodeKind};
+/// use snr_geom::Point;
+/// use snr_tech::{RuleSet, RuleId};
+///
+/// let mut tree = ClockTree::with_root(Point::new(0, 0), NodeKind::Steiner);
+/// let child = tree.add_node(
+///     NodeKind::Sink { sink: snr_netlist::SinkId(0), cap_ff: 5.0 },
+///     Point::new(0, 100), tree.root(), 100,
+/// );
+/// let rules = RuleSet::standard();
+/// let mut asg = Assignment::uniform(&tree, rules.most_conservative_id());
+/// assert_eq!(asg.rule(child), rules.most_conservative_id());
+/// asg.set(child, rules.default_id());
+/// assert_eq!(asg.rule(child), rules.default_id());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    rules: Vec<RuleId>,
+}
+
+impl Assignment {
+    /// Assigns `rule` to every edge of `tree`.
+    pub fn uniform(tree: &ClockTree, rule: RuleId) -> Self {
+        Assignment {
+            rules: vec![rule; tree.len()],
+        }
+    }
+
+    /// The rule assigned to the edge above `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range for the tree this assignment was
+    /// built for.
+    pub fn rule(&self, node: NodeId) -> RuleId {
+        self.rules[node.0]
+    }
+
+    /// Sets the rule for the edge above `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn set(&mut self, node: NodeId, rule: RuleId) {
+        self.rules[node.0] = rule;
+    }
+
+    /// Number of slots (equals the tree's node count).
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the assignment has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Iterates over `(edge, rule)` pairs for the non-root edges of `tree`.
+    pub fn iter_edges<'a>(
+        &'a self,
+        tree: &'a ClockTree,
+    ) -> impl Iterator<Item = (NodeId, RuleId)> + 'a {
+        tree.edges().map(move |e| (e, self.rules[e.0]))
+    }
+
+    /// Wirelength in µm routed with each rule of `rules`, indexed by rule
+    /// id — the data behind the paper's rule-usage breakdown figure.
+    pub fn usage_um(&self, tree: &ClockTree, rules: &RuleSet) -> Vec<f64> {
+        let mut um = vec![0.0; rules.len()];
+        for (e, r) in self.iter_edges(tree) {
+            um[r.0] += tree.node(e).edge_len_nm() as f64 / 1_000.0;
+        }
+        um
+    }
+
+    /// Whether every slot holds a rule valid for `rules`.
+    pub fn is_valid_for(&self, rules: &RuleSet) -> bool {
+        self.rules.iter().all(|r| rules.get(*r).is_some())
+    }
+}
+
+impl fmt::Display for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Assignment({} edges)", self.rules.len().saturating_sub(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeKind;
+    use snr_geom::Point;
+    use snr_netlist::SinkId;
+
+    fn tree2() -> (ClockTree, NodeId, NodeId) {
+        let mut t = ClockTree::with_root(Point::new(0, 0), NodeKind::Steiner);
+        let a = t.add_node(
+            NodeKind::Sink {
+                sink: SinkId(0),
+                cap_ff: 5.0,
+            },
+            Point::new(0, 100),
+            t.root(),
+            100,
+        );
+        let b = t.add_node(
+            NodeKind::Sink {
+                sink: SinkId(1),
+                cap_ff: 5.0,
+            },
+            Point::new(100, 0),
+            t.root(),
+            100,
+        );
+        (t, a, b)
+    }
+
+    #[test]
+    fn uniform_and_set() {
+        let (t, a, b) = tree2();
+        let rules = RuleSet::standard();
+        let mut asg = Assignment::uniform(&t, rules.most_conservative_id());
+        assert!(asg.is_valid_for(&rules));
+        assert_eq!(asg.rule(a), rules.most_conservative_id());
+        asg.set(a, rules.default_id());
+        assert_eq!(asg.rule(a), rules.default_id());
+        assert_eq!(asg.rule(b), rules.most_conservative_id());
+    }
+
+    #[test]
+    fn usage_accounts_all_wire() {
+        let (t, a, _) = tree2();
+        let rules = RuleSet::standard();
+        let mut asg = Assignment::uniform(&t, rules.default_id());
+        asg.set(a, rules.most_conservative_id());
+        let usage = asg.usage_um(&t, &rules);
+        assert!((usage.iter().sum::<f64>() - 0.2).abs() < 1e-12);
+        assert!((usage[rules.most_conservative_id().0] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_edges_skips_root() {
+        let (t, _, _) = tree2();
+        let asg = Assignment::uniform(&t, RuleId(0));
+        assert_eq!(asg.iter_edges(&t).count(), 2);
+    }
+
+    #[test]
+    fn invalid_rule_detected() {
+        let (t, a, _) = tree2();
+        let rules = RuleSet::standard();
+        let mut asg = Assignment::uniform(&t, rules.default_id());
+        asg.set(a, RuleId(99));
+        assert!(!asg.is_valid_for(&rules));
+    }
+}

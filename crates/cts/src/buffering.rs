@@ -1,0 +1,269 @@
+//! Level-synchronized buffer insertion.
+//!
+//! Buffers are inserted whenever the accumulated (unbuffered) downstream
+//! capacitance of a stage exceeds the options' stage-cap limit. To preserve
+//! the near-zero skew of the DME tree, insertion is synchronized by *merge
+//! height*: if any node at a given height needs a buffer, every node at
+//! that height gets one, and all of them use the same cell — the smallest
+//! library cell that meets the slew target for the worst load at that
+//! height. A root driver is always added at the clock entry point.
+
+use crate::{ClockTree, CtsError, CtsOptions, NodeId, NodeKind};
+use snr_tech::Technology;
+
+/// Inserts buffers into an unbuffered tree, returning the buffered tree.
+///
+/// The input tree is consumed; node ids are *not* preserved (the buffered
+/// tree has a new root driver and therefore a fresh id space).
+///
+/// # Errors
+///
+/// Returns [`CtsError`] when even the largest library buffer cannot drive
+/// the worst stage load within three times the slew target — a sign the
+/// stage-cap limit is far too large for the library.
+pub fn insert_buffers(
+    tree: ClockTree,
+    tech: &Technology,
+    opts: &CtsOptions,
+) -> Result<ClockTree, CtsError> {
+    let n = tree.len();
+    let c_unit = tech.clock_unit_c_delay(opts.construction_rule()); // fF/µm (effective)
+
+    // Merge height: 0 at leaves, 1 + max(children) above.
+    let mut height = vec![0usize; n];
+    for id in tree.postorder() {
+        let node = tree.node(id);
+        for &ch in node.children() {
+            height[id.0] = height[id.0].max(height[ch.0] + 1);
+        }
+    }
+    let max_height = height[tree.root().0];
+
+    // Bottom-up stage-cap accumulation with height-synchronized cuts.
+    // `buffered[h]` is decided when processing height h; `acc[v]` holds the
+    // unbuffered downstream cap of v given the cuts below.
+    let mut acc = vec![0.0f64; n];
+    let mut level_cell: Vec<Option<usize>> = vec![None; max_height + 1];
+    let mut level_worst = vec![0.0f64; max_height + 1];
+
+    // Group nodes by height for synchronized decisions.
+    let mut by_height: Vec<Vec<NodeId>> = vec![Vec::new(); max_height + 1];
+    for id in tree.topo_order() {
+        by_height[height[id.0]].push(id);
+    }
+
+    for h in 0..=max_height {
+        // First accumulate caps at this height given decisions below.
+        for &id in &by_height[h] {
+            let node = tree.node(id);
+            let mut a = match node.kind() {
+                NodeKind::Sink { cap_ff, .. } => cap_ff,
+                _ => 0.0,
+            };
+            for &ch in node.children() {
+                let wire_ff = c_unit * tree.node(ch).edge_len_nm() as f64 / 1_000.0;
+                let below = if level_cell[height[ch.0]].is_some() {
+                    // Child level is buffered: upstream sees only the input
+                    // pin of the child's buffer.
+                    tech.buffers().cells()[level_cell[height[ch.0]].expect("just checked")]
+                        .input_cap_ff()
+                } else {
+                    acc[ch.0]
+                };
+                a += wire_ff + below;
+            }
+            acc[id.0] = a;
+            level_worst[h] = level_worst[h].max(a);
+        }
+        // Decide: sinks (h = 0) are never buffered; other levels buffer when
+        // the worst accumulated cap exceeds the limit.
+        if h > 0 && level_worst[h] > opts.max_stage_cap_ff() {
+            let worst = level_worst[h];
+            let cell = tech
+                .buffers()
+                .smallest_for_slew(worst, opts.slew_target_ps())
+                .or_else(|| {
+                    // Tolerate up to 3x the target before declaring failure.
+                    tech.buffers()
+                        .smallest_for_slew(worst, 3.0 * opts.slew_target_ps())
+                })
+                .ok_or_else(|| {
+                    CtsError::new(format!(
+                        "no buffer can drive {worst:.1} fF within 3x slew target \
+                         {:.0} ps",
+                        opts.slew_target_ps()
+                    ))
+                })?;
+            let index = tech
+                .buffers()
+                .cells()
+                .iter()
+                .position(|c| c.name() == cell.name())
+                .expect("cell comes from this library");
+            level_cell[h] = Some(index);
+        }
+    }
+
+    // The root always carries a driver; reuse the level cell when the root's
+    // height is buffered, otherwise pick for the root's accumulated load.
+    let root_height = max_height;
+    if level_cell[root_height].is_none() {
+        let load = acc[tree.root().0];
+        let cell = tech
+            .buffers()
+            .smallest_for_slew(load, opts.slew_target_ps())
+            .unwrap_or_else(|| tech.buffers().largest());
+        let index = tech
+            .buffers()
+            .cells()
+            .iter()
+            .position(|c| c.name() == cell.name())
+            .expect("cell comes from this library");
+        level_cell[root_height] = Some(index);
+    }
+
+    // ---- Rebuild with buffer kinds ---------------------------------------
+    // The old root becomes a buffer child of nothing (it *is* the tree top);
+    // its kind switches to Buffer (the root driver sits at the old root's
+    // location — the point DME already pulled towards the clock source).
+    let root_kind = NodeKind::Buffer {
+        cell: level_cell[root_height].expect("root level always buffered"),
+    };
+    let old_root_kind = tree.node(tree.root()).kind();
+    let mut out = ClockTree::with_root(
+        tree.node(tree.root()).location(),
+        if old_root_kind.is_sink() {
+            old_root_kind // degenerate single-sink tree keeps its sink
+        } else {
+            root_kind
+        },
+    );
+    // DFS copy, translating ids.
+    let mut stack: Vec<(NodeId, NodeId)> = tree
+        .node(tree.root())
+        .children()
+        .iter()
+        .map(|&c| (c, out.root()))
+        .collect();
+    while let Some((old_id, new_parent)) = stack.pop() {
+        let node = tree.node(old_id);
+        let kind = match node.kind() {
+            NodeKind::Steiner => match level_cell[height[old_id.0]] {
+                Some(cell) => NodeKind::Buffer { cell },
+                None => NodeKind::Steiner,
+            },
+            other => other,
+        };
+        let new_id = out.add_node(kind, node.location(), new_parent, node.edge_len_nm());
+        for &ch in node.children() {
+            stack.push((ch, new_id));
+        }
+    }
+
+    debug_assert!(out.check().is_ok());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bisection_topology, build_unbuffered_tree};
+    use snr_netlist::BenchmarkSpec;
+
+    fn buffered(n: usize, cap_limit: f64) -> ClockTree {
+        let design = BenchmarkSpec::new("t", n).seed(8).build().unwrap();
+        let tech = Technology::n45();
+        let opts = CtsOptions::default().with_max_stage_cap_ff(cap_limit);
+        let plan = bisection_topology(&design);
+        let tree = build_unbuffered_tree(&design, &tech, &opts, &plan).unwrap();
+        insert_buffers(tree, &tech, &opts).unwrap()
+    }
+
+    #[test]
+    fn root_is_always_a_driver() {
+        let t = buffered(64, 120.0);
+        assert!(t.node(t.root()).kind().is_buffer());
+    }
+
+    #[test]
+    fn sink_count_preserved() {
+        for n in [2usize, 33, 200] {
+            let t = buffered(n, 120.0);
+            assert_eq!(t.sink_nodes().len(), n);
+            t.check().unwrap();
+        }
+    }
+
+    #[test]
+    fn tighter_cap_limit_means_more_buffers() {
+        let loose = buffered(256, 300.0).stats().n_buffers;
+        let tight = buffered(256, 60.0).stats().n_buffers;
+        assert!(
+            tight > loose,
+            "tight limit {tight} should exceed loose {loose}"
+        );
+    }
+
+    #[test]
+    fn buffers_at_uniform_depths() {
+        // Level synchronization: all buffers of the tree sit at depths that
+        // form a small set (one per buffered height), keeping stages
+        // symmetric.
+        let t = buffered(256, 100.0);
+        let depths = t.depths();
+        let mut buffer_depths: Vec<usize> = t.buffer_nodes().iter().map(|b| depths[b.0]).collect();
+        buffer_depths.sort_unstable();
+        buffer_depths.dedup();
+        // 256 sinks => 9 merge levels; buffered heights are far fewer.
+        // (The Miller-amplified delay caps raised per-level loads, so up to
+        // six of the nine levels may buffer.)
+        assert!(
+            buffer_depths.len() <= 6,
+            "buffer depths {buffer_depths:?} not synchronized"
+        );
+    }
+
+    #[test]
+    fn single_sink_design_stays_trivial() {
+        let t = buffered(1, 120.0);
+        assert_eq!(t.len(), 1);
+        assert!(t.node(t.root()).kind().is_sink());
+    }
+
+    #[test]
+    fn stage_caps_bounded_after_buffering() {
+        // Recompute stage caps on the buffered tree: no stage may exceed the
+        // limit by more than one wire-segment of slack (the decision
+        // granularity).
+        let limit = 120.0;
+        let t = buffered(300, limit);
+        let tech = Technology::n45();
+        let opts = CtsOptions::default();
+        let c_unit = tech.clock_unit_c_delay(opts.construction_rule());
+        let mut acc = vec![0.0f64; t.len()];
+        let mut worst: f64 = 0.0;
+        for id in t.postorder() {
+            let node = t.node(id);
+            let mut a = match node.kind() {
+                NodeKind::Sink { cap_ff, .. } => cap_ff,
+                NodeKind::Buffer { .. } | NodeKind::Steiner => 0.0,
+            };
+            for &ch in node.children() {
+                let wire = c_unit * t.node(ch).edge_len_nm() as f64 / 1_000.0;
+                let below = match t.node(ch).kind() {
+                    NodeKind::Buffer { cell } => tech.buffers().cells()[cell].input_cap_ff(),
+                    _ => acc[ch.0],
+                };
+                a += wire + below;
+            }
+            acc[id.0] = a;
+            if node.kind().is_buffer() {
+                worst = worst.max(a);
+            }
+        }
+        assert!(
+            worst <= 2.5 * limit,
+            "worst stage cap {worst:.1} fF far exceeds limit {limit}"
+        );
+    }
+}

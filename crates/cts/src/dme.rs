@@ -1,0 +1,705 @@
+//! Deferred-Merge Embedding (DME) with exact Elmore balancing and
+//! integrated buffering.
+//!
+//! The classic zero-skew-tree construction (Chao–Hsu–Kahng / Boese–Kahng):
+//! a bottom-up pass computes, for every merge of the [`TopologyPlan`], the
+//! *merging region* — the locus of merge locations that equalize the Elmore
+//! delays of the two subtrees — together with the wire lengths assigned to
+//! each side (allowing snaking when one side is much faster); a top-down
+//! pass then fixes each node at the point of its region closest to its
+//! already-placed parent.
+//!
+//! [`build_buffered_tree`] extends the merge step with *buffered DME*:
+//! subtrees whose accumulated capacitance exceeds the stage-cap limit are
+//! capped with a buffer before merging, and edges whose wire capacitance
+//! alone exceeds the limit receive evenly spaced repeaters. Both delays are
+//! folded into the balance equation, so the finished tree keeps
+//! (near-)exactly zero Elmore skew — which the timing crate's tests verify
+//! end-to-end.
+
+use crate::{ClockTree, CtsError, CtsOptions, NodeId, NodeKind, PlanNode, TopologyPlan};
+use snr_geom::{lshape_via, Point, Trr};
+use snr_netlist::Design;
+use snr_tech::{units, BufferCell, Technology};
+
+/// Per-plan-node bottom-up state.
+struct MergeState {
+    /// Merging region (locus of feasible locations).
+    region: Trr,
+    /// Subtree Elmore delay from this node to its sinks, ps.
+    delay_ps: f64,
+    /// Subtree capacitance seen at this node, fF.
+    cap_ff: f64,
+    /// Designed wire lengths to the two children, nm (0 for leaves).
+    child_len_nm: [f64; 2],
+    /// Repeaters inserted along each child edge.
+    child_reps: [u32; 2],
+    /// Buffer cell inserted at this node (buffered DME only).
+    buffer: Option<usize>,
+}
+
+/// Builds the unbuffered, Elmore-balanced clock tree for `plan`.
+///
+/// Wire parasitics are taken from the technology's clock layer at the
+/// options' *construction rule* (industrially, trees are built assuming the
+/// uniform conservative NDR; the optimizer later relaxes individual edges).
+///
+/// # Errors
+///
+/// Returns [`CtsError`] if the plan does not match the design (wrong sink
+/// count or indices) — see [`TopologyPlan::check`].
+pub fn build_unbuffered_tree(
+    design: &Design,
+    tech: &Technology,
+    opts: &CtsOptions,
+    plan: &TopologyPlan,
+) -> Result<ClockTree, CtsError> {
+    build_tree_inner(design, tech, opts, plan, false)
+}
+
+/// Builds a *buffered* Elmore-balanced clock tree: buffered DME.
+///
+/// Buffers are inserted bottom-up during merging whenever a subtree's
+/// accumulated capacitance exceeds the stage-cap limit; long edges receive
+/// evenly spaced repeaters. Because insertion happens before each merge is
+/// balanced, the wire-length split compensates for buffer delays and the
+/// tree keeps (near-)zero Elmore skew even with unequal stage loads. A root
+/// driver is always added.
+///
+/// # Errors
+///
+/// Returns [`CtsError`] if the plan does not match the design, or if no
+/// library buffer can drive a stage load within three times the slew
+/// target.
+pub fn build_buffered_tree(
+    design: &Design,
+    tech: &Technology,
+    opts: &CtsOptions,
+    plan: &TopologyPlan,
+) -> Result<ClockTree, CtsError> {
+    build_tree_inner(design, tech, opts, plan, true)
+}
+
+fn pick_cell(tech: &Technology, opts: &CtsOptions, load_ff: f64) -> Result<usize, CtsError> {
+    let lib = tech.buffers();
+    let cell = lib
+        .smallest_for_slew(load_ff, opts.slew_target_ps())
+        .or_else(|| lib.smallest_for_slew(load_ff, 3.0 * opts.slew_target_ps()))
+        .ok_or_else(|| {
+            CtsError::new(format!(
+                "no buffer can drive {load_ff:.1} fF within 3x slew target {:.0} ps",
+                opts.slew_target_ps()
+            ))
+        })?;
+    Ok(lib
+        .cells()
+        .iter()
+        .position(|c| c.name() == cell.name())
+        .expect("cell comes from this library"))
+}
+
+/// Electrical model of one tree edge: uniform wire of the construction rule
+/// with `k` evenly spaced repeaters.
+#[derive(Clone, Copy)]
+struct EdgeModel<'a> {
+    /// Unit resistance, kΩ/µm.
+    r: f64,
+    /// Unit capacitance, fF/µm.
+    c: f64,
+    /// Stage-cap limit driving repeater count, fF (`None` disables
+    /// repeaters — the unbuffered build).
+    cmax: Option<f64>,
+    /// Repeater cell (only consulted when `cmax` is set).
+    rep: Option<&'a BufferCell>,
+}
+
+impl EdgeModel<'_> {
+    /// Repeater count for an edge of `e_um` µm.
+    fn reps_for(&self, e_um: f64) -> u32 {
+        match self.cmax {
+            Some(cmax) if self.c * e_um > cmax => ((self.c * e_um) / cmax).ceil() as u32 - 1,
+            _ => 0,
+        }
+    }
+
+    /// Delay through an edge of `e_um` with `k` repeaters driving
+    /// `load_ff`, and the capacitance seen at the top of the edge.
+    fn eval(&self, e_um: f64, k: u32, load_ff: f64) -> (f64, f64) {
+        let seg = e_um / f64::from(k + 1);
+        let mut t = 0.0;
+        let mut cap = load_ff;
+        for i in 0..=k {
+            t += self.r * seg * (self.c * seg / 2.0 + cap);
+            cap += self.c * seg;
+            if i < k {
+                let rep = self.rep.expect("repeaters require a repeater cell");
+                t += rep.delay_ps(cap);
+                cap = rep.input_cap_ff();
+            }
+        }
+        (t, cap)
+    }
+}
+
+/// Result of balancing one merge.
+struct Split {
+    ea_um: f64,
+    eb_um: f64,
+    ka: u32,
+    kb: u32,
+    /// Elmore delay of the merged node (either side, they are equal).
+    delay_ps: f64,
+    /// Capacitance seen at the merge point.
+    cap_ff: f64,
+}
+
+/// Splits the merge distance `d_um` into the wire lengths `(ea, eb)` that
+/// equalize the two subtrees' delays (snaking one side when needed), with
+/// repeater counts consistent with the final lengths.
+fn solve_split(
+    model: &EdgeModel<'_>,
+    (ta, ca): (f64, f64),
+    (tb, cb): (f64, f64),
+    d_um: f64,
+) -> Split {
+    // Iterate on the repeater counts: fix (ka, kb), solve the continuous
+    // balance exactly, then check the counts still *cover* the stage-cap
+    // requirement of the solved lengths. When the balance target falls in
+    // the delay discontinuity at a count threshold, a count larger than the
+    // minimum is legal (a repeater on a shorter edge just splits the stage
+    // further), so coverage — not equality — is the convergence test, and
+    // counts only ever grow: the loop terminates.
+    let (mut ea, mut eb) = closed_form_split(model.r, model.c, (ta, ca), (tb, cb), d_um);
+    let mut ka = model.reps_for(ea);
+    let mut kb = model.reps_for(eb);
+    loop {
+        let balance =
+            |x_a: f64, x_b: f64| ta + model.eval(x_a, ka, ca).0 - (tb + model.eval(x_b, kb, cb).0);
+        let (na, nb) = if balance(0.0, d_um) >= 0.0 {
+            // Side a is slower even with the whole span on b: snake b.
+            let target = |e: f64| tb + model.eval(e, kb, cb).0 - ta;
+            (0.0, solve_increasing(target, d_um))
+        } else if balance(d_um, 0.0) <= 0.0 {
+            let target = |e: f64| ta + model.eval(e, ka, ca).0 - tb;
+            (solve_increasing(target, d_um), 0.0)
+        } else {
+            // Root of balance(x, d-x) in (0, d).
+            let g = |x: f64| balance(x, d_um - x);
+            let mut lo = 0.0;
+            let mut hi = d_um;
+            for _ in 0..100 {
+                let mid = (lo + hi) / 2.0;
+                if g(mid) < 0.0 {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            let x = (lo + hi) / 2.0;
+            (x, d_um - x)
+        };
+        ea = na;
+        eb = nb;
+        let (need_a, need_b) = (model.reps_for(ea), model.reps_for(eb));
+        if need_a <= ka && need_b <= kb {
+            break;
+        }
+        ka = ka.max(need_a);
+        kb = kb.max(need_b);
+    }
+    let (da, cap_a) = model.eval(ea, ka, ca);
+    let (db, cap_b) = model.eval(eb, kb, cb);
+    debug_assert!(
+        (ta + da - (tb + db)).abs() < 0.1 * (1.0 + ta.abs() + tb.abs()),
+        "merge balance residual too large"
+    );
+    Split {
+        ea_um: ea,
+        eb_um: eb,
+        ka,
+        kb,
+        delay_ps: ta + da,
+        cap_ff: cap_a + cap_b,
+    }
+}
+
+/// Exact closed-form split for the pure-wire (no repeater) case; also the
+/// starting point for the repeater-aware iteration.
+fn closed_form_split(
+    r: f64,
+    c: f64,
+    (ta, ca): (f64, f64),
+    (tb, cb): (f64, f64),
+    d_um: f64,
+) -> (f64, f64) {
+    let denom = r * (ca + cb + c * d_um);
+    let ea = if denom > 0.0 {
+        ((tb - ta) + r * d_um * (cb + c * d_um / 2.0)) / denom
+    } else {
+        d_um / 2.0
+    };
+    if ea < 0.0 {
+        (0.0, snake_length_um(r, c, cb, ta - tb).max(d_um))
+    } else if ea > d_um {
+        (snake_length_um(r, c, ca, tb - ta).max(d_um), 0.0)
+    } else {
+        (ea, d_um - ea)
+    }
+}
+
+/// Finds `e >= lo` with `f(e) = 0` for a continuous increasing `f` with
+/// `f(lo) <= 0` (doubling then bisection).
+fn solve_increasing(f: impl Fn(f64) -> f64, lo: f64) -> f64 {
+    if f(lo) >= 0.0 {
+        return lo;
+    }
+    let mut hi = (lo * 2.0).max(1.0);
+    let mut guard = 0;
+    while f(hi) < 0.0 && guard < 80 {
+        hi *= 2.0;
+        guard += 1;
+    }
+    let mut a = lo;
+    let mut b = hi;
+    for _ in 0..100 {
+        let mid = (a + b) / 2.0;
+        if f(mid) < 0.0 {
+            a = mid;
+        } else {
+            b = mid;
+        }
+    }
+    (a + b) / 2.0
+}
+
+/// Length of wire (µm) that delays a subtree with load `cap_ff` by
+/// `extra_ps`: the positive root of `r·x·(c·x/2 + C) = extra`.
+fn snake_length_um(r: f64, c: f64, cap_ff: f64, extra_ps: f64) -> f64 {
+    debug_assert!(extra_ps >= 0.0);
+    if extra_ps <= 0.0 || r <= 0.0 {
+        return 0.0;
+    }
+    if c <= 0.0 {
+        return extra_ps / (r * cap_ff.max(f64::EPSILON));
+    }
+    ((cap_ff * cap_ff + 2.0 * c * extra_ps / r).sqrt() - cap_ff) / c
+}
+
+fn build_tree_inner(
+    design: &Design,
+    tech: &Technology,
+    opts: &CtsOptions,
+    plan: &TopologyPlan,
+    buffered: bool,
+) -> Result<ClockTree, CtsError> {
+    plan.check(design.sinks().len())
+        .map_err(|e| CtsError::new(format!("topology plan invalid: {e}")))?;
+
+    let rule = opts.construction_rule();
+    let r = tech.clock_unit_r(rule); // kΩ/µm
+    let c = tech.clock_unit_c_delay(rule); // fF/µm (effective, for balancing)
+
+    // One mid-size repeater cell for all long-edge repeaters, chosen for the
+    // stage-cap design point.
+    let rep_idx = if buffered {
+        Some(pick_cell(tech, opts, opts.max_stage_cap_ff())?)
+    } else {
+        None
+    };
+    let model = EdgeModel {
+        r,
+        c,
+        cmax: buffered.then(|| opts.max_stage_cap_ff()),
+        rep: rep_idx.map(|i| &tech.buffers().cells()[i]),
+    };
+
+    // ---- Bottom-up: merging regions -------------------------------------
+    let mut states: Vec<MergeState> = Vec::with_capacity(plan.nodes().len());
+    for node in plan.nodes() {
+        let state = match node {
+            PlanNode::Leaf(sid) => {
+                let sink = design.sink(*sid).expect("plan checked against design");
+                MergeState {
+                    region: Trr::point(sink.location().to_f64()),
+                    delay_ps: 0.0,
+                    cap_ff: sink.cap_ff(),
+                    child_len_nm: [0.0, 0.0],
+                    child_reps: [0, 0],
+                    buffer: None,
+                }
+            }
+            PlanNode::Merge(ai, bi) => {
+                let d_nm = states[*ai].region.distance(&states[*bi].region);
+                let d_um = d_nm / units::NM_PER_UM;
+                if buffered {
+                    // Pre-buffer a child when its subtree plus the incoming
+                    // wire would blow the stage-cap limit — this keeps stage
+                    // loads bounded even across long top-level edges.
+                    let (ea0, eb0) = closed_form_split(
+                        r,
+                        c,
+                        (states[*ai].delay_ps, states[*ai].cap_ff),
+                        (states[*bi].delay_ps, states[*bi].cap_ff),
+                        d_um,
+                    );
+                    for (idx, e_um) in [(*ai, ea0), (*bi, eb0)] {
+                        let is_merge = matches!(plan.nodes()[idx], PlanNode::Merge(..));
+                        let side = &states[idx];
+                        if is_merge
+                            && side.buffer.is_none()
+                            && side.cap_ff + c * e_um > opts.max_stage_cap_ff()
+                        {
+                            let cell = pick_cell(tech, opts, side.cap_ff)?;
+                            let cb = &tech.buffers().cells()[cell];
+                            let s = &mut states[idx];
+                            s.delay_ps += cb.delay_ps(s.cap_ff);
+                            s.cap_ff = cb.input_cap_ff();
+                            s.buffer = Some(cell);
+                        }
+                    }
+                }
+                let (a, b) = (&states[*ai], &states[*bi]);
+                let split = solve_split(
+                    &model,
+                    (a.delay_ps, a.cap_ff),
+                    (b.delay_ps, b.cap_ff),
+                    d_um,
+                );
+                let ea_nm = split.ea_um * units::NM_PER_UM;
+                let eb_nm = split.eb_um * units::NM_PER_UM;
+                let region = a
+                    .region
+                    .expand(ea_nm)
+                    .intersect(&b.region.expand(eb_nm))
+                    .expect("exact-radius merge regions always intersect");
+                let mut state = MergeState {
+                    region,
+                    delay_ps: split.delay_ps,
+                    cap_ff: split.cap_ff,
+                    child_len_nm: [ea_nm, eb_nm],
+                    child_reps: [split.ka, split.kb],
+                    buffer: None,
+                };
+                if buffered && state.cap_ff > opts.max_stage_cap_ff() {
+                    let cell = pick_cell(tech, opts, state.cap_ff)?;
+                    let cb = &tech.buffers().cells()[cell];
+                    state.delay_ps += cb.delay_ps(state.cap_ff);
+                    state.cap_ff = cb.input_cap_ff();
+                    state.buffer = Some(cell);
+                }
+                state
+            }
+        };
+        states.push(state);
+    }
+
+    // A buffered tree always carries a root driver.
+    if buffered {
+        let ri = plan.root();
+        if states[ri].buffer.is_none() && matches!(plan.nodes()[ri], PlanNode::Merge(..)) {
+            let cell = pick_cell(tech, opts, states[ri].cap_ff)?;
+            states[ri].buffer = Some(cell);
+        }
+    }
+
+    // ---- Top-down: embedding ---------------------------------------------
+    let root_state = &states[plan.root()];
+    let root_loc = root_state
+        .region
+        .closest_to(design.clock_root().to_f64())
+        .snap();
+
+    let kind_of = |pi: usize| match &plan.nodes()[pi] {
+        PlanNode::Leaf(sid) => NodeKind::Sink {
+            sink: *sid,
+            cap_ff: design.sink(*sid).expect("checked").cap_ff(),
+        },
+        PlanNode::Merge(..) => match states[pi].buffer {
+            Some(cell) => NodeKind::Buffer { cell },
+            None => NodeKind::Steiner,
+        },
+    };
+
+    let mut tree = ClockTree::with_root(root_loc, kind_of(plan.root()));
+    // Stack of (plan index, tree parent id, designed edge length nm, reps).
+    let mut stack = Vec::new();
+    if let PlanNode::Merge(a, b) = plan.nodes()[plan.root()] {
+        let st = &states[plan.root()];
+        stack.push((a, tree.root(), st.child_len_nm[0], st.child_reps[0]));
+        stack.push((b, tree.root(), st.child_len_nm[1], st.child_reps[1]));
+    }
+    while let Some((pi, parent, designed_nm, reps)) = stack.pop() {
+        let parent_loc = tree.node(parent).location();
+        let loc = states[pi].region.closest_to(parent_loc.to_f64()).snap();
+        let id = attach_edge(
+            &mut tree,
+            parent,
+            loc,
+            designed_nm,
+            reps,
+            rep_idx,
+            kind_of(pi),
+        );
+        if let PlanNode::Merge(a, b) = plan.nodes()[pi] {
+            let st = &states[pi];
+            stack.push((a, id, st.child_len_nm[0], st.child_reps[0]));
+            stack.push((b, id, st.child_len_nm[1], st.child_reps[1]));
+        }
+    }
+
+    debug_assert!(tree.check().is_ok(), "DME must produce a valid tree");
+    Ok(tree)
+}
+
+/// Adds the edge `parent → child_loc`, materializing `reps` repeaters
+/// evenly spaced along the L-shaped route, and returns the child's id.
+fn attach_edge(
+    tree: &mut ClockTree,
+    parent: NodeId,
+    child_loc: Point,
+    designed_nm: f64,
+    reps: u32,
+    rep_cell: Option<usize>,
+    child_kind: NodeKind,
+) -> NodeId {
+    let parent_loc = tree.node(parent).location();
+    let manhattan = parent_loc.manhattan(child_loc);
+    let total_nm = (designed_nm.round() as i64).max(manhattan);
+    if reps == 0 {
+        return tree.add_node(child_kind, child_loc, parent, total_nm);
+    }
+    let cell = rep_cell.expect("repeaters require a repeater cell");
+    let via = lshape_via(parent_loc, child_loc);
+    let leg1 = parent_loc.manhattan(via);
+    let mut cur = parent;
+    let links = i64::from(reps) + 1;
+    let seg_designed = total_nm / links;
+    let mut prev_loc = parent_loc;
+    for i in 1..=i64::from(reps) {
+        // Physical position at fraction i/(reps+1) along the L-path.
+        let s = manhattan * i / links;
+        let pos = if s <= leg1 {
+            point_towards(parent_loc, via, s)
+        } else {
+            point_towards(via, child_loc, s - leg1)
+        };
+        let seg = seg_designed.max(prev_loc.manhattan(pos));
+        cur = tree.add_node(NodeKind::Buffer { cell }, pos, cur, seg);
+        prev_loc = pos;
+    }
+    let last = (total_nm - seg_designed * i64::from(reps)).max(prev_loc.manhattan(child_loc));
+    tree.add_node(child_kind, child_loc, cur, last)
+}
+
+/// The point at Manhattan distance `s` from `a` towards `b` along their
+/// axis-parallel connection (`a` and `b` must share a row or column).
+fn point_towards(a: Point, b: Point, s: i64) -> Point {
+    let d = a.manhattan(b);
+    if d == 0 {
+        return a;
+    }
+    let s = s.clamp(0, d);
+    Point::new(a.x + (b.x - a.x) * s / d, a.y + (b.y - a.y) * s / d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bisection_topology;
+    use snr_netlist::BenchmarkSpec;
+    use snr_tech::Rule;
+
+    fn setup(n: usize) -> (Design, Technology, CtsOptions, ClockTree) {
+        let design = BenchmarkSpec::new("t", n).seed(5).build().unwrap();
+        let tech = Technology::n45();
+        let opts = CtsOptions::default();
+        let plan = bisection_topology(&design);
+        let tree = build_unbuffered_tree(&design, &tech, &opts, &plan).unwrap();
+        (design, tech, opts, tree)
+    }
+
+    /// Root-to-sink Elmore delay computed directly on the tree, for the
+    /// construction rule (independent reimplementation for the test).
+    fn elmore_delays(tree: &ClockTree, tech: &Technology, rule: Rule) -> Vec<f64> {
+        let r = tech.clock_unit_r(rule);
+        let c = tech.clock_unit_c_delay(rule);
+        let n = tree.len();
+        let mut cap = vec![0.0f64; n];
+        for id in tree.postorder() {
+            let node = tree.node(id);
+            let mut acc = match node.kind() {
+                NodeKind::Sink { cap_ff, .. } => cap_ff,
+                _ => 0.0,
+            };
+            for &ch in node.children() {
+                let len_um = tree.node(ch).edge_len_nm() as f64 / 1_000.0;
+                acc += cap[ch.0] + c * len_um;
+            }
+            cap[id.0] = acc;
+        }
+        let mut delay = vec![0.0f64; n];
+        let mut out = Vec::new();
+        for id in tree.topo_order() {
+            let node = tree.node(id);
+            if let Some(p) = node.parent() {
+                let len_um = node.edge_len_nm() as f64 / 1_000.0;
+                let r_wire = r * len_um;
+                delay[id.0] = delay[p.0] + r_wire * (c * len_um / 2.0 + cap[id.0]);
+            }
+            if node.kind().is_sink() {
+                out.push(delay[id.0]);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn produces_valid_tree_with_all_sinks() {
+        let (design, _, _, tree) = setup(100);
+        tree.check().unwrap();
+        assert_eq!(tree.sink_nodes().len(), design.sinks().len());
+    }
+
+    #[test]
+    fn zero_skew_by_construction() {
+        for n in [2usize, 17, 100, 333] {
+            let (_, tech, opts, tree) = setup(n);
+            let delays = elmore_delays(&tree, &tech, opts.construction_rule());
+            let max = delays.iter().cloned().fold(f64::MIN, f64::max);
+            let min = delays.iter().cloned().fold(f64::MAX, f64::min);
+            // Nanometre snapping leaves sub-ps residue; the construction is
+            // otherwise exact.
+            assert!(max - min < 0.5, "skew {} ps too large for n={n}", max - min);
+        }
+    }
+
+    #[test]
+    fn buffered_tree_valid_and_repeated() {
+        let design = BenchmarkSpec::new("big", 1500).seed(9).build().unwrap();
+        let tech = Technology::n45();
+        let opts = CtsOptions::default();
+        let plan = bisection_topology(&design);
+        let tree = build_buffered_tree(&design, &tech, &opts, &plan).unwrap();
+        tree.check().unwrap();
+        assert_eq!(tree.sink_nodes().len(), 1500);
+        assert!(tree.node(tree.root()).kind().is_buffer());
+        // No edge may carry more wire capacitance than the stage limit plus
+        // the rounding of one repeater segment.
+        let c = tech.clock_unit_c(opts.construction_rule());
+        for e in tree.edges() {
+            let wire_ff = c * tree.node(e).edge_len_nm() as f64 / 1_000.0;
+            assert!(
+                wire_ff <= opts.max_stage_cap_ff() * 1.2,
+                "edge wire cap {wire_ff:.1} fF exceeds stage limit"
+            );
+        }
+    }
+
+    #[test]
+    fn single_sink_tree() {
+        let (design, _, _, tree) = setup(1);
+        assert_eq!(tree.len(), 1);
+        assert!(tree.node(tree.root()).kind().is_sink());
+        let _ = design;
+    }
+
+    #[test]
+    fn wirelength_at_least_spanning_lower_bound() {
+        let (design, _, _, tree) = setup(50);
+        let wl_nm: i64 = tree.nodes().iter().map(|n| n.edge_len_nm()).sum();
+        assert!(wl_nm >= design.hpwl_nm());
+    }
+
+    #[test]
+    fn snake_length_solves_balance() {
+        let (r, c, cap, extra) = (0.002, 0.2, 50.0, 30.0);
+        let x = snake_length_um(r, c, cap, extra);
+        let achieved = r * x * (c * x / 2.0 + cap);
+        assert!((achieved - extra).abs() < 1e-9);
+        assert_eq!(snake_length_um(r, c, cap, 0.0), 0.0);
+    }
+
+    #[test]
+    fn edge_model_matches_closed_form_without_repeaters() {
+        let m = EdgeModel {
+            r: 0.002,
+            c: 0.2,
+            cmax: None,
+            rep: None,
+        };
+        let (d, cap) = m.eval(100.0, 0, 40.0);
+        let expect = 0.002 * 100.0 * (0.2 * 100.0 / 2.0 + 40.0);
+        assert!((d - expect).abs() < 1e-9);
+        assert!((cap - (40.0 + 0.2 * 100.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeaters_reduce_long_edge_delay() {
+        let tech = Technology::n45();
+        let rep = &tech.buffers().cells()[3];
+        let m0 = EdgeModel {
+            r: 0.00224,
+            c: 0.196,
+            cmax: None,
+            rep: None,
+        };
+        let m3 = EdgeModel {
+            r: 0.00224,
+            c: 0.196,
+            cmax: Some(120.0),
+            rep: Some(rep),
+        };
+        let (d0, _) = m0.eval(3_000.0, 0, 30.0);
+        let k = m3.reps_for(3_000.0);
+        assert!(k >= 3);
+        let (dk, cap) = m3.eval(3_000.0, k, 30.0);
+        assert!(dk < d0, "repeated edge {dk} not faster than bare {d0}");
+        assert!(cap < 0.196 * 3_000.0, "upstream sees only the first segment");
+    }
+
+    #[test]
+    fn solve_split_balances_with_repeaters() {
+        let tech = Technology::n45();
+        let rep = &tech.buffers().cells()[3];
+        let m = EdgeModel {
+            r: 0.00224,
+            c: 0.196,
+            cmax: Some(120.0),
+            rep: Some(rep),
+        };
+        let (ta, ca) = (100.0, 60.0);
+        let (tb, cb) = (140.0, 90.0);
+        let d = 2_000.0;
+        let s = solve_split(&m, (ta, ca), (tb, cb), d);
+        let da = ta + m.eval(s.ea_um, s.ka, ca).0;
+        let db = tb + m.eval(s.eb_um, s.kb, cb).0;
+        assert!((da - db).abs() < 0.01, "unbalanced: {da} vs {db}");
+        assert!((s.ea_um + s.eb_um - d).abs() < 1e-6 || s.ea_um == 0.0 || s.eb_um == 0.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (_, _, _, t1) = setup(64);
+        let (_, _, _, t2) = setup(64);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn rejects_mismatched_plan() {
+        let d1 = BenchmarkSpec::new("a", 10).seed(1).build().unwrap();
+        let d2 = BenchmarkSpec::new("b", 20).seed(2).build().unwrap();
+        let plan = bisection_topology(&d1);
+        let tech = Technology::n45();
+        assert!(build_unbuffered_tree(&d2, &tech, &CtsOptions::default(), &plan).is_err());
+    }
+
+    #[test]
+    fn point_towards_interpolates_on_axis() {
+        let a = Point::new(0, 0);
+        let b = Point::new(10, 0);
+        assert_eq!(point_towards(a, b, 4), Point::new(4, 0));
+        assert_eq!(point_towards(a, b, 0), a);
+        assert_eq!(point_towards(a, b, 10), b);
+        assert_eq!(point_towards(a, a, 5), a);
+    }
+}

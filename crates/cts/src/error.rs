@@ -1,0 +1,42 @@
+//! Error type for clock-tree synthesis.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when clock-tree synthesis cannot complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CtsError {
+    what: String,
+}
+
+impl CtsError {
+    /// Creates an error describing the failure.
+    pub fn new(what: impl Into<String>) -> Self {
+        CtsError { what: what.into() }
+    }
+
+    /// Human-readable description.
+    pub fn what(&self) -> &str {
+        &self.what
+    }
+}
+
+impl fmt::Display for CtsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "clock-tree synthesis failed: {}", self.what)
+    }
+}
+
+impl Error for CtsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_bounds() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<CtsError>();
+        assert!(CtsError::new("x").to_string().contains("x"));
+    }
+}

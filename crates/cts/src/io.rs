@@ -1,0 +1,189 @@
+//! Plain-text serialization of rule assignments.
+//!
+//! An assignment is only meaningful relative to its tree, so the format
+//! embeds the tree's node count as a fingerprint and the loader validates
+//! against the tree it is given:
+//!
+//! ```text
+//! assignment nodes 42
+//! edge 1 3
+//! edge 2 0
+//! end
+//! ```
+
+use crate::{Assignment, ClockTree, CtsError, NodeId};
+use snr_tech::{RuleId, RuleSet};
+use std::io::{BufRead, Write};
+
+/// Writes `assignment` (for `tree`) in the text format to `w`.
+///
+/// A `&mut` writer can be passed, since `Write` is implemented for mutable
+/// references. Only non-root edges are recorded.
+///
+/// # Errors
+///
+/// Returns [`CtsError`] when the writer fails.
+///
+/// # Panics
+///
+/// Panics if the assignment was built for a different tree.
+pub fn save_assignment<W: Write>(
+    assignment: &Assignment,
+    tree: &ClockTree,
+    mut w: W,
+) -> Result<(), CtsError> {
+    assert_eq!(
+        assignment.len(),
+        tree.len(),
+        "assignment built for a different tree"
+    );
+    let io_err = |e: std::io::Error| CtsError::new(format!("write failed: {e}"));
+    writeln!(w, "assignment nodes {}", tree.len()).map_err(io_err)?;
+    for (e, rid) in assignment.iter_edges(tree) {
+        writeln!(w, "edge {} {}", e.0, rid.0).map_err(io_err)?;
+    }
+    writeln!(w, "end").map_err(io_err)
+}
+
+/// Reads an assignment for `tree` from `r`, validating node ids against the
+/// tree and rule ids against `rules`. Unlisted edges keep the default rule.
+///
+/// # Errors
+///
+/// Returns [`CtsError`] on malformed input, a node-count mismatch with
+/// `tree`, a non-edge node id, or a rule id outside `rules`.
+pub fn load_assignment<R: BufRead>(
+    r: R,
+    tree: &ClockTree,
+    rules: &RuleSet,
+) -> Result<Assignment, CtsError> {
+    let mut asg = Assignment::uniform(tree, rules.default_id());
+    let mut saw_header = false;
+    let mut ended = false;
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line.map_err(|e| CtsError::new(format!("read failed: {e}")))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if ended {
+            return Err(CtsError::new(format!(
+                "line {}: content after 'end'",
+                lineno + 1
+            )));
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        let bad =
+            || CtsError::new(format!("line {}: malformed line {line:?}", lineno + 1));
+        match toks.as_slice() {
+            ["assignment", "nodes", n] => {
+                let n: usize = n.parse().map_err(|_| bad())?;
+                if n != tree.len() {
+                    return Err(CtsError::new(format!(
+                        "assignment is for a {n}-node tree, this tree has {}",
+                        tree.len()
+                    )));
+                }
+                saw_header = true;
+            }
+            ["edge", node, rule] => {
+                if !saw_header {
+                    return Err(CtsError::new("edge before 'assignment' header"));
+                }
+                let node: usize = node.parse().map_err(|_| bad())?;
+                let rule: usize = rule.parse().map_err(|_| bad())?;
+                if node >= tree.len() || tree.node(NodeId(node)).parent().is_none() {
+                    return Err(CtsError::new(format!(
+                        "line {}: node {node} is not a tree edge",
+                        lineno + 1
+                    )));
+                }
+                if rules.get(RuleId(rule)).is_none() {
+                    return Err(CtsError::new(format!(
+                        "line {}: rule {rule} outside the rule set",
+                        lineno + 1
+                    )));
+                }
+                asg.set(NodeId(node), RuleId(rule));
+            }
+            ["end"] => ended = true,
+            _ => return Err(bad()),
+        }
+    }
+    if !saw_header {
+        return Err(CtsError::new("missing 'assignment' header"));
+    }
+    if !ended {
+        return Err(CtsError::new("missing 'end' directive"));
+    }
+    Ok(asg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::h_tree;
+    use snr_geom::{Point, Rect};
+
+    fn fixture() -> (ClockTree, RuleSet) {
+        let area = Rect::new(Point::new(0, 0), Point::new(400_000, 400_000));
+        (h_tree(area, 2, 5.0), RuleSet::standard())
+    }
+
+    #[test]
+    fn roundtrip() {
+        let (tree, rules) = fixture();
+        let mut asg = Assignment::uniform(&tree, rules.default_id());
+        for (i, e) in tree.edges().enumerate() {
+            asg.set(e, RuleId(i % rules.len()));
+        }
+        let mut buf = Vec::new();
+        save_assignment(&asg, &tree, &mut buf).unwrap();
+        let loaded = load_assignment(buf.as_slice(), &tree, &rules).unwrap();
+        assert_eq!(loaded, asg);
+    }
+
+    #[test]
+    fn tree_mismatch_rejected() {
+        let (tree, rules) = fixture();
+        let other = h_tree(
+            Rect::new(Point::new(0, 0), Point::new(100_000, 100_000)),
+            1,
+            5.0,
+        );
+        let asg = Assignment::uniform(&tree, rules.default_id());
+        let mut buf = Vec::new();
+        save_assignment(&asg, &tree, &mut buf).unwrap();
+        let err = load_assignment(buf.as_slice(), &other, &rules).unwrap_err();
+        assert!(err.to_string().contains("node tree"));
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        let (tree, rules) = fixture();
+        let cases = [
+            ("edge 1 0\nend\n", "header"),
+            ("assignment nodes 999\nend\n", "node tree"),
+            ("assignment nodes 31\nedge 0 0\nend\n", "not a tree edge"),
+            ("assignment nodes 31\nedge 1 99\nend\n", "outside the rule set"),
+            ("assignment nodes 31\nedge 1 0\n", "missing 'end'"),
+            ("assignment nodes 31\nbogus\nend\n", "malformed"),
+            ("assignment nodes 31\nend\nmore\n", "after 'end'"),
+        ];
+        assert_eq!(tree.len(), 31, "fixture changed — update the cases");
+        for (text, expect) in cases {
+            let err = load_assignment(text.as_bytes(), &tree, &rules).expect_err(expect);
+            assert!(err.to_string().contains(expect), "{expect:?} not in {err}");
+        }
+    }
+
+    #[test]
+    fn unlisted_edges_default() {
+        let (tree, rules) = fixture();
+        let text = format!("assignment nodes {}\nend\n", tree.len());
+        let asg = load_assignment(text.as_bytes(), &tree, &rules).unwrap();
+        for e in tree.edges() {
+            assert_eq!(asg.rule(e), rules.default_id());
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Abstract clock-tree topologies (who merges with whom).
+//!
+//! Topology generation is separated from embedding: a [`TopologyPlan`] is a
+//! binary merge tree over sink ids, and the DME embedder decides *where*
+//! each merge point goes. Two generators are provided:
+//!
+//! * [`bisection_topology`] — recursive geometric median bisection, the
+//!   balanced default used by [`crate::synthesize`];
+//! * [`nearest_neighbor_topology`] — greedy bottom-up nearest-neighbour
+//!   pairing (Edahiro-style), kept for topology-sensitivity studies.
+
+use snr_geom::{Point, Rect};
+use snr_netlist::{Design, SinkId};
+
+/// A node of an abstract merge plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanNode {
+    /// A sink leaf.
+    Leaf(SinkId),
+    /// A merge of two earlier plan nodes (indices into the plan's table).
+    Merge(usize, usize),
+}
+
+/// A binary merge tree over the sinks of a design.
+///
+/// Plan nodes are stored child-before-parent, so a single forward pass is a
+/// valid bottom-up (postorder) traversal, and the last node is the root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopologyPlan {
+    nodes: Vec<PlanNode>,
+}
+
+impl TopologyPlan {
+    fn new(nodes: Vec<PlanNode>) -> Self {
+        debug_assert!(!nodes.is_empty());
+        TopologyPlan { nodes }
+    }
+
+    /// Plan nodes, children always preceding parents.
+    pub fn nodes(&self) -> &[PlanNode] {
+        &self.nodes
+    }
+
+    /// Index of the root node (always the last).
+    pub fn root(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Number of leaves in the plan.
+    pub fn n_leaves(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, PlanNode::Leaf(_)))
+            .count()
+    }
+
+    /// Verifies structural invariants: child indices precede parents, every
+    /// node except the root is referenced exactly once, and every design
+    /// sink appears exactly once.
+    pub fn check(&self, n_sinks: usize) -> Result<(), String> {
+        let mut refs = vec![0usize; self.nodes.len()];
+        let mut seen = vec![false; n_sinks];
+        for (i, n) in self.nodes.iter().enumerate() {
+            match n {
+                PlanNode::Leaf(s) => {
+                    if s.0 >= n_sinks {
+                        return Err(format!("leaf {s} out of range"));
+                    }
+                    if seen[s.0] {
+                        return Err(format!("sink {s} appears twice"));
+                    }
+                    seen[s.0] = true;
+                }
+                PlanNode::Merge(a, b) => {
+                    if *a >= i || *b >= i {
+                        return Err(format!("merge {i} references later node"));
+                    }
+                    if a == b {
+                        return Err(format!("merge {i} references same child twice"));
+                    }
+                    refs[*a] += 1;
+                    refs[*b] += 1;
+                }
+            }
+        }
+        for (i, r) in refs.iter().enumerate() {
+            let expect = usize::from(i != self.root());
+            if *r != expect {
+                return Err(format!("node {i} referenced {r} times, expected {expect}"));
+            }
+        }
+        if let Some(missing) = seen.iter().position(|s| !s) {
+            return Err(format!("sink {missing} missing from plan"));
+        }
+        Ok(())
+    }
+}
+
+/// Builds a balanced topology by recursive median bisection.
+///
+/// The sink set is split at the median of its longer bounding-box dimension;
+/// the two halves are planned recursively and merged. This yields a balanced
+/// binary tree whose merges are geometrically local — the standard academic
+/// substitute for commercial CTS clustering.
+pub fn bisection_topology(design: &Design) -> TopologyPlan {
+    let mut items: Vec<(SinkId, Point)> = design
+        .sinks()
+        .iter()
+        .map(|s| (s.id(), s.location()))
+        .collect();
+    let mut nodes = Vec::with_capacity(2 * items.len());
+    let root = bisect(&mut items, &mut nodes);
+    debug_assert_eq!(root, nodes.len() - 1);
+    TopologyPlan::new(nodes)
+}
+
+fn bisect(items: &mut [(SinkId, Point)], nodes: &mut Vec<PlanNode>) -> usize {
+    if items.len() == 1 {
+        nodes.push(PlanNode::Leaf(items[0].0));
+        return nodes.len() - 1;
+    }
+    let bbox = Rect::bounding(items.iter().map(|(_, p)| *p)).expect("non-empty");
+    let split_on_x = bbox.width() >= bbox.height();
+    // Median split (by position, ties broken by the other axis and id for
+    // determinism).
+    let mid = items.len() / 2;
+    items.select_nth_unstable_by_key(mid, |(id, p)| {
+        if split_on_x {
+            (p.x, p.y, id.0)
+        } else {
+            (p.y, p.x, id.0)
+        }
+    });
+    let (left, right) = items.split_at_mut(mid);
+    let a = bisect(left, nodes);
+    let b = bisect(right, nodes);
+    nodes.push(PlanNode::Merge(a, b));
+    nodes.len() - 1
+}
+
+/// Builds a topology by greedy bottom-up nearest-neighbour pairing.
+///
+/// At each level, the closest unpaired pair of cluster centres is merged
+/// (repeatedly) until at most one item remains; an odd item is promoted to
+/// the next level. Quadratic in the sink count — fine for the benchmark
+/// sizes used here, but prefer [`bisection_topology`] for large designs.
+pub fn nearest_neighbor_topology(design: &Design) -> TopologyPlan {
+    let mut nodes: Vec<PlanNode> = Vec::with_capacity(2 * design.sinks().len());
+    // (plan index, representative location)
+    let mut level: Vec<(usize, Point)> = design
+        .sinks()
+        .iter()
+        .map(|s| {
+            nodes.push(PlanNode::Leaf(s.id()));
+            (nodes.len() - 1, s.location())
+        })
+        .collect();
+
+    while level.len() > 1 {
+        let mut used = vec![false; level.len()];
+        let mut next = Vec::with_capacity(level.len() / 2 + 1);
+        for i in 0..level.len() {
+            if used[i] {
+                continue;
+            }
+            // Find the nearest unused partner.
+            let mut best: Option<(usize, i64)> = None;
+            for (j, item) in level.iter().enumerate().skip(i + 1) {
+                if used[j] {
+                    continue;
+                }
+                let d = level[i].1.manhattan(item.1);
+                if best.is_none_or(|(_, bd)| d < bd) {
+                    best = Some((j, d));
+                }
+            }
+            used[i] = true;
+            match best {
+                Some((j, _)) => {
+                    used[j] = true;
+                    nodes.push(PlanNode::Merge(level[i].0, level[j].0));
+                    let mid = Point::new(
+                        (level[i].1.x + level[j].1.x) / 2,
+                        (level[i].1.y + level[j].1.y) / 2,
+                    );
+                    next.push((nodes.len() - 1, mid));
+                }
+                None => next.push(level[i]), // odd item moves up unpaired
+            }
+        }
+        level = next;
+    }
+    TopologyPlan::new(nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snr_netlist::BenchmarkSpec;
+
+    fn design(n: usize) -> Design {
+        BenchmarkSpec::new("t", n).seed(11).build().unwrap()
+    }
+
+    #[test]
+    fn bisection_plan_is_valid() {
+        for n in [1usize, 2, 3, 7, 64, 129] {
+            let d = design(n);
+            let plan = bisection_topology(&d);
+            plan.check(n).unwrap();
+            assert_eq!(plan.n_leaves(), n);
+            assert_eq!(plan.nodes().len(), 2 * n - 1);
+        }
+    }
+
+    #[test]
+    fn nn_plan_is_valid() {
+        for n in [1usize, 2, 3, 8, 65] {
+            let d = design(n);
+            let plan = nearest_neighbor_topology(&d);
+            plan.check(n).unwrap();
+            assert_eq!(plan.n_leaves(), n);
+        }
+    }
+
+    #[test]
+    fn bisection_is_balanced() {
+        let d = design(256);
+        let plan = bisection_topology(&d);
+        // Depth of a balanced binary tree over 256 leaves is 8.
+        let mut depth = vec![0usize; plan.nodes().len()];
+        let mut max_leaf_depth = 0;
+        for (i, n) in plan.nodes().iter().enumerate().rev() {
+            if let PlanNode::Merge(a, b) = n {
+                depth[*a] = depth[i] + 1;
+                depth[*b] = depth[i] + 1;
+            } else {
+                max_leaf_depth = max_leaf_depth.max(depth[i]);
+            }
+        }
+        assert_eq!(max_leaf_depth, 8);
+    }
+
+    #[test]
+    fn single_sink_plan_is_a_leaf() {
+        let d = design(1);
+        let plan = bisection_topology(&d);
+        assert_eq!(plan.nodes().len(), 1);
+        assert!(matches!(plan.nodes()[0], PlanNode::Leaf(_)));
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let d = design(100);
+        assert_eq!(bisection_topology(&d), bisection_topology(&d));
+        assert_eq!(nearest_neighbor_topology(&d), nearest_neighbor_topology(&d));
+    }
+
+    #[test]
+    fn check_catches_corruption() {
+        let plan = TopologyPlan::new(vec![
+            PlanNode::Leaf(SinkId(0)),
+            PlanNode::Leaf(SinkId(0)), // duplicate sink
+            PlanNode::Merge(0, 1),
+        ]);
+        assert!(plan.check(2).is_err());
+
+        let plan = TopologyPlan::new(vec![PlanNode::Leaf(SinkId(0)), PlanNode::Leaf(SinkId(1))]);
+        assert!(plan.check(2).is_err(), "two roots");
+    }
+}

@@ -1,0 +1,511 @@
+//! The clock-tree data structure.
+
+use snr_geom::Point;
+use snr_netlist::SinkId;
+use std::fmt;
+
+/// Identifier of a node within a [`ClockTree`].
+///
+/// Node ids are dense indices into the tree's node table. The *edge above*
+/// a non-root node is identified by the node's id, so per-edge data (routing
+/// rules, parasitics) is stored in plain vectors indexed by `NodeId`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// What a tree node is.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NodeKind {
+    /// A clock sink (flip-flop clock pin) with its pin capacitance.
+    Sink {
+        /// The sink's id in the owning design.
+        sink: SinkId,
+        /// Pin capacitance in fF.
+        cap_ff: f64,
+    },
+    /// An internal routing (Steiner/merge) point.
+    Steiner,
+    /// A buffer, identified by its index in the technology's
+    /// [`snr_tech::BufferLibrary`].
+    Buffer {
+        /// Index into [`snr_tech::BufferLibrary::cells`].
+        cell: usize,
+    },
+}
+
+impl NodeKind {
+    /// Whether this node is a sink.
+    pub fn is_sink(&self) -> bool {
+        matches!(self, NodeKind::Sink { .. })
+    }
+
+    /// Whether this node is a buffer.
+    pub fn is_buffer(&self) -> bool {
+        matches!(self, NodeKind::Buffer { .. })
+    }
+}
+
+/// A node of the clock tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    pub(crate) id: NodeId,
+    pub(crate) kind: NodeKind,
+    pub(crate) location: Point,
+    pub(crate) parent: Option<NodeId>,
+    pub(crate) children: Vec<NodeId>,
+    /// Routed length of the edge from `parent` to this node, in nm. May
+    /// exceed the Manhattan distance when DME balances delays by snaking.
+    pub(crate) edge_len_nm: i64,
+}
+
+impl Node {
+    /// Node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Node kind.
+    pub fn kind(&self) -> NodeKind {
+        self.kind
+    }
+
+    /// Physical location.
+    pub fn location(&self) -> Point {
+        self.location
+    }
+
+    /// Parent node, `None` for the root.
+    pub fn parent(&self) -> Option<NodeId> {
+        self.parent
+    }
+
+    /// Child nodes.
+    pub fn children(&self) -> &[NodeId] {
+        &self.children
+    }
+
+    /// Routed length in nm of the edge connecting this node to its parent
+    /// (zero for the root).
+    pub fn edge_len_nm(&self) -> i64 {
+        self.edge_len_nm
+    }
+}
+
+/// Summary statistics of a clock tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeStats {
+    /// Number of sink nodes.
+    pub n_sinks: usize,
+    /// Number of buffer nodes (including the root driver).
+    pub n_buffers: usize,
+    /// Number of Steiner nodes.
+    pub n_steiner: usize,
+    /// Total routed wirelength in µm.
+    pub wirelength_um: f64,
+    /// Maximum root-to-sink depth in nodes.
+    pub max_depth: usize,
+}
+
+impl fmt::Display for TreeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} sinks, {} buffers, {} steiner, {:.1} µm wire, depth {}",
+            self.n_sinks, self.n_buffers, self.n_steiner, self.wirelength_um, self.max_depth
+        )
+    }
+}
+
+/// A rooted buffered clock tree.
+///
+/// Nodes are stored in a dense table; the edge above each non-root node is
+/// addressed by that node's [`NodeId`]. The structure is append-only during
+/// construction and immutable afterwards — NDR optimization never changes
+/// the tree, only the per-edge rule [`crate::Assignment`].
+///
+/// # Examples
+///
+/// ```
+/// use snr_cts::{ClockTree, NodeKind};
+/// use snr_geom::Point;
+///
+/// let mut tree = ClockTree::with_root(Point::new(0, 0), NodeKind::Steiner);
+/// let child = tree.add_node(
+///     NodeKind::Sink { sink: snr_netlist::SinkId(0), cap_ff: 10.0 },
+///     Point::new(0, 500),
+///     tree.root(),
+///     500,
+/// );
+/// assert_eq!(tree.node(child).parent(), Some(tree.root()));
+/// assert_eq!(tree.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClockTree {
+    nodes: Vec<Node>,
+    root: NodeId,
+}
+
+impl ClockTree {
+    /// Creates a tree containing only a root node.
+    pub fn with_root(location: Point, kind: NodeKind) -> Self {
+        let root = Node {
+            id: NodeId(0),
+            kind,
+            location,
+            parent: None,
+            children: Vec::new(),
+            edge_len_nm: 0,
+        };
+        ClockTree {
+            nodes: vec![root],
+            root: NodeId(0),
+        }
+    }
+
+    /// Appends a node under `parent` with a routed edge of `edge_len_nm`.
+    ///
+    /// Returns the new node's id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` does not exist, or if `edge_len_nm` is shorter
+    /// than the Manhattan distance to the parent (a routed wire cannot be
+    /// shorter than the straight rectilinear connection).
+    pub fn add_node(
+        &mut self,
+        kind: NodeKind,
+        location: Point,
+        parent: NodeId,
+        edge_len_nm: i64,
+    ) -> NodeId {
+        let dist = self.node(parent).location().manhattan(location);
+        assert!(
+            edge_len_nm >= dist,
+            "edge length {edge_len_nm} shorter than Manhattan distance {dist}"
+        );
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            id,
+            kind,
+            location,
+            parent: Some(parent),
+            children: Vec::new(),
+            edge_len_nm,
+        });
+        self.nodes[parent.0].children.push(id);
+        id
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree is empty (never: a root always exists).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// All nodes in id order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Ids of all sink nodes.
+    pub fn sink_nodes(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.kind.is_sink())
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Ids of all buffer nodes.
+    pub fn buffer_nodes(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.kind.is_buffer())
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Ids of all non-root nodes — equivalently, all tree *edges*
+    /// (each non-root node identifies the edge above it).
+    pub fn edges(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .iter()
+            .filter(move |n| n.parent.is_some())
+            .map(|n| n.id)
+    }
+
+    /// Nodes in a topological (parent-before-child) order.
+    ///
+    /// Because nodes are append-only and parents must exist before children,
+    /// id order *is* a topological order.
+    pub fn topo_order(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// Nodes in reverse topological (child-before-parent) order.
+    pub fn postorder(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).rev().map(NodeId)
+    }
+
+    /// Depth of each node (root = 0), indexed by node id.
+    pub fn depths(&self) -> Vec<usize> {
+        let mut depth = vec![0usize; self.nodes.len()];
+        for id in self.topo_order() {
+            if let Some(p) = self.nodes[id.0].parent {
+                depth[id.0] = depth[p.0] + 1;
+            }
+        }
+        depth
+    }
+
+    /// Summary statistics.
+    pub fn stats(&self) -> TreeStats {
+        let mut s = TreeStats {
+            n_sinks: 0,
+            n_buffers: 0,
+            n_steiner: 0,
+            wirelength_um: 0.0,
+            max_depth: 0,
+        };
+        let depths = self.depths();
+        for n in &self.nodes {
+            match n.kind {
+                NodeKind::Sink { .. } => s.n_sinks += 1,
+                NodeKind::Buffer { .. } => s.n_buffers += 1,
+                NodeKind::Steiner => s.n_steiner += 1,
+            }
+            s.wirelength_um += n.edge_len_nm as f64 / 1_000.0;
+            s.max_depth = s.max_depth.max(depths[n.id.0]);
+        }
+        s
+    }
+
+    /// Returns a structurally identical tree with each buffer's cell index
+    /// replaced by `f(node, cell)`.
+    ///
+    /// Node ids, locations, edges and kinds other than buffer cells are
+    /// preserved, so assignments built for `self` remain valid for the
+    /// result. Used by the buffer-downsizing extension.
+    pub fn with_remapped_buffers(&self, mut f: impl FnMut(NodeId, usize) -> usize) -> ClockTree {
+        let mut out = self.clone();
+        for node in &mut out.nodes {
+            if let NodeKind::Buffer { cell } = node.kind {
+                node.kind = NodeKind::Buffer {
+                    cell: f(node.id, cell),
+                };
+            }
+        }
+        out
+    }
+
+    /// Verifies structural invariants, returning a description of the first
+    /// violation found.
+    ///
+    /// Checked: single root, parent/child symmetry, acyclicity (implied by
+    /// append-only ids), every leaf is a sink, edge lengths cover Manhattan
+    /// distances.
+    pub fn check(&self) -> Result<(), String> {
+        let mut roots = 0;
+        for n in &self.nodes {
+            match n.parent {
+                None => {
+                    roots += 1;
+                    if n.id != self.root {
+                        return Err(format!("non-root node {} has no parent", n.id));
+                    }
+                }
+                Some(p) => {
+                    if p.0 >= n.id.0 {
+                        return Err(format!("node {} has non-topological parent {p}", n.id));
+                    }
+                    if !self.nodes[p.0].children.contains(&n.id) {
+                        return Err(format!("parent {p} does not list child {}", n.id));
+                    }
+                    let dist = self.nodes[p.0].location.manhattan(n.location);
+                    if n.edge_len_nm < dist {
+                        return Err(format!(
+                            "edge to {} shorter ({}) than Manhattan distance ({dist})",
+                            n.id, n.edge_len_nm
+                        ));
+                    }
+                }
+            }
+            for &c in &n.children {
+                if self.nodes[c.0].parent != Some(n.id) {
+                    return Err(format!("child {c} of {} does not point back", n.id));
+                }
+            }
+            if n.children.is_empty() && !n.kind.is_sink() && self.nodes.len() > 1 {
+                return Err(format!("leaf {} is not a sink", n.id));
+            }
+        }
+        if roots != 1 {
+            return Err(format!("{roots} roots found"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_tree() -> ClockTree {
+        let mut t = ClockTree::with_root(Point::new(0, 0), NodeKind::Steiner);
+        let a = t.add_node(NodeKind::Steiner, Point::new(0, 100), t.root(), 100);
+        t.add_node(
+            NodeKind::Sink {
+                sink: SinkId(0),
+                cap_ff: 5.0,
+            },
+            Point::new(-50, 100),
+            a,
+            50,
+        );
+        t.add_node(
+            NodeKind::Sink {
+                sink: SinkId(1),
+                cap_ff: 7.0,
+            },
+            Point::new(50, 100),
+            a,
+            50,
+        );
+        t
+    }
+
+    #[test]
+    fn construction_and_lookup() {
+        let t = tiny_tree();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.node(NodeId(1)).parent(), Some(NodeId(0)));
+        assert_eq!(t.node(NodeId(0)).children(), &[NodeId(1)]);
+        assert_eq!(t.node(NodeId(1)).children().len(), 2);
+        assert!(t.check().is_ok());
+    }
+
+    #[test]
+    fn edges_exclude_root() {
+        let t = tiny_tree();
+        let edges: Vec<_> = t.edges().collect();
+        assert_eq!(edges, vec![NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn sink_and_buffer_queries() {
+        let t = tiny_tree();
+        assert_eq!(t.sink_nodes(), vec![NodeId(2), NodeId(3)]);
+        assert!(t.buffer_nodes().is_empty());
+    }
+
+    #[test]
+    fn depths_and_stats() {
+        let t = tiny_tree();
+        assert_eq!(t.depths(), vec![0, 1, 2, 2]);
+        let s = t.stats();
+        assert_eq!(s.n_sinks, 2);
+        assert_eq!(s.n_steiner, 2);
+        assert_eq!(s.max_depth, 2);
+        assert!((s.wirelength_um - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snaking_edges_allowed() {
+        let mut t = ClockTree::with_root(Point::new(0, 0), NodeKind::Steiner);
+        let id = t.add_node(
+            NodeKind::Sink {
+                sink: SinkId(0),
+                cap_ff: 1.0,
+            },
+            Point::new(0, 100),
+            t.root(),
+            250, // snaked
+        );
+        assert_eq!(t.node(id).edge_len_nm(), 250);
+        assert!(t.check().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than Manhattan distance")]
+    fn short_edge_panics() {
+        let mut t = ClockTree::with_root(Point::new(0, 0), NodeKind::Steiner);
+        t.add_node(
+            NodeKind::Sink {
+                sink: SinkId(0),
+                cap_ff: 1.0,
+            },
+            Point::new(0, 100),
+            t.root(),
+            99,
+        );
+    }
+
+    #[test]
+    fn check_rejects_non_sink_leaf() {
+        let mut t = ClockTree::with_root(Point::new(0, 0), NodeKind::Steiner);
+        t.add_node(NodeKind::Steiner, Point::new(0, 10), t.root(), 10);
+        assert!(t.check().is_err());
+    }
+
+    #[test]
+    fn remapped_buffers_change_only_cells() {
+        let mut t = ClockTree::with_root(Point::new(0, 0), NodeKind::Buffer { cell: 3 });
+        t.add_node(
+            NodeKind::Sink {
+                sink: SinkId(0),
+                cap_ff: 1.0,
+            },
+            Point::new(0, 10),
+            t.root(),
+            10,
+        );
+        let u = t.with_remapped_buffers(|_, c| c - 1);
+        assert_eq!(u.node(u.root()).kind(), NodeKind::Buffer { cell: 2 });
+        assert_eq!(u.len(), t.len());
+        assert_eq!(u.node(NodeId(1)).kind(), t.node(NodeId(1)).kind());
+        assert!(u.check().is_ok());
+    }
+
+    #[test]
+    fn topo_and_postorder_are_inverses() {
+        let t = tiny_tree();
+        let topo: Vec<_> = t.topo_order().collect();
+        let mut post: Vec<_> = t.postorder().collect();
+        post.reverse();
+        assert_eq!(topo, post);
+    }
+
+    #[test]
+    fn node_kind_predicates() {
+        assert!(NodeKind::Sink {
+            sink: SinkId(0),
+            cap_ff: 1.0
+        }
+        .is_sink());
+        assert!(NodeKind::Buffer { cell: 0 }.is_buffer());
+        assert!(!NodeKind::Steiner.is_sink());
+    }
+}

@@ -1,0 +1,43 @@
+//! Manhattan geometry substrate for clock-tree construction and routing.
+//!
+//! This crate provides the geometric primitives used throughout `smart-ndr`:
+//!
+//! * [`Point`] — integer (nanometre-grid) locations of sinks, buffers and
+//!   Steiner points.
+//! * [`Rect`] — axis-aligned rectangles (die area, blockages, bounding boxes).
+//! * [`Segment`] — axis-parallel wire segments with Manhattan routing helpers.
+//! * [`Trr`] and [`DiagSegment`] — tilted rectangular regions and ±1-slope
+//!   segments in *rotated* coordinates, the workhorses of the Deferred-Merge
+//!   Embedding (DME) algorithm used by the clock-tree synthesizer.
+//!
+//! Distances between database points are in integer nanometres; the DME
+//! machinery works in `f64` rotated coordinates for exact balancing and snaps
+//! back to the nanometre grid when a tree is embedded.
+//!
+//! # Examples
+//!
+//! ```
+//! use snr_geom::{Point, Rect};
+//!
+//! let a = Point::new(0, 0);
+//! let b = Point::new(3_000, 4_000);
+//! assert_eq!(a.manhattan(b), 7_000);
+//!
+//! let die = Rect::new(Point::new(0, 0), Point::new(10_000, 10_000));
+//! assert!(die.contains(b));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod point;
+mod rect;
+mod rmst;
+mod segment;
+mod trr;
+
+pub use point::{Point, PointF};
+pub use rect::Rect;
+pub use rmst::rmst_length;
+pub use segment::{lshape_via, route_length, Segment};
+pub use trr::{DiagSegment, Trr};

@@ -1,0 +1,221 @@
+//! Integer and floating-point points on the Manhattan plane.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A location on the design's nanometre grid.
+///
+/// All database coordinates in `smart-ndr` (sink pins, buffer locations,
+/// Steiner points) are integer nanometres, matching the convention of layout
+/// databases such as LEF/DEF, which keeps geometry exact and hashable.
+///
+/// # Examples
+///
+/// ```
+/// use snr_geom::Point;
+///
+/// let p = Point::new(1_000, 2_000);
+/// let q = Point::new(4_000, 6_000);
+/// assert_eq!(p.manhattan(q), 7_000);
+/// assert_eq!(p + q, Point::new(5_000, 8_000));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Point {
+    /// X coordinate in nanometres.
+    pub x: i64,
+    /// Y coordinate in nanometres.
+    pub y: i64,
+}
+
+impl Point {
+    /// Creates a point at `(x, y)` nanometres.
+    pub const fn new(x: i64, y: i64) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point::new(0, 0);
+
+    /// Manhattan (L1) distance to `other`, in nanometres.
+    ///
+    /// This is the routed wirelength of a shortest rectilinear connection
+    /// between the two points.
+    ///
+    /// ```
+    /// use snr_geom::Point;
+    /// assert_eq!(Point::new(0, 0).manhattan(Point::new(-3, 4)), 7);
+    /// ```
+    pub fn manhattan(self, other: Point) -> i64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Chebyshev (L∞) distance to `other`.
+    ///
+    /// In the 45°-rotated coordinate system used by DME, Manhattan distance
+    /// becomes Chebyshev distance; this helper exists mainly for tests of
+    /// that correspondence.
+    pub fn chebyshev(self, other: Point) -> i64 {
+        (self.x - other.x).abs().max((self.y - other.y).abs())
+    }
+
+    /// Rotated coordinate `u = x + y`.
+    ///
+    /// Together with [`Point::v`], this maps ±1-slope (tilted) lines to
+    /// axis-parallel lines, which is how [`crate::Trr`] represents tilted
+    /// rectangular regions.
+    pub fn u(self) -> i64 {
+        self.x + self.y
+    }
+
+    /// Rotated coordinate `v = x - y`. See [`Point::u`].
+    pub fn v(self) -> i64 {
+        self.x - self.y
+    }
+
+    /// Converts to a floating-point point, e.g. for DME balancing.
+    pub fn to_f64(self) -> PointF {
+        PointF {
+            x: self.x as f64,
+            y: self.y as f64,
+        }
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(i64, i64)> for Point {
+    fn from((x, y): (i64, i64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+/// A floating-point point, used internally by the DME embedding where exact
+/// midpoints of odd-length segments are required.
+///
+/// `PointF` carries the same nanometre units as [`Point`]; use
+/// [`PointF::snap`] to return to the integer grid.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PointF {
+    /// X coordinate in (fractional) nanometres.
+    pub x: f64,
+    /// Y coordinate in (fractional) nanometres.
+    pub y: f64,
+}
+
+impl PointF {
+    /// Creates a floating-point point.
+    pub const fn new(x: f64, y: f64) -> Self {
+        PointF { x, y }
+    }
+
+    /// Manhattan (L1) distance to `other`.
+    pub fn manhattan(self, other: PointF) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Rotated coordinate `u = x + y`.
+    pub fn u(self) -> f64 {
+        self.x + self.y
+    }
+
+    /// Rotated coordinate `v = x - y`.
+    pub fn v(self) -> f64 {
+        self.x - self.y
+    }
+
+    /// Reconstructs a point from rotated coordinates `(u, v)`.
+    ///
+    /// Inverse of the `(u, v) = (x + y, x - y)` transform.
+    pub fn from_uv(u: f64, v: f64) -> Self {
+        PointF::new((u + v) / 2.0, (u - v) / 2.0)
+    }
+
+    /// Rounds to the nearest integer-nanometre [`Point`].
+    pub fn snap(self) -> Point {
+        Point::new(self.x.round() as i64, self.y.round() as i64)
+    }
+}
+
+impl From<Point> for PointF {
+    fn from(p: Point) -> Self {
+        p.to_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_distance_basic() {
+        assert_eq!(Point::new(0, 0).manhattan(Point::new(3, 4)), 7);
+        assert_eq!(Point::new(-2, -3).manhattan(Point::new(2, 3)), 10);
+        assert_eq!(Point::new(5, 5).manhattan(Point::new(5, 5)), 0);
+    }
+
+    #[test]
+    fn manhattan_is_symmetric() {
+        let a = Point::new(17, -4);
+        let b = Point::new(-9, 123);
+        assert_eq!(a.manhattan(b), b.manhattan(a));
+    }
+
+    #[test]
+    fn rotated_coords_roundtrip() {
+        let p = Point::new(12, 35);
+        let f = PointF::from_uv(p.u() as f64, p.v() as f64);
+        assert_eq!(f.snap(), p);
+    }
+
+    #[test]
+    fn manhattan_equals_chebyshev_in_rotated_space() {
+        let a = Point::new(3, 7);
+        let b = Point::new(-5, 2);
+        let du = (a.u() - b.u()).abs();
+        let dv = (a.v() - b.v()).abs();
+        assert_eq!(a.manhattan(b), du.max(dv));
+    }
+
+    #[test]
+    fn point_arithmetic() {
+        let a = Point::new(1, 2);
+        let b = Point::new(10, 20);
+        assert_eq!(a + b, Point::new(11, 22));
+        assert_eq!(b - a, Point::new(9, 18));
+    }
+
+    #[test]
+    fn pointf_snap_rounds_to_nearest() {
+        assert_eq!(PointF::new(1.4, 2.6).snap(), Point::new(1, 3));
+        assert_eq!(PointF::new(-1.5, 0.0).snap(), Point::new(-2, 0));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Point::new(3, -4).to_string(), "(3, -4)");
+    }
+
+    #[test]
+    fn from_tuple() {
+        let p: Point = (7, 8).into();
+        assert_eq!(p, Point::new(7, 8));
+    }
+}

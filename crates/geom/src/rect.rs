@@ -1,0 +1,272 @@
+//! Axis-aligned rectangles.
+
+use crate::Point;
+use std::fmt;
+
+/// An axis-aligned rectangle on the nanometre grid, stored as the
+/// lower-left / upper-right corner pair.
+///
+/// Rectangles are closed regions: points on the boundary are contained.
+/// Degenerate rectangles (zero width and/or height) are permitted and arise
+/// naturally as bounding boxes of collinear point sets.
+///
+/// # Examples
+///
+/// ```
+/// use snr_geom::{Point, Rect};
+///
+/// let r = Rect::new(Point::new(0, 0), Point::new(100, 50));
+/// assert_eq!(r.width(), 100);
+/// assert_eq!(r.height(), 50);
+/// assert!(r.contains(Point::new(100, 0)));
+/// assert!(!r.contains(Point::new(101, 0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rect {
+    lo: Point,
+    hi: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from two opposite corners, in any order.
+    ///
+    /// The corners are normalized so that `lo() <= hi()` component-wise.
+    pub fn new(a: Point, b: Point) -> Self {
+        Rect {
+            lo: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            hi: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// The degenerate rectangle covering exactly one point.
+    pub fn point(p: Point) -> Self {
+        Rect { lo: p, hi: p }
+    }
+
+    /// Smallest rectangle containing every point of `points`.
+    ///
+    /// Returns `None` for an empty iterator.
+    pub fn bounding<I: IntoIterator<Item = Point>>(points: I) -> Option<Self> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let mut r = Rect::point(first);
+        for p in it {
+            r = r.expand_to(p);
+        }
+        Some(r)
+    }
+
+    /// Lower-left corner.
+    pub fn lo(&self) -> Point {
+        self.lo
+    }
+
+    /// Upper-right corner.
+    pub fn hi(&self) -> Point {
+        self.hi
+    }
+
+    /// Width in nanometres.
+    pub fn width(&self) -> i64 {
+        self.hi.x - self.lo.x
+    }
+
+    /// Height in nanometres.
+    pub fn height(&self) -> i64 {
+        self.hi.y - self.lo.y
+    }
+
+    /// Half-perimeter wirelength (HPWL) of the rectangle, a standard lower
+    /// bound for the length of a net connecting points inside it.
+    pub fn half_perimeter(&self) -> i64 {
+        self.width() + self.height()
+    }
+
+    /// Area in nm².
+    pub fn area(&self) -> i128 {
+        self.width() as i128 * self.height() as i128
+    }
+
+    /// Center of the rectangle, rounded towards the lower-left on odd spans.
+    pub fn center(&self) -> Point {
+        Point::new(
+            self.lo.x + self.width() / 2,
+            self.lo.y + self.height() / 2,
+        )
+    }
+
+    /// Whether `p` lies inside or on the boundary.
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.lo.x && p.x <= self.hi.x && p.y >= self.lo.y && p.y <= self.hi.y
+    }
+
+    /// Whether `other` lies entirely inside or on the boundary of `self`.
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        self.contains(other.lo) && self.contains(other.hi)
+    }
+
+    /// Intersection with `other`, or `None` when the rectangles are disjoint.
+    ///
+    /// Rectangles that merely touch (share a boundary point) intersect in a
+    /// degenerate rectangle.
+    pub fn intersect(&self, other: &Rect) -> Option<Rect> {
+        let lo = Point::new(self.lo.x.max(other.lo.x), self.lo.y.max(other.lo.y));
+        let hi = Point::new(self.hi.x.min(other.hi.x), self.hi.y.min(other.hi.y));
+        if lo.x <= hi.x && lo.y <= hi.y {
+            Some(Rect { lo, hi })
+        } else {
+            None
+        }
+    }
+
+    /// Smallest rectangle containing both `self` and `other`.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            lo: Point::new(self.lo.x.min(other.lo.x), self.lo.y.min(other.lo.y)),
+            hi: Point::new(self.hi.x.max(other.hi.x), self.hi.y.max(other.hi.y)),
+        }
+    }
+
+    /// Smallest rectangle containing `self` and the point `p`.
+    pub fn expand_to(&self, p: Point) -> Rect {
+        Rect {
+            lo: Point::new(self.lo.x.min(p.x), self.lo.y.min(p.y)),
+            hi: Point::new(self.hi.x.max(p.x), self.hi.y.max(p.y)),
+        }
+    }
+
+    /// Rectangle grown by `margin` nanometres on every side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a negative margin would invert the rectangle.
+    pub fn inflate(&self, margin: i64) -> Rect {
+        let r = Rect {
+            lo: Point::new(self.lo.x - margin, self.lo.y - margin),
+            hi: Point::new(self.hi.x + margin, self.hi.y + margin),
+        };
+        assert!(
+            r.lo.x <= r.hi.x && r.lo.y <= r.hi.y,
+            "negative margin {margin} inverts rectangle"
+        );
+        r
+    }
+
+    /// Manhattan distance from `p` to the closest point of the rectangle
+    /// (zero when `p` is contained).
+    pub fn distance_to(&self, p: Point) -> i64 {
+        let dx = (self.lo.x - p.x).max(0) + (p.x - self.hi.x).max(0);
+        let dy = (self.lo.y - p.y).max(0) + (p.y - self.hi.y).max(0);
+        dx + dy
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_normalizes_corners() {
+        let r = Rect::new(Point::new(10, 0), Point::new(0, 10));
+        assert_eq!(r.lo(), Point::new(0, 0));
+        assert_eq!(r.hi(), Point::new(10, 10));
+    }
+
+    #[test]
+    fn contains_boundary() {
+        let r = Rect::new(Point::new(0, 0), Point::new(10, 10));
+        assert!(r.contains(Point::new(0, 0)));
+        assert!(r.contains(Point::new(10, 10)));
+        assert!(r.contains(Point::new(5, 10)));
+        assert!(!r.contains(Point::new(11, 5)));
+        assert!(!r.contains(Point::new(5, -1)));
+    }
+
+    #[test]
+    fn intersect_overlapping() {
+        let a = Rect::new(Point::new(0, 0), Point::new(10, 10));
+        let b = Rect::new(Point::new(5, 5), Point::new(20, 20));
+        let i = a.intersect(&b).expect("overlap");
+        assert_eq!(i, Rect::new(Point::new(5, 5), Point::new(10, 10)));
+    }
+
+    #[test]
+    fn intersect_touching_is_degenerate() {
+        let a = Rect::new(Point::new(0, 0), Point::new(10, 10));
+        let b = Rect::new(Point::new(10, 0), Point::new(20, 10));
+        let i = a.intersect(&b).expect("touching rectangles intersect");
+        assert_eq!(i.width(), 0);
+        assert_eq!(i.height(), 10);
+    }
+
+    #[test]
+    fn intersect_disjoint_is_none() {
+        let a = Rect::new(Point::new(0, 0), Point::new(10, 10));
+        let b = Rect::new(Point::new(11, 11), Point::new(20, 20));
+        assert!(a.intersect(&b).is_none());
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = Rect::new(Point::new(0, 0), Point::new(1, 1));
+        let b = Rect::new(Point::new(5, 5), Point::new(6, 6));
+        let u = a.union(&b);
+        assert!(u.contains_rect(&a));
+        assert!(u.contains_rect(&b));
+        assert_eq!(u, Rect::new(Point::new(0, 0), Point::new(6, 6)));
+    }
+
+    #[test]
+    fn bounding_box_of_points() {
+        let pts = [Point::new(3, 7), Point::new(-1, 2), Point::new(5, 5)];
+        let r = Rect::bounding(pts).expect("non-empty");
+        assert_eq!(r, Rect::new(Point::new(-1, 2), Point::new(5, 7)));
+        assert!(Rect::bounding(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn distance_to_point() {
+        let r = Rect::new(Point::new(0, 0), Point::new(10, 10));
+        assert_eq!(r.distance_to(Point::new(5, 5)), 0);
+        assert_eq!(r.distance_to(Point::new(13, 5)), 3);
+        assert_eq!(r.distance_to(Point::new(13, 14)), 7);
+        assert_eq!(r.distance_to(Point::new(-2, -2)), 4);
+    }
+
+    #[test]
+    fn half_perimeter_and_area() {
+        let r = Rect::new(Point::new(0, 0), Point::new(3, 4));
+        assert_eq!(r.half_perimeter(), 7);
+        assert_eq!(r.area(), 12);
+    }
+
+    #[test]
+    fn inflate_grows_every_side() {
+        let r = Rect::new(Point::new(0, 0), Point::new(10, 10)).inflate(5);
+        assert_eq!(r, Rect::new(Point::new(-5, -5), Point::new(15, 15)));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverts rectangle")]
+    fn inflate_negative_past_zero_panics() {
+        let _ = Rect::new(Point::new(0, 0), Point::new(4, 4)).inflate(-3);
+    }
+
+    #[test]
+    fn center_of_even_and_odd_spans() {
+        assert_eq!(
+            Rect::new(Point::new(0, 0), Point::new(10, 10)).center(),
+            Point::new(5, 5)
+        );
+        assert_eq!(
+            Rect::new(Point::new(0, 0), Point::new(5, 5)).center(),
+            Point::new(2, 2)
+        );
+    }
+}

@@ -1,0 +1,190 @@
+//! Axis-parallel wire segments and rectilinear routing helpers.
+
+use crate::Point;
+use std::fmt;
+
+/// An axis-parallel wire segment between two points.
+///
+/// Routed clock wires are decomposed into horizontal and vertical segments;
+/// every edge of the clock tree is realized as at most two such segments
+/// (an L-shape). Degenerate (zero-length) segments are allowed.
+///
+/// # Examples
+///
+/// ```
+/// use snr_geom::{Point, Segment};
+///
+/// let s = Segment::new(Point::new(0, 0), Point::new(0, 500)).unwrap();
+/// assert_eq!(s.length(), 500);
+/// assert!(s.is_vertical());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Segment {
+    a: Point,
+    b: Point,
+}
+
+impl Segment {
+    /// Creates an axis-parallel segment from `a` to `b`.
+    ///
+    /// Returns `None` if the two points differ in both coordinates (the
+    /// segment would be diagonal — use [`lshape_via`] to route such pairs).
+    pub fn new(a: Point, b: Point) -> Option<Self> {
+        if a.x == b.x || a.y == b.y {
+            Some(Segment { a, b })
+        } else {
+            None
+        }
+    }
+
+    /// Start point.
+    pub fn a(&self) -> Point {
+        self.a
+    }
+
+    /// End point.
+    pub fn b(&self) -> Point {
+        self.b
+    }
+
+    /// Length in nanometres.
+    pub fn length(&self) -> i64 {
+        self.a.manhattan(self.b)
+    }
+
+    /// Whether the segment runs vertically (constant x).
+    ///
+    /// Zero-length segments report as vertical *and* horizontal.
+    pub fn is_vertical(&self) -> bool {
+        self.a.x == self.b.x
+    }
+
+    /// Whether the segment runs horizontally (constant y).
+    pub fn is_horizontal(&self) -> bool {
+        self.a.y == self.b.y
+    }
+
+    /// Midpoint, rounded towards `a` on odd lengths.
+    pub fn midpoint(&self) -> Point {
+        Point::new(
+            self.a.x + (self.b.x - self.a.x) / 2,
+            self.a.y + (self.b.y - self.a.y) / 2,
+        )
+    }
+
+    /// The point at distance `d` from `a` along the segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is negative or exceeds the segment length.
+    pub fn point_at(&self, d: i64) -> Point {
+        let len = self.length();
+        assert!(
+            (0..=len).contains(&d),
+            "distance {d} outside segment of length {len}"
+        );
+        if len == 0 {
+            return self.a;
+        }
+        let t = |lo: i64, hi: i64| lo + (hi - lo) * d / len;
+        Point::new(t(self.a.x, self.b.x), t(self.a.y, self.b.y))
+    }
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.a, self.b)
+    }
+}
+
+/// The corner point of the lower-L route from `from` to `to`.
+///
+/// A two-pin connection is routed as a vertical-then-horizontal or
+/// horizontal-then-vertical L; this helper returns the corner of the
+/// horizontal-first shape, `(to.x, from.y)`. For points sharing a row or
+/// column, the corner degenerates onto the line and one segment is empty.
+pub fn lshape_via(from: Point, to: Point) -> Point {
+    Point::new(to.x, from.y)
+}
+
+/// Total routed length of the rectilinear path visiting `points` in order.
+///
+/// Each consecutive pair is assumed routed with a shortest (L-shaped)
+/// connection, so the result is the sum of Manhattan distances.
+pub fn route_length<I: IntoIterator<Item = Point>>(points: I) -> i64 {
+    let mut it = points.into_iter();
+    let Some(mut prev) = it.next() else {
+        return 0;
+    };
+    let mut total = 0;
+    for p in it {
+        total += prev.manhattan(p);
+        prev = p;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_diagonal() {
+        assert!(Segment::new(Point::new(0, 0), Point::new(1, 1)).is_none());
+        assert!(Segment::new(Point::new(0, 0), Point::new(0, 5)).is_some());
+        assert!(Segment::new(Point::new(0, 0), Point::new(5, 0)).is_some());
+    }
+
+    #[test]
+    fn zero_length_is_both_orientations() {
+        let s = Segment::new(Point::new(3, 3), Point::new(3, 3)).unwrap();
+        assert!(s.is_vertical() && s.is_horizontal());
+        assert_eq!(s.length(), 0);
+    }
+
+    #[test]
+    fn length_and_midpoint() {
+        let s = Segment::new(Point::new(0, 0), Point::new(10, 0)).unwrap();
+        assert_eq!(s.length(), 10);
+        assert_eq!(s.midpoint(), Point::new(5, 0));
+        let odd = Segment::new(Point::new(0, 0), Point::new(0, 7)).unwrap();
+        assert_eq!(odd.midpoint(), Point::new(0, 3));
+    }
+
+    #[test]
+    fn point_at_interpolates() {
+        let s = Segment::new(Point::new(10, 5), Point::new(0, 5)).unwrap();
+        assert_eq!(s.point_at(0), Point::new(10, 5));
+        assert_eq!(s.point_at(10), Point::new(0, 5));
+        assert_eq!(s.point_at(4), Point::new(6, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside segment")]
+    fn point_at_out_of_range_panics() {
+        let s = Segment::new(Point::new(0, 0), Point::new(0, 5)).unwrap();
+        let _ = s.point_at(6);
+    }
+
+    #[test]
+    fn lshape_route_covers_manhattan_distance() {
+        let from = Point::new(0, 0);
+        let to = Point::new(30, 40);
+        let via = lshape_via(from, to);
+        assert_eq!(
+            from.manhattan(via) + via.manhattan(to),
+            from.manhattan(to)
+        );
+        // Both legs are axis-parallel.
+        assert!(Segment::new(from, via).is_some());
+        assert!(Segment::new(via, to).is_some());
+    }
+
+    #[test]
+    fn route_length_sums_pairs() {
+        let pts = [Point::new(0, 0), Point::new(3, 4), Point::new(3, 10)];
+        assert_eq!(route_length(pts), 7 + 6);
+        assert_eq!(route_length(std::iter::empty()), 0);
+        assert_eq!(route_length([Point::new(5, 5)]), 0);
+    }
+}

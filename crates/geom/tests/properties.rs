@@ -1,0 +1,111 @@
+//! Property-based tests for the geometry substrate.
+
+use proptest::prelude::*;
+use snr_geom::{rmst_length, Point, PointF, Rect, Trr};
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-1_000_000i64..1_000_000, -1_000_000i64..1_000_000).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    #[test]
+    fn manhattan_triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
+        prop_assert!(a.manhattan(c) <= a.manhattan(b) + b.manhattan(c));
+    }
+
+    #[test]
+    fn manhattan_symmetry_and_identity(a in arb_point(), b in arb_point()) {
+        prop_assert_eq!(a.manhattan(b), b.manhattan(a));
+        prop_assert_eq!(a.manhattan(a), 0);
+        prop_assert!(a.manhattan(b) >= 0);
+    }
+
+    #[test]
+    fn chebyshev_lower_bounds_manhattan(a in arb_point(), b in arb_point()) {
+        prop_assert!(a.chebyshev(b) <= a.manhattan(b));
+        prop_assert!(a.manhattan(b) <= 2 * a.chebyshev(b));
+    }
+
+    #[test]
+    fn rotated_space_turns_manhattan_into_chebyshev(a in arb_point(), b in arb_point()) {
+        let du = (a.u() - b.u()).abs();
+        let dv = (a.v() - b.v()).abs();
+        prop_assert_eq!(a.manhattan(b), du.max(dv));
+    }
+
+    #[test]
+    fn rect_intersection_contained_in_both(a in arb_point(), b in arb_point(),
+                                           c in arb_point(), d in arb_point()) {
+        let r1 = Rect::new(a, b);
+        let r2 = Rect::new(c, d);
+        if let Some(i) = r1.intersect(&r2) {
+            prop_assert!(r1.contains_rect(&i));
+            prop_assert!(r2.contains_rect(&i));
+        } else {
+            // Disjoint rectangles have strictly positive separation in one axis.
+            prop_assert!(r1.distance_to(r2.lo()) > 0 || r1.distance_to(r2.hi()) > 0);
+        }
+    }
+
+    #[test]
+    fn rect_union_contains_both(a in arb_point(), b in arb_point(),
+                                c in arb_point(), d in arb_point()) {
+        let r1 = Rect::new(a, b);
+        let r2 = Rect::new(c, d);
+        let u = r1.union(&r2);
+        prop_assert!(u.contains_rect(&r1));
+        prop_assert!(u.contains_rect(&r2));
+    }
+
+    /// The defining DME property: expanding two point regions by radii that
+    /// sum to their distance always produces a non-empty merging region, and
+    /// every point of it respects both radii.
+    #[test]
+    fn merging_region_respects_radii(a in arb_point(), b in arb_point(), split in 0.0f64..=1.0) {
+        let ta = Trr::point(a.to_f64());
+        let tb = Trr::point(b.to_f64());
+        let d = ta.distance(&tb);
+        let ea = d * split;
+        let eb = d - ea;
+        let m = ta.expand(ea).intersect(&tb.expand(eb));
+        prop_assert!(m.is_some(), "exact-radius merge must be non-empty");
+        let m = m.unwrap();
+        let tol = 1e-6 * (1.0 + d);
+        for p in [m.center(), m.closest_to(a.to_f64()), m.closest_to(b.to_f64())] {
+            prop_assert!(ta.distance_to_point(p) <= ea + tol);
+            prop_assert!(tb.distance_to_point(p) <= eb + tol);
+        }
+    }
+
+    #[test]
+    fn closest_to_is_a_true_projection(a in arb_point(), r in 0.0f64..10_000.0, q in arb_point()) {
+        let region = Trr::point(a.to_f64()).expand(r);
+        let proj = region.closest_to(q.to_f64());
+        // The projection lies in the region...
+        prop_assert!(region.distance_to_point(proj) <= 1e-6);
+        // ...and achieves the region-to-point distance.
+        let d = region.distance_to_point(q.to_f64());
+        prop_assert!((proj.manhattan(q.to_f64()) - d).abs() <= 1e-6 * (1.0 + d));
+    }
+
+    /// RMST invariants: order-insensitive, bounded below by the bbox
+    /// half-perimeter, bounded above by a chain visiting points in input
+    /// order.
+    #[test]
+    fn rmst_bounds(pts in proptest::collection::vec(arb_point(), 2..40)) {
+        let len = rmst_length(&pts);
+        let hp = Rect::bounding(pts.iter().copied()).unwrap().half_perimeter();
+        prop_assert!(len >= hp);
+        let chain: i64 = pts.windows(2).map(|w| w[0].manhattan(w[1])).sum();
+        prop_assert!(len <= chain);
+        let mut rev = pts.clone();
+        rev.reverse();
+        prop_assert_eq!(rmst_length(&rev), len);
+    }
+
+    #[test]
+    fn uv_roundtrip(a in arb_point()) {
+        let f = PointF::from_uv(a.u() as f64, a.v() as f64);
+        prop_assert_eq!(f.snap(), a);
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based tests of the resistive-grid solver and mesh model.
+
+use proptest::prelude::*;
+use snr_mesh::{ClockMesh, MeshSpec, ResistiveGrid};
+use snr_netlist::BenchmarkSpec;
+use snr_tech::{Rule, Technology};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Effective resistance is positive away from drivers, zero at them,
+    /// and shrinks when more drivers ground the grid.
+    #[test]
+    fn effective_resistance_invariants(rows in 3usize..10, cols in 3usize..10,
+                                       g in 0.1f64..5.0) {
+        let mut grid = ResistiveGrid::new(rows, cols, g, g);
+        grid.ground(0, 0);
+        let r_far = grid.effective_resistance(rows - 1, cols - 1);
+        prop_assert!(r_far > 0.0);
+        prop_assert!(grid.effective_resistance(0, 0) < 1e-9);
+
+        let mut more = ResistiveGrid::new(rows, cols, g, g);
+        more.ground(0, 0);
+        more.ground(rows - 1, 0);
+        let r_more = more.effective_resistance(rows - 1, cols - 1);
+        prop_assert!(r_more <= r_far + 1e-9);
+    }
+
+    /// Scaling every conductance by k scales every effective resistance by
+    /// 1/k (the grid is linear).
+    #[test]
+    fn resistance_scales_inversely(rows in 3usize..8, cols in 3usize..8,
+                                   g in 0.2f64..2.0, k in 1.5f64..4.0) {
+        let mut a = ResistiveGrid::new(rows, cols, g, g);
+        a.ground(0, 0);
+        let mut b = ResistiveGrid::new(rows, cols, g * k, g * k);
+        b.ground(0, 0);
+        let ra = a.effective_resistance(rows - 1, cols / 2);
+        let rb = b.effective_resistance(rows - 1, cols / 2);
+        prop_assert!((rb * k - ra).abs() < 1e-6 * (1.0 + ra));
+    }
+
+    /// Superposition: the solve is linear in the injected currents.
+    #[test]
+    fn solve_is_linear(rows in 3usize..7, cols in 3usize..7, scale in 0.5f64..3.0) {
+        let mut grid = ResistiveGrid::new(rows, cols, 1.0, 1.0);
+        grid.ground(rows / 2, cols / 2);
+        let mut inj = vec![0.0; grid.len()];
+        inj[0] = 1.0;
+        inj[grid.len() - 1] = 0.5;
+        let v1 = grid.solve(&inj);
+        let scaled: Vec<f64> = inj.iter().map(|x| x * scale).collect();
+        let v2 = grid.solve(&scaled);
+        for (a, b) in v1.iter().zip(&v2) {
+            prop_assert!((a * scale - b).abs() < 1e-6 * (1.0 + a.abs() * scale));
+        }
+    }
+
+    /// Mesh analysis invariants across random specs: non-negative skew,
+    /// positive power, slew-sized driver bank at least the spec's taps.
+    #[test]
+    fn mesh_analysis_invariants(n in 4usize..20, k in 1usize..4, seed in 0u64..100) {
+        let design = BenchmarkSpec::new("p", 120).seed(seed).build().unwrap();
+        let tech = Technology::n45();
+        let spec = MeshSpec::new(n, n, k.min(n), Rule::DEFAULT).unwrap();
+        let mesh = ClockMesh::build(&design, &tech, spec);
+        let rep = mesh.analyze(&tech, design.freq_ghz());
+        prop_assert!(rep.skew_ps >= 0.0);
+        prop_assert!(rep.max_delay_ps >= rep.skew_ps);
+        prop_assert!(rep.network_uw() > 0.0);
+        prop_assert!(rep.n_drivers >= k.min(n) * k.min(n));
+        // Tighter slew targets never need fewer drivers.
+        let tight = mesh.analyze_with_slew_target(&tech, design.freq_ghz(), 50.0);
+        prop_assert!(tight.n_drivers >= rep.n_drivers);
+    }
+}

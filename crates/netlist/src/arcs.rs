@@ -1,0 +1,195 @@
+//! Synthetic timing arcs between sequentially adjacent sinks.
+//!
+//! A *global* skew limit is a blunt instrument: what launch/capture pairs
+//! actually need is bounded skew between the two flops of each datapath.
+//! Real designs get these pairs from the netlist; this module synthesizes
+//! them — preferring *nearby* sink pairs, as real datapaths are placed —
+//! so local-skew (useful-skew) constraints can be exercised.
+
+use crate::{Design, SinkId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// A launch→capture pair with the skew window its datapath allows.
+///
+/// The clock arrivals must satisfy
+/// `-hold_margin_ps <= arrival(to) - arrival(from) <= setup_margin_ps`:
+/// capture arriving *late* eats setup slack, capture arriving *early*
+/// risks hold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingArc {
+    /// Launching flop's sink id.
+    pub from: SinkId,
+    /// Capturing flop's sink id.
+    pub to: SinkId,
+    /// Allowed lateness of the capture clock, ps.
+    pub setup_margin_ps: f64,
+    /// Allowed earliness of the capture clock, ps.
+    pub hold_margin_ps: f64,
+}
+
+impl TimingArc {
+    /// Creates an arc.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the margins are negative/non-finite or the pins coincide.
+    pub fn new(from: SinkId, to: SinkId, setup_margin_ps: f64, hold_margin_ps: f64) -> Self {
+        assert!(from != to, "an arc needs two distinct sinks");
+        for (what, v) in [("setup", setup_margin_ps), ("hold", hold_margin_ps)] {
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "{what} margin {v} must be >= 0"
+            );
+        }
+        TimingArc {
+            from,
+            to,
+            setup_margin_ps,
+            hold_margin_ps,
+        }
+    }
+
+    /// Whether the pair of arrivals satisfies this arc's window.
+    pub fn satisfied_by(&self, arrival_from_ps: f64, arrival_to_ps: f64) -> bool {
+        let d = arrival_to_ps - arrival_from_ps;
+        d <= self.setup_margin_ps + 1e-12 && d >= -self.hold_margin_ps - 1e-12
+    }
+}
+
+impl fmt::Display for TimingArc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} -> {} (setup {:.0} ps, hold {:.0} ps)",
+            self.from, self.to, self.setup_margin_ps, self.hold_margin_ps
+        )
+    }
+}
+
+/// Generates `count` synthetic timing arcs over `design`'s sinks.
+///
+/// Each arc launches from a random sink and captures at one of its nearest
+/// neighbours (datapaths are short in placed designs); margins are drawn
+/// uniformly from `setup_range_ps` / `hold_range_ps`. Deterministic per
+/// seed.
+///
+/// # Panics
+///
+/// Panics if the design has fewer than two sinks, `count` is zero, or a
+/// range is inverted/negative.
+pub fn random_timing_arcs(
+    design: &Design,
+    count: usize,
+    setup_range_ps: (f64, f64),
+    hold_range_ps: (f64, f64),
+    seed: u64,
+) -> Vec<TimingArc> {
+    assert!(design.sinks().len() >= 2, "need at least two sinks");
+    assert!(count > 0, "need at least one arc");
+    for (what, (lo, hi)) in [("setup", setup_range_ps), ("hold", hold_range_ps)] {
+        assert!(
+            lo.is_finite() && hi.is_finite() && 0.0 <= lo && lo <= hi,
+            "{what} range ({lo}, {hi}) invalid"
+        );
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sinks = design.sinks();
+    let mut arcs = Vec::with_capacity(count);
+    for _ in 0..count {
+        let from = rng.gen_range(0..sinks.len());
+        // Capture flop: the nearest of 8 random candidates — biases pairs
+        // towards physical proximity without an O(n²) scan.
+        let mut best: Option<(i64, usize)> = None;
+        for _ in 0..8 {
+            let cand = rng.gen_range(0..sinks.len());
+            if cand == from {
+                continue;
+            }
+            let d = sinks[from].location().manhattan(sinks[cand].location());
+            if best.is_none_or(|(bd, _)| d < bd) {
+                best = Some((d, cand));
+            }
+        }
+        let Some((_, to)) = best else { continue };
+        let setup = rng.gen_range(setup_range_ps.0..=setup_range_ps.1);
+        let hold = rng.gen_range(hold_range_ps.0..=hold_range_ps.1);
+        arcs.push(TimingArc::new(SinkId(from), SinkId(to), setup, hold));
+    }
+    arcs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BenchmarkSpec;
+
+    fn design() -> Design {
+        BenchmarkSpec::new("t", 100).seed(3).build().unwrap()
+    }
+
+    #[test]
+    fn window_semantics() {
+        let arc = TimingArc::new(SinkId(0), SinkId(1), 20.0, 5.0);
+        assert!(arc.satisfied_by(100.0, 119.9)); // capture 19.9 ps late: ok
+        assert!(!arc.satisfied_by(100.0, 121.0)); // 21 ps late: setup fail
+        assert!(arc.satisfied_by(100.0, 95.1)); // 4.9 ps early: ok
+        assert!(!arc.satisfied_by(100.0, 94.0)); // 6 ps early: hold fail
+    }
+
+    #[test]
+    fn generator_is_deterministic_and_valid() {
+        let d = design();
+        let a = random_timing_arcs(&d, 50, (10.0, 40.0), (2.0, 8.0), 7);
+        let b = random_timing_arcs(&d, 50, (10.0, 40.0), (2.0, 8.0), 7);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        for arc in &a {
+            assert!(arc.from != arc.to);
+            assert!(arc.from.0 < d.sinks().len() && arc.to.0 < d.sinks().len());
+            assert!((10.0..=40.0).contains(&arc.setup_margin_ps));
+            assert!((2.0..=8.0).contains(&arc.hold_margin_ps));
+        }
+    }
+
+    #[test]
+    fn arcs_prefer_nearby_pairs() {
+        let d = design();
+        let arcs = random_timing_arcs(&d, 200, (10.0, 40.0), (2.0, 8.0), 9);
+        let arc_mean: f64 = arcs
+            .iter()
+            .map(|a| {
+                d.sink(a.from)
+                    .unwrap()
+                    .location()
+                    .manhattan(d.sink(a.to).unwrap().location()) as f64
+            })
+            .sum::<f64>()
+            / arcs.len() as f64;
+        // Mean distance over random pairs, for comparison.
+        let sinks = d.sinks();
+        let mut random_mean = 0.0;
+        let mut count = 0;
+        for i in (0..sinks.len()).step_by(3) {
+            for j in (1..sinks.len()).step_by(7) {
+                if i != j {
+                    random_mean +=
+                        sinks[i].location().manhattan(sinks[j].location()) as f64;
+                    count += 1;
+                }
+            }
+        }
+        random_mean /= count as f64;
+        assert!(
+            arc_mean < 0.6 * random_mean,
+            "arc mean {arc_mean} not biased below random {random_mean}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct sinks")]
+    fn self_arc_panics() {
+        let _ = TimingArc::new(SinkId(3), SinkId(3), 1.0, 1.0);
+    }
+}

@@ -1,0 +1,229 @@
+//! The clock-distribution problem instance.
+
+use crate::{NetlistError, Sink, SinkId};
+use snr_geom::{Point, Rect};
+use std::fmt;
+
+/// A clock-distribution problem instance: die, clock entry point, target
+/// frequency and sinks.
+///
+/// `Design` is an immutable database after construction; clock-tree
+/// synthesis and optimization never mutate it. Validation happens eagerly
+/// in [`Design::new`] so downstream code can rely on the invariants:
+///
+/// * at least one sink, with dense ids `0..n`,
+/// * every sink and the clock root inside the die,
+/// * positive target frequency.
+///
+/// # Examples
+///
+/// ```
+/// use snr_netlist::{Design, Sink, SinkId};
+/// use snr_geom::{Point, Rect};
+///
+/// let die = Rect::new(Point::new(0, 0), Point::new(100_000, 100_000));
+/// let sinks = vec![
+///     Sink::new(SinkId(0), "a", Point::new(10_000, 10_000), 10.0),
+///     Sink::new(SinkId(1), "b", Point::new(90_000, 90_000), 12.0),
+/// ];
+/// let design = Design::new("demo", die, Point::new(50_000, 0), 1.0, sinks)?;
+/// assert_eq!(design.sinks().len(), 2);
+/// # Ok::<(), snr_netlist::NetlistError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Design {
+    name: String,
+    die: Rect,
+    clock_root: Point,
+    freq_ghz: f64,
+    sinks: Vec<Sink>,
+}
+
+impl Design {
+    /// Creates and validates a design.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError`] when there are no sinks, sink ids are not
+    /// the dense sequence `0..n`, any location falls outside the die, or
+    /// the frequency is not positive.
+    pub fn new(
+        name: impl Into<String>,
+        die: Rect,
+        clock_root: Point,
+        freq_ghz: f64,
+        sinks: Vec<Sink>,
+    ) -> Result<Self, NetlistError> {
+        if sinks.is_empty() {
+            return Err(NetlistError::new("design has no sinks"));
+        }
+        if !freq_ghz.is_finite() || freq_ghz <= 0.0 {
+            return Err(NetlistError::new(format!(
+                "target frequency {freq_ghz} GHz must be positive"
+            )));
+        }
+        if !die.contains(clock_root) {
+            return Err(NetlistError::new(format!(
+                "clock root {clock_root} outside die {die}"
+            )));
+        }
+        for (i, s) in sinks.iter().enumerate() {
+            if s.id() != SinkId(i) {
+                return Err(NetlistError::new(format!(
+                    "sink ids must be dense: position {i} holds {}",
+                    s.id()
+                )));
+            }
+            if !die.contains(s.location()) {
+                return Err(NetlistError::new(format!(
+                    "{} at {} outside die {die}",
+                    s.id(),
+                    s.location()
+                )));
+            }
+        }
+        Ok(Design {
+            name: name.into(),
+            die,
+            clock_root,
+            freq_ghz,
+            sinks,
+        })
+    }
+
+    /// Design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Die outline.
+    pub fn die(&self) -> Rect {
+        self.die
+    }
+
+    /// Clock entry point (root driver location).
+    pub fn clock_root(&self) -> Point {
+        self.clock_root
+    }
+
+    /// Target clock frequency in GHz.
+    pub fn freq_ghz(&self) -> f64 {
+        self.freq_ghz
+    }
+
+    /// All sinks, indexed by their dense [`SinkId`].
+    pub fn sinks(&self) -> &[Sink] {
+        &self.sinks
+    }
+
+    /// Looks up a sink by id.
+    pub fn sink(&self, id: SinkId) -> Option<&Sink> {
+        self.sinks.get(id.0)
+    }
+
+    /// Sum of all sink pin capacitances in fF.
+    pub fn total_sink_cap_ff(&self) -> f64 {
+        self.sinks.iter().map(Sink::cap_ff).sum()
+    }
+
+    /// Bounding box of the sink locations.
+    pub fn sink_bbox(&self) -> Rect {
+        Rect::bounding(self.sinks.iter().map(Sink::location))
+            .expect("designs always have at least one sink")
+    }
+
+    /// Half-perimeter wirelength of the sink bounding box in nm — a crude
+    /// lower bound on clock-net wirelength, used in reports.
+    pub fn hpwl_nm(&self) -> i64 {
+        self.sink_bbox().half_perimeter()
+    }
+}
+
+impl fmt::Display for Design {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} sinks, die {:.1}×{:.1} mm, {:.2} GHz",
+            self.name,
+            self.sinks.len(),
+            self.die.width() as f64 / 1e6,
+            self.die.height() as f64 / 1e6,
+            self.freq_ghz
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn die() -> Rect {
+        Rect::new(Point::new(0, 0), Point::new(1_000_000, 1_000_000))
+    }
+
+    fn sink(i: usize, x: i64, y: i64) -> Sink {
+        Sink::new(SinkId(i), format!("s{i}"), Point::new(x, y), 10.0)
+    }
+
+    #[test]
+    fn valid_design() {
+        let d = Design::new(
+            "t",
+            die(),
+            Point::new(0, 0),
+            1.0,
+            vec![sink(0, 1, 2), sink(1, 3, 4)],
+        )
+        .unwrap();
+        assert_eq!(d.total_sink_cap_ff(), 20.0);
+        assert_eq!(d.sink(SinkId(1)).unwrap().location(), Point::new(3, 4));
+        assert!(d.sink(SinkId(2)).is_none());
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(Design::new("t", die(), Point::ORIGIN, 1.0, vec![]).is_err());
+    }
+
+    #[test]
+    fn rejects_sparse_ids() {
+        let bad = vec![sink(0, 1, 1), sink(2, 2, 2)];
+        assert!(Design::new("t", die(), Point::ORIGIN, 1.0, bad).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_die() {
+        let bad = vec![sink(0, 2_000_000, 0)];
+        assert!(Design::new("t", die(), Point::ORIGIN, 1.0, bad).is_err());
+        let ok = vec![sink(0, 1, 1)];
+        assert!(Design::new("t", die(), Point::new(-1, 0), 1.0, ok).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_frequency() {
+        let s = vec![sink(0, 1, 1)];
+        assert!(Design::new("t", die(), Point::ORIGIN, 0.0, s.clone()).is_err());
+        assert!(Design::new("t", die(), Point::ORIGIN, f64::NAN, s).is_err());
+    }
+
+    #[test]
+    fn bbox_and_hpwl() {
+        let d = Design::new(
+            "t",
+            die(),
+            Point::ORIGIN,
+            1.0,
+            vec![sink(0, 100, 200), sink(1, 400, 900)],
+        )
+        .unwrap();
+        assert_eq!(d.sink_bbox(), Rect::new(Point::new(100, 200), Point::new(400, 900)));
+        assert_eq!(d.hpwl_nm(), 300 + 700);
+    }
+
+    #[test]
+    fn display_has_name_and_count() {
+        let d = Design::new("soc", die(), Point::ORIGIN, 2.0, vec![sink(0, 1, 1)]).unwrap();
+        let text = d.to_string();
+        assert!(text.contains("soc") && text.contains("1 sinks"));
+    }
+}

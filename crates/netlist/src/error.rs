@@ -1,0 +1,46 @@
+//! Error type for design-database validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a [`crate::Design`] or benchmark specification is
+/// inconsistent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetlistError {
+    what: String,
+}
+
+impl NetlistError {
+    /// Creates an error with a description of the inconsistency.
+    pub fn new(what: impl Into<String>) -> Self {
+        NetlistError { what: what.into() }
+    }
+
+    /// Human-readable description.
+    pub fn what(&self) -> &str {
+        &self.what
+    }
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid design: {}", self.what)
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_bounds() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<NetlistError>();
+        assert_eq!(
+            NetlistError::new("no sinks").to_string(),
+            "invalid design: no sinks"
+        );
+    }
+}

@@ -1,0 +1,241 @@
+//! Plain-text serialization of designs.
+//!
+//! A miniature DEF-like format so benchmark instances can be archived,
+//! diffed and exchanged without rebuilding them from a spec:
+//!
+//! ```text
+//! design s400 freq_ghz 1
+//! die 0 0 894427 894427
+//! root 447213 0
+//! sink 0 ff0/clk 12000 40000 12.5
+//! sink 1 ff1/clk 90000 81000 7.25
+//! end
+//! ```
+//!
+//! Coordinates are integer nanometres, capacitances fF. The reader is
+//! strict: unknown directives, missing fields and out-of-order sink ids are
+//! errors, so a corrupted benchmark cannot silently load.
+
+use crate::{Design, NetlistError, Sink, SinkId};
+use snr_geom::{Point, Rect};
+use std::io::{BufRead, Write};
+
+/// Writes `design` in the text format to `w`.
+///
+/// A `&mut` writer can be passed, since `Write` is implemented for mutable
+/// references.
+///
+/// # Errors
+///
+/// Returns [`NetlistError`] when the underlying writer fails.
+pub fn save_design<W: Write>(design: &Design, mut w: W) -> Result<(), NetlistError> {
+    let io_err = |e: std::io::Error| NetlistError::new(format!("write failed: {e}"));
+    writeln!(w, "design {} freq_ghz {}", design.name(), design.freq_ghz()).map_err(io_err)?;
+    let die = design.die();
+    writeln!(
+        w,
+        "die {} {} {} {}",
+        die.lo().x,
+        die.lo().y,
+        die.hi().x,
+        die.hi().y
+    )
+    .map_err(io_err)?;
+    writeln!(
+        w,
+        "root {} {}",
+        design.clock_root().x,
+        design.clock_root().y
+    )
+    .map_err(io_err)?;
+    for s in design.sinks() {
+        writeln!(
+            w,
+            "sink {} {} {} {} {}",
+            s.id().0,
+            s.name(),
+            s.location().x,
+            s.location().y,
+            s.cap_ff()
+        )
+        .map_err(io_err)?;
+    }
+    writeln!(w, "end").map_err(io_err)
+}
+
+/// Reads a design in the text format from `r`.
+///
+/// A `&mut` reader can be passed, since `BufRead` is implemented for
+/// mutable references.
+///
+/// # Errors
+///
+/// Returns [`NetlistError`] describing the first malformed line, a missing
+/// section, or a semantic inconsistency (the same validation as
+/// [`Design::new`]).
+pub fn load_design<R: BufRead>(r: R) -> Result<Design, NetlistError> {
+    let mut name: Option<String> = None;
+    let mut freq = 0.0f64;
+    let mut die: Option<Rect> = None;
+    let mut root: Option<Point> = None;
+    let mut sinks: Vec<Sink> = Vec::new();
+    let mut ended = false;
+
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line.map_err(|e| NetlistError::new(format!("read failed: {e}")))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if ended {
+            return Err(NetlistError::new(format!(
+                "line {}: content after 'end'",
+                lineno + 1
+            )));
+        }
+        let mut it = line.split_whitespace();
+        let directive = it.next().expect("non-empty line has a first token");
+        let bad = |what: &str| {
+            NetlistError::new(format!("line {}: malformed {what}: {line:?}", lineno + 1))
+        };
+        match directive {
+            "design" => {
+                let n = it.next().ok_or_else(|| bad("design"))?;
+                let kw = it.next().ok_or_else(|| bad("design"))?;
+                if kw != "freq_ghz" {
+                    return Err(bad("design"));
+                }
+                freq = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad("design"))?;
+                name = Some(n.to_owned());
+            }
+            "die" => {
+                let mut num = || -> Result<i64, NetlistError> {
+                    it.next().and_then(|v| v.parse().ok()).ok_or_else(|| bad("die"))
+                };
+                let (x0, y0, x1, y1) = (num()?, num()?, num()?, num()?);
+                die = Some(Rect::new(Point::new(x0, y0), Point::new(x1, y1)));
+            }
+            "root" => {
+                let mut num = || -> Result<i64, NetlistError> {
+                    it.next().and_then(|v| v.parse().ok()).ok_or_else(|| bad("root"))
+                };
+                root = Some(Point::new(num()?, num()?));
+            }
+            "sink" => {
+                let id: usize = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad("sink"))?;
+                if id != sinks.len() {
+                    return Err(NetlistError::new(format!(
+                        "line {}: sink id {id} out of order (expected {})",
+                        lineno + 1,
+                        sinks.len()
+                    )));
+                }
+                let sink_name = it.next().ok_or_else(|| bad("sink"))?.to_owned();
+                let x: i64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad("sink"))?;
+                let y: i64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad("sink"))?;
+                let cap: f64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad("sink"))?;
+                if !(cap.is_finite() && cap > 0.0) {
+                    return Err(bad("sink"));
+                }
+                sinks.push(Sink::new(SinkId(id), sink_name, Point::new(x, y), cap));
+            }
+            "end" => ended = true,
+            other => {
+                return Err(NetlistError::new(format!(
+                    "line {}: unknown directive {other:?}",
+                    lineno + 1
+                )))
+            }
+        }
+        if it.next().is_some() {
+            return Err(NetlistError::new(format!(
+                "line {}: trailing tokens: {line:?}",
+                lineno + 1
+            )));
+        }
+    }
+
+    if !ended {
+        return Err(NetlistError::new("missing 'end' directive"));
+    }
+    let name = name.ok_or_else(|| NetlistError::new("missing 'design' directive"))?;
+    let die = die.ok_or_else(|| NetlistError::new("missing 'die' directive"))?;
+    let root = root.ok_or_else(|| NetlistError::new("missing 'root' directive"))?;
+    Design::new(name, die, root, freq, sinks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BenchmarkSpec;
+
+    #[test]
+    fn roundtrip_preserves_design() {
+        let design = BenchmarkSpec::new("rt", 137).seed(5).build().unwrap();
+        let mut buf = Vec::new();
+        save_design(&design, &mut buf).unwrap();
+        let loaded = load_design(buf.as_slice()).unwrap();
+        assert_eq!(loaded, design);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\
+# a comment
+design d freq_ghz 2
+
+die 0 0 100 100
+root 50 0
+sink 0 a/clk 10 10 5.5
+end
+";
+        let d = load_design(text.as_bytes()).unwrap();
+        assert_eq!(d.name(), "d");
+        assert_eq!(d.freq_ghz(), 2.0);
+        assert_eq!(d.sinks().len(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let cases = [
+            ("design d freq 1\ndie 0 0 9 9\nroot 1 1\nsink 0 a 1 1 5\nend\n", "design"),
+            ("design d freq_ghz 1\ndie 0 0 9\nroot 1 1\nsink 0 a 1 1 5\nend\n", "die"),
+            ("design d freq_ghz 1\ndie 0 0 9 9\nroot 1 1\nsink 1 a 1 1 5\nend\n", "out of order"),
+            ("design d freq_ghz 1\ndie 0 0 9 9\nroot 1 1\nsink 0 a 1 1 -5\nend\n", "sink"),
+            ("design d freq_ghz 1\ndie 0 0 9 9\nroot 1 1\nsink 0 a 1 1 5\nfoo\nend\n", "unknown"),
+            ("design d freq_ghz 1\ndie 0 0 9 9\nroot 1 1\nsink 0 a 1 1 5\n", "missing 'end'"),
+            ("die 0 0 9 9\nroot 1 1\nsink 0 a 1 1 5\nend\n", "missing 'design'"),
+            ("design d freq_ghz 1\ndie 0 0 9 9 9\nroot 1 1\nsink 0 a 1 1 5\nend\n", "trailing"),
+            ("design d freq_ghz 1\ndie 0 0 9 9\nroot 1 1\nsink 0 a 1 1 5\nend\nmore\n", "after 'end'"),
+        ];
+        for (text, expect) in cases {
+            let err = load_design(text.as_bytes()).expect_err(expect);
+            assert!(
+                err.to_string().contains(expect),
+                "expected {expect:?} in {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn semantic_validation_applies() {
+        // Sink outside die — caught by Design::new during load.
+        let text = "design d freq_ghz 1\ndie 0 0 9 9\nroot 1 1\nsink 0 a 100 1 5\nend\n";
+        assert!(load_design(text.as_bytes()).is_err());
+    }
+}

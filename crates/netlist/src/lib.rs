@@ -1,0 +1,40 @@
+//! Design database and benchmark generation.
+//!
+//! A clock-distribution problem instance is a [`Design`]: a die outline, a
+//! clock entry point, a target frequency and a set of [`Sink`]s (flip-flop
+//! clock pins with location and pin capacitance).
+//!
+//! The DAC-2013 study evaluates on ISPD-CTS-class industrial testcases; this
+//! crate substitutes a deterministic synthetic generator ([`BenchmarkSpec`])
+//! that reproduces their statistics — sink counts from a few hundred to a
+//! few thousand, millimetre-scale dice, 5–35 fF sink pins, and spatially
+//! clustered placement (register banks) — under fixed seeds so every
+//! experiment is exactly reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use snr_netlist::BenchmarkSpec;
+//!
+//! let design = BenchmarkSpec::new("demo", 64).seed(7).build()?;
+//! assert_eq!(design.sinks().len(), 64);
+//! assert!(design.total_sink_cap_ff() > 0.0);
+//! # Ok::<(), snr_netlist::NetlistError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arcs;
+mod design;
+mod error;
+mod generate;
+mod io;
+mod sink;
+
+pub use arcs::{random_timing_arcs, TimingArc};
+pub use design::Design;
+pub use error::NetlistError;
+pub use generate::{ispd_like_suite, BenchmarkSpec};
+pub use io::{load_design, save_design};
+pub use sink::{Sink, SinkId};

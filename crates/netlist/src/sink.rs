@@ -1,0 +1,121 @@
+//! Clock sinks.
+
+use snr_geom::Point;
+use std::fmt;
+
+/// Identifier of a sink within its [`crate::Design`].
+///
+/// Sink ids are dense indices `0..n_sinks`, assigned in creation order, so
+/// analyses can use them directly as vector indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SinkId(pub usize);
+
+impl fmt::Display for SinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sink{}", self.0)
+    }
+}
+
+/// A clock sink: the clock pin of a flip-flop or latch bank.
+///
+/// # Examples
+///
+/// ```
+/// use snr_netlist::{Sink, SinkId};
+/// use snr_geom::Point;
+///
+/// let s = Sink::new(SinkId(0), "ff_core/clk", Point::new(1_000, 2_000), 12.0);
+/// assert_eq!(s.cap_ff(), 12.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sink {
+    id: SinkId,
+    name: String,
+    location: Point,
+    cap_ff: f64,
+}
+
+impl Sink {
+    /// Creates a sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap_ff` is not finite and positive — a zero- or
+    /// negative-capacitance pin is a database corruption, not a modelling
+    /// choice.
+    pub fn new(id: SinkId, name: impl Into<String>, location: Point, cap_ff: f64) -> Self {
+        assert!(
+            cap_ff.is_finite() && cap_ff > 0.0,
+            "sink capacitance {cap_ff} must be positive"
+        );
+        Sink {
+            id,
+            name: name.into(),
+            location,
+            cap_ff,
+        }
+    }
+
+    /// Sink id (dense index within the design).
+    pub fn id(&self) -> SinkId {
+        self.id
+    }
+
+    /// Instance/pin name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Pin location on the nanometre grid.
+    pub fn location(&self) -> Point {
+        self.location
+    }
+
+    /// Pin capacitance in fF.
+    pub fn cap_ff(&self) -> f64 {
+        self.cap_ff
+    }
+}
+
+impl fmt::Display for Sink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] @{} {}fF",
+            self.id, self.name, self.location, self.cap_ff
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let s = Sink::new(SinkId(3), "x/clk", Point::new(5, 6), 7.5);
+        assert_eq!(s.id(), SinkId(3));
+        assert_eq!(s.name(), "x/clk");
+        assert_eq!(s.location(), Point::new(5, 6));
+        assert_eq!(s.cap_ff(), 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_cap_panics() {
+        let _ = Sink::new(SinkId(0), "bad", Point::ORIGIN, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn nan_cap_panics() {
+        let _ = Sink::new(SinkId(0), "bad", Point::ORIGIN, f64::NAN);
+    }
+
+    #[test]
+    fn display_contains_id_and_name() {
+        let s = Sink::new(SinkId(1), "a/b", Point::ORIGIN, 1.0);
+        let text = s.to_string();
+        assert!(text.contains("sink1") && text.contains("a/b"));
+    }
+}

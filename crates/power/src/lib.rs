@@ -1,0 +1,440 @@
+//! Clock-network power model.
+//!
+//! Clock power is dominated by switched capacitance: the clock toggles every
+//! cycle, so every femtofarad of wire, buffer-input and sink-pin capacitance
+//! is paid at full activity. This crate evaluates, for a
+//! [`snr_cts::ClockTree`] under a rule [`snr_cts::Assignment`]:
+//!
+//! * **wire switching power** — the component smart NDR reduces,
+//! * **buffer power** — input-pin switching plus internal (short-circuit +
+//!   self-load) energy,
+//! * **sink switching power** — constant across assignments, reported for
+//!   honest totals,
+//! * **leakage**, and
+//! * **routing-track cost** — the resource price of wide/spaced rules.
+//!
+//! # Examples
+//!
+//! ```
+//! use snr_netlist::BenchmarkSpec;
+//! use snr_tech::Technology;
+//! use snr_cts::{synthesize, Assignment, CtsOptions};
+//! use snr_power::{evaluate, PowerModel};
+//!
+//! let design = BenchmarkSpec::new("demo", 64).seed(3).build()?;
+//! let tech = Technology::n45();
+//! let tree = synthesize(&design, &tech, &CtsOptions::default())?;
+//! let model = PowerModel::new(design.freq_ghz());
+//!
+//! let ndr = evaluate(&tree, &tech, &Assignment::uniform(&tree, tech.rules().most_conservative_id()), &model);
+//! let def = evaluate(&tree, &tech, &Assignment::uniform(&tree, tech.rules().default_id()), &model);
+//! assert!(ndr.wire_uw() > def.wire_uw()); // 2W2S carries more capacitance
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use snr_cts::{Assignment, ClockTree, NodeKind};
+use snr_tech::{units, Technology};
+use std::fmt;
+
+/// Operating point for power evaluation.
+///
+/// # Examples
+///
+/// ```
+/// let m = snr_power::PowerModel::new(2.0).with_activity(0.8);
+/// assert_eq!(m.freq_ghz(), 2.0);
+/// assert_eq!(m.activity(), 0.8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    freq_ghz: f64,
+    activity: f64,
+}
+
+impl PowerModel {
+    /// Creates a model at `freq_ghz` with full clock activity (α = 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is not positive and finite.
+    pub fn new(freq_ghz: f64) -> Self {
+        assert!(
+            freq_ghz.is_finite() && freq_ghz > 0.0,
+            "frequency {freq_ghz} GHz must be positive"
+        );
+        PowerModel {
+            freq_ghz,
+            activity: 1.0,
+        }
+    }
+
+    /// Returns a copy with a different activity factor (clock gating).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `activity` is outside `[0, 1]`.
+    pub fn with_activity(mut self, activity: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&activity),
+            "activity {activity} outside [0, 1]"
+        );
+        self.activity = activity;
+        self
+    }
+
+    /// Clock frequency in GHz.
+    pub fn freq_ghz(&self) -> f64 {
+        self.freq_ghz
+    }
+
+    /// Activity factor.
+    pub fn activity(&self) -> f64 {
+        self.activity
+    }
+}
+
+/// Power breakdown of a clock tree under one rule assignment.
+///
+/// All powers in µW, capacitances in fF, track cost in equivalent
+/// default-rule µm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerReport {
+    wire_cap_ff: f64,
+    buffer_input_cap_ff: f64,
+    sink_cap_ff: f64,
+    wire_uw: f64,
+    buffer_input_uw: f64,
+    buffer_internal_uw: f64,
+    sink_uw: f64,
+    leakage_uw: f64,
+    track_cost_um: f64,
+}
+
+impl PowerReport {
+    /// Total switched wire capacitance in fF.
+    pub fn wire_cap_ff(&self) -> f64 {
+        self.wire_cap_ff
+    }
+
+    /// Total buffer input capacitance in fF.
+    pub fn buffer_input_cap_ff(&self) -> f64 {
+        self.buffer_input_cap_ff
+    }
+
+    /// Total sink pin capacitance in fF.
+    pub fn sink_cap_ff(&self) -> f64 {
+        self.sink_cap_ff
+    }
+
+    /// Wire switching power in µW — the component NDR choices change.
+    pub fn wire_uw(&self) -> f64 {
+        self.wire_uw
+    }
+
+    /// Buffer input-pin switching power in µW.
+    pub fn buffer_input_uw(&self) -> f64 {
+        self.buffer_input_uw
+    }
+
+    /// Buffer internal power in µW.
+    pub fn buffer_internal_uw(&self) -> f64 {
+        self.buffer_internal_uw
+    }
+
+    /// Sink pin switching power in µW.
+    pub fn sink_uw(&self) -> f64 {
+        self.sink_uw
+    }
+
+    /// Total leakage in µW.
+    pub fn leakage_uw(&self) -> f64 {
+        self.leakage_uw
+    }
+
+    /// Routing-track cost: wirelength weighted by each rule's track cost,
+    /// in equivalent default-rule µm.
+    pub fn track_cost_um(&self) -> f64 {
+        self.track_cost_um
+    }
+
+    /// Total clock power in µW.
+    pub fn total_uw(&self) -> f64 {
+        self.wire_uw + self.buffer_input_uw + self.buffer_internal_uw + self.sink_uw
+            + self.leakage_uw
+    }
+
+    /// Total minus the sink component — the part the clock network itself
+    /// costs, the paper's figure of merit.
+    pub fn network_uw(&self) -> f64 {
+        self.total_uw() - self.sink_uw
+    }
+}
+
+impl fmt::Display for PowerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "total {:.1} µW (wire {:.1}, buf-in {:.1}, buf-int {:.1}, sinks {:.1}, leak {:.2}), tracks {:.0} µm",
+            self.total_uw(),
+            self.wire_uw,
+            self.buffer_input_uw,
+            self.buffer_internal_uw,
+            self.sink_uw,
+            self.leakage_uw,
+            self.track_cost_um
+        )
+    }
+}
+
+/// Evaluates the power of `tree` under `assignment` at the operating point
+/// `model`.
+///
+/// # Panics
+///
+/// Panics if the assignment does not match the tree, or references rules
+/// outside the technology's rule set.
+pub fn evaluate(
+    tree: &ClockTree,
+    tech: &Technology,
+    assignment: &Assignment,
+    model: &PowerModel,
+) -> PowerReport {
+    assert_eq!(
+        assignment.len(),
+        tree.len(),
+        "assignment built for a different tree"
+    );
+    let layer = tech.clock_layer();
+    let rules = tech.rules();
+    let cells = tech.buffers().cells();
+
+    let mut wire_cap_ff = 0.0;
+    let mut track_cost_um = 0.0;
+    for (e, rid) in assignment.iter_edges(tree) {
+        let rule = rules
+            .get(rid)
+            .expect("assignment references a rule outside the technology rule set");
+        let len_um = tree.node(e).edge_len_nm() as f64 / 1_000.0;
+        wire_cap_ff += layer.unit_c(rule) * len_um;
+        track_cost_um += rule.track_cost() * len_um;
+    }
+
+    let mut buffer_input_cap_ff = 0.0;
+    let mut buffer_internal_uw = 0.0;
+    let mut leakage_uw = 0.0;
+    let mut sink_cap_ff = 0.0;
+    for node in tree.nodes() {
+        match node.kind() {
+            NodeKind::Buffer { cell } => {
+                let c = &cells[cell];
+                // The root driver's input is charged by the clock source,
+                // not by the tree; skip its pin cap.
+                if node.parent().is_some() {
+                    buffer_input_cap_ff += c.input_cap_ff();
+                }
+                buffer_internal_uw += c.internal_energy_fj() * model.freq_ghz * model.activity;
+                leakage_uw += c.leakage_uw();
+            }
+            NodeKind::Sink { cap_ff, .. } => sink_cap_ff += cap_ff,
+            NodeKind::Steiner => {}
+        }
+    }
+
+    let vdd = tech.vdd_v();
+    let p = |cap_ff: f64| units::switching_power_uw(cap_ff, vdd, model.freq_ghz, model.activity);
+    PowerReport {
+        wire_cap_ff,
+        buffer_input_cap_ff,
+        sink_cap_ff,
+        wire_uw: p(wire_cap_ff),
+        buffer_input_uw: p(buffer_input_cap_ff),
+        buffer_internal_uw,
+        sink_uw: p(sink_cap_ff),
+        leakage_uw,
+        track_cost_um,
+    }
+}
+
+/// Evaluates the power of `tree` under `assignment` at a process corner:
+/// wire capacitance scales by the corner's C factor and the supply by its
+/// VDD factor (buffer internals stay nominal — interconnect-only corner
+/// model).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`evaluate`].
+pub fn evaluate_at_corner(
+    tree: &ClockTree,
+    tech: &Technology,
+    assignment: &Assignment,
+    model: &PowerModel,
+    corner: snr_tech::Corner,
+) -> PowerReport {
+    let nominal = evaluate(tree, tech, assignment, model);
+    let v2 = corner.vdd_scale() * corner.vdd_scale();
+    let p = |cap_ff: f64| {
+        units::switching_power_uw(
+            cap_ff,
+            tech.vdd_v() * corner.vdd_scale(),
+            model.freq_ghz(),
+            model.activity(),
+        )
+    };
+    PowerReport {
+        wire_cap_ff: nominal.wire_cap_ff * corner.c_scale(),
+        wire_uw: p(nominal.wire_cap_ff * corner.c_scale()),
+        buffer_input_uw: nominal.buffer_input_uw * v2,
+        sink_uw: nominal.sink_uw * v2,
+        ..nominal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snr_cts::{synthesize, CtsOptions};
+    use snr_netlist::BenchmarkSpec;
+
+    fn setup(n: usize) -> (ClockTree, Technology) {
+        let design = BenchmarkSpec::new("t", n).seed(6).build().unwrap();
+        let tech = Technology::n45();
+        let tree = synthesize(&design, &tech, &CtsOptions::default()).unwrap();
+        (tree, tech)
+    }
+
+    #[test]
+    fn conservative_rule_costs_more_wire_power() {
+        let (tree, tech) = setup(150);
+        let m = PowerModel::new(1.0);
+        let hi = evaluate(
+            &tree,
+            &tech,
+            &Assignment::uniform(&tree, tech.rules().most_conservative_id()),
+            &m,
+        );
+        let lo = evaluate(
+            &tree,
+            &tech,
+            &Assignment::uniform(&tree, tech.rules().default_id()),
+            &m,
+        );
+        assert!(hi.wire_uw() > lo.wire_uw());
+        assert!(hi.track_cost_um() > lo.track_cost_um());
+        // Non-wire components identical: same tree, same buffers.
+        assert_eq!(hi.buffer_input_uw(), lo.buffer_input_uw());
+        assert_eq!(hi.sink_uw(), lo.sink_uw());
+        assert_eq!(hi.leakage_uw(), lo.leakage_uw());
+    }
+
+    #[test]
+    fn total_is_sum_of_components() {
+        let (tree, tech) = setup(100);
+        let m = PowerModel::new(1.5);
+        let r = evaluate(
+            &tree,
+            &tech,
+            &Assignment::uniform(&tree, tech.rules().default_id()),
+            &m,
+        );
+        let sum = r.wire_uw()
+            + r.buffer_input_uw()
+            + r.buffer_internal_uw()
+            + r.sink_uw()
+            + r.leakage_uw();
+        assert!((r.total_uw() - sum).abs() < 1e-9);
+        assert!((r.network_uw() - (sum - r.sink_uw())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_linear_in_frequency_except_leakage() {
+        let (tree, tech) = setup(80);
+        let asg = Assignment::uniform(&tree, tech.rules().default_id());
+        let r1 = evaluate(&tree, &tech, &asg, &PowerModel::new(1.0));
+        let r2 = evaluate(&tree, &tech, &asg, &PowerModel::new(2.0));
+        assert!((r2.wire_uw() - 2.0 * r1.wire_uw()).abs() < 1e-9);
+        assert!((r2.buffer_internal_uw() - 2.0 * r1.buffer_internal_uw()).abs() < 1e-9);
+        assert_eq!(r2.leakage_uw(), r1.leakage_uw());
+    }
+
+    #[test]
+    fn gating_scales_dynamic_power() {
+        let (tree, tech) = setup(80);
+        let asg = Assignment::uniform(&tree, tech.rules().default_id());
+        let full = evaluate(&tree, &tech, &asg, &PowerModel::new(1.0));
+        let half = evaluate(&tree, &tech, &asg, &PowerModel::new(1.0).with_activity(0.5));
+        assert!((half.wire_uw() - full.wire_uw() / 2.0).abs() < 1e-9);
+        assert_eq!(half.leakage_uw(), full.leakage_uw());
+    }
+
+    #[test]
+    fn sink_cap_matches_design() {
+        let design = BenchmarkSpec::new("t", 40).seed(2).build().unwrap();
+        let tech = Technology::n45();
+        let tree = synthesize(&design, &tech, &CtsOptions::default()).unwrap();
+        let asg = Assignment::uniform(&tree, tech.rules().default_id());
+        let r = evaluate(&tree, &tech, &asg, &PowerModel::new(1.0));
+        assert!((r.sink_cap_ff() - design.total_sink_cap_ff()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_edge_downgrade_reduces_power_additively() {
+        let (tree, tech) = setup(60);
+        let rules = tech.rules();
+        let m = PowerModel::new(1.0);
+        let mut asg = Assignment::uniform(&tree, rules.most_conservative_id());
+        let base = evaluate(&tree, &tech, &asg, &m);
+        // Downgrade one edge; the delta must equal the closed-form cap delta.
+        let e = tree.edges().next().unwrap();
+        let len_um = tree.node(e).edge_len_nm() as f64 / 1_000.0;
+        let c_hi = tech.clock_unit_c(rules.rule(rules.most_conservative_id()));
+        let c_lo = tech.clock_unit_c(rules.rule(rules.default_id()));
+        asg.set(e, rules.default_id());
+        let after = evaluate(&tree, &tech, &asg, &m);
+        let expect = units::switching_power_uw((c_hi - c_lo) * len_um, tech.vdd_v(), 1.0, 1.0);
+        assert!((base.total_uw() - after.total_uw() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "different tree")]
+    fn mismatched_assignment_panics() {
+        let (tree, tech) = setup(10);
+        let (other, _) = setup(20);
+        let asg = Assignment::uniform(&other, tech.rules().default_id());
+        let _ = evaluate(&tree, &tech, &asg, &PowerModel::new(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn bad_activity_panics() {
+        let _ = PowerModel::new(1.0).with_activity(1.5);
+    }
+
+    #[test]
+    fn corner_scales_wire_power() {
+        use snr_tech::Corner;
+        let (tree, tech) = setup(60);
+        let asg = Assignment::uniform(&tree, tech.rules().default_id());
+        let m = PowerModel::new(1.0);
+        let tt = evaluate_at_corner(&tree, &tech, &asg, &m, Corner::typical());
+        let nominal = evaluate(&tree, &tech, &asg, &m);
+        assert!((tt.total_uw() - nominal.total_uw()).abs() < 1e-9);
+
+        let ss = evaluate_at_corner(&tree, &tech, &asg, &m, Corner::slow());
+        // Slow corner: +10% C but -10% VDD (squared) => wire power shifts by
+        // 1.10 * 0.81.
+        let expect = nominal.wire_uw() * 1.10 * 0.9 * 0.9;
+        assert!((ss.wire_uw() - expect).abs() < 1e-9 * (1.0 + expect));
+        assert!(ss.leakage_uw() == nominal.leakage_uw());
+    }
+
+    #[test]
+    fn display_mentions_total() {
+        let (tree, tech) = setup(20);
+        let asg = Assignment::uniform(&tree, tech.rules().default_id());
+        let r = evaluate(&tree, &tech, &asg, &PowerModel::new(1.0));
+        assert!(r.to_string().contains("total"));
+    }
+}

@@ -1,0 +1,332 @@
+//! Clock-buffer cell models and libraries.
+
+use crate::TechError;
+use std::fmt;
+
+/// A clock buffer characterized by the switch-level parameters used in
+/// academic CTS work.
+///
+/// The delay of a buffer driving load `C_L` through its output resistance is
+/// `d = intrinsic + R_drv · C_L`; its output slew is modelled as
+/// `slew_out ≈ ln(9) · R_drv · C_L` (10–90 % of a single-pole response) plus
+/// an intrinsic output-slew floor. Energy per output transition pairs an
+/// internal (short-circuit + self-load) term with the external load handled
+/// by the power model.
+///
+/// # Examples
+///
+/// ```
+/// use snr_tech::BufferCell;
+///
+/// let x8 = BufferCell::new("BUFX8", 8.0, 2.4, 11.2, 18.0, 4.0, 0.08)?;
+/// assert!(x8.delay_ps(50.0) > x8.intrinsic_delay_ps());
+/// # Ok::<(), snr_tech::TechError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BufferCell {
+    name: String,
+    size: f64,
+    input_cap_ff: f64,
+    drive_res_kohm: f64,
+    intrinsic_delay_ps: f64,
+    internal_energy_fj: f64,
+    leakage_uw: f64,
+}
+
+impl BufferCell {
+    /// Creates a buffer cell.
+    ///
+    /// * `size` — drive strength relative to a unit buffer (X1 = 1.0);
+    /// * `input_cap_ff` — capacitance presented to the driving net;
+    /// * `drive_res_kohm` — equivalent output resistance;
+    /// * `intrinsic_delay_ps` — unloaded delay;
+    /// * `internal_energy_fj` — internal energy per output transition pair;
+    /// * `leakage_uw` — static leakage power.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError`] when any parameter is non-positive/non-finite
+    /// (leakage may be zero).
+    pub fn new(
+        name: impl Into<String>,
+        size: f64,
+        input_cap_ff: f64,
+        drive_res_kohm: f64,
+        intrinsic_delay_ps: f64,
+        internal_energy_fj: f64,
+        leakage_uw: f64,
+    ) -> Result<Self, TechError> {
+        for (what, v) in [
+            ("size", size),
+            ("input_cap_ff", input_cap_ff),
+            ("drive_res_kohm", drive_res_kohm),
+            ("intrinsic_delay_ps", intrinsic_delay_ps),
+            ("internal_energy_fj", internal_energy_fj),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(TechError::new(format!("buffer {what} = {v} must be > 0")));
+            }
+        }
+        if !leakage_uw.is_finite() || leakage_uw < 0.0 {
+            return Err(TechError::new(format!(
+                "buffer leakage_uw = {leakage_uw} must be >= 0"
+            )));
+        }
+        Ok(BufferCell {
+            name: name.into(),
+            size,
+            input_cap_ff,
+            drive_res_kohm,
+            intrinsic_delay_ps,
+            internal_energy_fj,
+            leakage_uw,
+        })
+    }
+
+    /// Cell name (e.g. `"BUFX8"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Relative drive strength.
+    pub fn size(&self) -> f64 {
+        self.size
+    }
+
+    /// Input pin capacitance in fF.
+    pub fn input_cap_ff(&self) -> f64 {
+        self.input_cap_ff
+    }
+
+    /// Equivalent output drive resistance in kΩ.
+    pub fn drive_res_kohm(&self) -> f64 {
+        self.drive_res_kohm
+    }
+
+    /// Unloaded (intrinsic) delay in ps.
+    pub fn intrinsic_delay_ps(&self) -> f64 {
+        self.intrinsic_delay_ps
+    }
+
+    /// Internal energy per full output cycle, in fJ.
+    pub fn internal_energy_fj(&self) -> f64 {
+        self.internal_energy_fj
+    }
+
+    /// Static leakage power in µW.
+    pub fn leakage_uw(&self) -> f64 {
+        self.leakage_uw
+    }
+
+    /// Stage delay in ps when driving a lumped load of `load_ff`.
+    pub fn delay_ps(&self, load_ff: f64) -> f64 {
+        self.intrinsic_delay_ps + self.drive_res_kohm * load_ff
+    }
+
+    /// Output slew (10–90 %) in ps when driving a lumped load of `load_ff`.
+    ///
+    /// `ln 9 ≈ 2.2` times the output RC constant, floored by an intrinsic
+    /// output slew equal to the intrinsic delay.
+    pub fn output_slew_ps(&self, load_ff: f64) -> f64 {
+        const LN9: f64 = 2.197_224_577_336_219_6;
+        (LN9 * self.drive_res_kohm * load_ff).max(self.intrinsic_delay_ps)
+    }
+}
+
+impl fmt::Display for BufferCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (X{:.0}: Cin={}fF, Rdrv={}kΩ)",
+            self.name, self.size, self.input_cap_ff, self.drive_res_kohm
+        )
+    }
+}
+
+/// A library of buffer cells ordered by drive strength.
+///
+/// # Examples
+///
+/// ```
+/// use snr_tech::BufferLibrary;
+///
+/// let lib = BufferLibrary::scaled_family(1.0, 1.4, 2.4, 20.0, 0.5, 0.01, &[2.0, 8.0, 32.0])?;
+/// assert_eq!(lib.len(), 3);
+/// // The strongest cell that can drive 100 fF within a 60 ps slew target:
+/// let cell = lib.smallest_for_slew(100.0, 60.0);
+/// assert!(cell.is_some());
+/// # Ok::<(), snr_tech::TechError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BufferLibrary {
+    cells: Vec<BufferCell>,
+}
+
+impl BufferLibrary {
+    /// Builds a library from explicit cells, sorting by drive strength.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError`] when the library is empty or has duplicate
+    /// sizes.
+    pub fn new(mut cells: Vec<BufferCell>) -> Result<Self, TechError> {
+        if cells.is_empty() {
+            return Err(TechError::new("buffer library must not be empty"));
+        }
+        cells.sort_by(|a, b| a.size.partial_cmp(&b.size).expect("sizes are finite"));
+        for w in cells.windows(2) {
+            if (w[0].size - w[1].size).abs() < 1e-12 {
+                return Err(TechError::new(format!(
+                    "duplicate buffer size {}",
+                    w[0].size
+                )));
+            }
+        }
+        Ok(BufferLibrary { cells })
+    }
+
+    /// Generates the classic scaled family: for size `s`,
+    /// `Cin = cin1·s`, `Rdrv = r1/s`, intrinsic delay constant, internal
+    /// energy `e1·s`, leakage `leak1·s`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter-validation failures from [`BufferCell::new`],
+    /// and rejects an empty `sizes` slice.
+    #[allow(clippy::too_many_arguments)]
+    pub fn scaled_family(
+        _unit_size: f64,
+        cin1_ff: f64,
+        r1_kohm: f64,
+        intrinsic_ps: f64,
+        e1_fj: f64,
+        leak1_uw: f64,
+        sizes: &[f64],
+    ) -> Result<Self, TechError> {
+        let mut cells = Vec::with_capacity(sizes.len());
+        for &s in sizes {
+            if !s.is_finite() || s <= 0.0 {
+                return Err(TechError::new(format!("buffer size {s} must be > 0")));
+            }
+            cells.push(BufferCell::new(
+                format!("BUFX{}", s.round() as i64),
+                s,
+                cin1_ff * s,
+                r1_kohm / s,
+                intrinsic_ps,
+                e1_fj * s,
+                leak1_uw * s,
+            )?);
+        }
+        BufferLibrary::new(cells)
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the library has no cells (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Cells in ascending drive-strength order.
+    pub fn cells(&self) -> &[BufferCell] {
+        &self.cells
+    }
+
+    /// The weakest cell.
+    pub fn smallest(&self) -> &BufferCell {
+        self.cells.first().expect("library is non-empty")
+    }
+
+    /// The strongest cell.
+    pub fn largest(&self) -> &BufferCell {
+        self.cells.last().expect("library is non-empty")
+    }
+
+    /// The smallest cell whose output slew driving `load_ff` meets
+    /// `slew_limit_ps`, or `None` when even the largest cell cannot.
+    ///
+    /// Choosing the smallest adequate cell minimizes buffer input cap and
+    /// internal energy — the power-optimal greedy choice.
+    pub fn smallest_for_slew(&self, load_ff: f64, slew_limit_ps: f64) -> Option<&BufferCell> {
+        self.cells
+            .iter()
+            .find(|c| c.output_slew_ps(load_ff) <= slew_limit_ps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib() -> BufferLibrary {
+        BufferLibrary::scaled_family(1.0, 1.4, 2.4, 20.0, 0.5, 0.01, &[1.0, 2.0, 4.0, 8.0, 16.0])
+            .unwrap()
+    }
+
+    #[test]
+    fn scaled_family_scales_correctly() {
+        let l = lib();
+        let x1 = &l.cells()[0];
+        let x16 = l.largest();
+        assert!((x16.input_cap_ff() - 16.0 * x1.input_cap_ff()).abs() < 1e-9);
+        assert!((x16.drive_res_kohm() - x1.drive_res_kohm() / 16.0).abs() < 1e-9);
+        assert!((x16.leakage_uw() - 16.0 * x1.leakage_uw()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delay_affine_in_load() {
+        let l = lib();
+        let c = l.largest();
+        let d0 = c.delay_ps(0.0);
+        let d100 = c.delay_ps(100.0);
+        assert!((d0 - c.intrinsic_delay_ps()).abs() < 1e-12);
+        assert!((d100 - d0 - c.drive_res_kohm() * 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn output_slew_floors_at_intrinsic() {
+        let c = lib().cells()[0].clone();
+        assert_eq!(c.output_slew_ps(0.0), c.intrinsic_delay_ps());
+        assert!(c.output_slew_ps(1_000.0) > c.intrinsic_delay_ps());
+    }
+
+    #[test]
+    fn smallest_for_slew_picks_minimum_adequate() {
+        let l = lib();
+        // A huge load with a tight limit needs a big cell.
+        let c = l.smallest_for_slew(200.0, 80.0).expect("drivable");
+        // All smaller cells must fail the limit.
+        for weaker in l.cells().iter().take_while(|w| w.size() < c.size()) {
+            assert!(weaker.output_slew_ps(200.0) > 80.0);
+        }
+        // Impossible target:
+        assert!(l.smallest_for_slew(1.0e9, 1.0).is_none());
+    }
+
+    #[test]
+    fn library_sorted_by_size() {
+        let sizes: Vec<f64> = lib().cells().iter().map(|c| c.size()).collect();
+        assert!(sizes.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(BufferCell::new("B", 1.0, 0.0, 1.0, 1.0, 1.0, 0.0).is_err());
+        assert!(BufferCell::new("B", 1.0, 1.0, 1.0, 1.0, 1.0, -0.1).is_err());
+        assert!(BufferLibrary::new(vec![]).is_err());
+        let c = BufferCell::new("B", 2.0, 1.0, 1.0, 1.0, 1.0, 0.0).unwrap();
+        assert!(BufferLibrary::new(vec![c.clone(), c]).is_err());
+    }
+
+    #[test]
+    fn smallest_and_largest() {
+        let l = lib();
+        assert_eq!(l.smallest().size(), 1.0);
+        assert_eq!(l.largest().size(), 16.0);
+        assert_eq!(l.len(), 5);
+    }
+}

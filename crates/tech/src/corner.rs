@@ -1,0 +1,148 @@
+//! Process corners.
+
+use crate::TechError;
+use std::fmt;
+
+/// A process corner: multiplicative scale factors applied to interconnect
+/// resistance, capacitance and the supply voltage.
+///
+/// Corners let experiments re-run an analysis at pessimistic interconnect
+/// conditions without rebuilding the technology. The variation crate models
+/// *statistical* (within-die) variation; corners model the global shift.
+///
+/// # Examples
+///
+/// ```
+/// use snr_tech::Corner;
+///
+/// let slow = Corner::slow();
+/// assert!(slow.r_scale() > 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Corner {
+    name: &'static str,
+    r_scale: f64,
+    c_scale: f64,
+    vdd_scale: f64,
+}
+
+impl Corner {
+    /// Creates a custom corner.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError`] when any scale is outside `(0, 2]`.
+    pub fn new(
+        name: &'static str,
+        r_scale: f64,
+        c_scale: f64,
+        vdd_scale: f64,
+    ) -> Result<Self, TechError> {
+        for (what, v) in [
+            ("r_scale", r_scale),
+            ("c_scale", c_scale),
+            ("vdd_scale", vdd_scale),
+        ] {
+            if !v.is_finite() || v <= 0.0 || v > 2.0 {
+                return Err(TechError::new(format!("corner {what} = {v} outside (0, 2]")));
+            }
+        }
+        Ok(Corner {
+            name,
+            r_scale,
+            c_scale,
+            vdd_scale,
+        })
+    }
+
+    /// The typical corner (all scales 1.0).
+    pub fn typical() -> Self {
+        Corner {
+            name: "TT",
+            r_scale: 1.0,
+            c_scale: 1.0,
+            vdd_scale: 1.0,
+        }
+    }
+
+    /// Slow interconnect corner: +15 % R, +10 % C, −10 % VDD.
+    pub fn slow() -> Self {
+        Corner {
+            name: "SS",
+            r_scale: 1.15,
+            c_scale: 1.10,
+            vdd_scale: 0.90,
+        }
+    }
+
+    /// Fast interconnect corner: −15 % R, −10 % C, +10 % VDD.
+    pub fn fast() -> Self {
+        Corner {
+            name: "FF",
+            r_scale: 0.85,
+            c_scale: 0.90,
+            vdd_scale: 1.10,
+        }
+    }
+
+    /// Corner name (`"TT"`, `"SS"`, `"FF"`, or custom).
+    pub fn name(&self) -> &str {
+        self.name
+    }
+
+    /// Resistance scale factor.
+    pub fn r_scale(&self) -> f64 {
+        self.r_scale
+    }
+
+    /// Capacitance scale factor.
+    pub fn c_scale(&self) -> f64 {
+        self.c_scale
+    }
+
+    /// Supply-voltage scale factor.
+    pub fn vdd_scale(&self) -> f64 {
+        self.vdd_scale
+    }
+}
+
+impl Default for Corner {
+    fn default() -> Self {
+        Corner::typical()
+    }
+}
+
+impl fmt::Display for Corner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (R×{:.2}, C×{:.2}, V×{:.2})",
+            self.name, self.r_scale, self.c_scale, self.vdd_scale
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered() {
+        assert!(Corner::slow().r_scale() > Corner::typical().r_scale());
+        assert!(Corner::typical().r_scale() > Corner::fast().r_scale());
+        assert!(Corner::slow().vdd_scale() < Corner::fast().vdd_scale());
+    }
+
+    #[test]
+    fn custom_corner_validation() {
+        assert!(Corner::new("X", 0.0, 1.0, 1.0).is_err());
+        assert!(Corner::new("X", 1.0, 3.0, 1.0).is_err());
+        assert!(Corner::new("X", 1.0, 1.0, f64::NAN).is_err());
+        assert!(Corner::new("X", 1.2, 1.1, 0.9).is_ok());
+    }
+
+    #[test]
+    fn default_is_typical() {
+        assert_eq!(Corner::default(), Corner::typical());
+    }
+}

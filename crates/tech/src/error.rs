@@ -1,0 +1,57 @@
+//! Error type for technology-model validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a technology component is constructed from
+/// physically meaningless parameters.
+///
+/// All constructors in this crate validate their inputs (C-VALIDATE): a
+/// negative wire width or a zero-drive buffer would silently corrupt every
+/// downstream analysis, so they are rejected eagerly with a description of
+/// the offending parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TechError {
+    what: String,
+}
+
+impl TechError {
+    /// Creates an error describing the invalid parameter.
+    pub fn new(what: impl Into<String>) -> Self {
+        TechError { what: what.into() }
+    }
+
+    /// Human-readable description of the invalid parameter.
+    pub fn what(&self) -> &str {
+        &self.what
+    }
+}
+
+impl fmt::Display for TechError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid technology parameter: {}", self.what)
+    }
+}
+
+impl Error for TechError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_description() {
+        let e = TechError::new("width must be positive");
+        assert_eq!(
+            e.to_string(),
+            "invalid technology parameter: width must be positive"
+        );
+        assert_eq!(e.what(), "width must be positive");
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<TechError>();
+    }
+}

@@ -1,0 +1,401 @@
+//! Non-default routing rules.
+
+use crate::TechError;
+use std::fmt;
+
+/// A routing rule: width and spacing multipliers relative to the layer's
+/// minimum width/spacing.
+///
+/// The default rule is `1W1S` (multipliers 1×/1×); classic clock NDRs are
+/// `2W2S` (double width, double spacing) and the intermediate points `1W2S`
+/// and `2W1S`. The smart-NDR optimizer chooses one rule *per tree edge* from
+/// a [`RuleSet`].
+///
+/// # Examples
+///
+/// ```
+/// use snr_tech::Rule;
+///
+/// let ndr = Rule::new(2.0, 2.0)?;
+/// assert_eq!(ndr.to_string(), "2W2S");
+/// assert!(ndr.track_cost() > Rule::DEFAULT.track_cost());
+/// # Ok::<(), snr_tech::TechError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rule {
+    width_mult: f64,
+    spacing_mult: f64,
+    shielded: bool,
+}
+
+impl Rule {
+    /// The default routing rule: minimum width, minimum spacing (`1W1S`).
+    pub const DEFAULT: Rule = Rule {
+        width_mult: 1.0,
+        spacing_mult: 1.0,
+        shielded: false,
+    };
+
+    /// Creates a rule with the given width and spacing multipliers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError`] if either multiplier is below 1.0 (sub-minimum
+    /// geometry violates design rules) or above 8.0 (no practical NDR is
+    /// that wide), or not finite.
+    pub fn new(width_mult: f64, spacing_mult: f64) -> Result<Self, TechError> {
+        Rule::build(width_mult, spacing_mult, false)
+    }
+
+    /// Creates a *shielded* rule: grounded shield wires run on both sides
+    /// at the rule's spacing.
+    ///
+    /// Shielding does not change the capacitance magnitude (the coupling
+    /// term now terminates on the quiet shields), but it removes the Miller
+    /// amplification switching neighbours inflict on *effective* (delay)
+    /// capacitance — see [`crate::Layer::unit_c_delay`]. The price is two
+    /// extra routing tracks.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`Rule::new`].
+    pub fn new_shielded(width_mult: f64, spacing_mult: f64) -> Result<Self, TechError> {
+        Rule::build(width_mult, spacing_mult, true)
+    }
+
+    fn build(width_mult: f64, spacing_mult: f64, shielded: bool) -> Result<Self, TechError> {
+        for (name, m) in [("width", width_mult), ("spacing", spacing_mult)] {
+            if !m.is_finite() || !(1.0..=8.0).contains(&m) {
+                return Err(TechError::new(format!(
+                    "rule {name} multiplier {m} outside [1, 8]"
+                )));
+            }
+        }
+        Ok(Rule {
+            width_mult,
+            spacing_mult,
+            shielded,
+        })
+    }
+
+    /// Whether grounded shield wires accompany this rule.
+    pub fn is_shielded(&self) -> bool {
+        self.shielded
+    }
+
+    /// Width multiplier relative to layer minimum width.
+    pub fn width_mult(&self) -> f64 {
+        self.width_mult
+    }
+
+    /// Spacing multiplier relative to layer minimum spacing.
+    pub fn spacing_mult(&self) -> f64 {
+        self.spacing_mult
+    }
+
+    /// Routing-resource cost per unit length, normalized so the default rule
+    /// costs 1.0.
+    ///
+    /// A wire with rule `(kw, ks)` occupies `kw·w₀ + ks·s₀` of track pitch
+    /// versus `w₀ + s₀` for a default wire; the model uses `w₀ = s₀`, giving
+    /// `(kw + ks) / 2`.
+    pub fn track_cost(&self) -> f64 {
+        (self.width_mult + self.spacing_mult) / 2.0 + if self.shielded { 1.0 } else { 0.0 }
+    }
+
+    /// Whether this rule is at least as wide, at least as spaced and at
+    /// least as shielded as `other` — i.e. electrically no worse in R,
+    /// coupling and noise.
+    pub fn dominates(&self, other: &Rule) -> bool {
+        self.width_mult >= other.width_mult
+            && self.spacing_mult >= other.spacing_mult
+            && (self.shielded || !other.shielded)
+    }
+}
+
+impl Default for Rule {
+    fn default() -> Self {
+        Rule::DEFAULT
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let show = |m: f64| {
+            if (m - m.round()).abs() < 1e-9 {
+                format!("{}", m.round() as i64)
+            } else {
+                format!("{m:.1}")
+            }
+        };
+        write!(
+            f,
+            "{}W{}S{}",
+            show(self.width_mult),
+            show(self.spacing_mult),
+            if self.shielded { "+SH" } else { "" }
+        )
+    }
+}
+
+/// Index of a rule within a [`RuleSet`].
+///
+/// Rule ids order the set from cheapest (`RuleId(0)` = default) to most
+/// conservative, which the optimizers exploit when enumerating downgrades.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RuleId(pub usize);
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// An ordered menu of routing rules available to the optimizer.
+///
+/// Rules are sorted by [`Rule::track_cost`] ascending, with the default rule
+/// guaranteed to be first. The conventional clock-NDR menu is provided by
+/// [`RuleSet::standard`].
+///
+/// # Examples
+///
+/// ```
+/// use snr_tech::RuleSet;
+///
+/// let rules = RuleSet::standard();
+/// assert_eq!(rules.len(), 4); // 1W1S, 2W1S, 1W2S, 2W2S
+/// assert_eq!(rules.default_id(), rules.iter().next().unwrap().0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleSet {
+    rules: Vec<Rule>,
+}
+
+impl RuleSet {
+    /// Builds a rule set from `rules`, adding the default rule if missing
+    /// and sorting by track cost (ties broken by width multiplier).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError`] if two rules are duplicates.
+    pub fn new(rules: Vec<Rule>) -> Result<Self, TechError> {
+        let mut all = rules;
+        if !all.contains(&Rule::DEFAULT) {
+            all.push(Rule::DEFAULT);
+        }
+        all.sort_by(|a, b| {
+            (a.track_cost(), a.width_mult())
+                .partial_cmp(&(b.track_cost(), b.width_mult()))
+                .expect("rule multipliers are finite")
+        });
+        for w in all.windows(2) {
+            if w[0] == w[1] {
+                return Err(TechError::new(format!("duplicate rule {}", w[0])));
+            }
+        }
+        Ok(RuleSet { rules: all })
+    }
+
+    /// The conventional clock-NDR menu: `1W1S`, `2W1S`, `1W2S`, `2W2S`.
+    pub fn standard() -> Self {
+        RuleSet::new(vec![
+            Rule::new(2.0, 1.0).expect("valid"),
+            Rule::new(1.0, 2.0).expect("valid"),
+            Rule::new(2.0, 2.0).expect("valid"),
+        ])
+        .expect("standard rules are distinct")
+    }
+
+    /// An extended menu adding `3W3S` for aggressive shielding-class rules.
+    pub fn extended() -> Self {
+        RuleSet::new(vec![
+            Rule::new(2.0, 1.0).expect("valid"),
+            Rule::new(1.0, 2.0).expect("valid"),
+            Rule::new(2.0, 2.0).expect("valid"),
+            Rule::new(3.0, 3.0).expect("valid"),
+        ])
+        .expect("extended rules are distinct")
+    }
+
+    /// The standard menu plus the two classic shielded rules (`1W1S+SH`,
+    /// `2W1S+SH`): shields buy Miller-free delay at track cost instead of
+    /// capacitance cost.
+    pub fn with_shielding() -> Self {
+        RuleSet::new(vec![
+            Rule::new(2.0, 1.0).expect("valid"),
+            Rule::new(1.0, 2.0).expect("valid"),
+            Rule::new(2.0, 2.0).expect("valid"),
+            Rule::new_shielded(1.0, 1.0).expect("valid"),
+            Rule::new_shielded(2.0, 1.0).expect("valid"),
+        ])
+        .expect("shielded rules are distinct")
+    }
+
+    /// Number of rules in the set.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the set is empty. Never true: the default rule is always
+    /// present.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// The rule with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this set.
+    pub fn rule(&self, id: RuleId) -> Rule {
+        self.rules[id.0]
+    }
+
+    /// Looks up a rule by id, returning `None` when out of range.
+    pub fn get(&self, id: RuleId) -> Option<Rule> {
+        self.rules.get(id.0).copied()
+    }
+
+    /// Id of the default (`1W1S`) rule — always the cheapest entry.
+    pub fn default_id(&self) -> RuleId {
+        RuleId(0)
+    }
+
+    /// Id of the most conservative (highest track cost) rule.
+    pub fn most_conservative_id(&self) -> RuleId {
+        RuleId(self.rules.len() - 1)
+    }
+
+    /// Iterates over `(id, rule)` pairs in cost order.
+    pub fn iter(&self) -> impl Iterator<Item = (RuleId, Rule)> + '_ {
+        self.rules.iter().enumerate().map(|(i, r)| (RuleId(i), *r))
+    }
+
+    /// Ids of rules strictly cheaper than `id`, cheapest first — the
+    /// downgrade candidates for an edge currently assigned `id`.
+    pub fn cheaper_than(&self, id: RuleId) -> impl Iterator<Item = RuleId> + '_ {
+        (0..id.0.min(self.rules.len())).map(RuleId)
+    }
+
+    /// Ids of rules strictly more expensive than `id`, cheapest first — the
+    /// upgrade candidates.
+    pub fn pricier_than(&self, id: RuleId) -> impl Iterator<Item = RuleId> + '_ {
+        (id.0 + 1..self.rules.len()).map(RuleId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_display() {
+        assert_eq!(Rule::DEFAULT.to_string(), "1W1S");
+        assert_eq!(Rule::new(2.0, 2.0).unwrap().to_string(), "2W2S");
+        assert_eq!(Rule::new(1.5, 2.0).unwrap().to_string(), "1.5W2S");
+    }
+
+    #[test]
+    fn rule_rejects_bad_multipliers() {
+        assert!(Rule::new(0.5, 1.0).is_err());
+        assert!(Rule::new(1.0, 0.0).is_err());
+        assert!(Rule::new(9.0, 1.0).is_err());
+        assert!(Rule::new(f64::NAN, 1.0).is_err());
+        assert!(Rule::new(1.0, 1.0).is_ok());
+        assert!(Rule::new(8.0, 8.0).is_ok());
+    }
+
+    #[test]
+    fn track_cost_orders_rules() {
+        let d = Rule::DEFAULT;
+        let w2 = Rule::new(2.0, 1.0).unwrap();
+        let s2 = Rule::new(1.0, 2.0).unwrap();
+        let ww = Rule::new(2.0, 2.0).unwrap();
+        assert_eq!(d.track_cost(), 1.0);
+        assert_eq!(w2.track_cost(), 1.5);
+        assert_eq!(s2.track_cost(), 1.5);
+        assert_eq!(ww.track_cost(), 2.0);
+    }
+
+    #[test]
+    fn dominance_partial_order() {
+        let d = Rule::DEFAULT;
+        let w2 = Rule::new(2.0, 1.0).unwrap();
+        let s2 = Rule::new(1.0, 2.0).unwrap();
+        let ww = Rule::new(2.0, 2.0).unwrap();
+        assert!(ww.dominates(&d) && ww.dominates(&w2) && ww.dominates(&s2));
+        assert!(!w2.dominates(&s2) && !s2.dominates(&w2));
+        assert!(d.dominates(&d));
+    }
+
+    #[test]
+    fn standard_set_order_and_ids() {
+        let rs = RuleSet::standard();
+        assert_eq!(rs.len(), 4);
+        assert_eq!(rs.rule(rs.default_id()), Rule::DEFAULT);
+        assert_eq!(
+            rs.rule(rs.most_conservative_id()),
+            Rule::new(2.0, 2.0).unwrap()
+        );
+        // Cost is non-decreasing over ids.
+        let costs: Vec<f64> = rs.iter().map(|(_, r)| r.track_cost()).collect();
+        assert!(costs.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn default_rule_always_added() {
+        let rs = RuleSet::new(vec![Rule::new(2.0, 2.0).unwrap()]).unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.rule(RuleId(0)), Rule::DEFAULT);
+    }
+
+    #[test]
+    fn duplicate_rules_rejected() {
+        let r = Rule::new(2.0, 2.0).unwrap();
+        assert!(RuleSet::new(vec![r, r]).is_err());
+    }
+
+    #[test]
+    fn cheaper_and_pricier_enumerations() {
+        let rs = RuleSet::standard();
+        let mid = RuleId(2);
+        let cheaper: Vec<_> = rs.cheaper_than(mid).collect();
+        assert_eq!(cheaper, vec![RuleId(0), RuleId(1)]);
+        let pricier: Vec<_> = rs.pricier_than(mid).collect();
+        assert_eq!(pricier, vec![RuleId(3)]);
+        assert_eq!(rs.pricier_than(rs.most_conservative_id()).count(), 0);
+        assert_eq!(rs.cheaper_than(rs.default_id()).count(), 0);
+    }
+
+    #[test]
+    fn shielded_rules_display_and_cost() {
+        let sh = Rule::new_shielded(1.0, 1.0).unwrap();
+        assert_eq!(sh.to_string(), "1W1S+SH");
+        assert!(sh.is_shielded());
+        assert_eq!(sh.track_cost(), 2.0); // 1 pitch of wire + 2 half-pitch shields
+        assert!(sh.dominates(&Rule::DEFAULT));
+        assert!(!Rule::DEFAULT.dominates(&sh));
+        // Same multipliers, different shielding: distinct rules.
+        assert_ne!(sh, Rule::DEFAULT);
+    }
+
+    #[test]
+    fn shielded_menu_sorted_and_complete() {
+        let rs = RuleSet::with_shielding();
+        assert_eq!(rs.len(), 6);
+        assert_eq!(rs.rule(rs.default_id()), Rule::DEFAULT);
+        let costs: Vec<f64> = rs.iter().map(|(_, r)| r.track_cost()).collect();
+        assert!(costs.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(rs.iter().filter(|(_, r)| r.is_shielded()).count(), 2);
+    }
+
+    #[test]
+    fn extended_set_has_3w3s_last() {
+        let rs = RuleSet::extended();
+        assert_eq!(rs.len(), 5);
+        assert_eq!(
+            rs.rule(rs.most_conservative_id()),
+            Rule::new(3.0, 3.0).unwrap()
+        );
+    }
+}

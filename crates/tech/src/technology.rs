@@ -1,0 +1,275 @@
+//! The bundled technology: layers, rules, buffers and global parameters.
+
+use crate::{BufferLibrary, Layer, Rule, RuleSet, TechError};
+use std::fmt;
+
+/// A complete technology description, the single handle passed to CTS,
+/// timing, power and the NDR optimizer.
+///
+/// Construct one of the calibrated presets ([`Technology::n45`],
+/// [`Technology::n32`]) or assemble a custom technology with
+/// [`Technology::new`]. Presets are synthetic but ITRS-class: their absolute
+/// values are representative and, more importantly, their *scaling* with NDR
+/// width/spacing multipliers follows the physics described in [`Layer`].
+///
+/// # Examples
+///
+/// ```
+/// use snr_tech::Technology;
+///
+/// let tech = Technology::n45();
+/// assert_eq!(tech.name(), "N45");
+/// assert!(tech.vdd_v() > 0.0);
+/// assert_eq!(tech.rules().len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Technology {
+    name: String,
+    layers: Vec<Layer>,
+    clock_layer: usize,
+    rules: RuleSet,
+    buffers: BufferLibrary,
+    vdd_v: f64,
+}
+
+impl Technology {
+    /// Assembles a technology from parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError`] when `layers` is empty, `clock_layer` is out of
+    /// range, or `vdd_v` is non-positive.
+    pub fn new(
+        name: impl Into<String>,
+        layers: Vec<Layer>,
+        clock_layer: usize,
+        rules: RuleSet,
+        buffers: BufferLibrary,
+        vdd_v: f64,
+    ) -> Result<Self, TechError> {
+        if layers.is_empty() {
+            return Err(TechError::new("technology needs at least one layer"));
+        }
+        if clock_layer >= layers.len() {
+            return Err(TechError::new(format!(
+                "clock layer index {clock_layer} out of range for {} layers",
+                layers.len()
+            )));
+        }
+        if !vdd_v.is_finite() || vdd_v <= 0.0 {
+            return Err(TechError::new(format!("vdd {vdd_v} must be positive")));
+        }
+        Ok(Technology {
+            name: name.into(),
+            layers,
+            clock_layer,
+            rules,
+            buffers,
+            vdd_v,
+        })
+    }
+
+    /// The 45 nm-class preset.
+    ///
+    /// Clock routing on an intermediate layer (M5-like: 70 nm half-pitch,
+    /// ≈2.2 Ω/µm, ≈0.20 fF/µm at default rule), a five-size buffer family and
+    /// the standard four-rule NDR menu.
+    pub fn n45() -> Self {
+        let layers = vec![
+            Layer::new("M2", 0.065, 0.065, 0.0042, 0.052, 0.055, 0.085).expect("valid M2"),
+            Layer::new("M5", 0.070, 0.070, 0.00224, 0.056, 0.060, 0.080).expect("valid M5"),
+            Layer::new("M8", 0.140, 0.140, 0.00065, 0.090, 0.055, 0.065).expect("valid M8"),
+        ];
+        let buffers = BufferLibrary::scaled_family(
+            1.0,  // unit size
+            1.4,  // Cin of X1, fF
+            2.4,  // Rdrv of X1, kΩ
+            20.0, // intrinsic delay, ps
+            0.55, // internal energy of X1, fJ/cycle
+            0.01, // leakage of X1, µW
+            &[2.0, 4.0, 8.0, 16.0, 32.0],
+        )
+        .expect("valid 45nm buffer family");
+        Technology::new("N45", layers, 1, RuleSet::standard(), buffers, 1.1)
+            .expect("n45 preset is valid")
+    }
+
+    /// The 32 nm-class preset: tighter pitch, higher unit resistance and
+    /// coupling fraction — NDR savings are larger here, which experiments
+    /// use to show the technology trend.
+    pub fn n32() -> Self {
+        let layers = vec![
+            Layer::new("M2", 0.050, 0.050, 0.0078, 0.048, 0.052, 0.098).expect("valid M2"),
+            Layer::new("M5", 0.056, 0.056, 0.0039, 0.050, 0.055, 0.095).expect("valid M5"),
+            Layer::new("M8", 0.112, 0.112, 0.0011, 0.082, 0.052, 0.075).expect("valid M8"),
+        ];
+        let buffers = BufferLibrary::scaled_family(
+            1.0, 1.1, 2.8, 16.0, 0.40, 0.015,
+            &[2.0, 4.0, 8.0, 16.0, 32.0],
+        )
+        .expect("valid 32nm buffer family");
+        Technology::new("N32", layers, 1, RuleSet::standard(), buffers, 1.0)
+            .expect("n32 preset is valid")
+    }
+
+    /// Technology name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All routing layers, bottom-up.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// The layer clock trees are routed on.
+    pub fn clock_layer(&self) -> &Layer {
+        &self.layers[self.clock_layer]
+    }
+
+    /// The NDR rule menu.
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// The clock-buffer library.
+    pub fn buffers(&self) -> &BufferLibrary {
+        &self.buffers
+    }
+
+    /// Nominal supply voltage in volts.
+    pub fn vdd_v(&self) -> f64 {
+        self.vdd_v
+    }
+
+    /// Returns a copy of this technology with a different rule menu
+    /// (e.g. [`RuleSet::extended`] for ablation studies).
+    pub fn with_rules(&self, rules: RuleSet) -> Self {
+        Technology {
+            rules,
+            ..self.clone()
+        }
+    }
+
+    /// Convenience: unit resistance (kΩ/µm) on the clock layer for `rule`.
+    pub fn clock_unit_r(&self, rule: Rule) -> f64 {
+        self.clock_layer().unit_r(rule)
+    }
+
+    /// Convenience: unit switching capacitance (fF/µm) on the clock layer
+    /// for `rule` — the power view.
+    pub fn clock_unit_c(&self, rule: Rule) -> f64 {
+        self.clock_layer().unit_c(rule)
+    }
+
+    /// Convenience: unit effective capacitance (fF/µm) on the clock layer
+    /// for `rule` — the delay/slew view (Miller on unshielded coupling).
+    pub fn clock_unit_c_delay(&self, rule: Rule) -> f64 {
+        self.clock_layer().unit_c_delay(rule)
+    }
+}
+
+impl fmt::Display for Technology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} layers, clock on {}, {} rules, {} buffers, VDD {:.2}V)",
+            self.name,
+            self.layers.len(),
+            self.clock_layer().name(),
+            self.rules.len(),
+            self.buffers.len(),
+            self.vdd_v
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RuleId;
+
+    #[test]
+    fn presets_construct() {
+        let t45 = Technology::n45();
+        let t32 = Technology::n32();
+        assert_eq!(t45.clock_layer().name(), "M5");
+        assert_eq!(t32.clock_layer().name(), "M5");
+        assert_eq!(t45.rules().len(), 4);
+    }
+
+    #[test]
+    fn n32_is_more_resistive_than_n45() {
+        let r45 = Technology::n45().clock_unit_r(Rule::DEFAULT);
+        let r32 = Technology::n32().clock_unit_r(Rule::DEFAULT);
+        assert!(r32 > r45, "scaling raises unit resistance");
+    }
+
+    #[test]
+    fn n32_has_larger_coupling_fraction() {
+        // Coupling is the NDR-removable part of capacitance; its share must
+        // grow with scaling for the 32nm experiments to show larger savings.
+        let frac = |t: &Technology| {
+            let c1 = t.clock_unit_c(Rule::DEFAULT);
+            let c8s = t.clock_unit_c(Rule::new(1.0, 8.0).unwrap());
+            (c1 - c8s) / c1
+        };
+        assert!(frac(&Technology::n32()) > frac(&Technology::n45()));
+    }
+
+    #[test]
+    fn with_rules_swaps_only_rules() {
+        let t = Technology::n45();
+        let t2 = t.with_rules(RuleSet::extended());
+        assert_eq!(t2.rules().len(), 5);
+        assert_eq!(t2.name(), t.name());
+        assert_eq!(t2.vdd_v(), t.vdd_v());
+    }
+
+    #[test]
+    fn validation() {
+        let t = Technology::n45();
+        assert!(Technology::new(
+            "X",
+            vec![],
+            0,
+            RuleSet::standard(),
+            t.buffers().clone(),
+            1.0
+        )
+        .is_err());
+        assert!(Technology::new(
+            "X",
+            t.layers().to_vec(),
+            99,
+            RuleSet::standard(),
+            t.buffers().clone(),
+            1.0
+        )
+        .is_err());
+        assert!(Technology::new(
+            "X",
+            t.layers().to_vec(),
+            0,
+            RuleSet::standard(),
+            t.buffers().clone(),
+            -1.0
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rule_menu_ids_resolve() {
+        let t = Technology::n45();
+        for (id, rule) in t.rules().iter() {
+            assert_eq!(t.rules().rule(id), rule);
+        }
+        assert_eq!(t.rules().get(RuleId(99)), None);
+    }
+
+    #[test]
+    fn display_mentions_everything() {
+        let s = Technology::n45().to_string();
+        assert!(s.contains("N45") && s.contains("M5"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for the technology models.
+
+use proptest::prelude::*;
+use snr_tech::{Rule, RuleSet, Technology};
+
+fn arb_mult() -> impl Strategy<Value = f64> {
+    1.0f64..=8.0
+}
+
+proptest! {
+    /// Resistance must fall strictly with width, independent of spacing.
+    #[test]
+    fn unit_r_strictly_decreasing_in_width(kw1 in arb_mult(), kw2 in arb_mult(), ks in arb_mult()) {
+        prop_assume!(kw1 < kw2 - 1e-6);
+        let layer = Technology::n45().clock_layer().clone();
+        let r1 = layer.unit_r(Rule::new(kw1, ks).unwrap());
+        let r2 = layer.unit_r(Rule::new(kw2, ks).unwrap());
+        prop_assert!(r2 < r1);
+    }
+
+    /// Capacitance must rise strictly with width and fall strictly with
+    /// spacing.
+    #[test]
+    fn unit_c_monotone(kw in arb_mult(), ks1 in arb_mult(), ks2 in arb_mult()) {
+        prop_assume!(ks1 < ks2 - 1e-6);
+        let layer = Technology::n45().clock_layer().clone();
+        let c_narrow = layer.unit_c(Rule::new(kw, ks1).unwrap());
+        let c_spaced = layer.unit_c(Rule::new(kw, ks2).unwrap());
+        prop_assert!(c_spaced < c_narrow);
+
+        let c_wide = layer.unit_c(Rule::new((kw + 1.0).min(8.0), ks1).unwrap());
+        if kw + 1.0 <= 8.0 {
+            prop_assert!(c_wide > c_narrow);
+        }
+    }
+
+    /// A dominating rule never has a worse RC product: widening and spacing
+    /// both help distributed delay.
+    #[test]
+    fn dominating_rule_never_slower(kw in 1.0f64..=4.0, ks in 1.0f64..=4.0) {
+        let layer = Technology::n45().clock_layer().clone();
+        let base = Rule::new(kw, ks).unwrap();
+        let dom = Rule::new(kw * 2.0, ks * 2.0).unwrap();
+        prop_assert!(dom.dominates(&base));
+        prop_assert!(layer.unit_rc(dom) <= layer.unit_rc(base) + 1e-12);
+    }
+
+    /// Track cost is monotone under dominance.
+    #[test]
+    fn track_cost_monotone_under_dominance(kw in arb_mult(), ks in arb_mult(),
+                                           dw in 0.0f64..2.0, ds in 0.0f64..2.0) {
+        let base = Rule::new(kw, ks).unwrap();
+        let kw2 = (kw + dw).min(8.0);
+        let ks2 = (ks + ds).min(8.0);
+        let bigger = Rule::new(kw2, ks2).unwrap();
+        prop_assert!(bigger.track_cost() >= base.track_cost() - 1e-12);
+    }
+
+    /// Rule sets sort by cost with the default first, and id lookups are
+    /// consistent.
+    #[test]
+    fn rule_set_is_sorted_and_consistent(extra_w in arb_mult(), extra_s in arb_mult()) {
+        let extra = Rule::new(extra_w, extra_s).unwrap();
+        if let Ok(rs) = RuleSet::new(vec![extra, Rule::new(2.0, 2.0).unwrap()]) {
+            let costs: Vec<f64> = rs.iter().map(|(_, r)| r.track_cost()).collect();
+            prop_assert!(costs.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+            prop_assert_eq!(rs.rule(rs.default_id()), Rule::DEFAULT);
+            for (id, rule) in rs.iter() {
+                prop_assert_eq!(rs.get(id), Some(rule));
+            }
+        }
+    }
+
+    /// Buffer delay and output slew are monotone in load for every cell.
+    #[test]
+    fn buffer_monotone_in_load(load1 in 0.0f64..500.0, load2 in 0.0f64..500.0) {
+        prop_assume!(load1 < load2);
+        for cell in Technology::n45().buffers().cells() {
+            prop_assert!(cell.delay_ps(load1) <= cell.delay_ps(load2));
+            prop_assert!(cell.output_slew_ps(load1) <= cell.output_slew_ps(load2));
+        }
+    }
+
+    /// Larger buffers are never slower for the same load.
+    #[test]
+    fn bigger_buffer_never_slower(load in 0.0f64..500.0) {
+        let tech = Technology::n45();
+        let cells = tech.buffers().cells();
+        for pair in cells.windows(2) {
+            prop_assert!(pair[1].delay_ps(load) <= pair[0].delay_ps(load) + 1e-12);
+        }
+    }
+}

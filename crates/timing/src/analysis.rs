@@ -1,0 +1,541 @@
+//! The RC-tree analyzer.
+
+use crate::TimingReport;
+use snr_cts::{Assignment, ClockTree, NodeId, NodeKind};
+use snr_tech::Technology;
+
+const LN9: f64 = 2.197_224_577_336_219_6;
+const LN2: f64 = std::f64::consts::LN_2;
+
+/// Which wire-delay metric arrival times use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DelayMetric {
+    /// First-moment (Elmore) delay: pessimistic but monotone in every edge
+    /// parasitic — the metric the optimizer constrains.
+    #[default]
+    Elmore,
+    /// Two-moment D2M metric (`ln2 · m1² / √m2`): closer to SPICE for far
+    /// sinks, used for reporting.
+    D2m,
+}
+
+/// Analysis configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AnalysisOptions {
+    /// Wire-delay metric for arrival times.
+    pub metric: DelayMetric,
+}
+
+/// A reusable analyzer holding scratch buffers.
+///
+/// The NDR optimizer evaluates thousands of candidate assignments on the
+/// same tree; `Analyzer` keeps the per-node vectors allocated between runs.
+/// For one-off analyses use the free function [`analyze`].
+///
+/// # Examples
+///
+/// ```
+/// use snr_netlist::BenchmarkSpec;
+/// use snr_tech::Technology;
+/// use snr_cts::{synthesize, Assignment, CtsOptions};
+/// use snr_timing::{Analyzer, AnalysisOptions};
+///
+/// let design = BenchmarkSpec::new("demo", 32).seed(1).build()?;
+/// let tech = Technology::n45();
+/// let tree = synthesize(&design, &tech, &CtsOptions::default())?;
+/// let asg = Assignment::uniform(&tree, tech.rules().default_id());
+/// let mut analyzer = Analyzer::new();
+/// let report = analyzer.run(&tree, &tech, &asg, &AnalysisOptions::default());
+/// assert!(report.max_slew_ps() > 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct Analyzer {
+    load: Vec<f64>,
+    m2b: Vec<f64>,
+    wire_m1: Vec<f64>,
+    wire_m2: Vec<f64>,
+    arrival: Vec<f64>,
+    slew: Vec<f64>,
+    src_slew: Vec<f64>,
+    edge_r: Vec<f64>,
+    edge_c: Vec<f64>,
+}
+
+impl Analyzer {
+    /// Creates an analyzer with empty scratch buffers.
+    pub fn new() -> Self {
+        Analyzer::default()
+    }
+
+    /// Analyzes `tree` under the rule `assignment`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment's length does not match the tree, or if it
+    /// references rules outside the technology's rule set.
+    pub fn run(
+        &mut self,
+        tree: &ClockTree,
+        tech: &Technology,
+        assignment: &Assignment,
+        opts: &AnalysisOptions,
+    ) -> TimingReport {
+        self.run_scaled(tree, tech, assignment, None, opts)
+    }
+
+    /// Analyzes `tree` with per-edge parasitic scale factors — the entry
+    /// point of the Monte-Carlo variation engine, which perturbs each
+    /// edge's R and C around the assignment's nominal values.
+    ///
+    /// `scales`, when present, is `(r_scale, c_scale)`: per-node vectors
+    /// (indexed like edges, by child node id) multiplying the nominal edge
+    /// resistance and capacitance.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Analyzer::run`], or when a
+    /// scale vector's length does not match the tree.
+    pub fn run_scaled(
+        &mut self,
+        tree: &ClockTree,
+        tech: &Technology,
+        assignment: &Assignment,
+        scales: Option<(&[f64], &[f64])>,
+        opts: &AnalysisOptions,
+    ) -> TimingReport {
+        assert_eq!(
+            assignment.len(),
+            tree.len(),
+            "assignment built for a different tree"
+        );
+        let n = tree.len();
+        let layer = tech.clock_layer();
+        let rules = tech.rules();
+        let cells = tech.buffers().cells();
+
+        for v in [
+            &mut self.load,
+            &mut self.m2b,
+            &mut self.wire_m1,
+            &mut self.wire_m2,
+            &mut self.arrival,
+            &mut self.slew,
+            &mut self.src_slew,
+            &mut self.edge_r,
+            &mut self.edge_c,
+        ] {
+            v.clear();
+            v.resize(n, 0.0);
+        }
+
+        // Per-edge parasitics under the assignment.
+        if let Some((rs, cs)) = scales {
+            assert_eq!(rs.len(), n, "r-scale vector built for a different tree");
+            assert_eq!(cs.len(), n, "c-scale vector built for a different tree");
+        }
+        for e in tree.edges() {
+            let rule = rules
+                .get(assignment.rule(e))
+                .expect("assignment references a rule outside the technology rule set");
+            let len_um = tree.node(e).edge_len_nm() as f64 / 1_000.0;
+            let (rsc, csc) = scales.map_or((1.0, 1.0), |(rs, cs)| (rs[e.0], cs[e.0]));
+            self.edge_r[e.0] = layer.unit_r(rule) * len_um * rsc;
+            // Delay/slew see the *effective* capacitance (Miller-amplified
+            // coupling on unshielded rules); power uses the switching view.
+            self.edge_c[e.0] = layer.unit_c_delay(rule) * len_um * csc;
+        }
+
+        // Pass 1 (postorder): stage-local downstream load.
+        for id in tree.postorder() {
+            let node = tree.node(id);
+            let mut acc = match node.kind() {
+                NodeKind::Sink { cap_ff, .. } => cap_ff,
+                _ => 0.0,
+            };
+            for &ch in node.children() {
+                acc += self.edge_c[ch.0] + self.in_stage_cap(tree, cells, ch);
+            }
+            self.load[id.0] = acc;
+        }
+
+        // Pass 2 (topo): within-stage first moments + arrivals + slews.
+        let root = tree.root();
+        let root_node = tree.node(root);
+        match root_node.kind() {
+            NodeKind::Buffer { cell } => {
+                let c = &cells[cell];
+                self.arrival[root.0] = c.delay_ps(self.load[root.0]);
+                self.src_slew[root.0] = c.output_slew_ps(self.load[root.0]);
+                self.slew[root.0] = self.src_slew[root.0];
+            }
+            _ => {
+                self.arrival[root.0] = 0.0;
+                // Unbuffered tree: assume an ideal fast source.
+                self.src_slew[root.0] = 1.0;
+                self.slew[root.0] = 1.0;
+            }
+        }
+
+        for id in tree.topo_order() {
+            let node = tree.node(id);
+            let Some(p) = node.parent() else { continue };
+            let downstream = self.in_stage_cap(tree, cells, id);
+            let step = self.edge_r[id.0] * (self.edge_c[id.0] / 2.0 + downstream);
+            // Wire delay accumulates from the stage source: a buffered (or
+            // root) parent starts a fresh stage.
+            let parent_is_source =
+                tree.node(p).kind().is_buffer() || tree.node(p).parent().is_none();
+            self.wire_m1[id.0] = if parent_is_source {
+                step
+            } else {
+                self.wire_m1[p.0] + step
+            };
+
+            let src_slew = self.src_slew[p.0];
+            self.src_slew[id.0] = src_slew;
+            let wire_slew = LN9 * self.wire_m1[id.0];
+            self.slew[id.0] = (src_slew * src_slew + wire_slew * wire_slew).sqrt();
+
+            self.arrival[id.0] = self.arrival[p.0] + step;
+
+            if let NodeKind::Buffer { cell } = node.kind() {
+                let c = &cells[cell];
+                self.arrival[id.0] += c.delay_ps(self.load[id.0]);
+                self.src_slew[id.0] = c.output_slew_ps(self.load[id.0]);
+            }
+        }
+
+        // Optional D2M refinement: recompute arrivals with two-moment wire
+        // delays per stage.
+        if opts.metric == DelayMetric::D2m {
+            self.refine_d2m(tree, cells);
+        }
+
+        // Aggregate.
+        let sink_nodes = tree.sink_nodes();
+        let mut latency = f64::MIN;
+        let mut min_arrival = f64::MAX;
+        for s in &sink_nodes {
+            latency = latency.max(self.arrival[s.0]);
+            min_arrival = min_arrival.min(self.arrival[s.0]);
+        }
+        if sink_nodes.is_empty() {
+            latency = 0.0;
+            min_arrival = 0.0;
+        }
+        let mut max_slew = 0.0f64;
+        for node in tree.nodes() {
+            let checked = node.kind().is_sink() || node.kind().is_buffer();
+            if checked && node.parent().is_some() {
+                max_slew = max_slew.max(self.slew[node.id().0]);
+            }
+        }
+        if tree.len() == 1 {
+            max_slew = self.slew[root.0];
+        }
+
+        TimingReport {
+            arrival_ps: self.arrival.clone(),
+            slew_ps: self.slew.clone(),
+            stage_load_ff: self.load.clone(),
+            sink_nodes,
+            latency_ps: latency,
+            min_arrival_ps: min_arrival,
+            max_slew_ps: max_slew,
+        }
+    }
+
+    /// Capacitance node `id` presents to its *parent's* stage: buffers hide
+    /// their subtree behind their input pin.
+    fn in_stage_cap(
+        &self,
+        tree: &ClockTree,
+        cells: &[snr_tech::BufferCell],
+        id: NodeId,
+    ) -> f64 {
+        match tree.node(id).kind() {
+            NodeKind::Buffer { cell } => cells[cell].input_cap_ff(),
+            _ => self.load[id.0],
+        }
+    }
+
+    /// Replaces within-stage Elmore wire delays in `arrival` with D2M
+    /// (`ln2 · m1² / √m2`) delays.
+    ///
+    /// The second moment of an RC tree node is
+    /// `m2(v) = Σᵢ R_shared(v,i) · Cᵢ · m1(i)`, computed exactly like Elmore
+    /// with the capacitances weighted by their own first moments.
+    fn refine_d2m(&mut self, tree: &ClockTree, cells: &[snr_tech::BufferCell]) {
+        // Pass A (postorder): B[v] = Σ_subtree-within-stage C_i · m1(i),
+        // with edge caps split half/half between endpoints.
+        for v in &mut self.m2b {
+            *v = 0.0;
+        }
+        for id in tree.postorder() {
+            let node = tree.node(id);
+            let is_buf = node.kind().is_buffer();
+            // Node-lumped capacitance within the *parent's* stage: terminal
+            // cap, the far half of the node's own edge, and (for non-buffer
+            // nodes) the near halves of the children edges. A buffer's
+            // children edges belong to the next stage.
+            let mut lump = match node.kind() {
+                NodeKind::Sink { cap_ff, .. } => cap_ff,
+                NodeKind::Buffer { cell } if node.parent().is_some() => {
+                    cells[cell].input_cap_ff()
+                }
+                _ => 0.0,
+            };
+            if node.parent().is_some() {
+                lump += self.edge_c[id.0] / 2.0;
+            }
+            if !is_buf {
+                for &ch in node.children() {
+                    lump += self.edge_c[ch.0] / 2.0;
+                }
+            }
+            let mut b = lump * self.wire_m1[id.0];
+            if !is_buf {
+                for &ch in node.children() {
+                    b += self.m2b[ch.0];
+                }
+            }
+            self.m2b[id.0] = b;
+        }
+        // Pass B (topo): m2 accumulates like Elmore with B as the load.
+        for id in tree.topo_order() {
+            let node = tree.node(id);
+            let Some(p) = node.parent() else { continue };
+            let parent_is_source =
+                tree.node(p).kind().is_buffer() || tree.node(p).parent().is_none();
+            let step = self.edge_r[id.0] * self.m2b[id.0];
+            self.wire_m2[id.0] = if parent_is_source {
+                step
+            } else {
+                self.wire_m2[p.0] + step
+            };
+        }
+        // Rebuild arrivals with D2M per stage.
+        for id in tree.topo_order() {
+            let node = tree.node(id);
+            let Some(p) = node.parent() else { continue };
+            let m1 = self.wire_m1[id.0];
+            let m2 = self.wire_m2[id.0];
+            let wire_delay = if m2 > 0.0 && m1 > 0.0 {
+                (LN2 * m1 * m1 / m2.sqrt()).min(m1)
+            } else {
+                m1
+            };
+            let parent_is_source =
+                tree.node(p).kind().is_buffer() || tree.node(p).parent().is_none();
+            let base = if parent_is_source {
+                self.arrival[p.0]
+            } else {
+                // Parent arrival minus the parent's own wire delay gives the
+                // stage-source arrival.
+                self.arrival[p.0] - self.stage_wire_delay(tree, p)
+            };
+            let mut a = base + wire_delay;
+            if let NodeKind::Buffer { cell } = node.kind() {
+                a += cells[cell].delay_ps(self.load[id.0]);
+            }
+            self.arrival[id.0] = a;
+        }
+    }
+
+    /// D2M wire delay already folded into `arrival[node]` (0 at stage
+    /// sources).
+    fn stage_wire_delay(&self, tree: &ClockTree, node: NodeId) -> f64 {
+        let m1 = self.wire_m1[node.0];
+        let m2 = self.wire_m2[node.0];
+        if tree.node(node).kind().is_buffer() {
+            return 0.0;
+        }
+        if m2 > 0.0 && m1 > 0.0 {
+            (LN2 * m1 * m1 / m2.sqrt()).min(m1)
+        } else {
+            m1
+        }
+    }
+}
+
+/// Analyzes `tree` under `assignment` with fresh scratch buffers.
+///
+/// See [`Analyzer::run`] for details and panics.
+pub fn analyze(
+    tree: &ClockTree,
+    tech: &Technology,
+    assignment: &Assignment,
+    opts: &AnalysisOptions,
+) -> TimingReport {
+    Analyzer::new().run(tree, tech, assignment, opts)
+}
+
+/// Analyzes `tree` at a process corner: every edge's R and C are scaled by
+/// the corner's global factors.
+///
+/// Buffer parameters are kept nominal — the corner model in this workspace
+/// captures interconnect shift only (the motivation for NDRs); device
+/// corners would scale the cell library orthogonally.
+///
+/// See [`Analyzer::run`] for panics.
+pub fn analyze_at_corner(
+    tree: &ClockTree,
+    tech: &Technology,
+    assignment: &Assignment,
+    corner: snr_tech::Corner,
+    opts: &AnalysisOptions,
+) -> TimingReport {
+    let n = tree.len();
+    let r = vec![corner.r_scale(); n];
+    let c = vec![corner.c_scale(); n];
+    Analyzer::new().run_scaled(tree, tech, assignment, Some((&r, &c)), opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snr_cts::{synthesize, CtsOptions};
+    use snr_netlist::BenchmarkSpec;
+
+    fn setup(n: usize) -> (ClockTree, Technology) {
+        let design = BenchmarkSpec::new("t", n).seed(4).build().unwrap();
+        let tech = Technology::n45();
+        let tree = synthesize(&design, &tech, &CtsOptions::default()).unwrap();
+        (tree, tech)
+    }
+
+    #[test]
+    fn near_zero_skew_under_construction_rule() {
+        let (tree, tech) = setup(200);
+        let asg = Assignment::uniform(&tree, tech.rules().most_conservative_id());
+        let rep = analyze(&tree, &tech, &asg, &AnalysisOptions::default());
+        // Buffered DME balances wire, buffer and repeater delays exactly;
+        // only nanometre snapping remains.
+        assert!(
+            rep.skew_ps() < 1.0,
+            "skew {} vs latency {}",
+            rep.skew_ps(),
+            rep.latency_ps()
+        );
+    }
+
+    #[test]
+    fn downgrading_all_edges_cuts_stage_loads() {
+        let (tree, tech) = setup(150);
+        let conservative = Assignment::uniform(&tree, tech.rules().most_conservative_id());
+        // 1W2S has the lowest capacitance in *both* views (switching and
+        // Miller-amplified effective); 1W1S would actually raise the
+        // effective load (its unshielded min-spacing coupling is Miller-
+        // amplified past 2W2S's halved coupling).
+        let spaced = Assignment::uniform(&tree, snr_tech::RuleId(1));
+        assert_eq!(tech.rules().rule(snr_tech::RuleId(1)).to_string(), "1W2S");
+        let o = AnalysisOptions::default();
+        let rc = analyze(&tree, &tech, &conservative, &o);
+        let rs = analyze(&tree, &tech, &spaced, &o);
+        let root = tree.root();
+        assert!(rs.stage_load_ff(root) < rc.stage_load_ff(root));
+
+        // And the Miller inversion itself, explicitly:
+        let default = Assignment::uniform(&tree, tech.rules().default_id());
+        let rd = analyze(&tree, &tech, &default, &o);
+        assert!(
+            rd.stage_load_ff(root) > rc.stage_load_ff(root),
+            "unshielded min-spacing coupling is Miller-amplified"
+        );
+    }
+
+    #[test]
+    fn default_rule_has_worse_slew() {
+        let (tree, tech) = setup(300);
+        let o = AnalysisOptions::default();
+        let conservative = analyze(
+            &tree,
+            &tech,
+            &Assignment::uniform(&tree, tech.rules().most_conservative_id()),
+            &o,
+        );
+        let cheap = analyze(
+            &tree,
+            &tech,
+            &Assignment::uniform(&tree, tech.rules().default_id()),
+            &o,
+        );
+        // Narrow wire has 2x the resistance: slews degrade.
+        assert!(cheap.max_slew_ps() > conservative.max_slew_ps());
+    }
+
+    #[test]
+    fn d2m_never_exceeds_elmore() {
+        let (tree, tech) = setup(120);
+        let asg = Assignment::uniform(&tree, tech.rules().most_conservative_id());
+        let elmore = analyze(&tree, &tech, &asg, &AnalysisOptions::default());
+        let d2m = analyze(
+            &tree,
+            &tech,
+            &asg,
+            &AnalysisOptions {
+                metric: DelayMetric::D2m,
+            },
+        );
+        assert!(d2m.latency_ps() <= elmore.latency_ps() + 1e-9);
+        assert!(d2m.latency_ps() > 0.3 * elmore.latency_ps());
+    }
+
+    #[test]
+    fn analyzer_reuse_matches_fresh() {
+        let (tree, tech) = setup(90);
+        let asg1 = Assignment::uniform(&tree, tech.rules().default_id());
+        let asg2 = Assignment::uniform(&tree, tech.rules().most_conservative_id());
+        let o = AnalysisOptions::default();
+        let mut an = Analyzer::new();
+        let a1 = an.run(&tree, &tech, &asg1, &o);
+        let a2 = an.run(&tree, &tech, &asg2, &o);
+        assert_eq!(a1, analyze(&tree, &tech, &asg1, &o));
+        assert_eq!(a2, analyze(&tree, &tech, &asg2, &o));
+    }
+
+    #[test]
+    fn single_edge_downgrade_changes_only_descendant_arrivals_monotonically() {
+        let (tree, tech) = setup(80);
+        let rules = tech.rules();
+        let mut asg = Assignment::uniform(&tree, rules.most_conservative_id());
+        let o = AnalysisOptions::default();
+        let before = analyze(&tree, &tech, &asg, &o);
+        // Pick some mid-tree edge.
+        let edge = tree
+            .edges()
+            .find(|e| !tree.node(*e).children().is_empty())
+            .unwrap();
+        asg.set(edge, rules.default_id());
+        let after = analyze(&tree, &tech, &asg, &o);
+        // The downgraded edge gets more resistive: arrivals below it cannot
+        // decrease... but its cap drops, which *reduces* upstream delay.
+        // Net effect on the edge's own subtree must be dominated by added R.
+        // We assert the weaker, always-true property: loads shrink.
+        assert!(after.stage_load_ff(tree.root()) <= before.stage_load_ff(tree.root()) + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "different tree")]
+    fn mismatched_assignment_panics() {
+        let (tree, tech) = setup(10);
+        let (other, _) = setup(20);
+        let asg = Assignment::uniform(&other, tech.rules().default_id());
+        let _ = analyze(&tree, &tech, &asg, &AnalysisOptions::default());
+    }
+
+    #[test]
+    fn unbuffered_tree_analyzable() {
+        use snr_cts::h_tree;
+        use snr_geom::{Point, Rect};
+        let area = Rect::new(Point::new(0, 0), Point::new(800_000, 800_000));
+        let tree = h_tree(area, 2, 8.0);
+        let tech = Technology::n45();
+        let asg = Assignment::uniform(&tree, tech.rules().default_id());
+        let rep = analyze(&tree, &tech, &asg, &AnalysisOptions::default());
+        // Perfect H-tree: zero skew.
+        assert!(rep.skew_ps() < 1e-6);
+        assert!(rep.latency_ps() > 0.0);
+    }
+}

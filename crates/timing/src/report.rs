@@ -1,0 +1,133 @@
+//! Timing analysis results.
+
+use snr_cts::NodeId;
+use std::fmt;
+
+/// The result of one timing analysis of a clock tree under a rule
+/// assignment.
+///
+/// Per-node vectors are indexed by [`NodeId`]; aggregate figures (latency,
+/// skew, worst slew) are cached at construction. A report is a plain value:
+/// cheap to clone, compare and store in experiment tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingReport {
+    pub(crate) arrival_ps: Vec<f64>,
+    pub(crate) slew_ps: Vec<f64>,
+    pub(crate) stage_load_ff: Vec<f64>,
+    pub(crate) sink_nodes: Vec<NodeId>,
+    pub(crate) latency_ps: f64,
+    pub(crate) min_arrival_ps: f64,
+    pub(crate) max_slew_ps: f64,
+}
+
+impl TimingReport {
+    /// Clock arrival time at `node`, in ps.
+    ///
+    /// For buffers this is the arrival at the buffer *output*.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range for the analyzed tree.
+    pub fn arrival_ps(&self, node: NodeId) -> f64 {
+        self.arrival_ps[node.0]
+    }
+
+    /// Slew (10–90 % transition time) at `node`, in ps.
+    ///
+    /// For buffers this is the slew at the buffer *input* — the value the
+    /// max-slew constraint applies to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn slew_ps(&self, node: NodeId) -> f64 {
+        self.slew_ps[node.0]
+    }
+
+    /// Capacitive load driven by the stage rooted at `node` (meaningful for
+    /// buffer nodes and the root), in fF.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn stage_load_ff(&self, node: NodeId) -> f64 {
+        self.stage_load_ff[node.0]
+    }
+
+    /// Maximum root-to-sink insertion delay, in ps.
+    pub fn latency_ps(&self) -> f64 {
+        self.latency_ps
+    }
+
+    /// Global skew: max − min sink arrival, in ps.
+    pub fn skew_ps(&self) -> f64 {
+        self.latency_ps - self.min_arrival_ps
+    }
+
+    /// Worst slew over all sinks and buffer inputs, in ps.
+    pub fn max_slew_ps(&self) -> f64 {
+        self.max_slew_ps
+    }
+
+    /// Sink arrival times, in sink-node order.
+    pub fn sink_arrivals_ps(&self) -> impl Iterator<Item = f64> + '_ {
+        self.sink_nodes.iter().map(|s| self.arrival_ps[s.0])
+    }
+
+    /// Whether the report satisfies the given slew and skew limits.
+    pub fn meets(&self, slew_limit_ps: f64, skew_limit_ps: f64) -> bool {
+        self.max_slew_ps <= slew_limit_ps && self.skew_ps() <= skew_limit_ps
+    }
+}
+
+impl fmt::Display for TimingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "latency {:.1} ps, skew {:.2} ps, max slew {:.1} ps",
+            self.latency_ps,
+            self.skew_ps(),
+            self.max_slew_ps
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> TimingReport {
+        TimingReport {
+            arrival_ps: vec![0.0, 100.0, 102.0],
+            slew_ps: vec![20.0, 45.0, 50.0],
+            stage_load_ff: vec![80.0, 0.0, 0.0],
+            sink_nodes: vec![NodeId(1), NodeId(2)],
+            latency_ps: 102.0,
+            min_arrival_ps: 100.0,
+            max_slew_ps: 50.0,
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let r = report();
+        assert_eq!(r.latency_ps(), 102.0);
+        assert_eq!(r.skew_ps(), 2.0);
+        assert_eq!(r.max_slew_ps(), 50.0);
+        assert_eq!(r.sink_arrivals_ps().collect::<Vec<_>>(), vec![100.0, 102.0]);
+    }
+
+    #[test]
+    fn meets_limits() {
+        let r = report();
+        assert!(r.meets(50.0, 2.0));
+        assert!(!r.meets(49.0, 2.0));
+        assert!(!r.meets(50.0, 1.9));
+    }
+
+    #[test]
+    fn display_format() {
+        let text = report().to_string();
+        assert!(text.contains("skew 2.00 ps"));
+    }
+}

@@ -1,0 +1,71 @@
+//! NDR design-space exploration: how the power saving responds to the
+//! constraint envelope and to the richness of the rule menu.
+//!
+//! Run with: `cargo run --release --example ndr_tradeoff`
+
+use smart_ndr::core::{Constraints, GreedyDowngrade, NdrOptimizer, OptContext};
+use smart_ndr::cts::{synthesize, CtsOptions};
+use smart_ndr::netlist::BenchmarkSpec;
+use smart_ndr::power::PowerModel;
+use smart_ndr::tech::{RuleSet, Technology};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let design = BenchmarkSpec::new("tradeoff", 800).seed(11).build()?;
+    let tech = Technology::n45();
+    let tree = synthesize(&design, &tech, &CtsOptions::default())?;
+    println!("design: {design}\ntree: {}\n", tree.stats());
+
+    // --- Sweep 1: slew margin at fixed skew budget --------------------
+    println!("slew-margin sweep (skew budget 30 ps):");
+    println!("{:>8} {:>12} {:>9} {:>8}", "margin", "network µW", "skew ps", "save %");
+    for margin in [1.01, 1.05, 1.10, 1.20, 1.40, 1.80] {
+        let ctx = OptContext::new(&tree, &tech, PowerModel::new(design.freq_ghz()))
+            .with_constraints(Constraints::relative(&tree, &tech, margin, 30.0));
+        let base = ctx.conservative_baseline();
+        let out = GreedyDowngrade::default().optimize(&ctx);
+        println!(
+            "{margin:>8.2} {:>12.1} {:>9.2} {:>7.1}%",
+            out.power().network_uw(),
+            out.timing().skew_ps(),
+            100.0 * out.network_saving_vs(&base)
+        );
+    }
+
+    // --- Sweep 2: skew budget at fixed slew margin --------------------
+    println!("\nskew-budget sweep (slew margin 1.10):");
+    println!("{:>8} {:>12} {:>9} {:>8}", "budget", "network µW", "skew ps", "save %");
+    for budget in [5.0, 10.0, 20.0, 30.0, 50.0, 100.0] {
+        let ctx = OptContext::new(&tree, &tech, PowerModel::new(design.freq_ghz()))
+            .with_constraints(Constraints::relative(&tree, &tech, 1.10, budget));
+        let base = ctx.conservative_baseline();
+        let out = GreedyDowngrade::default().optimize(&ctx);
+        println!(
+            "{budget:>8.0} {:>12.1} {:>9.2} {:>7.1}%",
+            out.power().network_uw(),
+            out.timing().skew_ps(),
+            100.0 * out.network_saving_vs(&base)
+        );
+    }
+
+    // --- Sweep 3: rule-menu richness -----------------------------------
+    println!("\nrule-menu comparison (margin 1.10, budget 30 ps):");
+    for (label, rules) in [
+        ("standard (4 rules)", RuleSet::standard()),
+        ("extended (5 rules)", RuleSet::extended()),
+    ] {
+        let tech_r = tech.with_rules(rules);
+        // The tree was built for 2W2S which both menus contain, so it can
+        // be reused; only the optimizer's menu changes.
+        let ctx = OptContext::new(&tree, &tech_r, PowerModel::new(design.freq_ghz()))
+            .with_constraints(Constraints::relative(&tree, &tech_r, 1.10, 30.0));
+        let base = ctx.conservative_baseline();
+        let out = GreedyDowngrade::default().optimize(&ctx);
+        println!(
+            "  {label:<20} network {:>10.1} µW, save {:>5.1}%, tracks {:>9.0} µm",
+            out.power().network_uw(),
+            100.0 * out.network_saving_vs(&base),
+            out.power().track_cost_um()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,37 @@
+//! Quickstart: synthesize a clock tree and let smart NDR cut its power.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use smart_ndr::netlist::BenchmarkSpec;
+use smart_ndr::tech::Technology;
+use smart_ndr::Flow;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A synthetic 500-sink block (ISPD-CTS-class statistics, fixed seed).
+    let design = BenchmarkSpec::new("quickstart", 500).seed(2013).build()?;
+    println!("design: {design}");
+
+    // The end-to-end flow: CTS with uniform 2W2S construction, then
+    // per-edge NDR optimization under a 10% slew margin / 30 ps skew
+    // budget.
+    let flow = Flow::new(Technology::n45());
+    let report = flow.run(&design)?;
+
+    println!("{}", report.summary());
+
+    // Where did the power go? Compare the component breakdowns.
+    println!("\nbaseline power: {}", report.baseline().power());
+    println!("smart power:    {}", report.smart().power());
+
+    // Which rules did the optimizer pick?
+    let tech = flow.tech();
+    let usage = report
+        .smart()
+        .assignment()
+        .usage_um(report.tree(), tech.rules());
+    println!("\nwirelength per rule:");
+    for (id, rule) in tech.rules().iter() {
+        println!("  {rule}: {:>10.1} µm", usage[id.0]);
+    }
+    Ok(())
+}

@@ -1,0 +1,250 @@
+//! `smart-ndr` — command-line front end for the smart-NDR flow.
+//!
+//! ```text
+//! smart-ndr gen   --sinks 800 --seed 7 --out design.sndr
+//! smart-ndr run   --design design.sndr [--tech n45|n32] [--method smart|greedy|upgrade|level|uniform|anneal]
+//!                 [--slew-margin 1.1] [--skew-budget 30] [--svg tree.svg] [--mc 200]
+//! smart-ndr run   --sinks 500 --seed 3            # generate on the fly
+//! smart-ndr suite                                  # headline table over the 8-design suite
+//! smart-ndr mesh  --sinks 800 [--grid 16] [--rule default|2w2s]   # mesh-vs-tree comparison
+//! ```
+
+use smart_ndr::core::{
+    Annealing, Constraints, GreedyDowngrade, GreedyUpgradeRepair, LevelBased, NdrOptimizer,
+    OptContext, SmartNdr, Uniform,
+};
+use smart_ndr::cts::{save_assignment, svg::render_svg, svg::SvgOptions, synthesize, CtsOptions};
+use smart_ndr::netlist::{ispd_like_suite, load_design, save_design, BenchmarkSpec, Design};
+use smart_ndr::power::PowerModel;
+use smart_ndr::tech::Technology;
+use smart_ndr::variation::{MonteCarlo, VariationModel};
+use std::collections::HashMap;
+use std::fs;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+smart-ndr: per-edge NDR assignment for clock power reduction
+
+USAGE:
+  smart-ndr gen   --sinks <N> [--seed <S>] [--freq <GHz>] --out <FILE>
+  smart-ndr run   (--design <FILE> | --sinks <N> [--seed <S>])
+                  [--tech n45|n32] [--method smart|greedy|upgrade|level|uniform|anneal]
+                  [--slew-margin <X>] [--skew-budget <PS>] [--svg <FILE>] [--mc <SAMPLES>]
+                  [--save-asg <FILE>]
+  smart-ndr suite [--tech n45|n32]
+  smart-ndr mesh  (--design <FILE> | --sinks <N> [--seed <S>]) [--tech n45|n32]
+                  [--grid <N>] [--drivers <K>] [--rule default|2w2s]
+  smart-ndr help
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err("no command given".into());
+    };
+    let flags = parse_flags(rest)?;
+    match cmd.as_str() {
+        "gen" => cmd_gen(&flags),
+        "run" => cmd_run(&flags),
+        "suite" => cmd_suite(&flags),
+        "mesh" => cmd_mesh(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let key = key
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got {key:?}"))?;
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag --{key} needs a value"))?;
+        flags.insert(key.to_owned(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn get_parsed<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("invalid --{key} {v:?}")),
+    }
+}
+
+fn tech_of(flags: &HashMap<String, String>) -> Result<Technology, String> {
+    match flags.get("tech").map(String::as_str).unwrap_or("n45") {
+        "n45" => Ok(Technology::n45()),
+        "n32" => Ok(Technology::n32()),
+        other => Err(format!("unknown --tech {other:?} (n45|n32)")),
+    }
+}
+
+fn design_of(flags: &HashMap<String, String>) -> Result<Design, String> {
+    if let Some(path) = flags.get("design") {
+        let file = fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+        return load_design(BufReader::new(file)).map_err(|e| e.to_string());
+    }
+    let sinks: usize = get_parsed(flags, "sinks", 0)?;
+    if sinks == 0 {
+        return Err("need --design <FILE> or --sinks <N>".into());
+    }
+    let seed: u64 = get_parsed(flags, "seed", 1)?;
+    let freq: f64 = get_parsed(flags, "freq", 1.0)?;
+    BenchmarkSpec::new(format!("cli-s{sinks}"), sinks)
+        .seed(seed)
+        .freq_ghz(freq)
+        .build()
+        .map_err(|e| e.to_string())
+}
+
+fn cmd_gen(flags: &HashMap<String, String>) -> Result<(), String> {
+    let design = design_of(flags)?;
+    let out = flags
+        .get("out")
+        .ok_or_else(|| "gen needs --out <FILE>".to_owned())?;
+    let file = fs::File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    save_design(&design, file).map_err(|e| e.to_string())?;
+    println!("wrote {design} to {out}");
+    Ok(())
+}
+
+fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
+    let design = design_of(flags)?;
+    let tech = tech_of(flags)?;
+    let slew_margin: f64 = get_parsed(flags, "slew-margin", 1.10)?;
+    let skew_budget: f64 = get_parsed(flags, "skew-budget", 30.0)?;
+
+    println!("design: {design}");
+    let tree =
+        synthesize(&design, &tech, &CtsOptions::default()).map_err(|e| e.to_string())?;
+    println!("tree:   {}", tree.stats());
+
+    let ctx = OptContext::new(&tree, &tech, PowerModel::new(design.freq_ghz()))
+        .with_constraints(Constraints::relative(&tree, &tech, slew_margin, skew_budget));
+    println!("constraints: {}", ctx.constraints());
+
+    let method: Box<dyn NdrOptimizer> =
+        match flags.get("method").map(String::as_str).unwrap_or("smart") {
+            "smart" => Box::new(SmartNdr::default()),
+            "greedy" => Box::new(GreedyDowngrade::default()),
+            "upgrade" => Box::new(GreedyUpgradeRepair::default()),
+            "level" => Box::new(LevelBased),
+            "uniform" => Box::new(Uniform::conservative()),
+            "anneal" => Box::new(Annealing::new(20_000, 1)),
+            other => return Err(format!("unknown --method {other:?}")),
+        };
+
+    let base = ctx.conservative_baseline();
+    let out = method.optimize(&ctx);
+    println!("\nbaseline: {base}");
+    println!("result:   {out}");
+    println!(
+        "saving:   {:.1}% of clock-network power, {:.1}% of track cost",
+        100.0 * out.network_saving_vs(&base),
+        100.0 * (1.0 - out.power().track_cost_um() / base.power().track_cost_um()),
+    );
+
+    let mc_samples: usize = get_parsed(flags, "mc", 0)?;
+    if mc_samples > 0 {
+        let mc = MonteCarlo::new(VariationModel::default(), mc_samples, 7);
+        let rep_base = mc.run(&tree, &tech, base.assignment());
+        let rep_out = mc.run(&tree, &tech, out.assignment());
+        println!(
+            "variation ({mc_samples} samples): σ-skew baseline {:.2} ps, result {:.2} ps",
+            rep_base.sigma_skew_ps(),
+            rep_out.sigma_skew_ps()
+        );
+    }
+
+    if let Some(path) = flags.get("save-asg") {
+        let file = fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        save_assignment(out.assignment(), &tree, file).map_err(|e| e.to_string())?;
+        println!("wrote {path}");
+    }
+
+    if let Some(path) = flags.get("svg") {
+        let svg = render_svg(&tree, tech.rules(), out.assignment(), &SvgOptions::default());
+        fs::write(path, svg).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_mesh(flags: &HashMap<String, String>) -> Result<(), String> {
+    use smart_ndr::mesh::{ClockMesh, MeshSpec};
+    use smart_ndr::tech::Rule;
+
+    let design = design_of(flags)?;
+    let tech = tech_of(flags)?;
+    let grid: usize = get_parsed(flags, "grid", 16)?;
+    let drivers: usize = get_parsed(flags, "drivers", 3)?;
+    let rule = match flags.get("rule").map(String::as_str).unwrap_or("default") {
+        "default" => Rule::DEFAULT,
+        "2w2s" => Rule::new(2.0, 2.0).expect("2W2S is valid"),
+        other => return Err(format!("unknown --rule {other:?} (default|2w2s)")),
+    };
+
+    println!("design: {design}");
+    let tree = synthesize(&design, &tech, &CtsOptions::default()).map_err(|e| e.to_string())?;
+    let ctx = OptContext::new(&tree, &tech, PowerModel::new(design.freq_ghz()));
+    let smart = SmartNdr::default().optimize(&ctx);
+    println!("tree:   {smart}");
+
+    let spec = MeshSpec::new(grid, grid, drivers, rule).map_err(|e| e.to_string())?;
+    let mesh = ClockMesh::build(&design, &tech, spec);
+    let rep = mesh.analyze(&tech, design.freq_ghz());
+    println!("{rep} ({} drivers)", rep.n_drivers);
+    println!(
+        "mesh / tree network power: {:.2}x",
+        rep.network_uw() / smart.power().network_uw()
+    );
+    Ok(())
+}
+
+fn cmd_suite(flags: &HashMap<String, String>) -> Result<(), String> {
+    let tech = tech_of(flags)?;
+    println!(
+        "{:<8} {:>8} {:>12} {:>12} {:>8} {:>9}",
+        "design", "sinks", "2w2s µW", "smart µW", "save", "runtime"
+    );
+    for design in ispd_like_suite() {
+        let tree =
+            synthesize(&design, &tech, &CtsOptions::default()).map_err(|e| e.to_string())?;
+        let ctx = OptContext::new(&tree, &tech, PowerModel::new(design.freq_ghz()));
+        let base = ctx.conservative_baseline();
+        let out = SmartNdr::default().optimize(&ctx);
+        println!(
+            "{:<8} {:>8} {:>12.1} {:>12.1} {:>7.1}% {:>8.1}s",
+            design.name(),
+            design.sinks().len(),
+            base.power().network_uw(),
+            out.power().network_uw(),
+            100.0 * out.network_saving_vs(&base),
+            out.elapsed().as_secs_f64(),
+        );
+    }
+    Ok(())
+}

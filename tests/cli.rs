@@ -1,0 +1,103 @@
+//! End-to-end tests of the `smart-ndr` command-line binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_smart-ndr"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("smart-ndr-clitest-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = bin().arg("help").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE") && text.contains("smart-ndr run"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = bin().arg("frobnicate").output().expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown command") && err.contains("USAGE"));
+}
+
+#[test]
+fn gen_then_run_roundtrip() {
+    let design_path = tmp("design.sndr");
+    let svg_path = tmp("tree.svg");
+
+    let out = bin()
+        .args(["gen", "--sinks", "120", "--seed", "9", "--out"])
+        .arg(&design_path)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = bin()
+        .args(["run", "--design"])
+        .arg(&design_path)
+        .args(["--method", "greedy", "--mc", "10", "--svg"])
+        .arg(&svg_path)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("saving:"), "missing saving line: {text}");
+    assert!(text.contains("σ-skew"), "missing variation line: {text}");
+    assert!(text.contains("MET"), "result should meet constraints: {text}");
+
+    let svg = std::fs::read_to_string(&svg_path).expect("svg written");
+    assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
+
+    let _ = std::fs::remove_file(&design_path);
+    let _ = std::fs::remove_file(&svg_path);
+}
+
+#[test]
+fn run_generates_on_the_fly() {
+    let out = bin()
+        .args(["run", "--sinks", "60", "--seed", "2", "--method", "level", "--tech", "n32"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("level-based"));
+}
+
+#[test]
+fn mesh_command_compares_structures() {
+    let out = bin()
+        .args(["mesh", "--sinks", "80", "--seed", "3", "--grid", "8"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("mesh / tree network power"), "{text}");
+    assert!(text.contains("drivers"));
+}
+
+#[test]
+fn run_without_design_or_sinks_fails() {
+    let out = bin().arg("run").output().expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--design") || err.contains("--sinks"));
+}
+
+#[test]
+fn bad_flag_value_fails_cleanly() {
+    let out = bin()
+        .args(["run", "--sinks", "not-a-number"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("invalid --sinks"));
+}
