@@ -1,0 +1,251 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the slice of the criterion API its benches use:
+//! [`Criterion::benchmark_group`]/[`Criterion::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], `sample_size`,
+//! [`Bencher::iter`], [`black_box`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement model: one calibration pass sizes the per-sample iteration
+//! count to roughly [`TARGET_SAMPLE_TIME`], then `sample_size` timed
+//! samples are taken and the min/median/max per-iteration times reported
+//! in criterion's familiar `time: [low mid high]` format. There are no
+//! HTML reports, statistics beyond the three-point summary, or baseline
+//! comparisons.
+//!
+//! When invoked by `cargo test` (which passes `--test` to harness-less
+//! bench binaries), each benchmark body runs exactly once as a smoke test
+//! and timing is skipped, mirroring upstream criterion's behaviour.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Per-sample wall-clock budget used to size iteration counts.
+pub const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(10);
+
+/// An opaque value barrier preventing the optimizer from deleting
+/// benchmarked work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Timer handed to benchmark bodies.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` invocations of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { test_mode: false, default_sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line arguments (`--test` switches to one-shot smoke
+    /// mode; everything else is accepted and ignored).
+    pub fn configure_from_args(mut self) -> Self {
+        self.test_mode = std::env::args().any(|a| a == "--test");
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        let sample_size = self.default_sample_size;
+        run_benchmark(&id.into(), sample_size, self.test_mode, f);
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmarks `f` against a fixed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        let samples = self.sample_size.unwrap_or(self.criterion.default_sample_size);
+        run_benchmark(&full, samples, self.criterion.test_mode, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a no-input routine within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        let samples = self.sample_size.unwrap_or(self.criterion.default_sample_size);
+        run_benchmark(&full, samples, self.criterion.test_mode, f);
+        self
+    }
+
+    /// Ends the group (kept for API parity; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, test_mode: bool, mut routine: F) {
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    // Calibration pass; in `cargo test` mode this one-shot run is the
+    // whole smoke test.
+    routine(&mut b);
+    if test_mode {
+        println!("{name}: ok (smoke)");
+        return;
+    }
+    let per_iter_ns = (b.elapsed.as_nanos().max(1)) as u64;
+    let iters = (TARGET_SAMPLE_TIME.as_nanos() as u64 / per_iter_ns).clamp(1, 10_000_000);
+
+    let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        b.iters = iters;
+        routine(&mut b);
+        samples.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let lo = samples[0];
+    let mid = samples[samples.len() / 2];
+    let hi = samples[samples.len() - 1];
+    println!(
+        "{name:<44} time: [{} {} {}]  ({sample_size} samples x {iters} iters)",
+        fmt_ns(lo),
+        fmt_ns(mid),
+        fmt_ns(hi)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundles benchmark functions into a runner callable from
+/// [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a harness-less bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_work() {
+        let mut b = Bencher { iters: 100, elapsed: Duration::ZERO };
+        let mut n = 0u64;
+        b.iter(|| {
+            n = n.wrapping_add(black_box(3));
+        });
+        assert_eq!(n, 300);
+        assert!(b.elapsed >= Duration::ZERO);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::from_parameter(800).id, "800");
+        assert_eq!(BenchmarkId::new("solve", 42).id, "solve/42");
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion { test_mode: true, default_sample_size: 2 };
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10).bench_with_input(BenchmarkId::from_parameter(1), &5usize, |b, &x| {
+                b.iter(|| x * 2);
+                ran += 1;
+            });
+            g.finish();
+        }
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(2_500_000_000.0).ends_with('s'));
+    }
+}

@@ -5,7 +5,7 @@
 //! smart-greedy run, and a Monte-Carlo variation batch.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use snr_core::{GreedyDowngrade, NdrOptimizer, OptContext};
+use snr_core::{EvalMode, GreedyDowngrade, NdrOptimizer, OptContext};
 use snr_cts::{synthesize, Assignment, CtsOptions};
 use snr_netlist::{BenchmarkSpec, Design};
 use snr_power::{evaluate, PowerModel};
@@ -70,6 +70,28 @@ fn bench_optimizer(c: &mut Criterion) {
     group.finish();
 }
 
+/// The API-redesign headline: one GreedyDowngrade run on an 800-sink tree,
+/// with candidate evaluation through the stage-dirty incremental engine vs
+/// the original full-reanalysis path. Identical search, identical result —
+/// only the evaluation machinery differs.
+fn bench_incremental_vs_full(c: &mut Criterion) {
+    let tech = Technology::n45();
+    let d = design(800);
+    let tree = synthesize(&d, &tech, &CtsOptions::default()).unwrap();
+    let mut group = c.benchmark_group("incremental_vs_full");
+    group.sample_size(10);
+    for (label, mode) in [
+        ("incremental", EvalMode::Incremental),
+        ("full_reanalysis", EvalMode::FullReanalysis),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, &mode| {
+            let ctx = OptContext::new(&tree, &tech, PowerModel::new(1.0)).with_eval_mode(mode);
+            b.iter(|| GreedyDowngrade::default().assign(&ctx));
+        });
+    }
+    group.finish();
+}
+
 fn bench_monte_carlo(c: &mut Criterion) {
     let tech = Technology::n45();
     let d = design(800);
@@ -87,6 +109,7 @@ criterion_group!(
     bench_timing,
     bench_power,
     bench_optimizer,
+    bench_incremental_vs_full,
     bench_monte_carlo
 );
 criterion_main!(benches);

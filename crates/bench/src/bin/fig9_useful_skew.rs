@@ -50,7 +50,8 @@ fn main() {
         let arcs = random_timing_arcs(&design, 400, (window, window), (window, window), 77);
         let ctx = OptContext::new(&tree, &tech, PowerModel::new(design.freq_ghz()))
             .with_constraints(slew_only)
-            .with_timing_arcs(arcs);
+            .with_timing_arcs(arcs)
+            .expect("synthetic arcs reference design sinks");
         let out = SmartNdr::default().optimize(&ctx);
         table.row(vec![
             format!("400 arcs @ ±{window:.0} ps"),

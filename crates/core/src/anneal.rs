@@ -59,12 +59,15 @@ impl Annealing {
         self
     }
 
-    fn energy(&self, ctx: &OptContext<'_>, asg: &Assignment) -> (f64, bool) {
-        let timing = ctx.analyze(asg);
-        let violation = ctx.constraints().violation_ps(&timing);
-        let power = ctx.power(asg).network_uw();
-        let feasible = violation <= 0.0 && ctx.meets(asg, &timing);
-        (power + self.penalty_uw_per_ps * violation, feasible)
+    /// Energy and feasibility of a candidate evaluation at network power
+    /// `network_uw`: `power + λ · violation`, feasible iff every constraint
+    /// holds *and* the violation measure is zero.
+    fn energy_of(&self, ctx: &OptContext<'_>, eval: &crate::CandidateEval, network_uw: f64) -> (f64, bool) {
+        let violation = ctx
+            .constraints()
+            .violation_ps_of(eval.worst_slew_ps, eval.skew_ps);
+        let feasible = violation <= 0.0 && eval.feasible;
+        (network_uw + self.penalty_uw_per_ps * violation, feasible)
     }
 }
 
@@ -82,9 +85,10 @@ impl NdrOptimizer for Annealing {
         }
         let mut rng = StdRng::seed_from_u64(self.seed);
 
-        let mut current = ctx.conservative_assignment();
-        let (mut cur_energy, start_feasible) = self.energy(ctx, &current);
-        let mut best_feasible = start_feasible.then(|| (cur_energy, current.clone()));
+        let mut session = ctx.session();
+        let (mut cur_energy, start_feasible) =
+            self.energy_of(ctx, &session.committed_eval(), session.network_uw());
+        let mut best_feasible = start_feasible.then(|| (cur_energy, session.assignment().clone()));
 
         for i in 0..self.iterations {
             // Geometric cooling to ~1% of T0.
@@ -92,26 +96,28 @@ impl NdrOptimizer for Annealing {
             let temp = self.t0 * (0.01f64).powf(progress);
 
             let e = edges[rng.gen_range(0..edges.len())];
-            let old_rule = current.rule(e);
+            let old_rule = session.rule(e);
             let new_rule = RuleId(rng.gen_range(0..rules.len()));
             if new_rule == old_rule {
                 continue;
             }
-            current.set(e, new_rule);
-            let (new_energy, feasible) = self.energy(ctx, &current);
+            let eval = session.try_edge(e, new_rule);
+            let (new_energy, feasible) =
+                self.energy_of(ctx, &eval, session.network_uw() + eval.power_delta_uw);
             let accept = new_energy <= cur_energy
                 || rng.gen_bool(((cur_energy - new_energy) / temp).exp().clamp(0.0, 1.0));
             if accept {
+                session.commit();
                 cur_energy = new_energy;
                 if feasible
                     && best_feasible
                         .as_ref()
                         .is_none_or(|(be, _)| new_energy < *be)
                 {
-                    best_feasible = Some((new_energy, current.clone()));
+                    best_feasible = Some((new_energy, session.assignment().clone()));
                 }
             } else {
-                current.set(e, old_rule);
+                session.rollback();
             }
         }
         best_feasible

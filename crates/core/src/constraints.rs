@@ -165,8 +165,13 @@ impl Constraints {
     /// Total constraint violation in ps (0 when met) — the penalty measure
     /// used by the annealer and the repair optimizer.
     pub fn violation_ps(&self, report: &TimingReport) -> f64 {
-        (report.max_slew_ps() - self.slew_limit_ps).max(0.0)
-            + (report.skew_ps() - self.skew_limit_ps).max(0.0)
+        self.violation_ps_of(report.max_slew_ps(), report.skew_ps())
+    }
+
+    /// [`Constraints::violation_ps`] from raw slew/skew values — for session
+    /// candidate evaluations, which carry scalars instead of a full report.
+    pub fn violation_ps_of(&self, max_slew_ps: f64, skew_ps: f64) -> f64 {
+        (max_slew_ps - self.slew_limit_ps).max(0.0) + (skew_ps - self.skew_limit_ps).max(0.0)
     }
 }
 

@@ -1,6 +1,6 @@
 //! Shared optimization context.
 
-use crate::{Constraints, Outcome};
+use crate::{Constraints, CoreError, EvalMode, EvalSession, Outcome};
 use snr_cts::{Assignment, ClockTree, NodeId, NodeKind};
 use snr_netlist::TimingArc;
 use snr_power::{evaluate, PowerModel, PowerReport};
@@ -43,6 +43,7 @@ pub struct OptContext<'a> {
     corner_base_skew: RefCell<Option<Vec<f64>>>,
     analyzer: RefCell<Analyzer>,
     analysis_opts: AnalysisOptions,
+    eval_mode: EvalMode,
 }
 
 impl<'a> OptContext<'a> {
@@ -60,7 +61,32 @@ impl<'a> OptContext<'a> {
             corner_base_skew: RefCell::new(None),
             analyzer: RefCell::new(Analyzer::new()),
             analysis_opts: AnalysisOptions::default(),
+            eval_mode: EvalMode::default(),
         }
+    }
+
+    /// Returns a copy whose [`EvalSession`]s use the given evaluation mode.
+    /// The default is [`EvalMode::Incremental`]; [`EvalMode::FullReanalysis`]
+    /// keeps the original analyze-everything path as a reference oracle.
+    pub fn with_eval_mode(mut self, mode: EvalMode) -> Self {
+        self.eval_mode = mode;
+        self
+    }
+
+    /// The evaluation mode sessions created by this context use.
+    pub fn eval_mode(&self) -> EvalMode {
+        self.eval_mode
+    }
+
+    /// Opens a candidate-evaluation session starting from the conservative
+    /// uniform assignment.
+    pub fn session(&self) -> EvalSession<'_, 'a> {
+        self.session_from(self.conservative_assignment())
+    }
+
+    /// Opens a candidate-evaluation session starting from `assignment`.
+    pub fn session_from(&self, assignment: Assignment) -> EvalSession<'_, 'a> {
+        EvalSession::new(self, assignment, self.eval_mode)
     }
 
     /// Returns a copy that additionally enforces the constraints at the
@@ -88,10 +114,11 @@ impl<'a> OptContext<'a> {
     /// useful-skew form of the skew constraint, tied to actual datapaths
     /// instead of the global extremes.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if an arc references a sink the tree does not contain.
-    pub fn with_timing_arcs(mut self, arcs: Vec<TimingArc>) -> Self {
+    /// Returns [`CoreError::UnknownSink`] if an arc references a sink the
+    /// tree does not contain.
+    pub fn with_timing_arcs(mut self, arcs: Vec<TimingArc>) -> Result<Self, CoreError> {
         // Resolve each sink id to its tree node once.
         let mut sink_node = vec![None; arcs.iter().map(|a| a.from.0.max(a.to.0) + 1).max().unwrap_or(0)];
         for node in self.tree.nodes() {
@@ -104,16 +131,18 @@ impl<'a> OptContext<'a> {
         self.arcs = arcs
             .into_iter()
             .map(|a| {
-                let from = sink_node[a.from.0].unwrap_or_else(|| {
-                    panic!("arc references {} which is not in the tree", a.from)
-                });
-                let to = sink_node[a.to.0].unwrap_or_else(|| {
-                    panic!("arc references {} which is not in the tree", a.to)
-                });
-                (a, from, to)
+                let from = sink_node[a.from.0].ok_or(CoreError::UnknownSink { arc: a })?;
+                let to = sink_node[a.to.0].ok_or(CoreError::UnknownSink { arc: a })?;
+                Ok((a, from, to))
             })
-            .collect();
-        self
+            .collect::<Result<Vec<_>, CoreError>>()?;
+        Ok(self)
+    }
+
+    /// Timing arcs with sink ids resolved to tree nodes, for session-side
+    /// feasibility checks.
+    pub(crate) fn resolved_arcs(&self) -> &[(TimingArc, NodeId, NodeId)] {
+        &self.arcs
     }
 
     /// The local-skew arcs enforced by this context.
@@ -224,7 +253,31 @@ impl<'a> OptContext<'a> {
         if self.corners.is_empty() {
             return true;
         }
-        // Baseline skews per corner are assignment-independent: cache them.
+        let base_skews = self.corner_base_skews();
+        for (i, &corner) in self.corners.iter().enumerate() {
+            let scale = corner.r_scale() * corner.c_scale();
+            let at = snr_timing::analyze_at_corner(
+                self.tree,
+                self.tech,
+                assignment,
+                corner,
+                &self.analysis_opts,
+            );
+            let slew_ok = at.max_slew_ps() <= self.constraints.slew_limit_ps() * scale.max(1.0);
+            let skew_ok = at.skew_ps() <= self.constraints.skew_limit_ps() + base_skews[i];
+            if !(slew_ok && skew_ok) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Conservative-baseline skew at each corner — assignment-independent,
+    /// cached on first use and shared with [`EvalSession`]s.
+    pub(crate) fn corner_base_skews(&self) -> Vec<f64> {
+        if self.corners.is_empty() {
+            return Vec::new();
+        }
         if self.corner_base_skew.borrow().is_none() {
             let base = self.conservative_assignment();
             let skews: Vec<f64> = self
@@ -243,24 +296,11 @@ impl<'a> OptContext<'a> {
                 .collect();
             *self.corner_base_skew.borrow_mut() = Some(skews);
         }
-        let base_skews = self.corner_base_skew.borrow();
-        let base_skews = base_skews.as_ref().expect("cached above");
-        for (i, &corner) in self.corners.iter().enumerate() {
-            let scale = corner.r_scale() * corner.c_scale();
-            let at = snr_timing::analyze_at_corner(
-                self.tree,
-                self.tech,
-                assignment,
-                corner,
-                &self.analysis_opts,
-            );
-            let slew_ok = at.max_slew_ps() <= self.constraints.slew_limit_ps() * scale.max(1.0);
-            let skew_ok = at.skew_ps() <= self.constraints.skew_limit_ps() + base_skews[i];
-            if !(slew_ok && skew_ok) {
-                return false;
-            }
-        }
-        true
+        self.corner_base_skew
+            .borrow()
+            .as_ref()
+            .expect("cached above")
+            .clone()
     }
 
     /// Whether `assignment` meets the constraints (including any corners).
@@ -372,7 +412,8 @@ mod tests {
         let arcs = random_timing_arcs(&design, 60, (8.0, 15.0), (8.0, 15.0), 4);
         let plain = OptContext::new(&tree, &tech, PowerModel::new(1.0));
         let arced = OptContext::new(&tree, &tech, PowerModel::new(1.0))
-            .with_timing_arcs(arcs.clone());
+            .with_timing_arcs(arcs.clone())
+            .expect("arcs come from the design");
         assert_eq!(arced.timing_arcs().count(), arcs.len());
 
         // The zero-skew conservative start satisfies every window.
@@ -402,6 +443,21 @@ mod tests {
             s_arced.power().network_uw() >= s_plain.power().network_uw() - 1e-9,
             "windows cannot be free"
         );
+    }
+
+    #[test]
+    fn unknown_sink_arc_is_an_error() {
+        use snr_netlist::{SinkId, TimingArc};
+        let (tree, tech) = ctx_fixture();
+        // The fixture has 64 sinks; SinkId(999) cannot resolve.
+        let bad = TimingArc::new(SinkId(0), SinkId(999), 10.0, 10.0);
+        let err = match OptContext::new(&tree, &tech, PowerModel::new(1.0))
+            .with_timing_arcs(vec![bad])
+        {
+            Ok(_) => panic!("unknown sink must be rejected"),
+            Err(e) => e,
+        };
+        assert_eq!(err, crate::CoreError::UnknownSink { arc: bad });
     }
 
     #[test]

@@ -1,0 +1,45 @@
+//! Error types for context construction.
+
+use snr_netlist::TimingArc;
+use std::fmt;
+
+/// Errors raised while building an [`OptContext`].
+///
+/// [`OptContext`]: crate::OptContext
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A timing arc references a sink id the clock tree does not contain.
+    UnknownSink {
+        /// The offending arc.
+        arc: TimingArc,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownSink { arc } => {
+                write!(f, "timing arc {arc} references a sink not in the tree")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snr_netlist::SinkId;
+
+    #[test]
+    fn display_names_the_arc() {
+        let err = CoreError::UnknownSink {
+            arc: TimingArc::new(SinkId(3), SinkId(9), 10.0, 5.0),
+        };
+        let text = err.to_string();
+        assert!(text.contains("sink"), "{text}");
+        assert!(text.contains("s3") || text.contains('3'), "{text}");
+    }
+}

@@ -1,6 +1,6 @@
 //! The smart-NDR method: sensitivity-ordered greedy downgrading.
 
-use crate::{NdrOptimizer, OptContext};
+use crate::{EvalSession, NdrOptimizer, OptContext};
 use snr_cts::{Assignment, NodeId};
 
 /// The paper's "smart" NDR assignment.
@@ -87,18 +87,18 @@ impl GreedyDowngrade {
         let rules = tech.rules();
         let layer = tech.clock_layer();
 
-        let mut asg = start;
-        if !ctx.meets(&asg, &ctx.analyze(&asg)) {
+        let mut session = ctx.session_from(start);
+        if !session.feasible() {
             // The start violates: no downgrade can help — return it,
             // flagged by the caller's feasibility check.
-            return asg;
+            return session.into_assignment();
         }
 
         // Removable capacitance (fF) if `e` moved from its current rule to
         // the target rule — the exact power gain up to constant factors.
-        let gain = |asg: &Assignment, e: NodeId, to: snr_tech::RuleId| -> f64 {
+        let gain = |session: &EvalSession<'_, '_>, e: NodeId, to: snr_tech::RuleId| -> f64 {
             let len_um = tree.node(e).edge_len_nm() as f64 / 1_000.0;
-            (layer.unit_c(rules.rule(asg.rule(e))) - layer.unit_c(rules.rule(to))) * len_um
+            (layer.unit_c(rules.rule(session.rule(e))) - layer.unit_c(rules.rule(to))) * len_um
         };
 
         // Candidate target rules in *capacitance* order, cheapest first.
@@ -129,21 +129,17 @@ impl GreedyDowngrade {
             for &to in &by_cap {
                 let moves: Vec<(NodeId, snr_tech::RuleId)> = level
                     .iter()
-                    .filter(|e| to.0 < asg.rule(**e).0 && gain(&asg, **e, to) > 0.0)
-                    .map(|e| (*e, asg.rule(*e)))
+                    .filter(|e| to.0 < session.rule(**e).0 && gain(&session, **e, to) > 0.0)
+                    .map(|e| (*e, to))
                     .collect();
                 if moves.is_empty() {
                     continue;
                 }
-                for (e, _) in &moves {
-                    asg.set(*e, to);
-                }
-                if ctx.meets(&asg, &ctx.analyze(&asg)) {
+                if session.try_moves(&moves).feasible {
+                    session.commit();
                     break; // cheapest feasible group rule wins
                 }
-                for (e, old) in &moves {
-                    asg.set(*e, *old);
-                }
+                session.rollback();
             }
         }
 
@@ -153,35 +149,35 @@ impl GreedyDowngrade {
             let default = rules.default_id();
             let mut order: Vec<(f64, NodeId)> = tree
                 .edges()
-                .filter(|e| asg.rule(*e) != default)
-                .map(|e| (gain(&asg, e, default), e))
+                .filter(|e| session.rule(*e) != default)
+                .map(|e| (gain(&session, e, default), e))
                 .collect();
             order.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("gains are finite"));
 
             let mut accepted = 0usize;
             for (_, e) in order {
-                let current = asg.rule(e);
+                let current = session.rule(e);
                 // Lowest-capacitance (= biggest gain) candidate first.
                 // Moves that do not remove capacitance (zero-length edges,
                 // or lower track cost with *higher* coupling cap like
                 // 2W2S -> 2W1S) are never power wins and are skipped.
                 for &to in &by_cap {
-                    if to.0 >= current.0 || gain(&asg, e, to) <= 0.0 {
+                    if to.0 >= current.0 || gain(&session, e, to) <= 0.0 {
                         continue;
                     }
-                    asg.set(e, to);
-                    if ctx.meets(&asg, &ctx.analyze(&asg)) {
+                    if session.try_edge(e, to).feasible {
+                        session.commit();
                         accepted += 1;
                         break;
                     }
-                    asg.set(e, current);
+                    session.rollback();
                 }
             }
             if accepted == 0 {
                 break;
             }
         }
-        asg
+        session.into_assignment()
     }
 }
 

@@ -178,11 +178,11 @@ impl NdrOptimizer for Lagrangian {
         let n = tree.len();
         let sinks = tree.sink_nodes();
 
-        let mut asg = ctx.conservative_assignment();
-        if !ctx.meets(&asg, &ctx.analyze(&asg)) {
-            return asg;
+        let mut session = ctx.session();
+        if !session.feasible() {
+            return session.into_assignment();
         }
-        let mut best = asg.clone();
+        let mut best = session.assignment().clone();
         let mut best_cap = f64::INFINITY;
 
         // Duals: per-sink (late positive / early negative folded into one
@@ -191,14 +191,14 @@ impl NdrOptimizer for Lagrangian {
         let mut slew_dual = vec![0.0f64; n];
 
         for _round in 0..self.rounds {
-            let report = ctx.analyze(&asg);
+            let report = session.report();
 
             // Track the cheapest feasible incumbent.
-            if ctx.meets(&asg, &report) {
-                let cap = ctx.power(&asg).wire_cap_ff();
+            if session.feasible() {
+                let cap = ctx.power(session.assignment()).wire_cap_ff();
                 if cap < best_cap {
                     best_cap = cap;
-                    best.clone_from(&asg);
+                    best.clone_from(session.assignment());
                 }
             }
 
@@ -227,14 +227,15 @@ impl NdrOptimizer for Lagrangian {
             }
 
             // Separable per-edge re-choice against the frozen environment.
-            let env = environment(ctx, &asg);
+            let env = environment(ctx, session.assignment());
             let weights = aggregate_weights(tree, &sink_dual, &slew_dual);
+            let mut moves: Vec<(NodeId, snr_tech::RuleId)> = Vec::new();
             for e in tree.edges() {
                 let len = tree.node(e).edge_len_nm() as f64 / 1_000.0;
                 if len <= 0.0 {
                     continue;
                 }
-                let mut best_rule = asg.rule(e);
+                let mut best_rule = session.rule(e);
                 let mut best_cost = f64::INFINITY;
                 for (rid, rule) in rules.iter() {
                     let c_power = layer.unit_c(rule) * len;
@@ -251,7 +252,13 @@ impl NdrOptimizer for Lagrangian {
                         best_rule = rid;
                     }
                 }
-                asg.set(e, best_rule);
+                if best_rule != session.rule(e) {
+                    moves.push((e, best_rule));
+                }
+            }
+            if !moves.is_empty() {
+                session.try_moves(&moves);
+                session.commit();
             }
         }
 

@@ -56,12 +56,14 @@
 mod anneal;
 mod constraints;
 mod context;
+mod error;
 mod greedy;
 mod lagrangian;
 mod level;
 mod outcome;
 mod resize;
 mod robustness;
+mod session;
 mod smart;
 mod stage_exhaustive;
 mod uniform;
@@ -70,12 +72,14 @@ mod upgrade;
 pub use anneal::Annealing;
 pub use constraints::Constraints;
 pub use context::OptContext;
+pub use error::CoreError;
 pub use greedy::GreedyDowngrade;
 pub use lagrangian::Lagrangian;
 pub use level::LevelBased;
 pub use outcome::Outcome;
 pub use resize::{buffer_size_histogram, downsize_buffers, downsize_in_context, ResizeOutcome};
 pub use robustness::{enforce_robustness, RobustnessSpec};
+pub use session::{CandidateEval, EvalMode, EvalSession};
 pub use smart::SmartNdr;
 pub use stage_exhaustive::StageExhaustive;
 pub use uniform::Uniform;

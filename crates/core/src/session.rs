@@ -1,0 +1,433 @@
+//! Typed candidate-evaluation sessions over an [`OptContext`].
+//!
+//! Optimizers used to probe candidates with the ad-hoc trio
+//! `ctx.analyze` + `ctx.meets` + `ctx.power` — three full O(n) passes per
+//! probe. An [`EvalSession`] replaces that with a stateful
+//! `try_moves` / `commit` / `rollback` protocol backed by the incremental
+//! timing engine: buffers partition the RC tree into stages, so flipping one
+//! edge's rule re-solves only the stage containing it plus an O(#stages)
+//! arrival-offset pass. Power deltas are closed-form (wire switching power
+//! is linear in capacitance), so a probe near a leaf costs O(stage size),
+//! not O(n).
+//!
+//! [`EvalMode::FullReanalysis`] keeps the original full-analysis path alive
+//! behind the same API — it is the oracle the equivalence tests and the
+//! `incremental_vs_full` benchmark compare against.
+//!
+//! # Examples
+//!
+//! ```
+//! use snr_netlist::BenchmarkSpec;
+//! use snr_tech::Technology;
+//! use snr_cts::{synthesize, CtsOptions};
+//! use snr_power::PowerModel;
+//! use snr_core::OptContext;
+//!
+//! let design = BenchmarkSpec::new("demo", 48).seed(5).build()?;
+//! let tech = Technology::n45();
+//! let tree = synthesize(&design, &tech, &CtsOptions::default())?;
+//! let ctx = OptContext::new(&tree, &tech, PowerModel::new(1.0));
+//!
+//! let mut session = ctx.session(); // starts from the conservative baseline
+//! let edge = tree.edges().next().unwrap();
+//! let eval = session.try_edge(edge, tech.rules().default_id());
+//! if eval.feasible && eval.power_delta_uw < 0.0 {
+//!     session.commit();
+//! } else {
+//!     session.rollback();
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::OptContext;
+use snr_cts::{Assignment, NodeId};
+use snr_tech::{units, RuleId};
+use snr_timing::{IncrementalAnalyzer, TimingReport, TimingSummary};
+
+/// How an [`EvalSession`] evaluates candidate moves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalMode {
+    /// Stage-dirty incremental timing plus closed-form power deltas —
+    /// the fast path.
+    #[default]
+    Incremental,
+    /// Full re-analysis per probe through `ctx.analyze` / `ctx.meets` /
+    /// `ctx.power` — the original path, kept as the test oracle.
+    FullReanalysis,
+}
+
+/// The evaluation of one candidate move set, as returned by
+/// [`EvalSession::try_moves`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateEval {
+    /// Network power change vs the session's committed state, µW
+    /// (negative = the candidate saves power).
+    pub power_delta_uw: f64,
+    /// Max slew at any sink or buffer input under the candidate, ps.
+    pub worst_slew_ps: f64,
+    /// Global skew under the candidate, ps.
+    pub skew_ps: f64,
+    /// Whether the candidate meets every constraint the context enforces
+    /// (slew/skew, timing arcs, track budget, EM, noise, corners) —
+    /// equivalent to [`OptContext::meets`].
+    pub feasible: bool,
+}
+
+struct Pending {
+    /// Deduplicated moves, last write per edge wins.
+    moves: Vec<(NodeId, RuleId)>,
+    eval: CandidateEval,
+    network_uw: f64,
+}
+
+/// A stateful candidate-evaluation session: holds a committed assignment and
+/// evaluates candidate rule changes against it.
+///
+/// Protocol: [`try_edge`] / [`try_moves`] evaluates a candidate (implicitly
+/// discarding any previous un-committed candidate), then either [`commit`]
+/// makes it the new committed state or [`rollback`] discards it. The
+/// committed state is always internally consistent; `commit` without a
+/// pending candidate panics.
+///
+/// Built by [`OptContext::session`] / [`OptContext::session_from`]; the mode
+/// comes from [`OptContext::with_eval_mode`].
+///
+/// [`try_edge`]: EvalSession::try_edge
+/// [`try_moves`]: EvalSession::try_moves
+/// [`commit`]: EvalSession::commit
+/// [`rollback`]: EvalSession::rollback
+pub struct EvalSession<'c, 'a> {
+    ctx: &'c OptContext<'a>,
+    mode: EvalMode,
+    asg: Assignment,
+    /// Present in [`EvalMode::Incremental`] only.
+    engine: Option<IncrementalAnalyzer>,
+    corner_engines: Vec<IncrementalAnalyzer>,
+    corner_base_skews: Vec<f64>,
+    committed_slew_ps: f64,
+    committed_skew_ps: f64,
+    committed_feasible: bool,
+    committed_network_uw: f64,
+    pending: Option<Pending>,
+}
+
+impl<'c, 'a> EvalSession<'c, 'a> {
+    pub(crate) fn new(ctx: &'c OptContext<'a>, asg: Assignment, mode: EvalMode) -> Self {
+        let committed_network_uw = ctx.power(&asg).network_uw();
+        match mode {
+            EvalMode::FullReanalysis => {
+                let report = ctx.analyze(&asg);
+                let feasible = ctx.meets(&asg, &report);
+                EvalSession {
+                    ctx,
+                    mode,
+                    asg,
+                    engine: None,
+                    corner_engines: Vec::new(),
+                    corner_base_skews: Vec::new(),
+                    committed_slew_ps: report.max_slew_ps(),
+                    committed_skew_ps: report.skew_ps(),
+                    committed_feasible: feasible,
+                    committed_network_uw,
+                    pending: None,
+                }
+            }
+            EvalMode::Incremental => {
+                let tree = ctx.tree();
+                let tech = ctx.tech();
+                let engine = IncrementalAnalyzer::new(tree, tech, &asg);
+                let corner_engines: Vec<IncrementalAnalyzer> = ctx
+                    .corners()
+                    .iter()
+                    .map(|c| {
+                        IncrementalAnalyzer::with_scales(tree, tech, &asg, c.r_scale(), c.c_scale())
+                    })
+                    .collect();
+                let corner_base_skews = ctx.corner_base_skews();
+                let summary = engine.summary();
+                let corner_summaries: Vec<TimingSummary> =
+                    corner_engines.iter().map(|e| e.summary()).collect();
+                let mut session = EvalSession {
+                    ctx,
+                    mode,
+                    asg,
+                    engine: Some(engine),
+                    corner_engines,
+                    corner_base_skews,
+                    committed_slew_ps: summary.max_slew_ps,
+                    committed_skew_ps: summary.skew_ps(),
+                    committed_feasible: false,
+                    committed_network_uw,
+                    pending: None,
+                };
+                session.committed_feasible =
+                    session.incremental_feasible(summary, &corner_summaries);
+                session
+            }
+        }
+    }
+
+    /// Evaluates changing one edge's rule. Equivalent to
+    /// `try_moves(&[(edge, rule)])`.
+    pub fn try_edge(&mut self, edge: NodeId, rule: RuleId) -> CandidateEval {
+        self.try_moves(&[(edge, rule)])
+    }
+
+    /// Evaluates applying `moves` (edge → rule) on top of the committed
+    /// state. A previous un-committed candidate is discarded first; if the
+    /// same edge appears more than once the last write wins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a move targets the root (which has no edge).
+    pub fn try_moves(&mut self, moves: &[(NodeId, RuleId)]) -> CandidateEval {
+        if self.pending.is_some() {
+            self.rollback();
+        }
+        let mut dedup: Vec<(NodeId, RuleId)> = Vec::with_capacity(moves.len());
+        for &(edge, rule) in moves {
+            match dedup.iter_mut().find(|(e, _)| *e == edge) {
+                Some(slot) => slot.1 = rule,
+                None => dedup.push((edge, rule)),
+            }
+        }
+        let (eval, network_uw) = match self.mode {
+            EvalMode::Incremental => self.try_incremental(&dedup),
+            EvalMode::FullReanalysis => self.try_full(&dedup),
+        };
+        self.pending = Some(Pending {
+            moves: dedup,
+            eval,
+            network_uw,
+        });
+        eval
+    }
+
+    fn try_incremental(&mut self, moves: &[(NodeId, RuleId)]) -> (CandidateEval, f64) {
+        let tree = self.ctx.tree();
+        let tech = self.ctx.tech();
+        let summary = self
+            .engine
+            .as_mut()
+            .expect("incremental mode has an engine")
+            .try_moves(tree, tech, moves);
+        let corner_summaries: Vec<TimingSummary> = self
+            .corner_engines
+            .iter_mut()
+            .map(|e| e.try_moves(tree, tech, moves))
+            .collect();
+        // Wire switching power is linear in capacitance, so the delta is
+        // closed-form from the unit-cap changes; buffer and leakage terms
+        // are rule-independent.
+        let layer = tech.clock_layer();
+        let rules = tech.rules();
+        let mut cap_delta_ff = 0.0;
+        for &(edge, rule) in moves {
+            let len_um = tree.node(edge).edge_len_nm() as f64 / 1_000.0;
+            let new = rules.get(rule).expect("rule id validated by the engine");
+            let old = rules
+                .get(self.asg.rule(edge))
+                .expect("committed assignment is valid");
+            cap_delta_ff += (layer.unit_c(new) - layer.unit_c(old)) * len_um;
+        }
+        let model = self.ctx.power_model();
+        let power_delta_uw = units::switching_power_uw(
+            cap_delta_ff,
+            tech.vdd_v(),
+            model.freq_ghz(),
+            model.activity(),
+        );
+        let feasible = self.incremental_feasible(summary, &corner_summaries);
+        let eval = CandidateEval {
+            power_delta_uw,
+            worst_slew_ps: summary.max_slew_ps,
+            skew_ps: summary.skew_ps(),
+            feasible,
+        };
+        (eval, self.committed_network_uw + power_delta_uw)
+    }
+
+    fn try_full(&self, moves: &[(NodeId, RuleId)]) -> (CandidateEval, f64) {
+        let mut candidate = self.asg.clone();
+        for &(edge, rule) in moves {
+            candidate.set(edge, rule);
+        }
+        let report = self.ctx.analyze(&candidate);
+        let feasible = self.ctx.meets(&candidate, &report);
+        let network_uw = self.ctx.power(&candidate).network_uw();
+        let eval = CandidateEval {
+            power_delta_uw: network_uw - self.committed_network_uw,
+            worst_slew_ps: report.max_slew_ps(),
+            skew_ps: report.skew_ps(),
+            feasible,
+        };
+        (eval, network_uw)
+    }
+
+    /// Replicates [`OptContext::meets`] from the candidate state of the
+    /// incremental engines: same checks, same order, iterating edges in the
+    /// same order so every floating-point sum is reproduced exactly.
+    fn incremental_feasible(
+        &self,
+        nominal: TimingSummary,
+        corner_summaries: &[TimingSummary],
+    ) -> bool {
+        let constraints = self.ctx.constraints();
+        if !(nominal.max_slew_ps <= constraints.slew_limit_ps()
+            && nominal.skew_ps() <= constraints.skew_limit_ps())
+        {
+            return false;
+        }
+        let engine = self.engine.as_ref().expect("incremental mode has an engine");
+        for (arc, from, to) in self.ctx.resolved_arcs() {
+            if !arc.satisfied_by(
+                engine.candidate_arrival_ps(*from),
+                engine.candidate_arrival_ps(*to),
+            ) {
+                return false;
+            }
+        }
+        let tree = self.ctx.tree();
+        let tech = self.ctx.tech();
+        if let Some(budget) = constraints.track_budget_um() {
+            let rules = tech.rules();
+            let mut cost = 0.0;
+            for e in tree.edges() {
+                let rule = rules
+                    .get(engine.candidate_rule(e))
+                    .expect("rule id validated by the engine");
+                cost += rule.track_cost() * tree.node(e).edge_len_nm() as f64 / 1_000.0;
+            }
+            if cost > budget * (1.0 + 1e-12) {
+                return false;
+            }
+        }
+        if let Some(limit) = constraints.em_limit_ma_per_um() {
+            let layer = tech.clock_layer();
+            let rules = tech.rules();
+            let vdd = tech.vdd_v();
+            let f = self.ctx.power_model().freq_ghz();
+            for e in tree.edges() {
+                if tree.node(e).edge_len_nm() == 0 {
+                    continue;
+                }
+                let rule = rules
+                    .get(engine.candidate_rule(e))
+                    .expect("rule id validated by the engine");
+                let i_ma = engine.candidate_stage_load_ff(e) * vdd * f / 1_000.0;
+                let width_um = rule.width_mult() * layer.width_min_um();
+                if i_ma > limit * width_um * (1.0 + 1e-12) {
+                    return false;
+                }
+            }
+        }
+        if let Some(limit) = constraints.noise_limit_ff_per_um() {
+            let layer = tech.clock_layer();
+            let rules = tech.rules();
+            for e in tree.edges() {
+                if tree.node(e).edge_len_nm() == 0 {
+                    continue;
+                }
+                let rule = rules
+                    .get(engine.candidate_rule(e))
+                    .expect("rule id validated by the engine");
+                if layer.unit_c_aggressor(rule) > limit + 1e-12 {
+                    return false;
+                }
+            }
+        }
+        for (i, &corner) in self.ctx.corners().iter().enumerate() {
+            let scale = corner.r_scale() * corner.c_scale();
+            let at = corner_summaries[i];
+            let slew_ok = at.max_slew_ps <= constraints.slew_limit_ps() * scale.max(1.0);
+            let skew_ok = at.skew_ps() <= constraints.skew_limit_ps() + self.corner_base_skews[i];
+            if !(slew_ok && skew_ok) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Makes the pending candidate the committed state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no pending candidate.
+    pub fn commit(&mut self) {
+        let pending = self.pending.take().expect("no pending candidate to commit");
+        for &(edge, rule) in &pending.moves {
+            self.asg.set(edge, rule);
+        }
+        if let Some(engine) = self.engine.as_mut() {
+            engine.commit();
+        }
+        for engine in &mut self.corner_engines {
+            engine.commit();
+        }
+        self.committed_slew_ps = pending.eval.worst_slew_ps;
+        self.committed_skew_ps = pending.eval.skew_ps;
+        self.committed_feasible = pending.eval.feasible;
+        self.committed_network_uw = pending.network_uw;
+    }
+
+    /// Discards the pending candidate (no-op when there is none).
+    pub fn rollback(&mut self) {
+        self.pending = None;
+        if let Some(engine) = self.engine.as_mut() {
+            engine.rollback();
+        }
+        for engine in &mut self.corner_engines {
+            engine.rollback();
+        }
+    }
+
+    /// The committed state expressed as a [`CandidateEval`] (zero power
+    /// delta by definition).
+    pub fn committed_eval(&self) -> CandidateEval {
+        CandidateEval {
+            power_delta_uw: 0.0,
+            worst_slew_ps: self.committed_slew_ps,
+            skew_ps: self.committed_skew_ps,
+            feasible: self.committed_feasible,
+        }
+    }
+
+    /// Whether the committed state meets every constraint.
+    pub fn feasible(&self) -> bool {
+        self.committed_feasible
+    }
+
+    /// Network power of the committed state, µW.
+    pub fn network_uw(&self) -> f64 {
+        self.committed_network_uw
+    }
+
+    /// The rule committed on `edge`.
+    pub fn rule(&self, edge: NodeId) -> RuleId {
+        self.asg.rule(edge)
+    }
+
+    /// A full timing report of the committed state (O(n); used for
+    /// sensitivity scans, not per-candidate checks).
+    pub fn report(&self) -> TimingReport {
+        match &self.engine {
+            Some(engine) => engine.report(self.ctx.tree()),
+            None => self.ctx.analyze(&self.asg),
+        }
+    }
+
+    /// The committed assignment.
+    pub fn assignment(&self) -> &Assignment {
+        &self.asg
+    }
+
+    /// Consumes the session, returning the committed assignment.
+    pub fn into_assignment(self) -> Assignment {
+        self.asg
+    }
+
+    /// The evaluation mode this session runs in.
+    pub fn mode(&self) -> EvalMode {
+        self.mode
+    }
+}

@@ -2,6 +2,7 @@
 
 use crate::{NdrOptimizer, OptContext};
 use snr_cts::{Assignment, NodeId};
+use snr_timing::TimingReport;
 
 /// Upgrade-repair: start with *no* NDR anywhere (uniform default) and,
 /// while the tree violates the envelope, upgrade the most effective edge
@@ -39,9 +40,13 @@ impl GreedyUpgradeRepair {
 
     /// Edges worth upgrading for the current report: stage edges of
     /// slew-violating nodes plus root-path edges of the extreme sinks.
-    fn candidates(&self, ctx: &OptContext<'_>, asg: &Assignment) -> Vec<NodeId> {
+    fn candidates(
+        &self,
+        ctx: &OptContext<'_>,
+        asg: &Assignment,
+        report: &TimingReport,
+    ) -> Vec<NodeId> {
         let tree = ctx.tree();
-        let report = ctx.analyze(asg);
         let constraints = ctx.constraints();
         let mut mark = vec![false; tree.len()];
 
@@ -115,30 +120,29 @@ impl NdrOptimizer for GreedyUpgradeRepair {
 
         // Running routing-track cost, so upgrades can respect a budget.
         let len_um = |e: NodeId| tree.node(e).edge_len_nm() as f64 / 1_000.0;
-        let mut asg = ctx.default_assignment();
+        let mut session = ctx.session_from(ctx.default_assignment());
         let mut track_um: f64 = tree
             .edges()
-            .map(|e| rules.rule(asg.rule(e)).track_cost() * len_um(e))
+            .map(|e| rules.rule(session.rule(e)).track_cost() * len_um(e))
             .sum();
         let budget = constraints.track_budget_um().unwrap_or(f64::INFINITY);
         for _ in 0..self.max_iters {
-            let report = ctx.analyze(&asg);
+            let report = session.report();
             let violation = constraints.violation_ps(&report);
-            if violation <= 0.0
-                && ctx.meets(&asg, &report) {
-                    return asg;
-                }
-                // Nominal is clean but a corner still violates: fall through
-                // to the plateau branch, which keeps widening the longest
-                // cheap edges (terminating at uniform-conservative).
-            let candidates = self.candidates(ctx, &asg);
+            if violation <= 0.0 && session.feasible() {
+                return session.into_assignment();
+            }
+            // Nominal is clean but a corner still violates: fall through
+            // to the plateau branch, which keeps widening the longest
+            // cheap edges (terminating at uniform-conservative).
+            let candidates = self.candidates(ctx, session.assignment(), &report);
             if candidates.is_empty() {
                 break;
             }
             // Best violation reduction per added capacitance.
             let mut best: Option<(f64, NodeId, snr_tech::RuleId)> = None;
             for e in candidates {
-                let current = asg.rule(e);
+                let current = session.rule(e);
                 let Some(next) = rules.pricier_than(current).next() else {
                     continue;
                 };
@@ -152,9 +156,10 @@ impl NdrOptimizer for GreedyUpgradeRepair {
                     - layer.unit_c(rules.rule(current)))
                     * len_um(e))
                     .max(1e-6);
-                asg.set(e, next);
-                let new_violation = constraints.violation_ps(&ctx.analyze(&asg));
-                asg.set(e, current);
+                let eval = session.try_edge(e, next);
+                session.rollback();
+                let new_violation =
+                    constraints.violation_ps_of(eval.worst_slew_ps, eval.skew_ps);
                 let score = (violation - new_violation) / added_ff;
                 if best.is_none_or(|(s, _, _)| score > s) {
                     best = Some((score, e, next));
@@ -163,9 +168,10 @@ impl NdrOptimizer for GreedyUpgradeRepair {
             match best {
                 Some((score, e, next)) if score > 0.0 => {
                     track_um += (rules.rule(next).track_cost()
-                        - rules.rule(asg.rule(e)).track_cost())
+                        - rules.rule(session.rule(e)).track_cost())
                         * len_um(e);
-                    asg.set(e, next);
+                    session.try_edge(e, next);
+                    session.commit();
                 }
                 // No single upgrade helps (plateau): take the largest
                 // candidate-free step — upgrade the longest still-cheap
@@ -174,7 +180,7 @@ impl NdrOptimizer for GreedyUpgradeRepair {
                     let fallback = tree
                         .edges()
                         .filter(|e| {
-                            let cur = asg.rule(*e);
+                            let cur = session.rule(*e);
                             if cur == rules.most_conservative_id() {
                                 return false;
                             }
@@ -188,13 +194,14 @@ impl NdrOptimizer for GreedyUpgradeRepair {
                     match fallback {
                         Some(e) => {
                             let next = rules
-                                .pricier_than(asg.rule(e))
+                                .pricier_than(session.rule(e))
                                 .next()
                                 .expect("not at most conservative");
                             track_um += (rules.rule(next).track_cost()
-                                - rules.rule(asg.rule(e)).track_cost())
+                                - rules.rule(session.rule(e)).track_cost())
                                 * len_um(e);
-                            asg.set(e, next);
+                            session.try_edge(e, next);
+                            session.commit();
                         }
                         None => break, // nothing more fits the budget
                     }
@@ -203,8 +210,8 @@ impl NdrOptimizer for GreedyUpgradeRepair {
         }
         // Could not repair within budget: the conservative uniform tree is
         // the guaranteed-feasible answer when one exists.
-        if ctx.feasible(&asg) {
-            asg
+        if session.feasible() {
+            session.into_assignment()
         } else {
             ctx.conservative_assignment()
         }

@@ -260,7 +260,7 @@ mod tests {
     #[should_panic(expected = "at least one grounded node")]
     fn ungrounded_solve_panics() {
         let g = ResistiveGrid::new(3, 3, 1.0, 1.0);
-        let _ = g.solve(&vec![0.0; 9]);
+        let _ = g.solve(&[0.0; 9]);
     }
 
     #[test]

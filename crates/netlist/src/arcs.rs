@@ -156,7 +156,11 @@ mod tests {
     #[test]
     fn arcs_prefer_nearby_pairs() {
         let d = design();
-        let arcs = random_timing_arcs(&d, 200, (10.0, 40.0), (2.0, 8.0), 9);
+        // Pair distances are heavy-tailed (a handful of far-flung sinks
+        // dominate the mean), so a small sample's mean swings by ±0.25×
+        // the random-pair baseline depending on the RNG stream. 2000 arcs
+        // concentrate the ratio to ~0.39–0.49 across seeds.
+        let arcs = random_timing_arcs(&d, 2000, (10.0, 40.0), (2.0, 8.0), 9);
         let arc_mean: f64 = arcs
             .iter()
             .map(|a| {

@@ -39,7 +39,9 @@
 #![warn(missing_docs)]
 
 mod analysis;
+mod incremental;
 mod report;
 
 pub use analysis::{analyze, analyze_at_corner, Analyzer, AnalysisOptions, DelayMetric};
+pub use incremental::{IncrementalAnalyzer, TimingSummary};
 pub use report::TimingReport;

@@ -31,7 +31,7 @@ USAGE:
   smart-ndr run   (--design <FILE> | --sinks <N> [--seed <S>])
                   [--tech n45|n32] [--method smart|greedy|upgrade|level|uniform|anneal]
                   [--slew-margin <X>] [--skew-budget <PS>] [--svg <FILE>] [--mc <SAMPLES>]
-                  [--save-asg <FILE>]
+                  [--save-asg <FILE>] [--json]
   smart-ndr suite [--tech n45|n32]
   smart-ndr mesh  (--design <FILE> | --sinks <N> [--seed <S>]) [--tech n45|n32]
                   [--grid <N>] [--drivers <K>] [--rule default|2w2s]
@@ -68,6 +68,9 @@ fn run(args: Vec<String>) -> Result<(), String> {
     }
 }
 
+/// Flags that take no value; present means "true".
+const BOOL_FLAGS: &[&str] = &["json"];
+
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
     let mut it = args.iter();
@@ -75,6 +78,10 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let key = key
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got {key:?}"))?;
+        if BOOL_FLAGS.contains(&key) {
+            flags.insert(key.to_owned(), "true".to_owned());
+            continue;
+        }
         let value = it
             .next()
             .ok_or_else(|| format!("flag --{key} needs a value"))?;
@@ -131,20 +138,75 @@ fn cmd_gen(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Escapes `s` for use inside a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes an [`Outcome`] as a JSON object, including the per-rule
+/// wirelength histogram.
+fn outcome_json(
+    out: &smart_ndr::core::Outcome,
+    tree: &smart_ndr::cts::ClockTree,
+    tech: &Technology,
+) -> String {
+    let usage = out.assignment().usage_um(tree, tech.rules());
+    let histogram = tech
+        .rules()
+        .iter()
+        .map(|(id, rule)| format!("\"{}\": {:.3}", json_escape(&rule.to_string()), usage[id.0]))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        concat!(
+            "{{\"name\": \"{}\", \"network_uw\": {:.6}, \"total_uw\": {:.6}, ",
+            "\"track_cost_um\": {:.3}, \"skew_ps\": {:.6}, \"max_slew_ps\": {:.6}, ",
+            "\"latency_ps\": {:.6}, \"meets_constraints\": {}, \"runtime_s\": {:.6}, ",
+            "\"rule_histogram_um\": {{{}}}}}"
+        ),
+        json_escape(out.name()),
+        out.power().network_uw(),
+        out.power().total_uw(),
+        out.power().track_cost_um(),
+        out.timing().skew_ps(),
+        out.timing().max_slew_ps(),
+        out.timing().latency_ps(),
+        out.meets_constraints(),
+        out.elapsed().as_secs_f64(),
+        histogram,
+    )
+}
+
 fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     let design = design_of(flags)?;
     let tech = tech_of(flags)?;
     let slew_margin: f64 = get_parsed(flags, "slew-margin", 1.10)?;
     let skew_budget: f64 = get_parsed(flags, "skew-budget", 30.0)?;
+    let json = flags.contains_key("json");
 
-    println!("design: {design}");
+    if !json {
+        println!("design: {design}");
+    }
     let tree =
         synthesize(&design, &tech, &CtsOptions::default()).map_err(|e| e.to_string())?;
-    println!("tree:   {}", tree.stats());
+    if !json {
+        println!("tree:   {}", tree.stats());
+    }
 
     let ctx = OptContext::new(&tree, &tech, PowerModel::new(design.freq_ghz()))
         .with_constraints(Constraints::relative(&tree, &tech, slew_margin, skew_budget));
-    println!("constraints: {}", ctx.constraints());
+    if !json {
+        println!("constraints: {}", ctx.constraints());
+    }
 
     let method: Box<dyn NdrOptimizer> =
         match flags.get("method").map(String::as_str).unwrap_or("smart") {
@@ -159,36 +221,75 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
 
     let base = ctx.conservative_baseline();
     let out = method.optimize(&ctx);
-    println!("\nbaseline: {base}");
-    println!("result:   {out}");
-    println!(
-        "saving:   {:.1}% of clock-network power, {:.1}% of track cost",
-        100.0 * out.network_saving_vs(&base),
-        100.0 * (1.0 - out.power().track_cost_um() / base.power().track_cost_um()),
-    );
+    if !json {
+        println!("\nbaseline: {base}");
+        println!("result:   {out}");
+        println!(
+            "saving:   {:.1}% of clock-network power, {:.1}% of track cost",
+            100.0 * out.network_saving_vs(&base),
+            100.0 * (1.0 - out.power().track_cost_um() / base.power().track_cost_um()),
+        );
+    }
 
     let mc_samples: usize = get_parsed(flags, "mc", 0)?;
+    let mut sigma_skews: Option<(f64, f64)> = None;
     if mc_samples > 0 {
         let mc = MonteCarlo::new(VariationModel::default(), mc_samples, 7);
         let rep_base = mc.run(&tree, &tech, base.assignment());
         let rep_out = mc.run(&tree, &tech, out.assignment());
-        println!(
-            "variation ({mc_samples} samples): σ-skew baseline {:.2} ps, result {:.2} ps",
-            rep_base.sigma_skew_ps(),
-            rep_out.sigma_skew_ps()
-        );
+        sigma_skews = Some((rep_base.sigma_skew_ps(), rep_out.sigma_skew_ps()));
+        if !json {
+            println!(
+                "variation ({mc_samples} samples): σ-skew baseline {:.2} ps, result {:.2} ps",
+                rep_base.sigma_skew_ps(),
+                rep_out.sigma_skew_ps()
+            );
+        }
     }
 
     if let Some(path) = flags.get("save-asg") {
         let file = fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
         save_assignment(out.assignment(), &tree, file).map_err(|e| e.to_string())?;
-        println!("wrote {path}");
+        if !json {
+            println!("wrote {path}");
+        }
     }
 
     if let Some(path) = flags.get("svg") {
         let svg = render_svg(&tree, tech.rules(), out.assignment(), &SvgOptions::default());
         fs::write(path, svg).map_err(|e| format!("cannot write {path}: {e}"))?;
-        println!("wrote {path}");
+        if !json {
+            println!("wrote {path}");
+        }
+    }
+
+    if json {
+        let variation = match sigma_skews {
+            Some((b, r)) => format!(
+                ", \"variation\": {{\"samples\": {mc_samples}, \"sigma_skew_baseline_ps\": {b:.6}, \"sigma_skew_result_ps\": {r:.6}}}"
+            ),
+            None => String::new(),
+        };
+        println!(
+            concat!(
+                "{{\"design\": {{\"name\": \"{}\", \"sinks\": {}, \"freq_ghz\": {}}}, ",
+                "\"tech\": \"{}\", ",
+                "\"constraints\": {{\"slew_limit_ps\": {:.6}, \"skew_limit_ps\": {:.6}}}, ",
+                "\"baseline\": {}, \"result\": {}, ",
+                "\"saving\": {{\"network_frac\": {:.6}, \"track_frac\": {:.6}}}{}}}"
+            ),
+            json_escape(design.name()),
+            design.sinks().len(),
+            design.freq_ghz(),
+            json_escape(tech.name()),
+            ctx.constraints().slew_limit_ps(),
+            ctx.constraints().skew_limit_ps(),
+            outcome_json(&base, &tree, &tech),
+            outcome_json(&out, &tree, &tech),
+            out.network_saving_vs(&base),
+            1.0 - out.power().track_cost_um() / base.power().track_cost_um(),
+            variation,
+        );
     }
     Ok(())
 }

@@ -85,6 +85,55 @@ fn mesh_command_compares_structures() {
 }
 
 #[test]
+fn run_json_emits_machine_readable_outcome() {
+    let out = bin()
+        .args(["run", "--sinks", "80", "--seed", "4", "--method", "greedy", "--json"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let line = text.trim();
+    // Exactly one line of output: the JSON object, no human table around it.
+    assert!(!line.contains('\n'), "expected a single JSON line: {text}");
+    assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    assert_eq!(
+        line.matches('{').count(),
+        line.matches('}').count(),
+        "unbalanced braces: {line}"
+    );
+    for key in [
+        "\"design\"",
+        "\"constraints\"",
+        "\"baseline\"",
+        "\"result\"",
+        "\"network_uw\"",
+        "\"skew_ps\"",
+        "\"max_slew_ps\"",
+        "\"runtime_s\"",
+        "\"rule_histogram_um\"",
+        "\"meets_constraints\": true",
+        "\"saving\"",
+    ] {
+        assert!(line.contains(key), "missing {key} in {line}");
+    }
+    // The N45 menu's rules appear as histogram keys.
+    assert!(line.contains("\"2W2S\"") && line.contains("\"1W1S\""), "{line}");
+}
+
+#[test]
+fn run_json_with_variation_includes_sigma_skew() {
+    let out = bin()
+        .args(["run", "--sinks", "60", "--seed", "2", "--method", "level", "--mc", "8", "--json"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"variation\""), "{text}");
+    assert!(text.contains("\"sigma_skew_result_ps\""), "{text}");
+    assert!(!text.contains("σ-skew"), "human line must be suppressed: {text}");
+}
+
+#[test]
 fn run_without_design_or_sinks_fails() {
     let out = bin().arg("run").output().expect("binary runs");
     assert!(!out.status.success());
