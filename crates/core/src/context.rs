@@ -44,6 +44,8 @@ pub struct OptContext<'a> {
     analyzer: RefCell<Analyzer>,
     analysis_opts: AnalysisOptions,
     eval_mode: EvalMode,
+    divergence_every: usize,
+    divergence_epsilon_ps: f64,
 }
 
 impl<'a> OptContext<'a> {
@@ -62,6 +64,8 @@ impl<'a> OptContext<'a> {
             analyzer: RefCell::new(Analyzer::new()),
             analysis_opts: AnalysisOptions::default(),
             eval_mode: EvalMode::default(),
+            divergence_every: 256,
+            divergence_epsilon_ps: 1e-6,
         }
     }
 
@@ -76,6 +80,37 @@ impl<'a> OptContext<'a> {
     /// The evaluation mode sessions created by this context use.
     pub fn eval_mode(&self) -> EvalMode {
         self.eval_mode
+    }
+
+    /// Returns a copy with the incremental-engine divergence guard
+    /// reconfigured. Every `every` commits an [`EvalSession`] in
+    /// [`EvalMode::Incremental`] cross-checks its committed state against a
+    /// full re-analysis; drift beyond `epsilon` (ps for slew/skew; for
+    /// power, `epsilon` relative to the committed magnitude) records a
+    /// [`crate::Degradation`] and permanently falls the
+    /// session back to [`EvalMode::FullReanalysis`]. `every = 0` disables
+    /// the guard. The default is every 256 commits with epsilon `1e-6` —
+    /// two orders of magnitude above the reassociation noise the
+    /// equivalence suite bounds (≪ 1e-9 ps), and an amortized overhead of
+    /// one O(n) analysis per 256 O(stage) commits.
+    pub fn with_divergence_guard(mut self, every: usize, epsilon: f64) -> Self {
+        assert!(
+            epsilon.is_finite() && epsilon >= 0.0,
+            "divergence epsilon {epsilon} must be finite and non-negative"
+        );
+        self.divergence_every = every;
+        self.divergence_epsilon_ps = epsilon;
+        self
+    }
+
+    /// Commits between divergence cross-checks (0 = guard disabled).
+    pub fn divergence_every(&self) -> usize {
+        self.divergence_every
+    }
+
+    /// Divergence tolerance: ps for slew/skew, µW for power.
+    pub fn divergence_epsilon_ps(&self) -> f64 {
+        self.divergence_epsilon_ps
     }
 
     /// Opens a candidate-evaluation session starting from the conservative

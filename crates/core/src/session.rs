@@ -80,6 +80,34 @@ struct Pending {
     network_uw: f64,
 }
 
+/// A recorded incremental-engine divergence: the cross-check found the
+/// committed incremental state drifted from a full re-analysis beyond the
+/// configured epsilon, and the session fell back to
+/// [`EvalMode::FullReanalysis`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Degradation {
+    /// Commit count at which the drift was detected.
+    pub at_commit: usize,
+    /// |incremental − oracle| worst slew, ps.
+    pub slew_drift_ps: f64,
+    /// |incremental − oracle| global skew, ps.
+    pub skew_drift_ps: f64,
+    /// |incremental − oracle| network power, µW.
+    pub power_drift_uw: f64,
+}
+
+impl std::fmt::Display for Degradation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "incremental divergence at commit {}: slew drift {:.3e} ps, \
+             skew drift {:.3e} ps, power drift {:.3e} uW; \
+             falling back to full re-analysis",
+            self.at_commit, self.slew_drift_ps, self.skew_drift_ps, self.power_drift_uw
+        )
+    }
+}
+
 /// A stateful candidate-evaluation session: holds a committed assignment and
 /// evaluates candidate rule changes against it.
 ///
@@ -109,6 +137,10 @@ pub struct EvalSession<'c, 'a> {
     committed_feasible: bool,
     committed_network_uw: f64,
     pending: Option<Pending>,
+    /// Commits performed so far — drives the divergence-guard cadence.
+    commits: usize,
+    /// Every divergence the guard detected (normally empty).
+    degradations: Vec<Degradation>,
 }
 
 impl<'c, 'a> EvalSession<'c, 'a> {
@@ -130,6 +162,8 @@ impl<'c, 'a> EvalSession<'c, 'a> {
                     committed_feasible: feasible,
                     committed_network_uw,
                     pending: None,
+                    commits: 0,
+                    degradations: Vec::new(),
                 }
             }
             EvalMode::Incremental => {
@@ -159,6 +193,8 @@ impl<'c, 'a> EvalSession<'c, 'a> {
                     committed_feasible: false,
                     committed_network_uw,
                     pending: None,
+                    commits: 0,
+                    degradations: Vec::new(),
                 };
                 session.committed_feasible =
                     session.incremental_feasible(summary, &corner_summaries);
@@ -368,6 +404,71 @@ impl<'c, 'a> EvalSession<'c, 'a> {
         self.committed_skew_ps = pending.eval.skew_ps;
         self.committed_feasible = pending.eval.feasible;
         self.committed_network_uw = pending.network_uw;
+        self.commits += 1;
+        self.check_divergence();
+    }
+
+    /// The divergence guard: every `ctx.divergence_every()` commits,
+    /// cross-checks the committed incremental scalars against a full
+    /// re-analysis. Drift beyond `ctx.divergence_epsilon_ps()` means the
+    /// incremental engine's state no longer tracks the tree (a bug, or
+    /// accumulated floating-point corruption) — rather than keep optimizing
+    /// against wrong numbers, the session records a [`Degradation`], drops
+    /// the engines and degrades permanently to [`EvalMode::FullReanalysis`].
+    /// The run continues correct, just slower.
+    fn check_divergence(&mut self) {
+        if self.mode != EvalMode::Incremental {
+            return;
+        }
+        let every = self.ctx.divergence_every();
+        if every == 0 || !self.commits.is_multiple_of(every) {
+            return;
+        }
+        let report = self.ctx.analyze(&self.asg);
+        let network_uw = self.ctx.power(&self.asg).network_uw();
+        let slew_drift_ps = (self.committed_slew_ps - report.max_slew_ps()).abs();
+        let skew_drift_ps = (self.committed_skew_ps - report.skew_ps()).abs();
+        let power_drift_uw = (self.committed_network_uw - network_uw).abs();
+        let eps = self.ctx.divergence_epsilon_ps();
+        // Power sums scale with design size, so its tolerance is relative to
+        // the committed magnitude; slew/skew stay absolute in ps.
+        let power_eps = eps * network_uw.abs().max(1.0);
+        if slew_drift_ps <= eps && skew_drift_ps <= eps && power_drift_uw <= power_eps {
+            return;
+        }
+        self.degradations.push(Degradation {
+            at_commit: self.commits,
+            slew_drift_ps,
+            skew_drift_ps,
+            power_drift_uw,
+        });
+        self.mode = EvalMode::FullReanalysis;
+        self.engine = None;
+        self.corner_engines.clear();
+        self.corner_base_skews.clear();
+        // Re-seed the committed scalars from the oracle so everything the
+        // session reports from here on is trustworthy.
+        self.committed_slew_ps = report.max_slew_ps();
+        self.committed_skew_ps = report.skew_ps();
+        self.committed_feasible = self.ctx.meets(&self.asg, &report);
+        self.committed_network_uw = network_uw;
+    }
+
+    /// Divergences the guard detected so far (normally empty). Non-empty
+    /// means the session degraded to [`EvalMode::FullReanalysis`] mid-run;
+    /// callers may surface these as diagnostics.
+    pub fn degradations(&self) -> &[Degradation] {
+        &self.degradations
+    }
+
+    /// Test-only corruption hook: skews the nominal incremental engine's
+    /// committed state by `delta_ps` so the divergence guard has something
+    /// real to catch. No-op in [`EvalMode::FullReanalysis`].
+    #[doc(hidden)]
+    pub fn debug_corrupt_incremental(&mut self, delta_ps: f64) {
+        if let Some(engine) = self.engine.as_mut() {
+            engine.debug_perturb(delta_ps);
+        }
     }
 
     /// Discards the pending candidate (no-op when there is none).

@@ -1,0 +1,167 @@
+//! Divergence-guard tests: an [`EvalSession`] in incremental mode
+//! cross-checks its committed state against a full re-analysis every N
+//! commits, and on drift degrades to [`EvalMode::FullReanalysis`] instead of
+//! continuing to optimize against wrong numbers.
+//!
+//! The corruption is injected through the `#[doc(hidden)]`
+//! `debug_corrupt_incremental` hook, which skews the incremental engine's
+//! committed per-stage aggregates the way an engine-state bug would.
+
+use snr_core::{EvalMode, EvalSession, OptContext};
+use snr_cts::{synthesize, ClockTree, CtsOptions, NodeId};
+use snr_netlist::{BenchmarkSpec, Design};
+use snr_power::PowerModel;
+use snr_tech::{RuleId, Technology};
+
+const PERTURB_PS: f64 = 5.0;
+
+fn setup(n: usize, seed: u64) -> (Design, Technology) {
+    let design = BenchmarkSpec::new(format!("dg{n}"), n)
+        .seed(seed)
+        .build()
+        .expect("spec is valid");
+    (design, Technology::n45())
+}
+
+/// A deterministic move schedule: walk the edges, cycling through rules.
+fn schedule(tree: &ClockTree, tech: &Technology, steps: usize) -> Vec<(NodeId, RuleId)> {
+    let edges: Vec<NodeId> = tree.edges().collect();
+    let n_rules = tech.rules().len();
+    (0..steps)
+        .map(|i| (edges[i % edges.len()], RuleId(i % n_rules)))
+        .collect()
+}
+
+fn commit_all(session: &mut EvalSession<'_, '_>, moves: &[(NodeId, RuleId)]) {
+    for &mv in moves {
+        session.try_moves(&[mv]);
+        session.commit();
+    }
+}
+
+/// Perturbing the incremental state mid-run trips the guard on the next
+/// commit: the session records the degradation, falls back to full
+/// re-analysis, and from then on reports exactly what the oracle reports.
+#[test]
+fn perturbation_triggers_fallback_and_matches_oracle() {
+    let (design, tech) = setup(48, 7);
+    let tree = synthesize(&design, &tech, &CtsOptions::default()).unwrap();
+    let power = PowerModel::new(design.freq_ghz());
+    let ctx = OptContext::new(&tree, &tech, power)
+        .with_eval_mode(EvalMode::Incremental)
+        .with_divergence_guard(1, 1e-6);
+    let oracle_ctx =
+        OptContext::new(&tree, &tech, power).with_eval_mode(EvalMode::FullReanalysis);
+
+    let moves = schedule(&tree, &tech, 24);
+    let (first, rest) = moves.split_at(12);
+
+    let mut session = ctx.session();
+    let mut oracle = oracle_ctx.session();
+    commit_all(&mut session, first);
+    commit_all(&mut oracle, first);
+    assert_eq!(session.mode(), EvalMode::Incremental);
+    assert!(session.degradations().is_empty(), "clean run must not degrade");
+
+    // Corrupt the engine, then push one no-op commit through: the drifted
+    // aggregates flow into the committed scalars and the guard catches them.
+    session.debug_corrupt_incremental(PERTURB_PS);
+    session.try_moves(&[]);
+    session.commit();
+    oracle.try_moves(&[]);
+    oracle.commit();
+
+    assert_eq!(session.mode(), EvalMode::FullReanalysis, "guard must fall back");
+    assert_eq!(session.degradations().len(), 1);
+    let d = session.degradations()[0];
+    assert_eq!(d.at_commit, first.len() + 1);
+    assert!(
+        (d.slew_drift_ps - PERTURB_PS).abs() < 1e-6,
+        "recorded slew drift {} should match the injected {PERTURB_PS}",
+        d.slew_drift_ps
+    );
+    assert!(
+        (d.skew_drift_ps - PERTURB_PS).abs() < 1e-6,
+        "recorded skew drift {} should match the injected {PERTURB_PS}",
+        d.skew_drift_ps
+    );
+    let text = d.to_string();
+    assert!(text.contains("divergence") && text.contains("full re-analysis"));
+
+    // The run continues; the final output is identical to the pure-oracle run.
+    commit_all(&mut session, rest);
+    commit_all(&mut oracle, rest);
+    assert_eq!(session.degradations().len(), 1, "fallback is permanent, no re-trips");
+    assert_eq!(session.assignment(), oracle.assignment());
+    let (ca, cb) = (session.committed_eval(), oracle.committed_eval());
+    assert_eq!(ca.feasible, cb.feasible);
+    assert!((ca.worst_slew_ps - cb.worst_slew_ps).abs() < 1e-9);
+    assert!((ca.skew_ps - cb.skew_ps).abs() < 1e-9);
+    assert!((session.network_uw() - oracle.network_uw()).abs() < 1e-6);
+    let (ra, rb) = (session.report(), oracle.report());
+    assert!((ra.max_slew_ps() - rb.max_slew_ps()).abs() < 1e-9);
+    assert!((ra.skew_ps() - rb.skew_ps()).abs() < 1e-9);
+    assert!((ra.latency_ps() - rb.latency_ps()).abs() < 1e-9);
+}
+
+/// A clean incremental run checked on every commit never degrades — the
+/// guard's epsilon sits well above the engine's reassociation noise.
+#[test]
+fn clean_run_never_degrades() {
+    let (design, tech) = setup(64, 11);
+    let tree = synthesize(&design, &tech, &CtsOptions::default()).unwrap();
+    let power = PowerModel::new(design.freq_ghz());
+    let ctx = OptContext::new(&tree, &tech, power)
+        .with_eval_mode(EvalMode::Incremental)
+        .with_divergence_guard(1, 1e-6);
+    let mut session = ctx.session();
+    commit_all(&mut session, &schedule(&tree, &tech, 40));
+    assert_eq!(session.mode(), EvalMode::Incremental);
+    assert!(session.degradations().is_empty());
+}
+
+/// The guard only runs on its cadence: with `every = 4`, corruption injected
+/// after the first commit goes unnoticed until the fourth.
+#[test]
+fn guard_respects_cadence() {
+    let (design, tech) = setup(32, 3);
+    let tree = synthesize(&design, &tech, &CtsOptions::default()).unwrap();
+    let power = PowerModel::new(design.freq_ghz());
+    let ctx = OptContext::new(&tree, &tech, power)
+        .with_eval_mode(EvalMode::Incremental)
+        .with_divergence_guard(4, 1e-6);
+    let moves = schedule(&tree, &tech, 4);
+    let mut session = ctx.session();
+
+    session.try_moves(&[moves[0]]);
+    session.commit(); // commit 1: not a multiple of 4, no check
+    session.debug_corrupt_incremental(PERTURB_PS);
+    for &mv in &moves[1..3] {
+        session.try_moves(&[mv]);
+        session.commit(); // commits 2-3: still unchecked
+        assert_eq!(session.mode(), EvalMode::Incremental);
+    }
+    session.try_moves(&[moves[3]]);
+    session.commit(); // commit 4: guard fires
+    assert_eq!(session.mode(), EvalMode::FullReanalysis);
+    let degradations = session.degradations();
+    assert_eq!(degradations.len(), 1);
+    assert_eq!(degradations[0].at_commit, 4);
+}
+
+/// `every = 0` disables the guard entirely: corruption goes undetected and
+/// the session stays incremental (the opt-out keeps the old behaviour).
+#[test]
+fn disabled_guard_stays_incremental() {
+    let (design, tech) = setup(32, 5);
+    let tree = synthesize(&design, &tech, &CtsOptions::default()).unwrap();
+    let power = PowerModel::new(design.freq_ghz());
+    let ctx = OptContext::new(&tree, &tech, power)
+        .with_eval_mode(EvalMode::Incremental)
+        .with_divergence_guard(0, 1e-6);
+    let mut session = ctx.session();
+    session.debug_corrupt_incremental(PERTURB_PS);
+    commit_all(&mut session, &schedule(&tree, &tech, 8));
+    assert_eq!(session.mode(), EvalMode::Incremental);
+    assert!(session.degradations().is_empty());
+}

@@ -11,6 +11,17 @@
 use crate::{ClockTree, CtsError, CtsOptions, NodeId, NodeKind};
 use snr_tech::Technology;
 
+/// Index of a named cell in the technology's buffer library. The cells the
+/// library itself hands out always resolve; the typed error guards against
+/// a mismatched technology reaching this deep.
+fn cell_index(tech: &Technology, name: &str) -> Result<usize, CtsError> {
+    tech.buffers()
+        .cells()
+        .iter()
+        .position(|c| c.name() == name)
+        .ok_or_else(|| CtsError::new(format!("buffer cell {name:?} not in the library")))
+}
+
 /// Inserts buffers into an unbuffered tree, returning the buffered tree.
 ///
 /// The input tree is consumed; node ids are *not* preserved (the buffered
@@ -62,11 +73,10 @@ pub fn insert_buffers(
             };
             for &ch in node.children() {
                 let wire_ff = c_unit * tree.node(ch).edge_len_nm() as f64 / 1_000.0;
-                let below = if level_cell[height[ch.0]].is_some() {
+                let below = if let Some(ci) = level_cell[height[ch.0]] {
                     // Child level is buffered: upstream sees only the input
                     // pin of the child's buffer.
-                    tech.buffers().cells()[level_cell[height[ch.0]].expect("just checked")]
-                        .input_cap_ff()
+                    tech.buffers().cells()[ci].input_cap_ff()
                 } else {
                     acc[ch.0]
                 };
@@ -94,12 +104,7 @@ pub fn insert_buffers(
                         opts.slew_target_ps()
                     ))
                 })?;
-            let index = tech
-                .buffers()
-                .cells()
-                .iter()
-                .position(|c| c.name() == cell.name())
-                .expect("cell comes from this library");
+            let index = cell_index(tech, cell.name())?;
             level_cell[h] = Some(index);
         }
     }
@@ -107,28 +112,25 @@ pub fn insert_buffers(
     // The root always carries a driver; reuse the level cell when the root's
     // height is buffered, otherwise pick for the root's accumulated load.
     let root_height = max_height;
-    if level_cell[root_height].is_none() {
-        let load = acc[tree.root().0];
-        let cell = tech
-            .buffers()
-            .smallest_for_slew(load, opts.slew_target_ps())
-            .unwrap_or_else(|| tech.buffers().largest());
-        let index = tech
-            .buffers()
-            .cells()
-            .iter()
-            .position(|c| c.name() == cell.name())
-            .expect("cell comes from this library");
-        level_cell[root_height] = Some(index);
-    }
+    let root_cell = match level_cell[root_height] {
+        Some(index) => index,
+        None => {
+            let load = acc[tree.root().0];
+            let cell = tech
+                .buffers()
+                .smallest_for_slew(load, opts.slew_target_ps())
+                .unwrap_or_else(|| tech.buffers().largest());
+            let index = cell_index(tech, cell.name())?;
+            level_cell[root_height] = Some(index);
+            index
+        }
+    };
 
     // ---- Rebuild with buffer kinds ---------------------------------------
     // The old root becomes a buffer child of nothing (it *is* the tree top);
     // its kind switches to Buffer (the root driver sits at the old root's
     // location — the point DME already pulled towards the clock source).
-    let root_kind = NodeKind::Buffer {
-        cell: level_cell[root_height].expect("root level always buffered"),
-    };
+    let root_kind = NodeKind::Buffer { cell: root_cell };
     let old_root_kind = tree.node(tree.root()).kind();
     let mut out = ClockTree::with_root(
         tree.node(tree.root()).location(),

@@ -22,21 +22,21 @@ use std::io::{BufRead, Write};
 ///
 /// # Errors
 ///
-/// Returns [`CtsError`] when the writer fails.
-///
-/// # Panics
-///
-/// Panics if the assignment was built for a different tree.
+/// Returns [`CtsError`] when the writer fails or the assignment was built
+/// for a different tree (its edge table and the tree's node count
+/// disagree).
 pub fn save_assignment<W: Write>(
     assignment: &Assignment,
     tree: &ClockTree,
     mut w: W,
 ) -> Result<(), CtsError> {
-    assert_eq!(
-        assignment.len(),
-        tree.len(),
-        "assignment built for a different tree"
-    );
+    if assignment.len() != tree.len() {
+        return Err(CtsError::new(format!(
+            "assignment is for a {}-node tree, this tree has {}",
+            assignment.len(),
+            tree.len()
+        )));
+    }
     let io_err = |e: std::io::Error| CtsError::new(format!("write failed: {e}"));
     writeln!(w, "assignment nodes {}", tree.len()).map_err(io_err)?;
     for (e, rid) in assignment.iter_edges(tree) {

@@ -85,11 +85,10 @@ impl CtsOptions {
 
 impl Default for CtsOptions {
     fn default() -> Self {
-        CtsOptions::new(
-            Rule::new(2.0, 2.0).expect("2W2S is a valid rule"),
-            120.0,
-            100.0,
-        )
+        // 2W2S is statically valid; fall back to the single-width default
+        // rule rather than panic if the rule constructor ever tightens.
+        let rule = Rule::new(2.0, 2.0).unwrap_or_default();
+        CtsOptions::new(rule, 120.0, 100.0)
     }
 }
 

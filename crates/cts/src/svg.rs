@@ -72,8 +72,9 @@ pub fn render_svg(
         tree.len(),
         "assignment built for a different tree"
     );
+    let root_loc = tree.node(tree.root()).location();
     let bbox = Rect::bounding(tree.nodes().iter().map(|n| n.location()))
-        .expect("trees are non-empty")
+        .unwrap_or_else(|| Rect::new(root_loc, root_loc))
         .inflate(1);
     let scale = opts.width_px / bbox.width().max(1) as f64;
     let h_px = bbox.height().max(1) as f64 * scale;
@@ -110,7 +111,10 @@ pub fn render_svg(
                 continue;
             }
             let node = tree.node(e);
-            let parent = tree.node(node.parent().expect("edges have parents"));
+            let Some(pid) = node.parent() else {
+                continue; // iter_edges never yields the root
+            };
+            let parent = tree.node(pid);
             let a = parent.location();
             let b = node.location();
             let via = lshape_via(a, b);

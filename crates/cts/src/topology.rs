@@ -119,7 +119,9 @@ fn bisect(items: &mut [(SinkId, Point)], nodes: &mut Vec<PlanNode>) -> usize {
         nodes.push(PlanNode::Leaf(items[0].0));
         return nodes.len() - 1;
     }
-    let bbox = Rect::bounding(items.iter().map(|(_, p)| *p)).expect("non-empty");
+    let first = items[0].1;
+    let bbox = Rect::bounding(items.iter().map(|(_, p)| *p))
+        .unwrap_or_else(|| Rect::new(first, first));
     let split_on_x = bbox.width() >= bbox.height();
     // Median split (by position, ties broken by the other axis and id for
     // determinism).

@@ -1,6 +1,6 @@
 //! The clock-distribution problem instance.
 
-use crate::{NetlistError, Sink, SinkId};
+use crate::{NetlistError, Sink, SinkId, TimingArc};
 use snr_geom::{Point, Rect};
 use std::fmt;
 
@@ -37,6 +37,7 @@ pub struct Design {
     clock_root: Point,
     freq_ghz: f64,
     sinks: Vec<Sink>,
+    arcs: Vec<TimingArc>,
 }
 
 impl Design {
@@ -88,7 +89,47 @@ impl Design {
             clock_root,
             freq_ghz,
             sinks,
+            arcs: Vec::new(),
         })
+    }
+
+    /// Attaches launch/capture timing arcs to the design so they travel
+    /// with it through serialization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError`] when an arc references an unknown sink, is a
+    /// self-loop, or carries a non-finite/negative margin — the same
+    /// conditions [`TimingArc::new`] would panic on, reported as a typed
+    /// error instead.
+    pub fn with_arcs(mut self, arcs: Vec<TimingArc>) -> Result<Self, NetlistError> {
+        let n = self.sinks.len();
+        for (i, a) in arcs.iter().enumerate() {
+            if a.from.0 >= n || a.to.0 >= n {
+                return Err(NetlistError::new(format!(
+                    "arc {i} references unknown sink ({} -> {}, design has {n} sinks)",
+                    a.from, a.to
+                )));
+            }
+            if a.from == a.to {
+                return Err(NetlistError::new(format!(
+                    "arc {i} is a self-loop at {}",
+                    a.from
+                )));
+            }
+            if !(a.setup_margin_ps.is_finite()
+                && a.setup_margin_ps >= 0.0
+                && a.hold_margin_ps.is_finite()
+                && a.hold_margin_ps >= 0.0)
+            {
+                return Err(NetlistError::new(format!(
+                    "arc {i} margins (setup {} ps, hold {} ps) must be finite and non-negative",
+                    a.setup_margin_ps, a.hold_margin_ps
+                )));
+            }
+        }
+        self.arcs = arcs;
+        Ok(self)
     }
 
     /// Design name.
@@ -126,10 +167,18 @@ impl Design {
         self.sinks.iter().map(Sink::cap_ff).sum()
     }
 
+    /// Timing arcs attached via [`Design::with_arcs`] (empty when the
+    /// design carries no launch/capture constraints).
+    pub fn arcs(&self) -> &[TimingArc] {
+        &self.arcs
+    }
+
     /// Bounding box of the sink locations.
     pub fn sink_bbox(&self) -> Rect {
+        // Designs always have at least one sink; degenerate fallback keeps
+        // this total without a panic path.
         Rect::bounding(self.sinks.iter().map(Sink::location))
-            .expect("designs always have at least one sink")
+            .unwrap_or_else(|| Rect::new(self.clock_root, self.clock_root))
     }
 
     /// Half-perimeter wirelength of the sink bounding box in nm — a crude
@@ -218,6 +267,35 @@ mod tests {
         .unwrap();
         assert_eq!(d.sink_bbox(), Rect::new(Point::new(100, 200), Point::new(400, 900)));
         assert_eq!(d.hpwl_nm(), 300 + 700);
+    }
+
+    #[test]
+    fn with_arcs_validates_endpoints_and_margins() {
+        let d = Design::new(
+            "t",
+            die(),
+            Point::ORIGIN,
+            1.0,
+            vec![sink(0, 1, 1), sink(1, 2, 2)],
+        )
+        .unwrap();
+        let ok = d
+            .clone()
+            .with_arcs(vec![TimingArc::new(SinkId(0), SinkId(1), 5.0, 5.0)])
+            .unwrap();
+        assert_eq!(ok.arcs().len(), 1);
+        // Unknown endpoint, self-loop and bad margins are typed errors, not
+        // panics (margins bypass TimingArc::new since fields are public).
+        assert!(d
+            .clone()
+            .with_arcs(vec![TimingArc::new(SinkId(0), SinkId(9), 5.0, 5.0)])
+            .is_err());
+        let mut self_loop = TimingArc::new(SinkId(0), SinkId(1), 5.0, 5.0);
+        self_loop.to = SinkId(0);
+        assert!(d.clone().with_arcs(vec![self_loop]).is_err());
+        let mut bad = TimingArc::new(SinkId(0), SinkId(1), 5.0, 5.0);
+        bad.setup_margin_ps = f64::NAN;
+        assert!(d.clone().with_arcs(vec![bad]).is_err());
     }
 
     #[test]

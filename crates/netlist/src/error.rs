@@ -1,30 +1,126 @@
-//! Error type for design-database validation.
+//! Error types for design-database loading and validation.
 
+use crate::validate::Diagnostic;
 use std::error::Error;
 use std::fmt;
 
-/// Error returned when a [`crate::Design`] or benchmark specification is
-/// inconsistent.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct NetlistError {
-    what: String,
+/// Coarse classification of a [`NetlistError`], for callers that map errors
+/// to exit codes or retry policies without string-matching messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The underlying reader/writer failed (I/O layer).
+    Io,
+    /// The input bytes are not syntactically valid `.sndr` text.
+    Parse,
+    /// The input parsed but describes an inconsistent design.
+    Invalid,
+}
+
+/// Error returned when a [`crate::Design`] cannot be read, written or
+/// constructed.
+///
+/// The variants separate the three failure layers — transport
+/// ([`NetlistError::Io`]), syntax ([`NetlistError::Parse`]) and semantics
+/// ([`NetlistError::Invalid`] / [`NetlistError::Rejected`]) — so callers can
+/// distinguish a corrupted file from an infeasible design without parsing
+/// prose.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// The underlying reader or writer failed.
+    Io {
+        /// Description of the I/O failure.
+        what: String,
+    },
+    /// A line of `.sndr` text could not be parsed.
+    Parse {
+        /// 1-based line number of the first malformed line (0 when the
+        /// failure is not tied to a specific line, e.g. a missing section).
+        line: usize,
+        /// Description of the syntax problem.
+        what: String,
+    },
+    /// A semantic inconsistency found outside the diagnostic pipeline
+    /// (e.g. by [`crate::Design::new`] or a benchmark spec).
+    Invalid {
+        /// Description of the inconsistency.
+        what: String,
+    },
+    /// Validation produced `Error`-severity diagnostics and the design was
+    /// rejected. Carries every diagnostic, not just the first, so tools can
+    /// report all problems in one pass.
+    Rejected {
+        /// All diagnostics from the validation pass (including warnings).
+        diagnostics: Vec<Diagnostic>,
+    },
 }
 
 impl NetlistError {
-    /// Creates an error with a description of the inconsistency.
+    /// Creates a semantic-validation error with a description of the
+    /// inconsistency.
     pub fn new(what: impl Into<String>) -> Self {
-        NetlistError { what: what.into() }
+        NetlistError::Invalid { what: what.into() }
     }
 
-    /// Human-readable description.
-    pub fn what(&self) -> &str {
-        &self.what
+    /// Creates an I/O-layer error.
+    pub fn io(what: impl Into<String>) -> Self {
+        NetlistError::Io { what: what.into() }
+    }
+
+    /// Creates a parse error tied to a 1-based line number.
+    pub fn parse(line: usize, what: impl Into<String>) -> Self {
+        NetlistError::Parse {
+            line,
+            what: what.into(),
+        }
+    }
+
+    /// The coarse failure layer this error belongs to.
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            NetlistError::Io { .. } => ErrorKind::Io,
+            NetlistError::Parse { .. } => ErrorKind::Parse,
+            NetlistError::Invalid { .. } | NetlistError::Rejected { .. } => ErrorKind::Invalid,
+        }
+    }
+
+    /// The diagnostics behind a [`NetlistError::Rejected`], empty otherwise.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        match self {
+            NetlistError::Rejected { diagnostics } => diagnostics,
+            _ => &[],
+        }
+    }
+
+    /// Human-readable description (without the error-kind prefix).
+    pub fn what(&self) -> String {
+        match self {
+            NetlistError::Io { what } | NetlistError::Invalid { what } => what.clone(),
+            NetlistError::Parse { line: 0, what } => what.clone(),
+            NetlistError::Parse { line, what } => format!("line {line}: {what}"),
+            NetlistError::Rejected { diagnostics } => diagnostics
+                .iter()
+                .map(Diagnostic::to_string)
+                .collect::<Vec<_>>()
+                .join("; "),
+        }
     }
 }
 
 impl fmt::Display for NetlistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid design: {}", self.what)
+        match self {
+            NetlistError::Io { what } => write!(f, "design i/o failed: {what}"),
+            NetlistError::Parse { .. } => write!(f, "malformed design: {}", self.what()),
+            NetlistError::Invalid { what } => write!(f, "invalid design: {what}"),
+            NetlistError::Rejected { diagnostics } => {
+                let errors = diagnostics
+                    .iter()
+                    .filter(|d| d.severity == crate::validate::Severity::Error)
+                    .count();
+                write!(f, "invalid design ({errors} errors): {}", self.what())
+            }
+        }
     }
 }
 
@@ -33,6 +129,7 @@ impl Error for NetlistError {}
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::validate::{DiagCode, Diagnostic, Severity};
 
     #[test]
     fn display_and_bounds() {
@@ -42,5 +139,32 @@ mod tests {
             NetlistError::new("no sinks").to_string(),
             "invalid design: no sinks"
         );
+    }
+
+    #[test]
+    fn kinds_classify() {
+        assert_eq!(NetlistError::io("eof").kind(), ErrorKind::Io);
+        assert_eq!(NetlistError::parse(3, "bad token").kind(), ErrorKind::Parse);
+        assert_eq!(NetlistError::new("nope").kind(), ErrorKind::Invalid);
+        let rej = NetlistError::Rejected {
+            diagnostics: vec![Diagnostic::new(
+                DiagCode::NoSinks,
+                Severity::Error,
+                "design",
+                "design has no sinks",
+            )],
+        };
+        assert_eq!(rej.kind(), ErrorKind::Invalid);
+        assert_eq!(rej.diagnostics().len(), 1);
+        assert!(rej.to_string().contains("no sinks"));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = NetlistError::parse(7, "trailing tokens");
+        assert!(err.to_string().contains("line 7"));
+        assert!(err.to_string().contains("trailing tokens"));
+        // Line 0 means "no specific line" and is not printed.
+        assert!(!NetlistError::parse(0, "missing 'end'").to_string().contains("line 0"));
     }
 }

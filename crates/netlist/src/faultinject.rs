@@ -1,0 +1,438 @@
+//! Seeded fault injection for robustness testing.
+//!
+//! Only compiled with the `fault-inject` feature. Given a healthy design
+//! (or its serialized `.sndr` bytes) and a seed, the helpers here produce a
+//! deterministically corrupted variant: NaN coordinates, scrambled sink
+//! ids, self-loop arcs, absurd capacitances, flipped bytes, truncated
+//! files. Property tests across the workspace feed these corruptions
+//! through the full pipeline (load → CTS → optimize → report) and assert
+//! the invariant this PR exists for: **garbage in yields a typed error or a
+//! repaired design, never a panic**.
+//!
+//! Determinism matters more than realism — the same seed always produces
+//! the same corruption, so a failing case from CI reproduces locally with
+//! nothing but its seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use snr_netlist::faultinject::{corrupt_design, DesignFault};
+//! use snr_netlist::BenchmarkSpec;
+//!
+//! let design = BenchmarkSpec::new("victim", 32).seed(1).build()?;
+//! let raw = corrupt_design(&design, DesignFault::Geometry, 0xBAD5EED);
+//! // The corruption is visible to validation (or, rarely, benign) — and
+//! // finishing the raw design never panics either way.
+//! let _ = raw.finish();
+//! # Ok::<(), snr_netlist::NetlistError>(())
+//! ```
+
+use crate::validate::{RawArc, RawDesign};
+use crate::Design;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which aspect of a design [`corrupt_design`] damages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DesignFault {
+    /// Coordinates, die outline, clock root.
+    Geometry,
+    /// Sink ids and timing-arc structure.
+    Topology,
+    /// Capacitances, frequency, arc windows.
+    Electrical,
+}
+
+impl DesignFault {
+    /// All design-level fault categories (serialized-byte faults live in
+    /// [`corrupt_bytes`]).
+    pub const ALL: [DesignFault; 3] = [
+        DesignFault::Geometry,
+        DesignFault::Topology,
+        DesignFault::Electrical,
+    ];
+}
+
+/// Returns a seeded corruption of `design` in the given fault category.
+///
+/// One to three mutations are applied; which ones, and their targets, are a
+/// pure function of `seed`. The result is a [`RawDesign`] because the
+/// damage is usually unrepresentable in a validated [`Design`] — run it
+/// through [`RawDesign::validate`]/[`RawDesign::finish`] to exercise the
+/// defense layers.
+pub fn corrupt_design(design: &Design, category: DesignFault, seed: u64) -> RawDesign {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut raw = RawDesign::from_design(design);
+    let hits = 1 + rng.gen_range(0usize..3);
+    for _ in 0..hits {
+        match category {
+            DesignFault::Geometry => corrupt_geometry(&mut raw, &mut rng),
+            DesignFault::Topology => corrupt_topology(&mut raw, &mut rng),
+            DesignFault::Electrical => corrupt_electrical(&mut raw, &mut rng),
+        }
+    }
+    raw
+}
+
+/// Poison values injected into coordinates, caps and windows.
+fn poison(rng: &mut StdRng) -> f64 {
+    match rng.gen_range(0usize..6) {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3 => -1.0e12,
+        4 => 1.0e18,
+        _ => rng.gen_range(-1.0e9..1.0e9),
+    }
+}
+
+fn corrupt_geometry(raw: &mut RawDesign, rng: &mut StdRng) {
+    let n = raw.sinks.len();
+    match rng.gen_range(0usize..7) {
+        0 if n > 0 => {
+            // Poisoned sink coordinate.
+            let i = rng.gen_range(0..n);
+            if rng.gen_bool(0.5) {
+                raw.sinks[i].x = poison(rng);
+            } else {
+                raw.sinks[i].y = poison(rng);
+            }
+        }
+        1 if n > 0 => {
+            // Off-grid fractional placement.
+            let i = rng.gen_range(0..n);
+            raw.sinks[i].x += rng.gen_range(0.01..0.99);
+        }
+        2 if n > 1 => {
+            // Exact positional duplicate.
+            let i = rng.gen_range(0..n);
+            let j = rng.gen_range(0..n);
+            raw.sinks[j].x = raw.sinks[i].x;
+            raw.sinks[j].y = raw.sinks[i].y;
+        }
+        3 => {
+            // Degenerate or poisoned die outline.
+            match rng.gen_range(0usize..3) {
+                0 => raw.die = (raw.die.2, raw.die.3, raw.die.0, raw.die.1),
+                1 => raw.die = (raw.die.0, raw.die.1, raw.die.0, raw.die.1),
+                _ => raw.die.2 = poison(rng),
+            }
+        }
+        4 => {
+            // Clock root flung outside the die (or poisoned).
+            raw.root = if rng.gen_bool(0.5) {
+                (poison(rng), raw.root.1)
+            } else {
+                (raw.die.2 + 1.0e6, raw.die.3 + 1.0e6)
+            };
+        }
+        5 if n > 0 => {
+            // Sink pushed outside the die.
+            let i = rng.gen_range(0..n);
+            raw.sinks[i].x = raw.die.2 + rng.gen_range(1.0e3..1.0e7);
+        }
+        _ if n > 0 => {
+            // Negative-quadrant placement.
+            let i = rng.gen_range(0..n);
+            raw.sinks[i].x = -rng.gen_range(1.0e3..1.0e7);
+        }
+        _ => raw.die.0 = poison(rng),
+    }
+}
+
+fn corrupt_topology(raw: &mut RawDesign, rng: &mut StdRng) {
+    let n = raw.sinks.len();
+    match rng.gen_range(0usize..7) {
+        0 if n > 1 => {
+            // Duplicate sink id.
+            let i = rng.gen_range(0..n);
+            let j = rng.gen_range(0..n);
+            raw.sinks[i].id = raw.sinks[j].id;
+        }
+        1 if n > 0 => {
+            // Out-of-order / sparse ids.
+            let i = rng.gen_range(0..n);
+            raw.sinks[i].id = n + rng.gen_range(1usize..1000);
+        }
+        2 => {
+            // Self-loop arc.
+            let at = if n > 0 { rng.gen_range(0..n) } else { 0 };
+            raw.arcs.push(RawArc {
+                from: at,
+                to: at,
+                setup_ps: 10.0,
+                hold_ps: 10.0,
+            });
+        }
+        3 => {
+            // Dangling arc endpoint.
+            raw.arcs.push(RawArc {
+                from: n + rng.gen_range(1usize..100),
+                to: if n > 0 { rng.gen_range(0..n) } else { 0 },
+                setup_ps: 10.0,
+                hold_ps: 10.0,
+            });
+        }
+        4 if n > 2 => {
+            // Directed cycle through three sinks.
+            let a = rng.gen_range(0..n);
+            let b = (a + 1) % n;
+            let c = (a + 2) % n;
+            for (from, to) in [(a, b), (b, c), (c, a)] {
+                raw.arcs.push(RawArc {
+                    from,
+                    to,
+                    setup_ps: 10.0,
+                    hold_ps: 10.0,
+                });
+            }
+        }
+        5 if n > 1 => {
+            // Fan-in pile-up onto one victim sink.
+            let to = rng.gen_range(0..n);
+            for _ in 0..200 {
+                let from = rng.gen_range(0..n);
+                if from != to {
+                    raw.arcs.push(RawArc {
+                        from,
+                        to,
+                        setup_ps: 10.0,
+                        hold_ps: 10.0,
+                    });
+                }
+            }
+        }
+        _ => {
+            // All sinks gone.
+            raw.sinks.clear();
+        }
+    }
+}
+
+fn corrupt_electrical(raw: &mut RawDesign, rng: &mut StdRng) {
+    let n = raw.sinks.len();
+    match rng.gen_range(0usize..5) {
+        0 if n > 0 => {
+            let i = rng.gen_range(0..n);
+            raw.sinks[i].cap_ff = poison(rng);
+        }
+        1 if n > 0 => {
+            let i = rng.gen_range(0..n);
+            raw.sinks[i].cap_ff = -raw.sinks[i].cap_ff;
+        }
+        2 => raw.freq_ghz = poison(rng),
+        3 => raw.freq_ghz = rng.gen_range(100.0..1.0e6),
+        _ => {
+            // Arc with a poisoned window (materialize one if none exist).
+            if raw.arcs.is_empty() && n > 1 {
+                raw.arcs.push(RawArc {
+                    from: 0,
+                    to: 1,
+                    setup_ps: 10.0,
+                    hold_ps: 10.0,
+                });
+            }
+            if let Some(i) = (!raw.arcs.is_empty()).then(|| rng.gen_range(0..raw.arcs.len())) {
+                if rng.gen_bool(0.5) {
+                    raw.arcs[i].setup_ps = poison(rng);
+                } else {
+                    raw.arcs[i].hold_ps = poison(rng);
+                }
+            } else if n > 0 {
+                raw.sinks[0].cap_ff = 0.0;
+            }
+        }
+    }
+}
+
+/// Returns a seeded corruption of serialized `.sndr` bytes.
+///
+/// Mutations cover the damage a file actually suffers in the wild: flipped
+/// bits, truncation at an arbitrary offset, scrambled fields, NaN tokens
+/// spliced into numeric positions, garbage version headers, and deleted or
+/// duplicated lines. The output may be syntactically valid by luck — the
+/// only guaranteed property is that feeding it to
+/// [`load_design`](crate::load_design) must never panic.
+pub fn corrupt_bytes(bytes: &[u8], seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = bytes.to_vec();
+    let hits = 1 + rng.gen_range(0usize..3);
+    for _ in 0..hits {
+        if out.is_empty() {
+            break;
+        }
+        match rng.gen_range(0usize..7) {
+            0 => {
+                // Bit flips at random offsets.
+                for _ in 0..rng.gen_range(1usize..=8) {
+                    let i = rng.gen_range(0..out.len());
+                    out[i] ^= 1u8 << rng.gen_range(0u32..8);
+                }
+            }
+            1 => {
+                // Truncation.
+                let at = rng.gen_range(0..out.len());
+                out.truncate(at);
+            }
+            2 => {
+                // Scramble one whitespace-delimited field.
+                out = mutate_token(out, &mut rng, |rng| {
+                    let choices = ["banana", "-", "1e999", "0x7f", "§"];
+                    choices[rng.gen_range(0..choices.len())].to_owned()
+                });
+            }
+            3 => {
+                // NaN/Inf token injection.
+                out = mutate_token(out, &mut rng, |rng| {
+                    let choices = ["nan", "NaN", "inf", "-inf"];
+                    choices[rng.gen_range(0..choices.len())].to_owned()
+                });
+            }
+            4 => {
+                // Garbage version header.
+                let header = match rng.gen_range(0usize..3) {
+                    0 => format!("sndr {}\n", rng.gen_range(2u32..1000)),
+                    1 => "sndr banana\n".to_owned(),
+                    _ => "sndr\n".to_owned(),
+                };
+                let mut v = header.into_bytes();
+                v.extend_from_slice(&out);
+                out = v;
+            }
+            5 => {
+                // Delete one line.
+                let lines: Vec<&[u8]> = out.split(|&b| b == b'\n').collect();
+                if lines.len() > 1 {
+                    let skip = rng.gen_range(0..lines.len());
+                    let mut v = Vec::with_capacity(out.len());
+                    for (i, l) in lines.iter().enumerate() {
+                        if i != skip {
+                            v.extend_from_slice(l);
+                            v.push(b'\n');
+                        }
+                    }
+                    out = v;
+                }
+            }
+            _ => {
+                // Duplicate one line.
+                let lines: Vec<&[u8]> = out.split(|&b| b == b'\n').collect();
+                if lines.len() > 1 {
+                    let dup = rng.gen_range(0..lines.len());
+                    let mut v = Vec::with_capacity(out.len() * 2);
+                    for (i, l) in lines.iter().enumerate() {
+                        v.extend_from_slice(l);
+                        v.push(b'\n');
+                        if i == dup {
+                            v.extend_from_slice(l);
+                            v.push(b'\n');
+                        }
+                    }
+                    out = v;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Replaces one randomly chosen whitespace-separated token with
+/// `replacement(rng)`, preserving the rest of the text byte-for-byte.
+fn mutate_token(
+    bytes: Vec<u8>,
+    rng: &mut StdRng,
+    replacement: impl Fn(&mut StdRng) -> String,
+) -> Vec<u8> {
+    let text = String::from_utf8_lossy(&bytes).into_owned();
+    let tokens: Vec<(usize, usize)> = token_spans(&text);
+    if tokens.is_empty() {
+        return bytes;
+    }
+    let (start, end) = tokens[rng.gen_range(0..tokens.len())];
+    let mut out = String::with_capacity(text.len());
+    out.push_str(&text[..start]);
+    out.push_str(&replacement(rng));
+    out.push_str(&text[end..]);
+    out.into_bytes()
+}
+
+/// Byte spans of whitespace-separated tokens in `text`.
+fn token_spans(text: &str) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut start: Option<usize> = None;
+    for (i, c) in text.char_indices() {
+        if c.is_whitespace() {
+            if let Some(s) = start.take() {
+                spans.push((s, i));
+            }
+        } else if start.is_none() {
+            start = Some(i);
+        }
+    }
+    if let Some(s) = start {
+        spans.push((s, text.len()));
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::Bounds;
+    use crate::{load_design, save_design, BenchmarkSpec};
+
+    fn victim() -> Design {
+        BenchmarkSpec::new("victim", 48).seed(3).build().unwrap()
+    }
+
+    #[test]
+    fn corruption_is_deterministic_per_seed() {
+        let d = victim();
+        for category in DesignFault::ALL {
+            assert_eq!(
+                corrupt_design(&d, category, 7),
+                corrupt_design(&d, category, 7)
+            );
+            let mut buf = Vec::new();
+            save_design(&d, &mut buf).unwrap();
+            assert_eq!(corrupt_bytes(&buf, 7), corrupt_bytes(&buf, 7));
+        }
+    }
+
+    #[test]
+    fn corrupted_designs_never_panic_validation_or_finish() {
+        let d = victim();
+        let bounds = Bounds::default();
+        for category in DesignFault::ALL {
+            for seed in 0..64 {
+                let raw = corrupt_design(&d, category, seed);
+                let _ = raw.validate(&bounds);
+                let _ = raw.finish();
+                let mut repaired = raw.clone();
+                repaired.repair(&bounds);
+                let _ = repaired.finish();
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_bytes_never_panic_load() {
+        let d = victim();
+        let mut buf = Vec::new();
+        save_design(&d, &mut buf).unwrap();
+        for seed in 0..64 {
+            let bad = corrupt_bytes(&buf, seed);
+            let _ = load_design(bad.as_slice());
+        }
+    }
+
+    #[test]
+    fn corruption_usually_takes_effect() {
+        let d = victim();
+        let healthy = crate::validate::RawDesign::from_design(&d);
+        let changed = (0..32)
+            .filter(|&seed| corrupt_design(&d, DesignFault::Geometry, seed) != healthy)
+            .count();
+        assert!(changed >= 24, "only {changed}/32 corruptions changed the design");
+    }
+}

@@ -4,21 +4,39 @@
 //! diffed and exchanged without rebuilding them from a spec:
 //!
 //! ```text
+//! sndr 1
 //! design s400 freq_ghz 1
 //! die 0 0 894427 894427
 //! root 447213 0
 //! sink 0 ff0/clk 12000 40000 12.5
 //! sink 1 ff1/clk 90000 81000 7.25
+//! arc 0 1 45 30
 //! end
 //! ```
 //!
-//! Coordinates are integer nanometres, capacitances fF. The reader is
-//! strict: unknown directives, missing fields and out-of-order sink ids are
-//! errors, so a corrupted benchmark cannot silently load.
+//! Coordinates are integer nanometres, capacitances fF, arc margins ps. The
+//! optional `sndr <version>` header pins the format revision (files without
+//! it are read as version 1); `arc` lines carry launch→capture timing
+//! constraints.
+//!
+//! Reading is split into two layers so corrupted input always yields a
+//! typed error rather than a panic:
+//!
+//! * [`parse_raw`] handles syntax only. Malformed lines produce
+//!   [`NetlistError::Parse`] with the 1-based line number; anything that
+//!   merely *parses* — NaN coordinates, out-of-order sink ids, dangling
+//!   arcs — lands in a [`RawDesign`] untouched.
+//! * [`load_design`] / [`load_design_with`] run the
+//!   [`validate`](crate::validate) pipeline on that raw design and reject
+//!   (or repair) semantic damage, so a corrupted benchmark cannot silently
+//!   load.
 
-use crate::{Design, NetlistError, Sink, SinkId};
-use snr_geom::{Point, Rect};
+use crate::validate::{Bounds, Diagnostic, RawArc, RawDesign, RawSink, Repair, Severity};
+use crate::{Design, NetlistError};
 use std::io::{BufRead, Write};
+
+/// The format revision this reader/writer implements.
+pub const FORMAT_VERSION: u32 = 1;
 
 /// Writes `design` in the text format to `w`.
 ///
@@ -27,9 +45,10 @@ use std::io::{BufRead, Write};
 ///
 /// # Errors
 ///
-/// Returns [`NetlistError`] when the underlying writer fails.
+/// Returns [`NetlistError::Io`] when the underlying writer fails.
 pub fn save_design<W: Write>(design: &Design, mut w: W) -> Result<(), NetlistError> {
-    let io_err = |e: std::io::Error| NetlistError::new(format!("write failed: {e}"));
+    let io_err = |e: std::io::Error| NetlistError::io(format!("write failed: {e}"));
+    writeln!(w, "sndr {FORMAT_VERSION}").map_err(io_err)?;
     writeln!(w, "design {} freq_ghz {}", design.name(), design.freq_ghz()).map_err(io_err)?;
     let die = design.die();
     writeln!(
@@ -60,45 +79,68 @@ pub fn save_design<W: Write>(design: &Design, mut w: W) -> Result<(), NetlistErr
         )
         .map_err(io_err)?;
     }
+    for a in design.arcs() {
+        writeln!(
+            w,
+            "arc {} {} {} {}",
+            a.from.0, a.to.0, a.setup_margin_ps, a.hold_margin_ps
+        )
+        .map_err(io_err)?;
+    }
     writeln!(w, "end").map_err(io_err)
 }
 
-/// Reads a design in the text format from `r`.
+/// Reads the text format from `r` into an unvalidated [`RawDesign`].
 ///
-/// A `&mut` reader can be passed, since `BufRead` is implemented for
-/// mutable references.
+/// Only syntax is checked here: directives, token counts and numeric
+/// parses. Semantic damage (non-finite values, out-of-order ids, dangling
+/// arcs) is deliberately let through for the validation layer to diagnose
+/// in full.
 ///
 /// # Errors
 ///
-/// Returns [`NetlistError`] describing the first malformed line, a missing
-/// section, or a semantic inconsistency (the same validation as
-/// [`Design::new`]).
-pub fn load_design<R: BufRead>(r: R) -> Result<Design, NetlistError> {
+/// Returns [`NetlistError::Io`] when the reader fails and
+/// [`NetlistError::Parse`] (with the 1-based line number) for the first
+/// malformed line, unknown directive, unsupported version or missing
+/// section.
+pub fn parse_raw<R: BufRead>(r: R) -> Result<RawDesign, NetlistError> {
     let mut name: Option<String> = None;
     let mut freq = 0.0f64;
-    let mut die: Option<Rect> = None;
-    let mut root: Option<Point> = None;
-    let mut sinks: Vec<Sink> = Vec::new();
+    let mut die: Option<(f64, f64, f64, f64)> = None;
+    let mut root: Option<(f64, f64)> = None;
+    let mut sinks: Vec<RawSink> = Vec::new();
+    let mut arcs: Vec<RawArc> = Vec::new();
     let mut ended = false;
 
     for (lineno, line) in r.lines().enumerate() {
-        let line = line.map_err(|e| NetlistError::new(format!("read failed: {e}")))?;
+        let line = line.map_err(|e| NetlistError::io(format!("read failed: {e}")))?;
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
         if ended {
-            return Err(NetlistError::new(format!(
-                "line {}: content after 'end'",
-                lineno + 1
-            )));
+            return Err(NetlistError::parse(lineno + 1, "content after 'end'"));
         }
         let mut it = line.split_whitespace();
-        let directive = it.next().expect("non-empty line has a first token");
-        let bad = |what: &str| {
-            NetlistError::new(format!("line {}: malformed {what}: {line:?}", lineno + 1))
+        let Some(directive) = it.next() else {
+            continue; // unreachable: the line is non-empty
         };
+        let bad = |what: &str| NetlistError::parse(lineno + 1, format!("malformed {what}: {line:?}"));
         match directive {
+            "sndr" => {
+                let version: u32 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad("sndr"))?;
+                if version != FORMAT_VERSION {
+                    return Err(NetlistError::parse(
+                        lineno + 1,
+                        format!(
+                            "unsupported format version {version} (this reader handles {FORMAT_VERSION})"
+                        ),
+                    ));
+                }
+            }
             "design" => {
                 let n = it.next().ok_or_else(|| bad("design"))?;
                 let kw = it.next().ok_or_else(|| bad("design"))?;
@@ -112,77 +154,154 @@ pub fn load_design<R: BufRead>(r: R) -> Result<Design, NetlistError> {
                 name = Some(n.to_owned());
             }
             "die" => {
-                let mut num = || -> Result<i64, NetlistError> {
+                let mut num = || -> Result<f64, NetlistError> {
                     it.next().and_then(|v| v.parse().ok()).ok_or_else(|| bad("die"))
                 };
-                let (x0, y0, x1, y1) = (num()?, num()?, num()?, num()?);
-                die = Some(Rect::new(Point::new(x0, y0), Point::new(x1, y1)));
+                die = Some((num()?, num()?, num()?, num()?));
             }
             "root" => {
-                let mut num = || -> Result<i64, NetlistError> {
+                let mut num = || -> Result<f64, NetlistError> {
                     it.next().and_then(|v| v.parse().ok()).ok_or_else(|| bad("root"))
                 };
-                root = Some(Point::new(num()?, num()?));
+                root = Some((num()?, num()?));
             }
             "sink" => {
                 let id: usize = it
                     .next()
                     .and_then(|v| v.parse().ok())
                     .ok_or_else(|| bad("sink"))?;
-                if id != sinks.len() {
-                    return Err(NetlistError::new(format!(
-                        "line {}: sink id {id} out of order (expected {})",
-                        lineno + 1,
-                        sinks.len()
-                    )));
-                }
                 let sink_name = it.next().ok_or_else(|| bad("sink"))?.to_owned();
-                let x: i64 = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .ok_or_else(|| bad("sink"))?;
-                let y: i64 = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .ok_or_else(|| bad("sink"))?;
-                let cap: f64 = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .ok_or_else(|| bad("sink"))?;
-                if !(cap.is_finite() && cap > 0.0) {
-                    return Err(bad("sink"));
-                }
-                sinks.push(Sink::new(SinkId(id), sink_name, Point::new(x, y), cap));
+                let mut num = || -> Result<f64, NetlistError> {
+                    it.next().and_then(|v| v.parse().ok()).ok_or_else(|| bad("sink"))
+                };
+                let (x, y, cap_ff) = (num()?, num()?, num()?);
+                sinks.push(RawSink {
+                    id,
+                    name: sink_name,
+                    x,
+                    y,
+                    cap_ff,
+                });
+            }
+            "arc" => {
+                let mut id = || -> Result<usize, NetlistError> {
+                    it.next().and_then(|v| v.parse().ok()).ok_or_else(|| bad("arc"))
+                };
+                let (from, to) = (id()?, id()?);
+                let mut num = || -> Result<f64, NetlistError> {
+                    it.next().and_then(|v| v.parse().ok()).ok_or_else(|| bad("arc"))
+                };
+                let (setup_ps, hold_ps) = (num()?, num()?);
+                arcs.push(RawArc {
+                    from,
+                    to,
+                    setup_ps,
+                    hold_ps,
+                });
             }
             "end" => ended = true,
             other => {
-                return Err(NetlistError::new(format!(
-                    "line {}: unknown directive {other:?}",
-                    lineno + 1
-                )))
+                return Err(NetlistError::parse(
+                    lineno + 1,
+                    format!("unknown directive {other:?}"),
+                ))
             }
         }
         if it.next().is_some() {
-            return Err(NetlistError::new(format!(
-                "line {}: trailing tokens: {line:?}",
-                lineno + 1
-            )));
+            return Err(NetlistError::parse(
+                lineno + 1,
+                format!("trailing tokens: {line:?}"),
+            ));
         }
     }
 
     if !ended {
-        return Err(NetlistError::new("missing 'end' directive"));
+        return Err(NetlistError::parse(0, "missing 'end' directive"));
     }
-    let name = name.ok_or_else(|| NetlistError::new("missing 'design' directive"))?;
-    let die = die.ok_or_else(|| NetlistError::new("missing 'die' directive"))?;
-    let root = root.ok_or_else(|| NetlistError::new("missing 'root' directive"))?;
-    Design::new(name, die, root, freq, sinks)
+    let name = name.ok_or_else(|| NetlistError::parse(0, "missing 'design' directive"))?;
+    let die = die.ok_or_else(|| NetlistError::parse(0, "missing 'die' directive"))?;
+    let root = root.ok_or_else(|| NetlistError::parse(0, "missing 'root' directive"))?;
+    Ok(RawDesign {
+        name,
+        freq_ghz: freq,
+        die,
+        root,
+        sinks,
+        arcs,
+    })
+}
+
+/// Knobs for [`load_design_with`]. The default is default [`Bounds`] with
+/// repair off.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LoadOptions {
+    /// Plausibility bounds the validation pass checks against.
+    pub bounds: Bounds,
+    /// When set, run [`RawDesign::repair`] on damaged input instead of
+    /// rejecting it (unrepairable designs still fail).
+    pub repair: bool,
+}
+
+/// What [`load_design_with`] found and did on the way to a [`Design`].
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// The loaded (possibly repaired) design.
+    pub design: Design,
+    /// Every validation finding on the input as parsed, including warnings.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Every mutation the repair pass applied (empty when repair was off or
+    /// unneeded).
+    pub repairs: Vec<Repair>,
+}
+
+/// Reads a design, with explicit control over bounds and repair.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Io`]/[`NetlistError::Parse`] for transport and
+/// syntax failures, [`NetlistError::Rejected`] (carrying every diagnostic)
+/// when validation finds `Error`-severity damage and repair is off, and
+/// [`NetlistError::Invalid`] when repair cannot salvage the design (e.g.
+/// nothing left after pruning).
+pub fn load_design_with<R: BufRead>(r: R, opts: &LoadOptions) -> Result<LoadReport, NetlistError> {
+    let mut raw = parse_raw(r)?;
+    let diagnostics = raw.validate(&opts.bounds);
+    let mut repairs = Vec::new();
+    if !diagnostics.is_empty() {
+        if diagnostics.iter().any(|d| d.severity == Severity::Error) && !opts.repair {
+            return Err(NetlistError::Rejected { diagnostics });
+        }
+        if opts.repair {
+            repairs = raw.repair(&opts.bounds);
+        }
+    }
+    let design = raw.finish()?;
+    Ok(LoadReport {
+        design,
+        diagnostics,
+        repairs,
+    })
+}
+
+/// Reads a design in the text format from `r`.
+///
+/// A `&mut` reader can be passed, since `BufRead` is implemented for
+/// mutable references. Equivalent to [`load_design_with`] with default
+/// [`LoadOptions`]: default bounds, repair off.
+///
+/// # Errors
+///
+/// Returns [`NetlistError`] describing the I/O failure, the first malformed
+/// line, a missing section, or — via [`NetlistError::Rejected`] — every
+/// semantic inconsistency the validation pass found.
+pub fn load_design<R: BufRead>(r: R) -> Result<Design, NetlistError> {
+    load_design_with(r, &LoadOptions::default()).map(|report| report.design)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::BenchmarkSpec;
+    use crate::{BenchmarkSpec, ErrorKind, SinkId, TimingArc};
 
     #[test]
     fn roundtrip_preserves_design() {
@@ -190,6 +309,24 @@ mod tests {
         let mut buf = Vec::new();
         save_design(&design, &mut buf).unwrap();
         let loaded = load_design(buf.as_slice()).unwrap();
+        assert_eq!(loaded, design);
+    }
+
+    #[test]
+    fn roundtrip_preserves_arcs() {
+        let design = BenchmarkSpec::new("rt", 64)
+            .seed(5)
+            .build()
+            .unwrap()
+            .with_arcs(vec![
+                TimingArc::new(SinkId(0), SinkId(7), 45.0, 30.0),
+                TimingArc::new(SinkId(3), SinkId(1), 12.5, 8.0),
+            ])
+            .unwrap();
+        let mut buf = Vec::new();
+        save_design(&design, &mut buf).unwrap();
+        let loaded = load_design(buf.as_slice()).unwrap();
+        assert_eq!(loaded.arcs(), design.arcs());
         assert_eq!(loaded, design);
     }
 
@@ -211,6 +348,18 @@ end
     }
 
     #[test]
+    fn version_header_accepted_and_gated() {
+        let versioned = "sndr 1\ndesign d freq_ghz 1\ndie 0 0 99 99\nroot 1 1\nsink 0 a 1 1 5\nend\n";
+        assert!(load_design(versioned.as_bytes()).is_ok());
+        let future = "sndr 2\ndesign d freq_ghz 1\ndie 0 0 99 99\nroot 1 1\nsink 0 a 1 1 5\nend\n";
+        let err = load_design(future.as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Parse);
+        assert!(err.to_string().contains("unsupported format version"));
+        let garbage = "sndr banana\ndesign d freq_ghz 1\ndie 0 0 99 99\nroot 1 1\nsink 0 a 1 1 5\nend\n";
+        assert_eq!(load_design(garbage.as_bytes()).unwrap_err().kind(), ErrorKind::Parse);
+    }
+
+    #[test]
     fn rejects_malformed_lines() {
         let cases = [
             ("design d freq 1\ndie 0 0 9 9\nroot 1 1\nsink 0 a 1 1 5\nend\n", "design"),
@@ -222,6 +371,7 @@ end
             ("die 0 0 9 9\nroot 1 1\nsink 0 a 1 1 5\nend\n", "missing 'design'"),
             ("design d freq_ghz 1\ndie 0 0 9 9 9\nroot 1 1\nsink 0 a 1 1 5\nend\n", "trailing"),
             ("design d freq_ghz 1\ndie 0 0 9 9\nroot 1 1\nsink 0 a 1 1 5\nend\nmore\n", "after 'end'"),
+            ("design d freq_ghz 1\ndie 0 0 9 9\nroot 1 1\nsink 0 a 1 1 5\narc 0 1 5\nend\n", "arc"),
         ];
         for (text, expect) in cases {
             let err = load_design(text.as_bytes()).expect_err(expect);
@@ -233,9 +383,47 @@ end
     }
 
     #[test]
+    fn syntax_and_semantic_failures_have_distinct_kinds() {
+        let syntactic = "design d freq_ghz 1\ndie zero 0 9 9\nroot 1 1\nend\n";
+        assert_eq!(
+            load_design(syntactic.as_bytes()).unwrap_err().kind(),
+            ErrorKind::Parse
+        );
+        let semantic = "design d freq_ghz 1\ndie 0 0 9 9\nroot 1 1\nsink 0 a nan 1 5\nend\n";
+        let err = load_design(semantic.as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Invalid);
+        assert!(!err.diagnostics().is_empty(), "Rejected carries diagnostics");
+    }
+
+    #[test]
     fn semantic_validation_applies() {
-        // Sink outside die — caught by Design::new during load.
+        // Sink outside die — caught by the validation pass during load.
         let text = "design d freq_ghz 1\ndie 0 0 9 9\nroot 1 1\nsink 0 a 100 1 5\nend\n";
         assert!(load_design(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn repair_option_salvages_damaged_input() {
+        let text = "\
+design d freq_ghz 1
+die 0 0 100000 100000
+root 50000 0
+sink 0 a 10 10 5
+sink 1 b nan 20 5
+sink 2 c 30 30 -5
+end
+";
+        assert!(load_design(text.as_bytes()).is_err());
+        let opts = LoadOptions {
+            repair: true,
+            ..LoadOptions::default()
+        };
+        let report = load_design_with(text.as_bytes(), &opts).unwrap();
+        assert_eq!(report.design.sinks().len(), 2, "NaN sink pruned");
+        assert!(!report.diagnostics.is_empty());
+        assert!(!report.repairs.is_empty());
+        // Unrepairable: every sink is gone after pruning.
+        let hopeless = "design d freq_ghz 1\ndie 0 0 9 9\nroot 1 1\nsink 0 a nan nan inf\nend\n";
+        assert!(load_design_with(hopeless.as_bytes(), &opts).is_err());
     }
 }

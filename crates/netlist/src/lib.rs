@@ -24,17 +24,24 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod arcs;
 mod design;
 mod error;
+#[cfg(feature = "fault-inject")]
+pub mod faultinject;
 mod generate;
 mod io;
 mod sink;
+pub mod validate;
 
 pub use arcs::{random_timing_arcs, TimingArc};
 pub use design::Design;
-pub use error::NetlistError;
+pub use error::{ErrorKind, NetlistError};
 pub use generate::{ispd_like_suite, BenchmarkSpec};
-pub use io::{load_design, save_design};
+pub use io::{
+    load_design, load_design_with, parse_raw, save_design, LoadOptions, LoadReport, FORMAT_VERSION,
+};
 pub use sink::{Sink, SinkId};

@@ -319,6 +319,23 @@ impl IncrementalAnalyzer {
         self.summary
     }
 
+    /// Test-only corruption hook: shifts the committed per-stage sink
+    /// windows and worst slews by `delta_ps`, as an engine-state bug would.
+    /// The drift survives subsequent `try_moves`/`commit` cycles because
+    /// `global_pass` rebuilds its aggregates from these committed arrays —
+    /// exactly the failure mode the divergence guard exists to catch.
+    #[doc(hidden)]
+    pub fn debug_perturb(&mut self, delta_ps: f64) {
+        for si in 0..self.stages.len() {
+            self.max_slew[si] += delta_ps;
+            if self.sink_max_rel[si].is_finite() {
+                self.sink_max_rel[si] += delta_ps;
+            }
+        }
+        self.summary.latency_ps += delta_ps;
+        self.summary.max_slew_ps += delta_ps;
+    }
+
     /// Aggregates of the pending candidate.
     ///
     /// # Panics

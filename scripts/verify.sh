@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Full verification gate for the smart-ndr workspace: build, tests, lints,
+# and a CLI robustness smoke pass. Run from anywhere; exits non-zero on the
+# first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() { printf '\n== %s\n' "$*"; }
+
+step "cargo build --release"
+cargo build --release
+
+step "cargo test --workspace"
+cargo test -q --workspace
+
+step "cargo clippy --all-targets -D warnings"
+cargo clippy -q --workspace --all-targets -- -D warnings
+
+step "smart-ndr lint smoke"
+BIN=target/release/smart-ndr
+T="$(mktemp -d)"
+trap 'rm -rf "$T"' EXIT
+
+# Clean design: lint exits 0.
+"$BIN" gen --sinks 60 --seed 7 --out "$T/ok.sndr" >/dev/null
+"$BIN" lint --design "$T/ok.sndr" >/dev/null
+
+# Broken design: strict lint exits 3, --repair salvages to exit 0, and the
+# repaired output lints clean.
+printf 'sndr 1\ndesign broken freq_ghz 1.0\ndie 0 0 100000 100000\nroot 0 0\nsink 0 a nan 10000 5.0\nsink 0 b 20000 20000 -3.0\nsink 1 c 40000 40000 8.0\nend\n' > "$T/broken.sndr"
+if "$BIN" lint --design "$T/broken.sndr" >/dev/null 2>&1; then
+    echo "FAIL: lint accepted a broken design" >&2; exit 1
+fi
+rc=0; "$BIN" lint --design "$T/broken.sndr" >/dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 3 ]; then
+    echo "FAIL: broken design should exit 3, got $rc" >&2; exit 1
+fi
+"$BIN" lint --repair --design "$T/broken.sndr" --out "$T/fixed.sndr" >/dev/null
+"$BIN" lint --design "$T/fixed.sndr" >/dev/null
+
+# JSON error object on stdout for failures.
+rc=0; out="$("$BIN" run --design /nonexistent.sndr --json 2>/dev/null)" || rc=$?
+case "$out" in
+    '{"error":'*'"invalid_input"'*) ;;
+    *) echo "FAIL: expected a JSON error object, got: $out" >&2; exit 1 ;;
+esac
+if [ "$rc" -ne 3 ]; then
+    echo "FAIL: missing design should exit 3, got $rc" >&2; exit 1
+fi
+
+echo
+echo "verify: all checks passed"

@@ -5,22 +5,40 @@
 //! smart-ndr run   --design design.sndr [--tech n45|n32] [--method smart|greedy|upgrade|level|uniform|anneal]
 //!                 [--slew-margin 1.1] [--skew-budget 30] [--svg tree.svg] [--mc 200]
 //! smart-ndr run   --sinks 500 --seed 3            # generate on the fly
-//! smart-ndr suite                                  # headline table over the 8-design suite
+//! smart-ndr lint  --design design.sndr [--repair [--out fixed.sndr]]   # validate / repair
+//! smart-ndr suite [--designs dir/]                 # headline table over the 8-design suite
 //! smart-ndr mesh  --sinks 800 [--grid 16] [--rule default|2w2s]   # mesh-vs-tree comparison
 //! ```
+//!
+//! # Exit codes
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | success (for `lint`: design is clean, or was repaired) |
+//! | 1    | usage error (bad flags, unknown command) |
+//! | 3    | invalid input (unreadable, malformed or rejected design) |
+//! | 4    | infeasible (design loads but cannot be synthesized under the constraints) |
+//!
+//! With `--json`, failures print a structured `{"error": {"code", "message"}}`
+//! object on stdout so callers never have to scrape stderr.
 
 use smart_ndr::core::{
     Annealing, Constraints, GreedyDowngrade, GreedyUpgradeRepair, LevelBased, NdrOptimizer,
     OptContext, SmartNdr, Uniform,
 };
 use smart_ndr::cts::{save_assignment, svg::render_svg, svg::SvgOptions, synthesize, CtsOptions};
-use smart_ndr::netlist::{ispd_like_suite, load_design, save_design, BenchmarkSpec, Design};
+use smart_ndr::netlist::validate::Bounds;
+use smart_ndr::netlist::{
+    ispd_like_suite, load_design, load_design_with, save_design, BenchmarkSpec, Design,
+    ErrorKind, LoadOptions,
+};
 use smart_ndr::power::PowerModel;
 use smart_ndr::tech::Technology;
 use smart_ndr::variation::{MonteCarlo, VariationModel};
 use std::collections::HashMap;
 use std::fs;
 use std::io::BufReader;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -32,59 +50,123 @@ USAGE:
                   [--tech n45|n32] [--method smart|greedy|upgrade|level|uniform|anneal]
                   [--slew-margin <X>] [--skew-budget <PS>] [--svg <FILE>] [--mc <SAMPLES>]
                   [--save-asg <FILE>] [--json]
-  smart-ndr suite [--tech n45|n32]
+  smart-ndr lint  --design <FILE> [--tech n45|n32] [--repair] [--out <FILE>] [--json]
+  smart-ndr suite [--tech n45|n32] [--designs <DIR>]
   smart-ndr mesh  (--design <FILE> | --sinks <N> [--seed <S>]) [--tech n45|n32]
                   [--grid <N>] [--drivers <K>] [--rule default|2w2s]
   smart-ndr help
+
+EXIT CODES:
+  0 success / lint-clean    1 usage error
+  3 invalid input           4 infeasible constraints
 ";
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(args) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            eprintln!("\n{USAGE}");
-            ExitCode::FAILURE
+/// A classified CLI failure: the variant decides the exit code and the
+/// machine-readable `code` field of the `--json` error object.
+enum CliError {
+    /// Bad flags or unknown command — exit 1.
+    Usage(String),
+    /// The input design is unreadable, malformed or rejected — exit 3.
+    InvalidInput(String),
+    /// The design loads but the flow cannot satisfy it — exit 4.
+    Infeasible(String),
+}
+
+impl CliError {
+    fn usage(msg: impl Into<String>) -> Self {
+        CliError::Usage(msg.into())
+    }
+
+    fn invalid(msg: impl Into<String>) -> Self {
+        CliError::InvalidInput(msg.into())
+    }
+
+    fn infeasible(msg: impl Into<String>) -> Self {
+        CliError::Infeasible(msg.into())
+    }
+
+    fn code(&self) -> &'static str {
+        match self {
+            CliError::Usage(_) => "usage",
+            CliError::InvalidInput(_) => "invalid_input",
+            CliError::Infeasible(_) => "infeasible",
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m) | CliError::InvalidInput(m) | CliError::Infeasible(m) => m,
+        }
+    }
+
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 1,
+            CliError::InvalidInput(_) => 3,
+            CliError::Infeasible(_) => 4,
         }
     }
 }
 
-fn run(args: Vec<String>) -> Result<(), String> {
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            if json {
+                println!(
+                    "{{\"error\": {{\"code\": \"{}\", \"message\": \"{}\"}}}}",
+                    err.code(),
+                    json_escape(err.message())
+                );
+            } else {
+                eprintln!("error: {}", err.message());
+                if matches!(err, CliError::Usage(_)) {
+                    eprintln!("\n{USAGE}");
+                }
+            }
+            ExitCode::from(err.exit_code())
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<(), CliError> {
     let Some((cmd, rest)) = args.split_first() else {
-        return Err("no command given".into());
+        return Err(CliError::usage("no command given"));
     };
     let flags = parse_flags(rest)?;
     match cmd.as_str() {
         "gen" => cmd_gen(&flags),
         "run" => cmd_run(&flags),
+        "lint" => cmd_lint(&flags),
         "suite" => cmd_suite(&flags),
         "mesh" => cmd_mesh(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}")),
+        other => Err(CliError::usage(format!("unknown command {other:?}"))),
     }
 }
 
 /// Flags that take no value; present means "true".
-const BOOL_FLAGS: &[&str] = &["json"];
+const BOOL_FLAGS: &[&str] = &["json", "repair"];
 
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
     let mut flags = HashMap::new();
     let mut it = args.iter();
     while let Some(key) = it.next() {
         let key = key
             .strip_prefix("--")
-            .ok_or_else(|| format!("expected --flag, got {key:?}"))?;
+            .ok_or_else(|| CliError::usage(format!("expected --flag, got {key:?}")))?;
         if BOOL_FLAGS.contains(&key) {
             flags.insert(key.to_owned(), "true".to_owned());
             continue;
         }
         let value = it
             .next()
-            .ok_or_else(|| format!("flag --{key} needs a value"))?;
+            .ok_or_else(|| CliError::usage(format!("flag --{key} needs a value")))?;
         flags.insert(key.to_owned(), value.clone());
     }
     Ok(flags)
@@ -94,29 +176,32 @@ fn get_parsed<T: std::str::FromStr>(
     flags: &HashMap<String, String>,
     key: &str,
     default: T,
-) -> Result<T, String> {
+) -> Result<T, CliError> {
     match flags.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("invalid --{key} {v:?}")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::usage(format!("invalid --{key} {v:?}"))),
     }
 }
 
-fn tech_of(flags: &HashMap<String, String>) -> Result<Technology, String> {
+fn tech_of(flags: &HashMap<String, String>) -> Result<Technology, CliError> {
     match flags.get("tech").map(String::as_str).unwrap_or("n45") {
         "n45" => Ok(Technology::n45()),
         "n32" => Ok(Technology::n32()),
-        other => Err(format!("unknown --tech {other:?} (n45|n32)")),
+        other => Err(CliError::usage(format!("unknown --tech {other:?} (n45|n32)"))),
     }
 }
 
-fn design_of(flags: &HashMap<String, String>) -> Result<Design, String> {
+fn design_of(flags: &HashMap<String, String>) -> Result<Design, CliError> {
     if let Some(path) = flags.get("design") {
-        let file = fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-        return load_design(BufReader::new(file)).map_err(|e| e.to_string());
+        let file = fs::File::open(path)
+            .map_err(|e| CliError::invalid(format!("cannot open {path}: {e}")))?;
+        return load_design(BufReader::new(file)).map_err(|e| CliError::invalid(e.to_string()));
     }
     let sinks: usize = get_parsed(flags, "sinks", 0)?;
     if sinks == 0 {
-        return Err("need --design <FILE> or --sinks <N>".into());
+        return Err(CliError::usage("need --design <FILE> or --sinks <N>"));
     }
     let seed: u64 = get_parsed(flags, "seed", 1)?;
     let freq: f64 = get_parsed(flags, "freq", 1.0)?;
@@ -124,16 +209,17 @@ fn design_of(flags: &HashMap<String, String>) -> Result<Design, String> {
         .seed(seed)
         .freq_ghz(freq)
         .build()
-        .map_err(|e| e.to_string())
+        .map_err(|e| CliError::invalid(e.to_string()))
 }
 
-fn cmd_gen(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_gen(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let design = design_of(flags)?;
     let out = flags
         .get("out")
-        .ok_or_else(|| "gen needs --out <FILE>".to_owned())?;
-    let file = fs::File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
-    save_design(&design, file).map_err(|e| e.to_string())?;
+        .ok_or_else(|| CliError::usage("gen needs --out <FILE>"))?;
+    let file =
+        fs::File::create(out).map_err(|e| CliError::invalid(format!("cannot create {out}: {e}")))?;
+    save_design(&design, file).map_err(|e| CliError::invalid(e.to_string()))?;
     println!("wrote {design} to {out}");
     Ok(())
 }
@@ -186,7 +272,7 @@ fn outcome_json(
     )
 }
 
-fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_run(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let design = design_of(flags)?;
     let tech = tech_of(flags)?;
     let slew_margin: f64 = get_parsed(flags, "slew-margin", 1.10)?;
@@ -196,8 +282,8 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     if !json {
         println!("design: {design}");
     }
-    let tree =
-        synthesize(&design, &tech, &CtsOptions::default()).map_err(|e| e.to_string())?;
+    let tree = synthesize(&design, &tech, &CtsOptions::default())
+        .map_err(|e| CliError::infeasible(e.to_string()))?;
     if !json {
         println!("tree:   {}", tree.stats());
     }
@@ -216,7 +302,7 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
             "level" => Box::new(LevelBased),
             "uniform" => Box::new(Uniform::conservative()),
             "anneal" => Box::new(Annealing::new(20_000, 1)),
-            other => return Err(format!("unknown --method {other:?}")),
+            other => return Err(CliError::usage(format!("unknown --method {other:?}"))),
         };
 
     let base = ctx.conservative_baseline();
@@ -248,8 +334,10 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     }
 
     if let Some(path) = flags.get("save-asg") {
-        let file = fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
-        save_assignment(out.assignment(), &tree, file).map_err(|e| e.to_string())?;
+        let file = fs::File::create(path)
+            .map_err(|e| CliError::invalid(format!("cannot create {path}: {e}")))?;
+        save_assignment(out.assignment(), &tree, file)
+            .map_err(|e| CliError::invalid(e.to_string()))?;
         if !json {
             println!("wrote {path}");
         }
@@ -257,7 +345,7 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
 
     if let Some(path) = flags.get("svg") {
         let svg = render_svg(&tree, tech.rules(), out.assignment(), &SvgOptions::default());
-        fs::write(path, svg).map_err(|e| format!("cannot write {path}: {e}"))?;
+        fs::write(path, svg).map_err(|e| CliError::invalid(format!("cannot write {path}: {e}")))?;
         if !json {
             println!("wrote {path}");
         }
@@ -294,7 +382,91 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_mesh(flags: &HashMap<String, String>) -> Result<(), String> {
+/// `smart-ndr lint`: validate (and optionally repair) a `.sndr` design
+/// without running the flow. Every diagnostic and every repair action is
+/// printed; a feasibility smoke-check (can the default CTS flow synthesize
+/// the design at all?) separates "invalid input" from "infeasible".
+fn cmd_lint(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let path = flags
+        .get("design")
+        .ok_or_else(|| CliError::usage("lint needs --design <FILE>"))?;
+    let tech = tech_of(flags)?;
+    let json = flags.contains_key("json");
+    let repair = flags.contains_key("repair");
+
+    let file =
+        fs::File::open(path).map_err(|e| CliError::invalid(format!("cannot open {path}: {e}")))?;
+    let opts = LoadOptions {
+        bounds: Bounds::for_tech(&tech),
+        repair,
+    };
+    let report = load_design_with(BufReader::new(file), &opts).map_err(|e| {
+        // Surface the individual diagnostics before failing, so the user
+        // sees every problem at once instead of the first.
+        if !json {
+            for d in e.diagnostics() {
+                println!("{d}");
+            }
+        }
+        let hint = match e.kind() {
+            ErrorKind::Parse => " (syntax error; run with a valid .sndr file)",
+            _ if !e.diagnostics().is_empty() => " (re-run with --repair to attempt salvage)",
+            _ => "",
+        };
+        CliError::invalid(format!("{e}{hint}"))
+    })?;
+
+    if !json {
+        for d in &report.diagnostics {
+            println!("{d}");
+        }
+        for r in &report.repairs {
+            println!("{r}");
+        }
+    }
+
+    // Feasibility smoke-check: a structurally valid design that no buffer in
+    // the library can drive is a constraint problem, not an input problem.
+    synthesize(&report.design, &tech, &CtsOptions::default())
+        .map_err(|e| CliError::infeasible(format!("{}: {e}", report.design.name())))?;
+
+    if let Some(out) = flags.get("out") {
+        let file = fs::File::create(out)
+            .map_err(|e| CliError::invalid(format!("cannot create {out}: {e}")))?;
+        save_design(&report.design, file).map_err(|e| CliError::invalid(e.to_string()))?;
+    }
+
+    let status = if report.repairs.is_empty() { "clean" } else { "repaired" };
+    if json {
+        let list = |items: &[String]| {
+            items
+                .iter()
+                .map(|s| format!("\"{}\"", json_escape(s)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let diags: Vec<String> = report.diagnostics.iter().map(|d| d.to_string()).collect();
+        let repairs: Vec<String> = report.repairs.iter().map(|r| r.to_string()).collect();
+        println!(
+            "{{\"design\": \"{}\", \"status\": \"{}\", \"diagnostics\": [{}], \"repairs\": [{}]}}",
+            json_escape(report.design.name()),
+            status,
+            list(&diags),
+            list(&repairs),
+        );
+    } else {
+        println!(
+            "{}: {} ({} diagnostics, {} repairs)",
+            report.design.name(),
+            status,
+            report.diagnostics.len(),
+            report.repairs.len(),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_mesh(flags: &HashMap<String, String>) -> Result<(), CliError> {
     use smart_ndr::mesh::{ClockMesh, MeshSpec};
     use smart_ndr::tech::Rule;
 
@@ -305,16 +477,17 @@ fn cmd_mesh(flags: &HashMap<String, String>) -> Result<(), String> {
     let rule = match flags.get("rule").map(String::as_str).unwrap_or("default") {
         "default" => Rule::DEFAULT,
         "2w2s" => Rule::new(2.0, 2.0).expect("2W2S is valid"),
-        other => return Err(format!("unknown --rule {other:?} (default|2w2s)")),
+        other => return Err(CliError::usage(format!("unknown --rule {other:?} (default|2w2s)"))),
     };
 
     println!("design: {design}");
-    let tree = synthesize(&design, &tech, &CtsOptions::default()).map_err(|e| e.to_string())?;
+    let tree = synthesize(&design, &tech, &CtsOptions::default())
+        .map_err(|e| CliError::infeasible(e.to_string()))?;
     let ctx = OptContext::new(&tree, &tech, PowerModel::new(design.freq_ghz()));
     let smart = SmartNdr::default().optimize(&ctx);
     println!("tree:   {smart}");
 
-    let spec = MeshSpec::new(grid, grid, drivers, rule).map_err(|e| e.to_string())?;
+    let spec = MeshSpec::new(grid, grid, drivers, rule).map_err(|e| CliError::usage(e.to_string()))?;
     let mesh = ClockMesh::build(&design, &tech, spec);
     let rep = mesh.analyze(&tech, design.freq_ghz());
     println!("{rep} ({} drivers)", rep.n_drivers);
@@ -325,27 +498,125 @@ fn cmd_mesh(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_suite(flags: &HashMap<String, String>) -> Result<(), String> {
+/// One suite entry: either a loaded design or a load failure to report as a
+/// `FAILED` row.
+enum SuiteEntry {
+    Design(Box<Design>),
+    Unloadable { name: String, reason: String },
+}
+
+/// Designs for `cmd_suite`: the built-in 8-design suite, or every `.sndr`
+/// file in `--designs <DIR>` (sorted by name for a stable table order).
+fn suite_entries(flags: &HashMap<String, String>) -> Result<Vec<SuiteEntry>, CliError> {
+    let Some(dir) = flags.get("designs") else {
+        return Ok(ispd_like_suite()
+            .into_iter()
+            .map(|d| SuiteEntry::Design(Box::new(d)))
+            .collect());
+    };
+    let mut paths: Vec<std::path::PathBuf> = fs::read_dir(dir)
+        .map_err(|e| CliError::invalid(format!("cannot read {dir}: {e}")))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "sndr"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(CliError::invalid(format!("no .sndr files in {dir}")));
+    }
+    Ok(paths
+        .into_iter()
+        .map(|p| {
+            let name = p
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| p.display().to_string());
+            let load = fs::File::open(&p)
+                .map_err(|e| format!("cannot open {}: {e}", p.display()))
+                .and_then(|f| load_design(BufReader::new(f)).map_err(|e| e.to_string()));
+            match load {
+                Ok(d) => SuiteEntry::Design(Box::new(d)),
+                Err(reason) => SuiteEntry::Unloadable { name, reason },
+            }
+        })
+        .collect())
+}
+
+/// `smart-ndr suite`: the headline table. Robust by construction — every
+/// design runs inside `catch_unwind`, so one poisoned design (bad file,
+/// synthesis failure, even a panic in the flow) yields a `FAILED` row and
+/// the run continues with the remaining designs; best-so-far rows are
+/// printed as they complete and are never lost. Always exits 0 when the
+/// table itself could be produced.
+fn cmd_suite(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let tech = tech_of(flags)?;
+    let entries = suite_entries(flags)?;
     println!(
         "{:<8} {:>8} {:>12} {:>12} {:>8} {:>9}",
         "design", "sinks", "2w2s µW", "smart µW", "save", "runtime"
     );
-    for design in ispd_like_suite() {
-        let tree =
-            synthesize(&design, &tech, &CtsOptions::default()).map_err(|e| e.to_string())?;
-        let ctx = OptContext::new(&tree, &tech, PowerModel::new(design.freq_ghz()));
-        let base = ctx.conservative_baseline();
-        let out = SmartNdr::default().optimize(&ctx);
-        println!(
-            "{:<8} {:>8} {:>12.1} {:>12.1} {:>7.1}% {:>8.1}s",
-            design.name(),
-            design.sinks().len(),
-            base.power().network_uw(),
-            out.power().network_uw(),
-            100.0 * out.network_saving_vs(&base),
-            out.elapsed().as_secs_f64(),
-        );
+    let mut failed = 0usize;
+    for entry in &entries {
+        let design = match entry {
+            SuiteEntry::Design(d) => d,
+            SuiteEntry::Unloadable { name, reason } => {
+                eprintln!("{name}: {reason}");
+                println!("{name:<8} {:>8} {:>12} {:>12} {:>8} {:>9}", "-", "FAILED", "-", "-", "-");
+                failed += 1;
+                continue;
+            }
+        };
+        let row = catch_unwind(AssertUnwindSafe(|| -> Result<String, String> {
+            let tree = synthesize(design, &tech, &CtsOptions::default()).map_err(|e| e.to_string())?;
+            let ctx = OptContext::new(&tree, &tech, PowerModel::new(design.freq_ghz()));
+            let base = ctx.conservative_baseline();
+            let out = SmartNdr::default().optimize(&ctx);
+            Ok(format!(
+                "{:<8} {:>8} {:>12.1} {:>12.1} {:>7.1}% {:>8.1}s",
+                design.name(),
+                design.sinks().len(),
+                base.power().network_uw(),
+                out.power().network_uw(),
+                100.0 * out.network_saving_vs(&base),
+                out.elapsed().as_secs_f64(),
+            ))
+        }));
+        match row {
+            Ok(Ok(row)) => println!("{row}"),
+            Ok(Err(reason)) => {
+                eprintln!("{}: {reason}", design.name());
+                println!(
+                    "{:<8} {:>8} {:>12} {:>12} {:>8} {:>9}",
+                    design.name(),
+                    design.sinks().len(),
+                    "FAILED",
+                    "-",
+                    "-",
+                    "-"
+                );
+                failed += 1;
+            }
+            Err(panic) => {
+                let reason = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "panic".to_owned());
+                eprintln!("{}: panicked: {reason}", design.name());
+                println!(
+                    "{:<8} {:>8} {:>12} {:>12} {:>8} {:>9}",
+                    design.name(),
+                    design.sinks().len(),
+                    "FAILED",
+                    "-",
+                    "-",
+                    "-"
+                );
+                failed += 1;
+            }
+        }
+    }
+    if failed > 0 {
+        println!("{failed} of {} designs FAILED", entries.len());
     }
     Ok(())
 }

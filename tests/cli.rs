@@ -147,6 +147,152 @@ fn bad_flag_value_fails_cleanly() {
         .args(["run", "--sinks", "not-a-number"])
         .output()
         .expect("binary runs");
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(1), "usage errors exit 1");
     assert!(String::from_utf8_lossy(&out.stderr).contains("invalid --sinks"));
+}
+
+// ---------------------------------------------------------------------------
+// Robustness: lint, typed exit codes, JSON error objects, hardened suite.
+// ---------------------------------------------------------------------------
+
+/// A structurally broken `.sndr`: NaN coordinate, negative cap, duplicate id.
+const BROKEN_SNDR: &str = "sndr 1\ndesign broken freq_ghz 1.0\n\
+    die 0 0 100000 100000\nroot 0 0\n\
+    sink 0 a nan 10000 5.0\nsink 0 b 20000 20000 -3.0\nsink 1 c 40000 40000 8.0\nend\n";
+
+#[test]
+fn lint_clean_design_exits_zero() {
+    let path = tmp("lint-clean.sndr");
+    let out = bin()
+        .args(["gen", "--sinks", "30", "--seed", "5", "--out"])
+        .arg(&path)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = bin().args(["lint", "--design"]).arg(&path).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("clean"));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn lint_invalid_design_exits_three_with_diagnostics() {
+    let path = tmp("lint-broken.sndr");
+    std::fs::write(&path, BROKEN_SNDR).expect("write test design");
+    let out = bin().args(["lint", "--design"]).arg(&path).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(3), "invalid input exits 3");
+    let text = String::from_utf8_lossy(&out.stdout);
+    // Each problem surfaces as a structured diagnostic with a stable code.
+    assert!(text.contains("error[G01]"), "NaN coordinate diagnostic: {text}");
+    assert!(text.contains("error[E02]"), "negative cap diagnostic: {text}");
+    assert!(text.contains("error[T02]"), "duplicate id diagnostic: {text}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--repair"), "repair hint");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn lint_repair_salvages_and_output_is_loadable() {
+    let path = tmp("lint-repairme.sndr");
+    let fixed = tmp("lint-fixed.sndr");
+    std::fs::write(&path, BROKEN_SNDR).expect("write test design");
+    let out = bin()
+        .args(["lint", "--repair", "--design"])
+        .arg(&path)
+        .arg("--out")
+        .arg(&fixed)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("repaired"), "{text}");
+    assert!(text.contains("repair["), "repair actions are reported: {text}");
+
+    // The repaired file round-trips as a clean design.
+    let out = bin().args(["lint", "--design"]).arg(&fixed).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("clean"));
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&fixed);
+}
+
+#[test]
+fn lint_infeasible_design_exits_four() {
+    // Valid input, but no buffer in the library can drive a 90 nF sink:
+    // that is a constraint problem (exit 4), not an input problem (exit 3).
+    let path = tmp("lint-heavy.sndr");
+    std::fs::write(
+        &path,
+        "sndr 1\ndesign heavy freq_ghz 1.0\ndie 0 0 100000 100000\nroot 0 0\n\
+         sink 0 a 10000 10000 90000\nsink 1 b 90000 90000 12.0\nend\n",
+    )
+    .expect("write test design");
+    let out = bin().args(["lint", "--design"]).arg(&path).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(4), "infeasible exits 4");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn run_json_failure_emits_structured_error_object() {
+    // Invalid input: the error object lands on stdout with a stable code.
+    let out = bin()
+        .args(["run", "--design", "/nonexistent/nope.sndr", "--json"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(3));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let line = text.trim();
+    assert!(line.starts_with("{\"error\":"), "error object on stdout: {line}");
+    assert!(line.contains("\"code\": \"invalid_input\""), "{line}");
+    assert!(line.contains("\"message\":"), "{line}");
+
+    // Infeasible is distinguishable from invalid input by its code.
+    let path = tmp("run-heavy.sndr");
+    std::fs::write(
+        &path,
+        "sndr 1\ndesign heavy freq_ghz 1.0\ndie 0 0 100000 100000\nroot 0 0\n\
+         sink 0 a 10000 10000 90000\nsink 1 b 90000 90000 12.0\nend\n",
+    )
+    .expect("write test design");
+    let out = bin()
+        .args(["run", "--json", "--design"])
+        .arg(&path)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(4));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"code\": \"infeasible\""), "{text}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn suite_continues_past_poisoned_design() {
+    let dir = tmp("suite-pool");
+    std::fs::create_dir_all(&dir).expect("create pool dir");
+    for (name, sinks, seed) in [("a.sndr", "24", "1"), ("z.sndr", "32", "2")] {
+        let out = bin()
+            .args(["gen", "--sinks", sinks, "--seed", seed, "--out"])
+            .arg(dir.join(name))
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    }
+    // Sorts between the two healthy designs, so the suite must recover
+    // mid-run, not merely tolerate a bad tail.
+    std::fs::write(dir.join("m-poison.sndr"), "this is not a design\n").expect("write poison");
+
+    let out = bin().args(["suite", "--designs"]).arg(&dir).output().expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "one poisoned design must not fail the suite: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("FAILED"), "poisoned row marked FAILED: {text}");
+    assert!(text.contains("poison"), "{text}");
+    // The healthy designs before and after the poisoned one still completed.
+    assert!(text.contains("cli-s24") && text.contains("cli-s32"), "{text}");
+    assert!(text.contains("1 of 3 designs FAILED"), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
 }

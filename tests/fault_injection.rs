@@ -1,0 +1,148 @@
+//! Fault-injection property suite: the full pipeline (load → validate /
+//! repair → CTS → optimize → report) must survive seeded corruption of every
+//! kind — geometry, topology, electrical and raw serialized bytes — with a
+//! typed error or a repaired design, never a panic.
+//!
+//! 256 seeded cases per category. Each case either fails loading with a
+//! typed [`NetlistError`], or loads (possibly after repair) and then runs
+//! clock-tree synthesis, a greedy NDR optimization and a timing report;
+//! synthesis itself may fail with a typed [`CtsError`] (e.g. an implausible
+//! repaired capacitance), which also counts as graceful rejection.
+
+use smart_ndr::core::{GreedyDowngrade, NdrOptimizer, OptContext};
+use smart_ndr::cts::{synthesize, CtsOptions};
+use smart_ndr::netlist::faultinject::{corrupt_bytes, corrupt_design, DesignFault};
+use smart_ndr::netlist::validate::RawDesign;
+use smart_ndr::netlist::{load_design_with, save_design, BenchmarkSpec, Design, LoadOptions};
+use smart_ndr::power::PowerModel;
+use smart_ndr::tech::Technology;
+
+const CASES_PER_CATEGORY: u64 = 256;
+
+fn base_design() -> Design {
+    BenchmarkSpec::new("fi", 12).seed(3).build().expect("spec is valid")
+}
+
+/// Serializes a raw (possibly corrupt) design back to `.sndr` text so the
+/// corruption travels through the real parser, not just the validator.
+/// Rust's `{}` float formatting writes `NaN`/`inf`, which the parser's
+/// `f64::from_str` round-trips.
+fn raw_to_sndr(raw: &RawDesign) -> String {
+    let mut out = String::new();
+    out.push_str("sndr 1\n");
+    out.push_str(&format!("design {} freq_ghz {}\n", raw.name, raw.freq_ghz));
+    let (x0, y0, x1, y1) = raw.die;
+    out.push_str(&format!("die {x0} {y0} {x1} {y1}\n"));
+    out.push_str(&format!("root {} {}\n", raw.root.0, raw.root.1));
+    for s in &raw.sinks {
+        out.push_str(&format!("sink {} {} {} {} {}\n", s.id, s.name, s.x, s.y, s.cap_ff));
+    }
+    for a in &raw.arcs {
+        out.push_str(&format!("arc {} {} {} {}\n", a.from, a.to, a.setup_ps, a.hold_ps));
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// Drives whatever loaded through the rest of the pipeline. Typed errors at
+/// any stage are fine; only panics (which would abort the test process) and
+/// non-finite report numbers are failures.
+fn run_pipeline(bytes: &[u8], repair: bool) -> Result<(), String> {
+    let opts = LoadOptions {
+        repair,
+        ..LoadOptions::default()
+    };
+    let report = load_design_with(bytes, &opts).map_err(|e| e.to_string())?;
+    let design = report.design;
+    let tech = Technology::n45();
+    let tree = synthesize(&design, &tech, &CtsOptions::default()).map_err(|e| e.to_string())?;
+    let ctx = OptContext::new(&tree, &tech, PowerModel::new(design.freq_ghz()))
+        .with_timing_arcs(design.arcs().to_vec())
+        .map_err(|e| e.to_string())?;
+    let out = GreedyDowngrade::default().optimize(&ctx);
+    let timing = out.timing();
+    if !(timing.skew_ps().is_finite()
+        && timing.max_slew_ps().is_finite()
+        && out.power().network_uw().is_finite())
+    {
+        return Err(format!(
+            "non-finite report from a loaded design: skew {} slew {} power {}",
+            timing.skew_ps(),
+            timing.max_slew_ps(),
+            out.power().network_uw()
+        ));
+    }
+    Ok(())
+}
+
+/// 256 seeds per design-level fault category: corrupt, re-serialize, then
+/// run the pipeline both strictly (reject) and with repair on. Nothing may
+/// panic; strict mode must turn Error-severity corruption into a rejection.
+fn exercise_category(fault: DesignFault) {
+    let base = base_design();
+    let mut loaded = 0usize;
+    let mut rejected = 0usize;
+    for seed in 0..CASES_PER_CATEGORY {
+        let raw = corrupt_design(&base, fault, seed);
+        let text = raw_to_sndr(&raw);
+        match run_pipeline(text.as_bytes(), false) {
+            Ok(()) => loaded += 1,
+            Err(_) => rejected += 1,
+        }
+        // Repair mode: the outcome may still be a typed error (unsalvageable
+        // or infeasible), but never a panic.
+        let _ = run_pipeline(text.as_bytes(), true);
+    }
+    // The corruption engine must actually produce invalid designs, and the
+    // benign mutations (e.g. a shifted coordinate) must still load.
+    assert_eq!(loaded + rejected, CASES_PER_CATEGORY as usize);
+    assert!(
+        rejected > 0,
+        "{fault:?}: no corrupted case was ever rejected ({loaded} loaded)"
+    );
+}
+
+#[test]
+fn geometry_faults_never_panic_the_pipeline() {
+    exercise_category(DesignFault::Geometry);
+}
+
+#[test]
+fn topology_faults_never_panic_the_pipeline() {
+    exercise_category(DesignFault::Topology);
+}
+
+#[test]
+fn electrical_faults_never_panic_the_pipeline() {
+    exercise_category(DesignFault::Electrical);
+}
+
+/// 256 seeds of byte-level corruption of a serialized design: bit flips,
+/// truncation, token scrambling, version garbage. Every case must yield a
+/// typed error or a loadable (possibly repaired) design.
+#[test]
+fn corrupted_bytes_never_panic_the_pipeline() {
+    let base = base_design();
+    let mut bytes = Vec::new();
+    save_design(&base, &mut bytes).expect("serialize base design");
+    let mut rejected = 0usize;
+    for seed in 0..CASES_PER_CATEGORY {
+        let evil = corrupt_bytes(&bytes, seed);
+        if run_pipeline(&evil, false).is_err() {
+            rejected += 1;
+        }
+        let _ = run_pipeline(&evil, true);
+    }
+    assert!(rejected > 0, "byte corruption never produced a rejection");
+}
+
+/// Sanity anchor: the uncorrupted base design passes the whole pipeline in
+/// strict mode, so the categories above are rejecting corruption, not the
+/// harness.
+#[test]
+fn pristine_base_design_passes_strict_pipeline() {
+    let base = base_design();
+    let mut bytes = Vec::new();
+    save_design(&base, &mut bytes).expect("serialize base design");
+    run_pipeline(&bytes, false).expect("pristine design must pass");
+}
