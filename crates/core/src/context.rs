@@ -6,7 +6,7 @@ use snr_netlist::TimingArc;
 use snr_power::{evaluate, PowerModel, PowerReport};
 use snr_tech::{Corner, Technology};
 use snr_timing::{AnalysisOptions, Analyzer, TimingReport};
-use std::cell::RefCell;
+use std::sync::{Mutex, OnceLock, PoisonError};
 use std::time::Duration;
 
 /// Everything an optimizer needs: the (immutable) tree, the technology, the
@@ -40,8 +40,11 @@ pub struct OptContext<'a> {
     /// to its tree node.
     arcs: Vec<(TimingArc, NodeId, NodeId)>,
     /// Conservative-baseline skew at each corner, cached on first use.
-    corner_base_skew: RefCell<Option<Vec<f64>>>,
-    analyzer: RefCell<Analyzer>,
+    corner_base_skew: OnceLock<Vec<f64>>,
+    /// Shared scratch analyzer. A `Mutex` (not `RefCell`) so the context is
+    /// `Sync` and parallel probers can hold `&OptContext`; serial callers
+    /// pay one uncontended lock per analysis.
+    analyzer: Mutex<Analyzer>,
     analysis_opts: AnalysisOptions,
     eval_mode: EvalMode,
     divergence_every: usize,
@@ -60,8 +63,8 @@ impl<'a> OptContext<'a> {
             constraints,
             corners: Vec::new(),
             arcs: Vec::new(),
-            corner_base_skew: RefCell::new(None),
-            analyzer: RefCell::new(Analyzer::new()),
+            corner_base_skew: OnceLock::new(),
+            analyzer: Mutex::new(Analyzer::new()),
             analysis_opts: AnalysisOptions::default(),
             eval_mode: EvalMode::default(),
             divergence_every: 256,
@@ -134,7 +137,7 @@ impl<'a> OptContext<'a> {
     /// go through [`OptContext::meets`].
     pub fn with_corners(mut self, corners: Vec<Corner>) -> Self {
         self.corners = corners;
-        self.corner_base_skew = RefCell::new(None);
+        self.corner_base_skew = OnceLock::new();
         self
     }
 
@@ -208,9 +211,17 @@ impl<'a> OptContext<'a> {
     /// Runs timing analysis of `assignment` (reusing shared scratch
     /// buffers).
     pub fn analyze(&self, assignment: &Assignment) -> TimingReport {
+        // Analyzer state is pure scratch, so a lock poisoned by a panicking
+        // sibling (e.g. under catch_unwind in the CLI suite) is still valid.
         self.analyzer
-            .borrow_mut()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
             .run(self.tree, self.tech, assignment, &self.analysis_opts)
+    }
+
+    /// The analysis options sessions and probers share.
+    pub(crate) fn analysis_options(&self) -> &AnalysisOptions {
+        &self.analysis_opts
     }
 
     /// Evaluates the power of `assignment`.
@@ -313,28 +324,23 @@ impl<'a> OptContext<'a> {
         if self.corners.is_empty() {
             return Vec::new();
         }
-        if self.corner_base_skew.borrow().is_none() {
-            let base = self.conservative_assignment();
-            let skews: Vec<f64> = self
-                .corners
-                .iter()
-                .map(|&c| {
-                    snr_timing::analyze_at_corner(
-                        self.tree,
-                        self.tech,
-                        &base,
-                        c,
-                        &self.analysis_opts,
-                    )
-                    .skew_ps()
-                })
-                .collect();
-            *self.corner_base_skew.borrow_mut() = Some(skews);
-        }
         self.corner_base_skew
-            .borrow()
-            .as_ref()
-            .expect("cached above")
+            .get_or_init(|| {
+                let base = self.conservative_assignment();
+                self.corners
+                    .iter()
+                    .map(|&c| {
+                        snr_timing::analyze_at_corner(
+                            self.tree,
+                            self.tech,
+                            &base,
+                            c,
+                            &self.analysis_opts,
+                        )
+                        .skew_ps()
+                    })
+                    .collect()
+            })
             .clone()
     }
 

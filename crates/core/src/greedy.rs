@@ -1,7 +1,9 @@
 //! The smart-NDR method: sensitivity-ordered greedy downgrading.
 
-use crate::{EvalSession, NdrOptimizer, OptContext};
+use crate::session::{run_probe_job, ProbeJob};
+use crate::{EvalSession, NdrOptimizer, OptContext, Prober};
 use snr_cts::{Assignment, NodeId};
+use snr_par::{pool_scope, Parallelism};
 
 /// The paper's "smart" NDR assignment.
 ///
@@ -38,12 +40,17 @@ use snr_cts::{Assignment, NodeId};
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GreedyDowngrade {
     max_passes: usize,
+    parallelism: Parallelism,
 }
 
 impl GreedyDowngrade {
-    /// Creates the optimizer with the default pass limit (4).
+    /// Creates the optimizer with the default pass limit (4), evaluating
+    /// candidates serially.
     pub fn new() -> Self {
-        GreedyDowngrade { max_passes: 4 }
+        GreedyDowngrade {
+            max_passes: 4,
+            parallelism: Parallelism::serial(),
+        }
     }
 
     /// Returns a copy with a different pass limit.
@@ -54,6 +61,16 @@ impl GreedyDowngrade {
     pub fn with_max_passes(mut self, max_passes: usize) -> Self {
         assert!(max_passes > 0, "need at least one pass");
         self.max_passes = max_passes;
+        self
+    }
+
+    /// Returns a copy probing candidate rules concurrently on per-thread
+    /// cloned incremental engines. The assignment produced is **identical
+    /// to the serial run** for any job count: probes are read-only, the
+    /// winner is the first feasible candidate in the serial trial order,
+    /// and every commit happens on the main session.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
         self
     }
 }
@@ -82,29 +99,37 @@ impl GreedyDowngrade {
     /// assignment that already violates the constraints is returned
     /// unchanged.
     pub fn refine(&self, ctx: &OptContext<'_>, start: Assignment) -> Assignment {
-        let tree = ctx.tree();
-        let tech = ctx.tech();
-        let rules = tech.rules();
-        let layer = tech.clock_layer();
-
         let mut session = ctx.session_from(start);
         if !session.feasible() {
             // The start violates: no downgrade can help — return it,
             // flagged by the caller's feasibility check.
             return session.into_assignment();
         }
+        if self.parallelism.is_serial() {
+            self.run_serial(ctx, &mut session);
+        } else {
+            self.run_parallel(ctx, &mut session);
+        }
+        session.into_assignment()
+    }
 
-        // Removable capacitance (fF) if `e` moved from its current rule to
-        // the target rule — the exact power gain up to constant factors.
-        let gain = |session: &EvalSession<'_, '_>, e: NodeId, to: snr_tech::RuleId| -> f64 {
-            let len_um = tree.node(e).edge_len_nm() as f64 / 1_000.0;
-            (layer.unit_c(rules.rule(session.rule(e))) - layer.unit_c(rules.rule(to))) * len_um
-        };
+    /// Removable capacitance (fF) if `e` moved from its current rule to the
+    /// target rule — the exact power gain up to constant factors.
+    fn gain(ctx: &OptContext<'_>, session: &EvalSession<'_, '_>, e: NodeId, to: snr_tech::RuleId) -> f64 {
+        let tree = ctx.tree();
+        let rules = ctx.tech().rules();
+        let layer = ctx.tech().clock_layer();
+        let len_um = tree.node(e).edge_len_nm() as f64 / 1_000.0;
+        (layer.unit_c(rules.rule(session.rule(e))) - layer.unit_c(rules.rule(to))) * len_um
+    }
 
-        // Candidate target rules in *capacitance* order, cheapest first.
-        // Track-cost order is wrong here: a spacing-only rule (1W2S) costs
-        // more track than the default but carries less capacitance, and
-        // capacitance is what the objective pays for.
+    /// Candidate target rules in *capacitance* order, cheapest first.
+    /// Track-cost order is wrong here: a spacing-only rule (1W2S) costs
+    /// more track than the default but carries less capacitance, and
+    /// capacitance is what the objective pays for.
+    fn rules_by_cap(ctx: &OptContext<'_>) -> Vec<snr_tech::RuleId> {
+        let rules = ctx.tech().rules();
+        let layer = ctx.tech().clock_layer();
         let mut by_cap: Vec<snr_tech::RuleId> = rules.iter().map(|(id, _)| id).collect();
         by_cap.sort_by(|a, b| {
             layer
@@ -112,6 +137,12 @@ impl GreedyDowngrade {
                 .partial_cmp(&layer.unit_c(rules.rule(*b)))
                 .expect("capacitances are finite")
         });
+        by_cap
+    }
+
+    fn run_serial(&self, ctx: &OptContext<'_>, session: &mut EvalSession<'_, '_>) {
+        let tree = ctx.tree();
+        let by_cap = Self::rules_by_cap(ctx);
 
         // Phase 1: depth-synchronized group downgrades. The DME tree is
         // delay-balanced, so re-ruling *every* edge at one depth perturbs
@@ -129,7 +160,7 @@ impl GreedyDowngrade {
             for &to in &by_cap {
                 let moves: Vec<(NodeId, snr_tech::RuleId)> = level
                     .iter()
-                    .filter(|e| to.0 < session.rule(**e).0 && gain(&session, **e, to) > 0.0)
+                    .filter(|e| to.0 < session.rule(**e).0 && Self::gain(ctx, session, **e, to) > 0.0)
                     .map(|e| (*e, to))
                     .collect();
                 if moves.is_empty() {
@@ -146,14 +177,7 @@ impl GreedyDowngrade {
         // Phase 2: per-edge refinement passes.
         for _pass in 0..self.max_passes {
             // Order edges by their best possible remaining gain, descending.
-            let default = rules.default_id();
-            let mut order: Vec<(f64, NodeId)> = tree
-                .edges()
-                .filter(|e| session.rule(*e) != default)
-                .map(|e| (gain(&session, e, default), e))
-                .collect();
-            order.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("gains are finite"));
-
+            let order = Self::phase2_order(ctx, session);
             let mut accepted = 0usize;
             for (_, e) in order {
                 let current = session.rule(e);
@@ -162,7 +186,7 @@ impl GreedyDowngrade {
                 // or lower track cost with *higher* coupling cap like
                 // 2W2S -> 2W1S) are never power wins and are skipped.
                 for &to in &by_cap {
-                    if to.0 >= current.0 || gain(&session, e, to) <= 0.0 {
+                    if to.0 >= current.0 || Self::gain(ctx, session, e, to) <= 0.0 {
                         continue;
                     }
                     if session.try_edge(e, to).feasible {
@@ -177,7 +201,120 @@ impl GreedyDowngrade {
                 break;
             }
         }
-        session.into_assignment()
+    }
+
+    /// Phase-2 edge order: best possible remaining gain, descending.
+    fn phase2_order(ctx: &OptContext<'_>, session: &EvalSession<'_, '_>) -> Vec<(f64, NodeId)> {
+        let tree = ctx.tree();
+        let default = ctx.tech().rules().default_id();
+        let mut order: Vec<(f64, NodeId)> = tree
+            .edges()
+            .filter(|e| session.rule(*e) != default)
+            .map(|e| (Self::gain(ctx, session, e, default), e))
+            .collect();
+        order.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("gains are finite"));
+        order
+    }
+
+    /// The parallel twin of [`run_serial`](Self::run_serial): every
+    /// candidate a serial step would *try* is probed concurrently on a pool
+    /// of [`Prober`]s (clones of the session's committed engines), and the
+    /// winner is the first feasible candidate in the serial trial order —
+    /// so the accepted move sequence, and therefore the final assignment,
+    /// is identical to the serial run's. Commits happen on the main session
+    /// and are broadcast to the pool to keep the probers synchronized.
+    fn run_parallel(&self, ctx: &OptContext<'_>, session: &mut EvalSession<'_, '_>) {
+        let tree = ctx.tree();
+        let by_cap = Self::rules_by_cap(ctx);
+        // A probe batch is one candidate rule per pool job; more workers
+        // than rules would idle.
+        let workers = self.parallelism.jobs().min(by_cap.len()).max(2);
+        let probers: Vec<Prober<'_, '_>> = (0..workers).map(|_| session.prober()).collect();
+
+        pool_scope(probers, &run_probe_job, |pool| {
+            let w = pool.workers();
+
+            // Phase 1: depth-synchronized group downgrades (see run_serial
+            // for why). All candidate group rules of one level are probed
+            // concurrently against the same committed state.
+            let depths = tree.depths();
+            let max_depth = depths.iter().copied().max().unwrap_or(0);
+            for d in (1..=max_depth).rev() {
+                let level: Vec<NodeId> = tree.edges().filter(|e| depths[e.0] == d).collect();
+                if level.is_empty() {
+                    continue;
+                }
+                let batch: Vec<(usize, Vec<(NodeId, snr_tech::RuleId)>)> = by_cap
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(ci, &to)| {
+                        let moves: Vec<(NodeId, snr_tech::RuleId)> = level
+                            .iter()
+                            .filter(|e| {
+                                to.0 < session.rule(**e).0
+                                    && Self::gain(ctx, session, **e, to) > 0.0
+                            })
+                            .map(|e| (*e, to))
+                            .collect();
+                        (!moves.is_empty()).then_some((ci, moves))
+                    })
+                    .collect();
+                if batch.is_empty() {
+                    continue;
+                }
+                for (k, (ci, moves)) in batch.iter().enumerate() {
+                    pool.send(k % w, *ci, ProbeJob::Probe(moves.clone()));
+                }
+                let mut feasible = vec![false; by_cap.len()];
+                for _ in 0..batch.len() {
+                    let (ci, eval) = pool.recv();
+                    feasible[ci] = eval.expect("probes return evals").feasible;
+                }
+                // Cheapest feasible group rule wins — the first candidate
+                // the serial loop would have accepted.
+                if let Some((_, moves)) = batch.iter().find(|(ci, _)| feasible[*ci]) {
+                    session.try_moves(moves);
+                    session.commit();
+                    pool.broadcast(ProbeJob::Apply(moves.clone()));
+                }
+            }
+
+            // Phase 2: per-edge refinement passes; all surviving candidate
+            // rules of one edge are probed concurrently.
+            for _pass in 0..self.max_passes {
+                let order = Self::phase2_order(ctx, session);
+                let mut accepted = 0usize;
+                for (_, e) in order {
+                    let current = session.rule(e);
+                    let cands: Vec<snr_tech::RuleId> = by_cap
+                        .iter()
+                        .copied()
+                        .filter(|to| to.0 < current.0 && Self::gain(ctx, session, e, *to) > 0.0)
+                        .collect();
+                    if cands.is_empty() {
+                        continue;
+                    }
+                    for (k, &to) in cands.iter().enumerate() {
+                        pool.send(k % w, k, ProbeJob::Probe(vec![(e, to)]));
+                    }
+                    let mut feasible = vec![false; cands.len()];
+                    for _ in 0..cands.len() {
+                        let (k, eval) = pool.recv();
+                        feasible[k] = eval.expect("probes return evals").feasible;
+                    }
+                    if let Some(k) = feasible.iter().position(|&f| f) {
+                        let moves = vec![(e, cands[k])];
+                        session.try_moves(&moves);
+                        session.commit();
+                        accepted += 1;
+                        pool.broadcast(ProbeJob::Apply(moves));
+                    }
+                }
+                if accepted == 0 {
+                    break;
+                }
+            }
+        });
     }
 }
 

@@ -79,11 +79,15 @@ pub use level::LevelBased;
 pub use outcome::Outcome;
 pub use resize::{buffer_size_histogram, downsize_buffers, downsize_in_context, ResizeOutcome};
 pub use robustness::{enforce_robustness, RobustnessSpec};
-pub use session::{CandidateEval, Degradation, EvalMode, EvalSession};
+pub use session::{CandidateEval, Degradation, EvalMode, EvalSession, Prober};
 pub use smart::SmartNdr;
 pub use stage_exhaustive::StageExhaustive;
 pub use uniform::Uniform;
 pub use upgrade::GreedyUpgradeRepair;
+
+// Re-exported so callers can configure parallel optimizers without a direct
+// snr-par dependency.
+pub use snr_par::Parallelism;
 
 use snr_cts::Assignment;
 

@@ -1,7 +1,9 @@
 //! Dual construction: repair the all-default tree by targeted upgrades.
 
-use crate::{NdrOptimizer, OptContext};
+use crate::session::{run_probe_job, ProbeJob};
+use crate::{NdrOptimizer, OptContext, Prober};
 use snr_cts::{Assignment, NodeId};
+use snr_par::{pool_scope, Parallelism};
 use snr_timing::TimingReport;
 
 /// Upgrade-repair: start with *no* NDR anywhere (uniform default) and,
@@ -19,12 +21,17 @@ use snr_timing::TimingReport;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GreedyUpgradeRepair {
     max_iters: usize,
+    parallelism: Parallelism,
 }
 
 impl GreedyUpgradeRepair {
-    /// Creates the optimizer with a generous iteration cap.
+    /// Creates the optimizer with a generous iteration cap, evaluating
+    /// candidates serially.
     pub fn new() -> Self {
-        GreedyUpgradeRepair { max_iters: 100_000 }
+        GreedyUpgradeRepair {
+            max_iters: 100_000,
+            parallelism: Parallelism::serial(),
+        }
     }
 
     /// Returns a copy with a custom iteration cap.
@@ -35,6 +42,16 @@ impl GreedyUpgradeRepair {
     pub fn with_max_iters(mut self, max_iters: usize) -> Self {
         assert!(max_iters > 0, "need at least one iteration");
         self.max_iters = max_iters;
+        self
+    }
+
+    /// Returns a copy probing candidate upgrades concurrently on per-thread
+    /// cloned incremental engines. Identical result to the serial run for
+    /// any job count: probes are read-only, the best-score selection keeps
+    /// the serial candidate order (strict `>` — lowest candidate index wins
+    /// ties), and every commit happens on the main session.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
         self
     }
 
@@ -113,6 +130,41 @@ impl NdrOptimizer for GreedyUpgradeRepair {
     }
 
     fn assign(&self, ctx: &OptContext<'_>) -> Assignment {
+        let mut session = ctx.session_from(ctx.default_assignment());
+        if self.parallelism.is_serial() {
+            self.repair_loop(ctx, &mut session, None);
+        } else {
+            // The candidate pool of one iteration is usually tens of edges;
+            // cap the pool at the job count (engine clones are not free).
+            let workers = self.parallelism.jobs().max(2);
+            let probers: Vec<Prober<'_, '_>> = (0..workers).map(|_| session.prober()).collect();
+            let session = &mut session;
+            pool_scope(probers, &run_probe_job, move |pool| {
+                self.repair_loop(ctx, session, Some(pool));
+            });
+        }
+        // Could not repair within budget: the conservative uniform tree is
+        // the guaranteed-feasible answer when one exists.
+        if session.feasible() {
+            session.into_assignment()
+        } else {
+            ctx.conservative_assignment()
+        }
+    }
+}
+
+impl GreedyUpgradeRepair {
+    /// The repair loop shared by the serial and parallel paths. With a
+    /// pool, candidate probes fan out across the probers (read-only) and
+    /// every commit is broadcast back so the probers track the session;
+    /// scoring always walks candidates in their serial order with a strict
+    /// `>` comparison, so both paths pick the same upgrade every iteration.
+    fn repair_loop<'c, 'a, 'h>(
+        &self,
+        ctx: &'c OptContext<'a>,
+        session: &mut crate::EvalSession<'c, 'a>,
+        mut pool: Option<&mut snr_par::PoolHandle<'h, Prober<'c, 'a>, ProbeJob, Option<crate::CandidateEval>>>,
+    ) {
         let tree = ctx.tree();
         let rules = ctx.tech().rules();
         let layer = ctx.tech().clock_layer();
@@ -120,7 +172,6 @@ impl NdrOptimizer for GreedyUpgradeRepair {
 
         // Running routing-track cost, so upgrades can respect a budget.
         let len_um = |e: NodeId| tree.node(e).edge_len_nm() as f64 / 1_000.0;
-        let mut session = ctx.session_from(ctx.default_assignment());
         let mut track_um: f64 = tree
             .edges()
             .map(|e| rules.rule(session.rule(e)).track_cost() * len_um(e))
@@ -130,7 +181,7 @@ impl NdrOptimizer for GreedyUpgradeRepair {
             let report = session.report();
             let violation = constraints.violation_ps(&report);
             if violation <= 0.0 && session.feasible() {
-                return session.into_assignment();
+                return;
             }
             // Nominal is clean but a corner still violates: fall through
             // to the plateau branch, which keeps widening the longest
@@ -139,25 +190,56 @@ impl NdrOptimizer for GreedyUpgradeRepair {
             if candidates.is_empty() {
                 break;
             }
-            // Best violation reduction per added capacitance.
-            let mut best: Option<(f64, NodeId, snr_tech::RuleId)> = None;
-            for e in candidates {
-                let current = session.rule(e);
-                let Some(next) = rules.pricier_than(current).next() else {
-                    continue;
-                };
-                let d_track = (rules.rule(next).track_cost()
-                    - rules.rule(current).track_cost())
-                    * len_um(e);
-                if track_um + d_track > budget {
-                    continue; // this upgrade would blow the routing budget
+            // Surviving (edge, next rule, added fF) triples, serial order.
+            let cands: Vec<(NodeId, snr_tech::RuleId, f64)> = candidates
+                .into_iter()
+                .filter_map(|e| {
+                    let current = session.rule(e);
+                    let next = rules.pricier_than(current).next()?;
+                    let d_track = (rules.rule(next).track_cost()
+                        - rules.rule(current).track_cost())
+                        * len_um(e);
+                    if track_um + d_track > budget {
+                        return None; // this upgrade would blow the routing budget
+                    }
+                    let added_ff = ((layer.unit_c(rules.rule(next))
+                        - layer.unit_c(rules.rule(current)))
+                        * len_um(e))
+                        .max(1e-6);
+                    Some((e, next, added_ff))
+                })
+                .collect();
+            // Probe every candidate against the current committed state —
+            // through the pool when parallel, through the session when not.
+            let evals: Vec<crate::CandidateEval> = match pool.as_deref_mut() {
+                Some(pool) => {
+                    let w = pool.workers();
+                    for (k, &(e, next, _)) in cands.iter().enumerate() {
+                        pool.send(k % w, k, ProbeJob::Probe(vec![(e, next)]));
+                    }
+                    let mut evals = vec![None; cands.len()];
+                    for _ in 0..cands.len() {
+                        let (k, eval) = pool.recv();
+                        evals[k] = eval;
+                    }
+                    evals
+                        .into_iter()
+                        .map(|e| e.expect("probes return evals"))
+                        .collect()
                 }
-                let added_ff = ((layer.unit_c(rules.rule(next))
-                    - layer.unit_c(rules.rule(current)))
-                    * len_um(e))
-                    .max(1e-6);
-                let eval = session.try_edge(e, next);
-                session.rollback();
+                None => cands
+                    .iter()
+                    .map(|&(e, next, _)| {
+                        let eval = session.try_edge(e, next);
+                        session.rollback();
+                        eval
+                    })
+                    .collect(),
+            };
+            // Best violation reduction per added capacitance; strict `>`
+            // keeps the earliest candidate on ties.
+            let mut best: Option<(f64, NodeId, snr_tech::RuleId)> = None;
+            for (&(e, next, added_ff), eval) in cands.iter().zip(&evals) {
                 let new_violation =
                     constraints.violation_ps_of(eval.worst_slew_ps, eval.skew_ps);
                 let score = (violation - new_violation) / added_ff;
@@ -172,6 +254,9 @@ impl NdrOptimizer for GreedyUpgradeRepair {
                         * len_um(e);
                     session.try_edge(e, next);
                     session.commit();
+                    if let Some(pool) = pool.as_deref_mut() {
+                        pool.broadcast(ProbeJob::Apply(vec![(e, next)]));
+                    }
                 }
                 // No single upgrade helps (plateau): take the largest
                 // candidate-free step — upgrade the longest still-cheap
@@ -202,18 +287,14 @@ impl NdrOptimizer for GreedyUpgradeRepair {
                                 * len_um(e);
                             session.try_edge(e, next);
                             session.commit();
+                            if let Some(pool) = pool.as_deref_mut() {
+                                pool.broadcast(ProbeJob::Apply(vec![(e, next)]));
+                            }
                         }
                         None => break, // nothing more fits the budget
                     }
                 }
             }
-        }
-        // Could not repair within budget: the conservative uniform tree is
-        // the guaranteed-feasible answer when one exists.
-        if session.feasible() {
-            session.into_assignment()
-        } else {
-            ctx.conservative_assignment()
         }
     }
 }

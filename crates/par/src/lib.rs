@@ -1,0 +1,619 @@
+//! Deterministic parallel execution layer for the smart-ndr workspace.
+//!
+//! The workloads this workspace parallelizes — Monte-Carlo variation
+//! samples, per-design suite rows, candidate rule probes — are
+//! embarrassingly parallel *and* must stay **bit-identical** to their
+//! serial runs: every figure and table in the repo is reproducible from
+//! fixed seeds, and the determinism test-suite compares parallel against
+//! serial output exactly. The primitives here are therefore built around
+//! one contract:
+//!
+//! > The value computed for item `i` depends only on item `i` (plus shared
+//! > read-only state), never on which worker ran it or in what order, and
+//! > results are always delivered in item order.
+//!
+//! Everything is built on [`std::thread::scope`] — no crates.io
+//! dependencies (this environment has no registry access, so rayon is
+//! deliberately not used).
+//!
+//! * [`Parallelism`] — a `n_jobs` knob; `1` selects an exact serial path
+//!   that never spawns a thread.
+//! * [`par_map`] / [`par_map_with`] / [`par_map_n`] / [`par_for_each`] —
+//!   chunk-free dynamic fan-out over a slice (or index range) with
+//!   results reassembled in input order. `par_map_with` gives each worker
+//!   its own mutable state (an RNG-free analyzer, a cloned engine, scratch
+//!   buffers) built once per worker.
+//! * [`pool_scope`] — a scoped worker pool for stateful probing loops:
+//!   per-worker state lives across many small job batches, so an
+//!   optimizer can keep per-thread cloned incremental engines in sync
+//!   with its committed state instead of re-cloning them per probe.
+//! * [`splitmix64`] — the stateless seed-derivation hash behind
+//!   per-sample RNG streams (`seed ^ splitmix64(index)`), which is what
+//!   makes Monte-Carlo sampling order-independent.
+//!
+//! # Examples
+//!
+//! ```
+//! use snr_par::{par_map, Parallelism};
+//!
+//! let xs: Vec<u64> = (0..100).collect();
+//! let serial = par_map(Parallelism::serial(), &xs, |_, &x| x * x);
+//! let parallel = par_map(Parallelism::new(4), &xs, |_, &x| x * x);
+//! assert_eq!(serial, parallel); // bit-identical, in input order
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread;
+
+/// How many worker threads a parallel call may use.
+///
+/// `Parallelism::serial()` (1 job) selects an exact serial path: the work
+/// runs on the calling thread, in item order, with no thread spawned —
+/// useful both as the determinism baseline and to keep library defaults
+/// allocation- and thread-free unless callers opt in.
+///
+/// Because every primitive in this crate delivers per-item results that
+/// do not depend on scheduling, any two `Parallelism` values produce
+/// bit-identical output for the same input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    jobs: usize,
+}
+
+impl Parallelism {
+    /// Exactly one job: the serial path, no threads.
+    pub const fn serial() -> Self {
+        Parallelism { jobs: 1 }
+    }
+
+    /// Exactly `jobs` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs` is zero.
+    pub fn new(jobs: usize) -> Self {
+        assert!(jobs > 0, "need at least one job");
+        Parallelism { jobs }
+    }
+
+    /// One job per available hardware thread (≥ 1).
+    pub fn auto() -> Self {
+        let jobs = thread::available_parallelism().map_or(1, |n| n.get());
+        Parallelism { jobs }
+    }
+
+    /// The configured job count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Workers actually worth spawning for `len` items.
+    pub fn effective_jobs(&self, len: usize) -> usize {
+        self.jobs.min(len).max(1)
+    }
+
+    /// Whether this configuration runs on the calling thread only.
+    pub fn is_serial(&self) -> bool {
+        self.jobs == 1
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::auto()
+    }
+}
+
+impl std::fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} job{}", self.jobs, if self.jobs == 1 { "" } else { "s" })
+    }
+}
+
+/// The SplitMix64 finalizer: a stateless, high-quality 64-bit hash.
+///
+/// Used to derive independent per-sample RNG seeds as
+/// `seed ^ splitmix64(sample_index)`, so sample `i`'s random stream is a
+/// pure function of `(seed, i)` — independent of how samples are split
+/// across workers. Adjacent indices map to statistically unrelated
+/// outputs.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps `f` over `items`, returning results in input order.
+///
+/// `f` receives `(index, &item)`. With `par.jobs() == 1` (or one item)
+/// this is a plain serial loop on the calling thread; otherwise items are
+/// pulled dynamically by up to `par.effective_jobs(items.len())` scoped
+/// workers (good load balance for heterogeneous items) and the results
+/// are reassembled in input order, so the output is identical either way.
+///
+/// # Panics
+///
+/// If `f` panics for some item, the panic payload is re-raised on the
+/// calling thread after all workers finish (for the serial path it
+/// propagates immediately); when several items panic, the one with the
+/// lowest index among those observed wins. Callers that must survive
+/// per-item failures (e.g. the CLI suite's FAILED rows) should
+/// `catch_unwind` *inside* `f` and return a `Result`.
+pub fn par_map<T, U, F>(par: Parallelism, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    par_map_with(par, items, |_| (), |(), i, item| f(i, item))
+}
+
+/// Like [`par_map`] but with per-worker mutable state.
+///
+/// `init(worker_index)` runs once on each worker (worker 0 is the calling
+/// thread on the serial path) to build scratch state — an analyzer, cloned
+/// engines, reusable buffers; `f(&mut state, index, &item)` then runs for
+/// each item the worker pulls. The determinism contract requires `f`'s
+/// result to be a function of `(index, item)` alone: state must be
+/// scratch, not an accumulator.
+///
+/// # Panics
+///
+/// Same panic propagation as [`par_map`].
+pub fn par_map_with<S, T, U, I, F>(par: Parallelism, items: &[T], init: I, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    I: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> U + Sync,
+{
+    let n = items.len();
+    let workers = par.effective_jobs(n);
+    if workers <= 1 {
+        let mut state = init(0);
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(&mut state, i, item))
+            .collect();
+    }
+
+    // Dynamic scheduling: workers pull the next item index from a shared
+    // counter. Which worker computes which item is nondeterministic; the
+    // per-item results are not.
+    let next = AtomicUsize::new(0);
+    let mut partials: Vec<WorkerOutcome<U>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let next = &next;
+                let init = &init;
+                let f = &f;
+                s.spawn(move || {
+                    let mut state = init(w);
+                    let mut out: Vec<(usize, U)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            return WorkerOutcome { results: out, panic: None };
+                        }
+                        match catch_unwind(AssertUnwindSafe(|| f(&mut state, i, &items[i]))) {
+                            Ok(v) => out.push((i, v)),
+                            // Stop this worker: its state may be poisoned
+                            // and the whole map is about to unwind anyway.
+                            Err(payload) => {
+                                return WorkerOutcome {
+                                    results: out,
+                                    panic: Some((i, payload)),
+                                }
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker bodies never panic"))
+            .collect()
+    });
+
+    let panicked = partials
+        .iter_mut()
+        .filter_map(|p| p.panic.take())
+        .min_by_key(|(i, _)| *i);
+    if let Some((_, payload)) = panicked {
+        resume_unwind(payload);
+    }
+
+    let mut out: Vec<Option<U>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    for p in partials {
+        for (i, v) in p.results {
+            debug_assert!(out[i].is_none(), "item {i} computed twice");
+            out[i] = Some(v);
+        }
+    }
+    out.into_iter()
+        .map(|v| v.expect("every index was claimed exactly once"))
+        .collect()
+}
+
+struct WorkerOutcome<U> {
+    results: Vec<(usize, U)>,
+    panic: Option<(usize, Box<dyn std::any::Any + Send>)>,
+}
+
+/// Maps `f` over the index range `0..n` with per-worker state — the
+/// slice-free form of [`par_map_with`] for sample-count workloads.
+///
+/// # Panics
+///
+/// Same panic propagation as [`par_map`].
+pub fn par_map_n<S, U, I, F>(par: Parallelism, n: usize, init: I, f: F) -> Vec<U>
+where
+    U: Send,
+    I: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, usize) -> U + Sync,
+{
+    let indices: Vec<usize> = (0..n).collect();
+    par_map_with(par, &indices, init, |state, _, &i| f(state, i))
+}
+
+/// Runs `f` for every item, discarding results. Same scheduling and panic
+/// behaviour as [`par_map`].
+pub fn par_for_each<T, F>(par: Parallelism, items: &[T], f: F)
+where
+    T: Sync,
+    F: Fn(usize, &T) + Sync,
+{
+    par_map(par, items, |i, item| f(i, item));
+}
+
+// ---------------------------------------------------------------------------
+// Scoped worker pool
+// ---------------------------------------------------------------------------
+
+/// Handle to a live [`pool_scope`] pool: dispatch tagged jobs to specific
+/// workers, collect their results, or broadcast a job to every worker.
+///
+/// On the serial path (one state) jobs execute inline at `send` time and
+/// queue their results; the threaded and inline variants are
+/// indistinguishable to callers that collect all outstanding results
+/// before acting on them.
+pub enum PoolHandle<'h, S, J, R> {
+    /// Single-state inline execution on the calling thread.
+    Inline {
+        /// The pool's only worker state.
+        state: &'h mut S,
+        /// Shared job handler.
+        handler: &'h (dyn Fn(&mut S, J) -> R + Sync),
+        /// Results produced by `send`, drained by `recv` in send order.
+        queued: VecDeque<(usize, R)>,
+    },
+    /// One channel-fed scoped thread per worker state.
+    Threaded {
+        /// Per-worker job senders.
+        txs: Vec<Sender<(usize, J)>>,
+        /// Shared result channel (tag, result), arrival order.
+        rx: Receiver<(usize, R)>,
+        /// Results sent but not yet received.
+        outstanding: usize,
+    },
+}
+
+impl<S, J, R> PoolHandle<'_, S, J, R> {
+    /// Number of workers (= states) in the pool.
+    pub fn workers(&self) -> usize {
+        match self {
+            PoolHandle::Inline { .. } => 1,
+            PoolHandle::Threaded { txs, .. } => txs.len(),
+        }
+    }
+
+    /// Dispatches `job` to `worker`, tagging the eventual result with
+    /// `tag`. Inline pools run the job immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range, or (threaded) if that worker
+    /// has died from a panic.
+    pub fn send(&mut self, worker: usize, tag: usize, job: J) {
+        match self {
+            PoolHandle::Inline { state, handler, queued } => {
+                assert_eq!(worker, 0, "inline pool has a single worker");
+                let r = handler(state, job);
+                queued.push_back((tag, r));
+            }
+            PoolHandle::Threaded { txs, outstanding, .. } => {
+                txs[worker].send((tag, job)).expect("pool worker panicked");
+                *outstanding += 1;
+            }
+        }
+    }
+
+    /// Receives one `(tag, result)` pair. Arrival order across workers is
+    /// unspecified on the threaded path — collect every outstanding result
+    /// before making order-sensitive decisions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no results are outstanding, or if a worker died from a
+    /// panic before delivering one.
+    pub fn recv(&mut self) -> (usize, R) {
+        match self {
+            PoolHandle::Inline { queued, .. } => {
+                queued.pop_front().expect("no outstanding pool results")
+            }
+            PoolHandle::Threaded { rx, outstanding, .. } => {
+                assert!(*outstanding > 0, "no outstanding pool results");
+                *outstanding -= 1;
+                rx.recv().expect("pool worker panicked")
+            }
+        }
+    }
+
+    /// Sends `job` to every worker and waits for all of them, discarding
+    /// the results — the state-synchronization primitive (e.g. replaying a
+    /// committed move on every worker's cloned engine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if results are already outstanding (interleaving a broadcast
+    /// with pending probes would mix up tags), or if a worker has died.
+    pub fn broadcast(&mut self, job: J)
+    where
+        J: Clone,
+    {
+        match self {
+            PoolHandle::Inline { state, handler, queued } => {
+                assert!(queued.is_empty(), "broadcast with outstanding results");
+                let _ = handler(state, job);
+            }
+            PoolHandle::Threaded { txs, rx, outstanding } => {
+                assert_eq!(*outstanding, 0, "broadcast with outstanding results");
+                let n = txs.len();
+                for tx in txs.iter() {
+                    tx.send((usize::MAX, job.clone())).expect("pool worker panicked");
+                }
+                for _ in 0..n {
+                    let _ = rx.recv().expect("pool worker panicked");
+                }
+            }
+        }
+    }
+}
+
+/// Runs `body` with a pool of stateful workers.
+///
+/// Each element of `states` becomes one worker; `handler` processes every
+/// job against that worker's `&mut` state. With a single state no thread
+/// is spawned and jobs run inline at `send` time — the serial path. With
+/// more, each state moves onto its own scoped thread fed by a channel;
+/// the pool is torn down (workers joined) when `body` returns.
+///
+/// The pool exists for loops of many *small* stateful jobs — candidate
+/// probes against per-worker cloned engines that must survive across
+/// batches and be kept in sync via [`PoolHandle::broadcast`] — where
+/// re-cloning state per batch (as [`par_map_with`] would) costs more than
+/// the probes themselves.
+///
+/// # Panics
+///
+/// A handler panic kills its worker; the panic surfaces on the calling
+/// thread at the next `send`/`recv`/`broadcast` involving that worker (or
+/// at scope teardown), never as a process abort.
+pub fn pool_scope<S, J, R, Ret>(
+    mut states: Vec<S>,
+    handler: &(dyn Fn(&mut S, J) -> R + Sync),
+    body: impl FnOnce(&mut PoolHandle<'_, S, J, R>) -> Ret,
+) -> Ret
+where
+    S: Send,
+    J: Send,
+    R: Send,
+{
+    assert!(!states.is_empty(), "pool needs at least one state");
+    if states.len() == 1 {
+        let state = &mut states[0];
+        let mut handle = PoolHandle::Inline {
+            state,
+            handler,
+            queued: VecDeque::new(),
+        };
+        return body(&mut handle);
+    }
+
+    thread::scope(|s| {
+        let (res_tx, res_rx) = channel::<(usize, R)>();
+        let mut txs = Vec::with_capacity(states.len());
+        for mut state in states {
+            let (tx, rx) = channel::<(usize, J)>();
+            let res_tx = res_tx.clone();
+            s.spawn(move || {
+                for (tag, job) in rx {
+                    let r = handler(&mut state, job);
+                    if res_tx.send((tag, r)).is_err() {
+                        break; // pool torn down mid-flight
+                    }
+                }
+            });
+            txs.push(tx);
+        }
+        drop(res_tx);
+        let mut handle = PoolHandle::Threaded {
+            txs,
+            rx: res_rx,
+            outstanding: 0,
+        };
+        let ret = body(&mut handle);
+        // Dropping the handle's senders lets workers drain and exit; the
+        // scope joins them before returning.
+        drop(handle);
+        ret
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn parallelism_config() {
+        assert!(Parallelism::serial().is_serial());
+        assert_eq!(Parallelism::new(4).jobs(), 4);
+        assert_eq!(Parallelism::new(4).effective_jobs(2), 2);
+        assert_eq!(Parallelism::new(4).effective_jobs(0), 1);
+        assert!(Parallelism::auto().jobs() >= 1);
+        assert_eq!(Parallelism::serial().to_string(), "1 job");
+        assert_eq!(Parallelism::new(3).to_string(), "3 jobs");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one job")]
+    fn zero_jobs_panics() {
+        let _ = Parallelism::new(0);
+    }
+
+    #[test]
+    fn splitmix64_spreads_and_is_stable() {
+        // Reference values from the canonical SplitMix64.
+        assert_eq!(splitmix64(0), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(splitmix64(1), 0x910A_2DEC_8902_5CC1);
+        // Distinct small inputs stay distinct.
+        let mut seen: Vec<u64> = (0..1000).map(splitmix64).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 1000);
+    }
+
+    #[test]
+    fn map_matches_serial_for_any_job_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| splitmix64(x)).collect();
+        for jobs in [1, 2, 3, 8, 64] {
+            let got = par_map(Parallelism::new(jobs), &items, |_, &x| splitmix64(x));
+            assert_eq!(got, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn map_with_state_initializes_per_worker() {
+        let inits = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..100).collect();
+        let got = par_map_with(
+            Parallelism::new(4),
+            &items,
+            |_w| {
+                inits.fetch_add(1, Ordering::Relaxed);
+                Vec::<u8>::with_capacity(16) // scratch
+            },
+            |scratch, i, &x| {
+                scratch.clear();
+                scratch.extend_from_slice(&(x as u64).to_le_bytes());
+                i + x
+            },
+        );
+        assert_eq!(got, items.iter().map(|&x| 2 * x).collect::<Vec<_>>());
+        let n = inits.load(Ordering::Relaxed);
+        assert!((1..=4).contains(&n), "init ran {n} times");
+    }
+
+    #[test]
+    fn map_n_covers_range_in_order() {
+        let got = par_map_n(Parallelism::new(3), 10, |_| (), |(), i| i * i);
+        assert_eq!(got, vec![0, 1, 4, 9, 16, 25, 36, 49, 64, 81]);
+        assert!(par_map_n(Parallelism::new(3), 0, |_| (), |(), i| i).is_empty());
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        let count = AtomicUsize::new(0);
+        let items = [1u32; 97];
+        par_for_each(Parallelism::new(5), &items, |_, &x| {
+            count.fetch_add(x as usize, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 97);
+    }
+
+    #[test]
+    fn panics_propagate_with_payload() {
+        let items: Vec<usize> = (0..32).collect();
+        for jobs in [1, 4] {
+            let err = catch_unwind(AssertUnwindSafe(|| {
+                par_map(Parallelism::new(jobs), &items, |_, &x| {
+                    if x == 7 {
+                        panic!("boom at {x}");
+                    }
+                    x
+                })
+            }))
+            .expect_err("must propagate");
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default();
+            assert!(msg.contains("boom"), "jobs={jobs}: payload lost: {msg:?}");
+        }
+    }
+
+    #[test]
+    fn pool_inline_and_threaded_agree() {
+        // Worker state: a base offset; jobs add to it (read-only use).
+        let handler = |state: &mut u64, j: u64| *state + j;
+        for workers in [1usize, 3] {
+            let states = vec![100u64; workers];
+            let got = pool_scope(states, &handler, |pool| {
+                let w = pool.workers();
+                for (tag, j) in [(0usize, 1u64), (1, 2), (2, 3), (3, 4), (4, 5)]
+                {
+                    pool.send(tag % w, tag, j);
+                }
+                let mut out = vec![0u64; 5];
+                for _ in 0..5 {
+                    let (tag, r) = pool.recv();
+                    out[tag] = r;
+                }
+                out
+            });
+            assert_eq!(got, vec![101, 102, 103, 104, 105], "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn pool_broadcast_updates_every_state() {
+        // States accumulate via broadcast; probes then read them.
+        let handler = |state: &mut u64, j: i64| {
+            if j < 0 {
+                *state += (-j) as u64; // "apply"
+                0
+            } else {
+                *state // "probe"
+            }
+        };
+        for workers in [1usize, 4] {
+            let states = vec![0u64; workers];
+            let got = pool_scope(states, &handler, |pool| {
+                pool.broadcast(-5);
+                pool.broadcast(-2);
+                let w = pool.workers();
+                let mut vals = Vec::new();
+                for i in 0..w {
+                    pool.send(i, i, 1);
+                }
+                for _ in 0..w {
+                    vals.push(pool.recv().1);
+                }
+                vals
+            });
+            assert!(got.iter().all(|&v| v == 7), "workers={workers}: {got:?}");
+        }
+    }
+}

@@ -84,8 +84,12 @@ impl TimingSummary {
 
 /// Incremental Elmore analyzer with `try`/`commit`/`rollback` semantics.
 ///
+/// `Clone` copies the full committed state bit for bit, which is what lets
+/// parallel optimizers probe candidates on per-thread engine clones and
+/// still reproduce the serial run exactly.
+///
 /// See the [module documentation](self) for the model and an example.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct IncrementalAnalyzer {
     n: usize,
     r_scale: f64,

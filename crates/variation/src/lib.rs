@@ -15,6 +15,12 @@
 //!   more, exactly as in silicon;
 //! * skew/latency distributions via [`snr_timing::Analyzer::run_scaled`].
 //!
+//! Sampling is parallel (see [`MonteCarlo::with_parallelism`]) and
+//! **bit-identical for any thread count**: every sample derives its own RNG
+//! stream as `seed ^ splitmix64(sample_index)`, so the drawn variation
+//! vector is a pure function of the run seed and the sample index, never of
+//! scheduling.
+//!
 //! # Examples
 //!
 //! ```
@@ -42,6 +48,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use snr_cts::{Assignment, ClockTree};
 use snr_geom::Rect;
+use snr_par::{par_map_n, splitmix64, Parallelism};
 use snr_tech::Technology;
 use snr_timing::{AnalysisOptions, Analyzer};
 use std::fmt;
@@ -253,16 +260,20 @@ fn gaussian(rng: &mut StdRng) -> f64 {
 /// A Monte-Carlo skew-variation engine.
 ///
 /// Deterministic: the same `(model, n_samples, seed)` on the same tree and
-/// assignment always produces the same report.
+/// assignment always produces the same report — **regardless of the
+/// configured [`Parallelism`]**, because each sample's RNG stream is seeded
+/// independently as `seed ^ splitmix64(sample_index)`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MonteCarlo {
     model: VariationModel,
     n_samples: usize,
     seed: u64,
+    parallelism: Parallelism,
 }
 
 impl MonteCarlo {
-    /// Creates an engine drawing `n_samples` samples.
+    /// Creates an engine drawing `n_samples` samples, sampling in parallel
+    /// on all available cores (see [`with_parallelism`](Self::with_parallelism)).
     ///
     /// # Panics
     ///
@@ -273,12 +284,27 @@ impl MonteCarlo {
             model,
             n_samples,
             seed,
+            parallelism: Parallelism::auto(),
         }
+    }
+
+    /// Returns a copy sampling with the given thread configuration.
+    ///
+    /// The report is bit-identical for every choice; `Parallelism::serial()`
+    /// runs everything on the calling thread.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// The variation model.
     pub fn model(&self) -> VariationModel {
         self.model
+    }
+
+    /// The configured thread fan-out.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// Runs the Monte-Carlo analysis of `tree` under `assignment`.
@@ -296,8 +322,6 @@ impl MonteCarlo {
         let n = tree.len();
         let layer = tech.clock_layer();
         let rules = tech.rules();
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut analyzer = Analyzer::new();
         let opts = AnalysisOptions::default();
 
         // Edge midpoints -> correlation-grid cells.
@@ -326,6 +350,11 @@ impl MonteCarlo {
             fx.min(g - 1) * g + fy.min(g - 1)
         };
 
+        // The correlation cells depend only on geometry: resolve them once
+        // so every sample worker shares a read-only table.
+        let edges: Vec<snr_cts::NodeId> = tree.edges().collect();
+        let cells: Vec<usize> = edges.iter().map(|&e| cell_of(e)).collect();
+
         let sd = self.model.sigma_w_um;
         let (w_die, w_sp, w_rnd) = (
             self.model.frac_die.sqrt(),
@@ -333,29 +362,55 @@ impl MonteCarlo {
             self.model.frac_random().sqrt(),
         );
 
-        let mut skews = Vec::with_capacity(self.n_samples);
-        let mut latencies = Vec::with_capacity(self.n_samples);
-        let mut r_scale = vec![1.0f64; n];
-        let mut c_scale = vec![1.0f64; n];
-        for _ in 0..self.n_samples {
-            let g_die = gaussian(&mut rng);
-            let g_cells: Vec<f64> = (0..g * g).map(|_| gaussian(&mut rng)).collect();
-            for e in tree.edges() {
-                let g_e = gaussian(&mut rng);
-                let dw = sd * (w_die * g_die + w_sp * g_cells[cell_of(e)] + w_rnd * g_e);
-                let rule = rules
-                    .get(assignment.rule(e))
-                    .expect("assignment references a rule outside the rule set");
-                r_scale[e.0] = layer.unit_r_varied(rule, dw) / layer.unit_r(rule);
-                c_scale[e.0] = layer.unit_c_delay_varied(rule, dw) / layer.unit_c_delay(rule);
-            }
-            let rep = analyzer.run_scaled(tree, tech, assignment, Some((&r_scale, &c_scale)), &opts);
-            skews.push(rep.skew_ps());
-            latencies.push(rep.latency_ps());
+        struct Scratch {
+            analyzer: Analyzer,
+            r_scale: Vec<f64>,
+            c_scale: Vec<f64>,
+            g_cells: Vec<f64>,
         }
+        let samples: Vec<(f64, f64)> = par_map_n(
+            self.parallelism,
+            self.n_samples,
+            |_worker| Scratch {
+                analyzer: Analyzer::new(),
+                r_scale: vec![1.0f64; n],
+                c_scale: vec![1.0f64; n],
+                g_cells: Vec::with_capacity(g * g),
+            },
+            |scratch, i| {
+                // Each sample owns an RNG stream derived from (seed, i), so
+                // the drawn vector never depends on which worker runs it or
+                // how samples are interleaved — the determinism contract.
+                let mut rng = StdRng::seed_from_u64(self.seed ^ splitmix64(i as u64));
+                let g_die = gaussian(&mut rng);
+                scratch.g_cells.clear();
+                scratch
+                    .g_cells
+                    .extend((0..g * g).map(|_| gaussian(&mut rng)));
+                for (k, &e) in edges.iter().enumerate() {
+                    let g_e = gaussian(&mut rng);
+                    let dw =
+                        sd * (w_die * g_die + w_sp * scratch.g_cells[cells[k]] + w_rnd * g_e);
+                    let rule = rules
+                        .get(assignment.rule(e))
+                        .expect("assignment references a rule outside the rule set");
+                    scratch.r_scale[e.0] = layer.unit_r_varied(rule, dw) / layer.unit_r(rule);
+                    scratch.c_scale[e.0] =
+                        layer.unit_c_delay_varied(rule, dw) / layer.unit_c_delay(rule);
+                }
+                let rep = scratch.analyzer.run_scaled(
+                    tree,
+                    tech,
+                    assignment,
+                    Some((&scratch.r_scale, &scratch.c_scale)),
+                    &opts,
+                );
+                (rep.skew_ps(), rep.latency_ps())
+            },
+        );
         VariationReport {
-            skew_ps: skews,
-            latency_ps: latencies,
+            skew_ps: samples.iter().map(|&(s, _)| s).collect(),
+            latency_ps: samples.iter().map(|&(_, l)| l).collect(),
         }
     }
 }
@@ -379,6 +434,23 @@ mod tests {
         let asg = Assignment::uniform(&tree, tech.rules().default_id());
         let mc = MonteCarlo::new(VariationModel::default(), 20, 3);
         assert_eq!(mc.run(&tree, &tech, &asg), mc.run(&tree, &tech, &asg));
+    }
+
+    #[test]
+    fn bit_identical_across_thread_counts() {
+        // The determinism contract: per-sample seed derivation makes the
+        // report a pure function of (model, n_samples, seed), so any job
+        // count reproduces the serial run bit for bit.
+        let (tree, tech) = setup(60);
+        let asg = Assignment::uniform(&tree, tech.rules().default_id());
+        let base = MonteCarlo::new(VariationModel::default(), 25, 11);
+        let serial = base.with_parallelism(Parallelism::serial()).run(&tree, &tech, &asg);
+        for jobs in [2, 8] {
+            let par = base
+                .with_parallelism(Parallelism::new(jobs))
+                .run(&tree, &tech, &asg);
+            assert_eq!(serial, par, "jobs={jobs} diverged from serial");
+        }
     }
 
     #[test]

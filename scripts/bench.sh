@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Regenerates the performance artifacts: the criterion micro-benchmarks and
+# the BENCH_parallel.json speedup record at the repository root.
+#
+#   scripts/bench.sh            full run (criterion + full bench_parallel)
+#   scripts/bench.sh --smoke    fast pass: bench_parallel --smoke only,
+#                               writes BENCH_parallel.json in smoke mode
+#
+# Speedups in BENCH_parallel.json depend on spare cores: a single-core
+# machine honestly records ~1x (the parallel paths are still exercised and
+# asserted bit-identical to serial).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() { printf '\n== %s\n' "$*"; }
+
+if [ "${1:-}" = "--smoke" ]; then
+    step "bench_parallel --smoke"
+    cargo run -q --release -p snr-bench --bin bench_parallel -- --smoke
+    exit 0
+fi
+
+step "criterion benches"
+cargo bench -p snr-bench
+
+step "bench_parallel (full)"
+cargo run -q --release -p snr-bench --bin bench_parallel
+
+echo
+echo "bench: BENCH_parallel.json regenerated"

@@ -48,5 +48,21 @@ if [ "$rc" -ne 3 ]; then
     echo "FAIL: missing design should exit 3, got $rc" >&2; exit 1
 fi
 
+step "parallel determinism smoke"
+# Monte-Carlo statistics must not depend on the thread count.
+one="$("$BIN" run --sinks 60 --seed 2 --mc 12 --jobs 1 --json)"
+many="$("$BIN" run --sinks 60 --seed 2 --mc 12 --jobs 4 --json)"
+if [ "${one#*variation}" != "${many#*variation}" ]; then
+    echo "FAIL: --jobs changed Monte-Carlo statistics" >&2; exit 1
+fi
+# --jobs 0 is a usage error.
+rc=0; "$BIN" suite --jobs 0 >/dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 1 ]; then
+    echo "FAIL: --jobs 0 should exit 1, got $rc" >&2; exit 1
+fi
+# bench_parallel --smoke asserts parallel == serial internally; write to a
+# temp path so the checked-in full-mode BENCH_parallel.json stays put.
+target/release/bench_parallel --smoke --out "$T/BENCH_smoke.json" >/dev/null
+
 echo
 echo "verify: all checks passed"

@@ -3,10 +3,10 @@
 //! ```text
 //! smart-ndr gen   --sinks 800 --seed 7 --out design.sndr
 //! smart-ndr run   --design design.sndr [--tech n45|n32] [--method smart|greedy|upgrade|level|uniform|anneal]
-//!                 [--slew-margin 1.1] [--skew-budget 30] [--svg tree.svg] [--mc 200]
+//!                 [--slew-margin 1.1] [--skew-budget 30] [--svg tree.svg] [--mc 200] [--jobs 4]
 //! smart-ndr run   --sinks 500 --seed 3            # generate on the fly
 //! smart-ndr lint  --design design.sndr [--repair [--out fixed.sndr]]   # validate / repair
-//! smart-ndr suite [--designs dir/]                 # headline table over the 8-design suite
+//! smart-ndr suite [--designs dir/] [--jobs 4]      # headline table over the 8-design suite
 //! smart-ndr mesh  --sinks 800 [--grid 16] [--rule default|2w2s]   # mesh-vs-tree comparison
 //! ```
 //!
@@ -21,6 +21,18 @@
 //!
 //! With `--json`, failures print a structured `{"error": {"code", "message"}}`
 //! object on stdout so callers never have to scrape stderr.
+//!
+//! # Parallelism and panics
+//!
+//! `--jobs <N>` (alias `-j <N>`) runs the Monte Carlo samples of `run --mc`
+//! and the per-design flow of `suite` on `N` worker threads. Output is
+//! bit-identical for every job count: sample seeds are derived per index and
+//! rows print in suite order. Worker panics never abort the process:
+//!
+//! * `suite` catches a panicking design inside its worker and prints a
+//!   `FAILED` row (exit stays 0 — the table was produced);
+//! * `run` maps a panicking Monte Carlo worker to the typed *infeasible*
+//!   error (exit 4), or *invalid input* (exit 3) if the design never loaded.
 
 use smart_ndr::core::{
     Annealing, Constraints, GreedyDowngrade, GreedyUpgradeRepair, LevelBased, NdrOptimizer,
@@ -35,6 +47,7 @@ use smart_ndr::netlist::{
 use smart_ndr::power::PowerModel;
 use smart_ndr::tech::Technology;
 use smart_ndr::variation::{MonteCarlo, VariationModel};
+use snr_par::{par_map, Parallelism};
 use std::collections::HashMap;
 use std::fs;
 use std::io::BufReader;
@@ -49,9 +62,9 @@ USAGE:
   smart-ndr run   (--design <FILE> | --sinks <N> [--seed <S>])
                   [--tech n45|n32] [--method smart|greedy|upgrade|level|uniform|anneal]
                   [--slew-margin <X>] [--skew-budget <PS>] [--svg <FILE>] [--mc <SAMPLES>]
-                  [--save-asg <FILE>] [--json]
+                  [--save-asg <FILE>] [--jobs <N>] [--json]
   smart-ndr lint  --design <FILE> [--tech n45|n32] [--repair] [--out <FILE>] [--json]
-  smart-ndr suite [--tech n45|n32] [--designs <DIR>]
+  smart-ndr suite [--tech n45|n32] [--designs <DIR>] [--jobs <N>]
   smart-ndr mesh  (--design <FILE> | --sinks <N> [--seed <S>]) [--tech n45|n32]
                   [--grid <N>] [--drivers <K>] [--rule default|2w2s]
   smart-ndr help
@@ -156,10 +169,12 @@ const BOOL_FLAGS: &[&str] = &["json", "repair"];
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
     let mut flags = HashMap::new();
     let mut it = args.iter();
-    while let Some(key) = it.next() {
-        let key = key
-            .strip_prefix("--")
-            .ok_or_else(|| CliError::usage(format!("expected --flag, got {key:?}")))?;
+    while let Some(arg) = it.next() {
+        let key = match arg.strip_prefix("--") {
+            Some(key) => key,
+            None if arg == "-j" => "jobs",
+            None => return Err(CliError::usage(format!("expected --flag, got {arg:?}"))),
+        };
         if BOOL_FLAGS.contains(&key) {
             flags.insert(key.to_owned(), "true".to_owned());
             continue;
@@ -182,6 +197,24 @@ fn get_parsed<T: std::str::FromStr>(
         Some(v) => v
             .parse()
             .map_err(|_| CliError::usage(format!("invalid --{key} {v:?}"))),
+    }
+}
+
+/// `--jobs <N>` / `-j <N>` as a [`Parallelism`], or `None` when absent so
+/// each command keeps its own default (Monte Carlo auto-detects cores, the
+/// suite stays serial).
+fn jobs_of(flags: &HashMap<String, String>) -> Result<Option<Parallelism>, CliError> {
+    match flags.get("jobs") {
+        None => Ok(None),
+        Some(v) => {
+            let n: usize = v
+                .parse()
+                .map_err(|_| CliError::usage(format!("invalid --jobs {v:?}")))?;
+            if n == 0 {
+                return Err(CliError::usage("--jobs must be at least 1"));
+            }
+            Ok(Some(Parallelism::new(n)))
+        }
     }
 }
 
@@ -277,6 +310,7 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let tech = tech_of(flags)?;
     let slew_margin: f64 = get_parsed(flags, "slew-margin", 1.10)?;
     let skew_budget: f64 = get_parsed(flags, "skew-budget", 30.0)?;
+    let jobs = jobs_of(flags)?;
     let json = flags.contains_key("json");
 
     if !json {
@@ -320,9 +354,26 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let mc_samples: usize = get_parsed(flags, "mc", 0)?;
     let mut sigma_skews: Option<(f64, f64)> = None;
     if mc_samples > 0 {
-        let mc = MonteCarlo::new(VariationModel::default(), mc_samples, 7);
-        let rep_base = mc.run(&tree, &tech, base.assignment());
-        let rep_out = mc.run(&tree, &tech, out.assignment());
+        let mut mc = MonteCarlo::new(VariationModel::default(), mc_samples, 7);
+        if let Some(par) = jobs {
+            mc = mc.with_parallelism(par);
+        }
+        // A panicking sample worker surfaces here after every worker has
+        // joined; map it to the typed infeasible error so the CLI exits 4
+        // instead of aborting. Results are bit-identical per --jobs anyway,
+        // so --jobs 1 reproduces the failure serially.
+        let (rep_base, rep_out) = catch_unwind(AssertUnwindSafe(|| {
+            (
+                mc.run(&tree, &tech, base.assignment()),
+                mc.run(&tree, &tech, out.assignment()),
+            )
+        }))
+        .map_err(|_| {
+            CliError::infeasible(format!(
+                "Monte Carlo analysis panicked on {} (re-run with --jobs 1 to localize)",
+                design.name()
+            ))
+        })?;
         sigma_skews = Some((rep_base.sigma_skew_ps(), rep_out.sigma_skew_ps()));
         if !json {
             println!(
@@ -541,80 +592,96 @@ fn suite_entries(flags: &HashMap<String, String>) -> Result<Vec<SuiteEntry>, Cli
         .collect())
 }
 
+/// One evaluated suite row, ready to print: an optional stderr diagnostic,
+/// the table line, and whether the design counts as FAILED.
+struct SuiteRow {
+    diagnostic: Option<String>,
+    line: String,
+    failed: bool,
+}
+
+/// The table line for a design that loaded but did not finish the flow.
+fn failed_row(name: &str, sinks: usize) -> String {
+    format!("{name:<8} {sinks:>8} {:>12} {:>12} {:>8} {:>9}", "FAILED", "-", "-", "-")
+}
+
+/// Evaluates one suite entry. Runs on a worker thread under `--jobs`; the
+/// whole flow sits inside `catch_unwind` so a poisoned design (bad file,
+/// synthesis failure, even a panic in the flow) becomes a `FAILED` row
+/// instead of taking down the run.
+fn suite_row(entry: &SuiteEntry, tech: &Technology) -> SuiteRow {
+    let design = match entry {
+        SuiteEntry::Design(d) => d,
+        SuiteEntry::Unloadable { name, reason } => {
+            return SuiteRow {
+                diagnostic: Some(format!("{name}: {reason}")),
+                line: format!(
+                    "{name:<8} {:>8} {:>12} {:>12} {:>8} {:>9}",
+                    "-", "FAILED", "-", "-", "-"
+                ),
+                failed: true,
+            }
+        }
+    };
+    let row = catch_unwind(AssertUnwindSafe(|| -> Result<String, String> {
+        let tree = synthesize(design, tech, &CtsOptions::default()).map_err(|e| e.to_string())?;
+        let ctx = OptContext::new(&tree, tech, PowerModel::new(design.freq_ghz()));
+        let base = ctx.conservative_baseline();
+        let out = SmartNdr::default().optimize(&ctx);
+        Ok(format!(
+            "{:<8} {:>8} {:>12.1} {:>12.1} {:>7.1}% {:>8.1}s",
+            design.name(),
+            design.sinks().len(),
+            base.power().network_uw(),
+            out.power().network_uw(),
+            100.0 * out.network_saving_vs(&base),
+            out.elapsed().as_secs_f64(),
+        ))
+    }));
+    match row {
+        Ok(Ok(line)) => SuiteRow { diagnostic: None, line, failed: false },
+        Ok(Err(reason)) => SuiteRow {
+            diagnostic: Some(format!("{}: {reason}", design.name())),
+            line: failed_row(design.name(), design.sinks().len()),
+            failed: true,
+        },
+        Err(panic) => {
+            let reason = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic".to_owned());
+            SuiteRow {
+                diagnostic: Some(format!("{}: panicked: {reason}", design.name())),
+                line: failed_row(design.name(), design.sinks().len()),
+                failed: true,
+            }
+        }
+    }
+}
+
 /// `smart-ndr suite`: the headline table. Robust by construction — every
-/// design runs inside `catch_unwind`, so one poisoned design (bad file,
-/// synthesis failure, even a panic in the flow) yields a `FAILED` row and
-/// the run continues with the remaining designs; best-so-far rows are
-/// printed as they complete and are never lost. Always exits 0 when the
-/// table itself could be produced.
+/// design runs inside `catch_unwind` (see [`suite_row`]), so one poisoned
+/// design yields a `FAILED` row and the run continues with the remaining
+/// designs. With `--jobs <N>` the designs evaluate on `N` worker threads;
+/// rows always print in suite order, so the table is byte-identical for any
+/// job count. Always exits 0 when the table itself could be produced.
 fn cmd_suite(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let tech = tech_of(flags)?;
+    let par = jobs_of(flags)?.unwrap_or_else(Parallelism::serial);
     let entries = suite_entries(flags)?;
     println!(
         "{:<8} {:>8} {:>12} {:>12} {:>8} {:>9}",
         "design", "sinks", "2w2s µW", "smart µW", "save", "runtime"
     );
-    let mut failed = 0usize;
-    for entry in &entries {
-        let design = match entry {
-            SuiteEntry::Design(d) => d,
-            SuiteEntry::Unloadable { name, reason } => {
-                eprintln!("{name}: {reason}");
-                println!("{name:<8} {:>8} {:>12} {:>12} {:>8} {:>9}", "-", "FAILED", "-", "-", "-");
-                failed += 1;
-                continue;
-            }
-        };
-        let row = catch_unwind(AssertUnwindSafe(|| -> Result<String, String> {
-            let tree = synthesize(design, &tech, &CtsOptions::default()).map_err(|e| e.to_string())?;
-            let ctx = OptContext::new(&tree, &tech, PowerModel::new(design.freq_ghz()));
-            let base = ctx.conservative_baseline();
-            let out = SmartNdr::default().optimize(&ctx);
-            Ok(format!(
-                "{:<8} {:>8} {:>12.1} {:>12.1} {:>7.1}% {:>8.1}s",
-                design.name(),
-                design.sinks().len(),
-                base.power().network_uw(),
-                out.power().network_uw(),
-                100.0 * out.network_saving_vs(&base),
-                out.elapsed().as_secs_f64(),
-            ))
-        }));
-        match row {
-            Ok(Ok(row)) => println!("{row}"),
-            Ok(Err(reason)) => {
-                eprintln!("{}: {reason}", design.name());
-                println!(
-                    "{:<8} {:>8} {:>12} {:>12} {:>8} {:>9}",
-                    design.name(),
-                    design.sinks().len(),
-                    "FAILED",
-                    "-",
-                    "-",
-                    "-"
-                );
-                failed += 1;
-            }
-            Err(panic) => {
-                let reason = panic
-                    .downcast_ref::<&str>()
-                    .map(|s| (*s).to_owned())
-                    .or_else(|| panic.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "panic".to_owned());
-                eprintln!("{}: panicked: {reason}", design.name());
-                println!(
-                    "{:<8} {:>8} {:>12} {:>12} {:>8} {:>9}",
-                    design.name(),
-                    design.sinks().len(),
-                    "FAILED",
-                    "-",
-                    "-",
-                    "-"
-                );
-                failed += 1;
-            }
+    let rows = par_map(par, &entries, |_, entry| suite_row(entry, &tech));
+    for row in &rows {
+        if let Some(diag) = &row.diagnostic {
+            eprintln!("{diag}");
         }
+        println!("{}", row.line);
     }
+    let failed = rows.iter().filter(|r| r.failed).count();
     if failed > 0 {
         println!("{failed} of {} designs FAILED", entries.len());
     }

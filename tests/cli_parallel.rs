@@ -1,0 +1,127 @@
+//! `--jobs` plumbing: the CLI must produce the same results for any job
+//! count — suite rows in suite order (FAILED rows included), Monte Carlo
+//! statistics bit-identical — and must reject a zero job count cleanly.
+//!
+//! Runtime columns are wall-clock and legitimately vary between runs, so
+//! comparisons strip them before asserting equality.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_smart-ndr"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("smart-ndr-partest-{}-{name}", std::process::id()));
+    p
+}
+
+/// Drops the trailing runtime token from every suite row (header included:
+/// its last token is just "runtime"), leaving only deterministic columns.
+fn strip_runtime_column(table: &str) -> String {
+    table
+        .lines()
+        .map(|line| {
+            let cols: Vec<&str> = line.split_whitespace().collect();
+            match cols.as_slice() {
+                [head @ .., _runtime] if head.len() >= 4 => head.join(" "),
+                _ => line.to_owned(),
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn suite_rows_identical_across_job_counts() {
+    let dir = tmp("suite-jobs");
+    std::fs::create_dir_all(&dir).expect("create pool dir");
+    for (name, sinks, seed) in [("a.sndr", "24", "1"), ("z.sndr", "32", "2")] {
+        let out = bin()
+            .args(["gen", "--sinks", sinks, "--seed", seed, "--out"])
+            .arg(dir.join(name))
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    }
+    // A mid-table poisoned design: the FAILED row must keep its position
+    // under parallel evaluation, not drift to the end.
+    std::fs::write(dir.join("m-poison.sndr"), "this is not a design\n").expect("write poison");
+
+    let mut tables = Vec::new();
+    for jobs in ["1", "4"] {
+        let out = bin()
+            .args(["suite", "--jobs", jobs, "--designs"])
+            .arg(&dir)
+            .output()
+            .expect("binary runs");
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "--jobs {jobs}: a poisoned design must not fail the suite: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout).into_owned();
+        assert!(text.contains("FAILED"), "--jobs {jobs}: {text}");
+        assert!(text.contains("1 of 3 designs FAILED"), "--jobs {jobs}: {text}");
+        // Rows print in suite (sorted-by-name) order regardless of which
+        // worker finished first.
+        let a = text.find("cli-s24").expect("row for a.sndr");
+        let m = text.find("m-poison").expect("row for poisoned design");
+        let z = text.find("cli-s32").expect("row for z.sndr");
+        assert!(a < m && m < z, "--jobs {jobs}: rows out of suite order: {text}");
+        tables.push(strip_runtime_column(&text));
+    }
+    assert_eq!(tables[0], tables[1], "suite table must not depend on --jobs");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn monte_carlo_stats_identical_across_job_counts() {
+    let variation_of = |jobs: &str| {
+        let out = bin()
+            .args([
+                "run", "--sinks", "60", "--seed", "2", "--method", "level", "--mc", "16",
+                "--jobs", jobs, "--json",
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        let text = String::from_utf8_lossy(&out.stdout).into_owned();
+        let start = text.find("\"variation\"").expect("variation object in JSON");
+        text[start..].trim_end().to_owned()
+    };
+    let serial = variation_of("1");
+    assert!(serial.contains("\"sigma_skew_result_ps\""), "{serial}");
+    // Per-sample seed derivation makes the statistics independent of the
+    // thread count, even oversubscribed on a small machine.
+    assert_eq!(serial, variation_of("3"));
+    assert_eq!(serial, variation_of("8"));
+}
+
+#[test]
+fn short_jobs_alias_accepted() {
+    let out = bin()
+        .args(["run", "--sinks", "40", "--seed", "5", "--method", "level", "--mc", "8", "-j", "2"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("σ-skew"));
+}
+
+#[test]
+fn zero_jobs_is_a_usage_error() {
+    for args in [
+        vec!["suite", "--jobs", "0"],
+        vec!["run", "--sinks", "40", "--mc", "4", "--jobs", "0"],
+    ] {
+        let out = bin().args(&args).output().expect("binary runs");
+        assert_eq!(out.status.code(), Some(1), "zero jobs exits 1 for {args:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("--jobs"),
+            "error names the flag for {args:?}"
+        );
+    }
+}
