@@ -162,7 +162,8 @@ fn main() {
         scratch_s,
         alloc_s / scratch_s,
     );
-    std::fs::write(&out_path, &json).expect("write BENCH_parallel.json");
+    // Atomic: an interrupted bench must not leave a truncated artifact.
+    snr_fsio::atomic_write(&out_path, json.as_bytes()).expect("write BENCH_parallel.json");
     println!("{json}");
     println!("[written {}]", out_path.display());
 }

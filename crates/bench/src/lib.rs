@@ -13,7 +13,6 @@ use snr_netlist::Design;
 use snr_tech::Technology;
 use std::fmt::Display;
 use std::fs;
-use std::io::Write as _;
 use std::path::PathBuf;
 
 /// A simple fixed-width table printer that doubles as a CSV writer.
@@ -104,7 +103,8 @@ impl Table {
         out
     }
 
-    /// Prints the table and writes `results/<name>.csv`.
+    /// Prints the table and writes `results/<name>.csv` atomically, so an
+    /// interrupted run never leaves a truncated checked-in artifact.
     pub fn emit(&self, name: &str) {
         println!("{}", self.render());
         let dir = results_dir();
@@ -113,7 +113,7 @@ impl Table {
             return;
         }
         let path = dir.join(format!("{name}.csv"));
-        match fs::File::create(&path).and_then(|mut f| f.write_all(self.to_csv().as_bytes())) {
+        match snr_fsio::atomic_write(&path, self.to_csv().as_bytes()) {
             Ok(()) => println!("[written {}]", path.display()),
             Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
         }

@@ -1,6 +1,7 @@
 //! Simulated-annealing reference optimizer.
 
-use crate::{NdrOptimizer, OptContext};
+use crate::supervise::Meter;
+use crate::{Budget, DegradationEvent, NdrOptimizer, OptContext, SupervisedRun};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use snr_cts::{Assignment, NodeId};
@@ -24,12 +25,13 @@ use snr_tech::RuleId;
 /// let a = Annealing::new(5_000, 42);
 /// assert_eq!(snr_core::NdrOptimizer::name(&a), "annealing");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Annealing {
     iterations: usize,
     seed: u64,
     t0: f64,
     penalty_uw_per_ps: f64,
+    budget: Budget,
 }
 
 impl Annealing {
@@ -45,7 +47,17 @@ impl Annealing {
             seed,
             t0: 20.0,
             penalty_uw_per_ps: 50.0,
+            budget: Budget::unlimited(),
         }
+    }
+
+    /// Returns a copy bounded by `budget`. The single phase `"anneal"`
+    /// ticks once per attempted move; annealing is already anytime (it
+    /// tracks the best feasible state seen), so a capped run just stops
+    /// the walk early.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
     }
 
     /// Returns a copy with a different starting temperature (µW scale).
@@ -77,11 +89,20 @@ impl NdrOptimizer for Annealing {
     }
 
     fn assign(&self, ctx: &OptContext<'_>) -> Assignment {
+        self.assign_supervised(ctx).assignment
+    }
+
+    fn assign_supervised(&self, ctx: &OptContext<'_>) -> SupervisedRun {
         let tree = ctx.tree();
         let rules = ctx.tech().rules();
         let edges: Vec<NodeId> = tree.edges().collect();
+        let mut meter = Meter::start(&self.budget, "anneal");
         if edges.is_empty() {
-            return ctx.conservative_assignment();
+            return SupervisedRun {
+                assignment: ctx.conservative_assignment(),
+                budgets: vec![meter.report()],
+                degradations: Vec::new(),
+            };
         }
         let mut rng = StdRng::seed_from_u64(self.seed);
 
@@ -91,6 +112,9 @@ impl NdrOptimizer for Annealing {
         let mut best_feasible = start_feasible.then(|| (cur_energy, session.assignment().clone()));
 
         for i in 0..self.iterations {
+            if !meter.tick() {
+                break;
+            }
             // Geometric cooling to ~1% of T0.
             let progress = i as f64 / self.iterations as f64;
             let temp = self.t0 * (0.01f64).powf(progress);
@@ -120,9 +144,27 @@ impl NdrOptimizer for Annealing {
                 session.rollback();
             }
         }
-        best_feasible
-            .map(|(_, asg)| asg)
-            .unwrap_or_else(|| ctx.conservative_assignment())
+        let mut degradations: Vec<DegradationEvent> = session
+            .degradations()
+            .iter()
+            .copied()
+            .map(DegradationEvent::IncrementalToFull)
+            .collect();
+        let assignment = match best_feasible {
+            Some((_, asg)) => asg,
+            None => {
+                degradations.push(DegradationEvent::OptimizerToBaseline {
+                    optimizer: "annealing",
+                    detail: "no feasible state visited".to_owned(),
+                });
+                ctx.conservative_assignment()
+            }
+        };
+        SupervisedRun {
+            assignment,
+            budgets: vec![meter.report()],
+            degradations,
+        }
     }
 }
 

@@ -49,6 +49,11 @@ pub struct OptContext<'a> {
     eval_mode: EvalMode,
     divergence_every: usize,
     divergence_epsilon_ps: f64,
+    #[cfg(feature = "fault-inject")]
+    exec_fault: Option<crate::ExecFault>,
+    /// Parallel probe evaluations served so far — drives probe faults.
+    #[cfg(feature = "fault-inject")]
+    probe_count: std::sync::atomic::AtomicU64,
 }
 
 impl<'a> OptContext<'a> {
@@ -69,6 +74,48 @@ impl<'a> OptContext<'a> {
             eval_mode: EvalMode::default(),
             divergence_every: 256,
             divergence_epsilon_ps: 1e-6,
+            #[cfg(feature = "fault-inject")]
+            exec_fault: None,
+            #[cfg(feature = "fault-inject")]
+            probe_count: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Arms an execution fault (chaos testing): the fault fires once, at
+    /// the probe or commit it names. See [`crate::ExecFault`].
+    #[cfg(feature = "fault-inject")]
+    pub fn with_exec_fault(mut self, fault: crate::ExecFault) -> Self {
+        self.exec_fault = Some(fault);
+        self
+    }
+
+    /// Called by [`crate::Prober`] on every parallel probe evaluation;
+    /// fires any armed probe fault when its turn comes.
+    #[cfg(feature = "fault-inject")]
+    pub(crate) fn on_parallel_probe(&self) {
+        use std::sync::atomic::Ordering;
+        let Some(fault) = self.exec_fault else { return };
+        let i = self.probe_count.fetch_add(1, Ordering::Relaxed);
+        match fault {
+            crate::ExecFault::ProbePanic { at_probe } if i == at_probe => {
+                panic!("injected fault: probe worker panic at probe {i}")
+            }
+            crate::ExecFault::ProbeStall { at_probe, millis } if i == at_probe => {
+                std::thread::sleep(Duration::from_millis(millis));
+            }
+            _ => {}
+        }
+    }
+
+    /// The armed divergence fault, if any, for [`EvalSession::commit`].
+    #[cfg(feature = "fault-inject")]
+    pub(crate) fn divergence_fault(&self) -> Option<(usize, f64)> {
+        match self.exec_fault {
+            Some(crate::ExecFault::Divergence {
+                at_commit,
+                delta_ps,
+            }) => Some((at_commit, delta_ps)),
+            _ => None,
         }
     }
 

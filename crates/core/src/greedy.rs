@@ -1,9 +1,14 @@
 //! The smart-NDR method: sensitivity-ordered greedy downgrading.
 
 use crate::session::{run_probe_job, ProbeJob};
-use crate::{EvalSession, NdrOptimizer, OptContext, Prober};
+use crate::supervise::Meter;
+use crate::{
+    panic_message, Budget, DegradationEvent, EvalSession, NdrOptimizer, OptContext, Prober,
+    SupervisedRun,
+};
 use snr_cts::{Assignment, NodeId};
 use snr_par::{pool_scope, Parallelism};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// The paper's "smart" NDR assignment.
 ///
@@ -37,19 +42,21 @@ use snr_par::{pool_scope, Parallelism};
 /// let g = GreedyDowngrade::default().with_max_passes(2);
 /// assert_eq!(snr_core::NdrOptimizer::name(&g), "smart-greedy");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct GreedyDowngrade {
     max_passes: usize,
     parallelism: Parallelism,
+    budget: Budget,
 }
 
 impl GreedyDowngrade {
     /// Creates the optimizer with the default pass limit (4), evaluating
-    /// candidates serially.
+    /// candidates serially under an unlimited budget.
     pub fn new() -> Self {
         GreedyDowngrade {
             max_passes: 4,
             parallelism: Parallelism::serial(),
+            budget: Budget::unlimited(),
         }
     }
 
@@ -73,6 +80,15 @@ impl GreedyDowngrade {
         self.parallelism = parallelism;
         self
     }
+
+    /// Returns a copy bounded by `budget`. Phases: `"greedy-levels"` ticks
+    /// once per non-empty tree depth; `"greedy-refine"` ticks once per
+    /// edge visit. Tick placement is identical on the serial and parallel
+    /// paths, so an iteration cap binds deterministically.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
 }
 
 impl Default for GreedyDowngrade {
@@ -87,7 +103,11 @@ impl NdrOptimizer for GreedyDowngrade {
     }
 
     fn assign(&self, ctx: &OptContext<'_>) -> Assignment {
-        self.refine(ctx, ctx.conservative_assignment())
+        self.assign_supervised(ctx).assignment
+    }
+
+    fn assign_supervised(&self, ctx: &OptContext<'_>) -> SupervisedRun {
+        self.refine_supervised(ctx, ctx.conservative_assignment())
     }
 }
 
@@ -99,18 +119,60 @@ impl GreedyDowngrade {
     /// assignment that already violates the constraints is returned
     /// unchanged.
     pub fn refine(&self, ctx: &OptContext<'_>, start: Assignment) -> Assignment {
+        self.refine_supervised(ctx, start).assignment
+    }
+
+    /// [`refine`](Self::refine) with the full supervision record. When the
+    /// parallel path panics (a probe worker died), the run takes the
+    /// parallel→serial ladder rung: the attempt is abandoned and rerun
+    /// serially, which by the determinism contract produces the identical
+    /// assignment.
+    pub fn refine_supervised(&self, ctx: &OptContext<'_>, start: Assignment) -> SupervisedRun {
+        if !self.parallelism.is_serial() {
+            let serial_start = start.clone();
+            match catch_unwind(AssertUnwindSafe(|| self.attempt(ctx, start, true))) {
+                Ok(run) => return run,
+                Err(payload) => {
+                    let detail = panic_message(&*payload, 120);
+                    let mut run = self.attempt(ctx, serial_start, false);
+                    run.degradations.insert(
+                        0,
+                        DegradationEvent::ParallelToSerial {
+                            optimizer: "smart-greedy",
+                            detail,
+                        },
+                    );
+                    return run;
+                }
+            }
+        }
+        self.attempt(ctx, start, false)
+    }
+
+    fn attempt(&self, ctx: &OptContext<'_>, start: Assignment, parallel: bool) -> SupervisedRun {
         let mut session = ctx.session_from(start);
-        if !session.feasible() {
-            // The start violates: no downgrade can help — return it,
-            // flagged by the caller's feasibility check.
-            return session.into_assignment();
+        let mut levels = Meter::start(&self.budget, "greedy-levels");
+        let mut refine = Meter::start(&self.budget, "greedy-refine");
+        // An infeasible start is returned unchanged (no downgrade can
+        // help); the caller's feasibility check flags it.
+        if session.feasible() {
+            if parallel {
+                self.run_parallel(ctx, &mut session, &mut levels, &mut refine);
+            } else {
+                self.run_serial(ctx, &mut session, &mut levels, &mut refine);
+            }
         }
-        if self.parallelism.is_serial() {
-            self.run_serial(ctx, &mut session);
-        } else {
-            self.run_parallel(ctx, &mut session);
+        let degradations = session
+            .degradations()
+            .iter()
+            .copied()
+            .map(DegradationEvent::IncrementalToFull)
+            .collect();
+        SupervisedRun {
+            assignment: session.into_assignment(),
+            budgets: vec![levels.report(), refine.report()],
+            degradations,
         }
-        session.into_assignment()
     }
 
     /// Removable capacitance (fF) if `e` moved from its current rule to the
@@ -140,7 +202,13 @@ impl GreedyDowngrade {
         by_cap
     }
 
-    fn run_serial(&self, ctx: &OptContext<'_>, session: &mut EvalSession<'_, '_>) {
+    fn run_serial(
+        &self,
+        ctx: &OptContext<'_>,
+        session: &mut EvalSession<'_, '_>,
+        levels: &mut Meter<'_>,
+        refine: &mut Meter<'_>,
+    ) {
         let tree = ctx.tree();
         let by_cap = Self::rules_by_cap(ctx);
 
@@ -156,6 +224,9 @@ impl GreedyDowngrade {
             let level: Vec<NodeId> = tree.edges().filter(|e| depths[e.0] == d).collect();
             if level.is_empty() {
                 continue;
+            }
+            if !levels.tick() {
+                break;
             }
             for &to in &by_cap {
                 let moves: Vec<(NodeId, snr_tech::RuleId)> = level
@@ -175,11 +246,14 @@ impl GreedyDowngrade {
         }
 
         // Phase 2: per-edge refinement passes.
-        for _pass in 0..self.max_passes {
+        'passes: for _pass in 0..self.max_passes {
             // Order edges by their best possible remaining gain, descending.
             let order = Self::phase2_order(ctx, session);
             let mut accepted = 0usize;
             for (_, e) in order {
+                if !refine.tick() {
+                    break 'passes;
+                }
                 let current = session.rule(e);
                 // Lowest-capacitance (= biggest gain) candidate first.
                 // Moves that do not remove capacitance (zero-length edges,
@@ -223,7 +297,13 @@ impl GreedyDowngrade {
     /// so the accepted move sequence, and therefore the final assignment,
     /// is identical to the serial run's. Commits happen on the main session
     /// and are broadcast to the pool to keep the probers synchronized.
-    fn run_parallel(&self, ctx: &OptContext<'_>, session: &mut EvalSession<'_, '_>) {
+    fn run_parallel(
+        &self,
+        ctx: &OptContext<'_>,
+        session: &mut EvalSession<'_, '_>,
+        levels: &mut Meter<'_>,
+        refine: &mut Meter<'_>,
+    ) {
         let tree = ctx.tree();
         let by_cap = Self::rules_by_cap(ctx);
         // A probe batch is one candidate rule per pool job; more workers
@@ -243,6 +323,9 @@ impl GreedyDowngrade {
                 let level: Vec<NodeId> = tree.edges().filter(|e| depths[e.0] == d).collect();
                 if level.is_empty() {
                     continue;
+                }
+                if !levels.tick() {
+                    break;
                 }
                 let batch: Vec<(usize, Vec<(NodeId, snr_tech::RuleId)>)> = by_cap
                     .iter()
@@ -281,10 +364,13 @@ impl GreedyDowngrade {
 
             // Phase 2: per-edge refinement passes; all surviving candidate
             // rules of one edge are probed concurrently.
-            for _pass in 0..self.max_passes {
+            'passes: for _pass in 0..self.max_passes {
                 let order = Self::phase2_order(ctx, session);
                 let mut accepted = 0usize;
                 for (_, e) in order {
+                    if !refine.tick() {
+                        break 'passes;
+                    }
                     let current = session.rule(e);
                     let cands: Vec<snr_tech::RuleId> = by_cap
                         .iter()

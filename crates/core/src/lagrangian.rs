@@ -7,7 +7,10 @@
 //! environment frozen at the incumbent) and update the multipliers by
 //! subgradient on the observed violations.
 
-use crate::{GreedyDowngrade, NdrOptimizer, OptContext};
+use crate::supervise::Meter;
+use crate::{
+    Budget, DegradationEvent, GreedyDowngrade, NdrOptimizer, OptContext, SupervisedRun,
+};
 use snr_cts::{Assignment, ClockTree, NodeId, NodeKind};
 
 const LN9: f64 = 2.197_224_577_336_219_6;
@@ -36,10 +39,11 @@ const LN9: f64 = 2.197_224_577_336_219_6;
 /// let l = Lagrangian::default();
 /// assert_eq!(snr_core::NdrOptimizer::name(&l), "lagrangian");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Lagrangian {
     rounds: usize,
     step_ff_per_ps: f64,
+    budget: Budget,
 }
 
 impl Lagrangian {
@@ -48,7 +52,16 @@ impl Lagrangian {
         Lagrangian {
             rounds: 30,
             step_ff_per_ps: 2.0,
+            budget: Budget::unlimited(),
         }
+    }
+
+    /// Returns a copy bounded by `budget`. The phase `"lagrangian-rounds"`
+    /// ticks once per subgradient round; the budget is also passed to the
+    /// final [`GreedyDowngrade`] polish, whose phases report separately.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
     }
 
     /// Returns a copy with a different round count.
@@ -170,6 +183,10 @@ impl NdrOptimizer for Lagrangian {
     }
 
     fn assign(&self, ctx: &OptContext<'_>) -> Assignment {
+        self.assign_supervised(ctx).assignment
+    }
+
+    fn assign_supervised(&self, ctx: &OptContext<'_>) -> SupervisedRun {
         let tree = ctx.tree();
         let tech = ctx.tech();
         let rules = tech.rules();
@@ -178,9 +195,14 @@ impl NdrOptimizer for Lagrangian {
         let n = tree.len();
         let sinks = tree.sink_nodes();
 
+        let mut meter = Meter::start(&self.budget, "lagrangian-rounds");
         let mut session = ctx.session();
         if !session.feasible() {
-            return session.into_assignment();
+            return SupervisedRun {
+                assignment: session.into_assignment(),
+                budgets: vec![meter.report()],
+                degradations: Vec::new(),
+            };
         }
         let mut best = session.assignment().clone();
         let mut best_cap = f64::INFINITY;
@@ -191,6 +213,9 @@ impl NdrOptimizer for Lagrangian {
         let mut slew_dual = vec![0.0f64; n];
 
         for _round in 0..self.rounds {
+            if !meter.tick() {
+                break;
+            }
             let report = session.report();
 
             // Track the cheapest feasible incumbent.
@@ -263,11 +288,26 @@ impl NdrOptimizer for Lagrangian {
         }
 
         // Final feasible incumbent, polished; greedy fallback otherwise.
-        if best_cap.is_finite() {
-            GreedyDowngrade::default().refine(ctx, best)
+        // The polish runs under the same budget (shared token, fresh
+        // per-phase iteration caps) and its reports are appended.
+        let polish = GreedyDowngrade::default().with_budget(self.budget.clone());
+        let finish = if best_cap.is_finite() {
+            polish.refine_supervised(ctx, best)
         } else {
-            GreedyDowngrade::default().assign(ctx)
-        }
+            polish.assign_supervised(ctx)
+        };
+        let mut run = SupervisedRun {
+            assignment: ctx.conservative_assignment(),
+            budgets: vec![meter.report()],
+            degradations: session
+                .degradations()
+                .iter()
+                .copied()
+                .map(DegradationEvent::IncrementalToFull)
+                .collect(),
+        };
+        run.assignment = run.absorb(finish);
+        run
     }
 }
 

@@ -52,11 +52,15 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 mod anneal;
 mod constraints;
 mod context;
 mod error;
+#[cfg(feature = "fault-inject")]
+mod execfault;
 mod greedy;
 mod lagrangian;
 mod level;
@@ -66,6 +70,7 @@ mod robustness;
 mod session;
 mod smart;
 mod stage_exhaustive;
+mod supervise;
 mod uniform;
 mod upgrade;
 
@@ -73,6 +78,8 @@ pub use anneal::Annealing;
 pub use constraints::Constraints;
 pub use context::OptContext;
 pub use error::CoreError;
+#[cfg(feature = "fault-inject")]
+pub use execfault::ExecFault;
 pub use greedy::GreedyDowngrade;
 pub use lagrangian::Lagrangian;
 pub use level::LevelBased;
@@ -82,12 +89,13 @@ pub use robustness::{enforce_robustness, RobustnessSpec};
 pub use session::{CandidateEval, Degradation, EvalMode, EvalSession, Prober};
 pub use smart::SmartNdr;
 pub use stage_exhaustive::StageExhaustive;
+pub use supervise::{panic_message, Budget, BudgetReport, DegradationEvent, SupervisedRun};
 pub use uniform::Uniform;
 pub use upgrade::GreedyUpgradeRepair;
 
-// Re-exported so callers can configure parallel optimizers without a direct
-// snr-par dependency.
-pub use snr_par::Parallelism;
+// Re-exported so callers can configure parallel optimizers and budgets
+// without a direct snr-par dependency.
+pub use snr_par::{CancelToken, Cancelled, Deadline, Parallelism};
 
 use snr_cts::Assignment;
 
@@ -105,10 +113,23 @@ pub trait NdrOptimizer {
     /// Produces an assignment for the context's tree.
     fn assign(&self, ctx: &OptContext<'_>) -> Assignment;
 
-    /// Runs the optimizer and packages the result with its evaluation.
+    /// Produces an assignment together with its supervision record:
+    /// per-phase [`BudgetReport`]s and any [`DegradationEvent`] ladder
+    /// rungs taken. The default wraps [`assign`](Self::assign) with empty
+    /// supervision, for optimizers that predate budgets.
+    ///
+    /// Implementations that override this must override `assign` as well
+    /// (typically delegating to this method), or the defaults recurse.
+    fn assign_supervised(&self, ctx: &OptContext<'_>) -> SupervisedRun {
+        SupervisedRun::unsupervised(self.assign(ctx))
+    }
+
+    /// Runs the optimizer and packages the result with its evaluation and
+    /// supervision record.
     fn optimize(&self, ctx: &OptContext<'_>) -> Outcome {
         let start = std::time::Instant::now();
-        let assignment = self.assign(ctx);
-        ctx.outcome(self.name(), assignment, start.elapsed())
+        let run = self.assign_supervised(ctx);
+        ctx.outcome(self.name(), run.assignment, start.elapsed())
+            .with_supervision(run.budgets, run.degradations)
     }
 }

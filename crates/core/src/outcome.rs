@@ -1,5 +1,6 @@
 //! Optimizer results.
 
+use crate::supervise::{BudgetReport, DegradationEvent};
 use snr_cts::Assignment;
 use snr_power::PowerReport;
 use snr_timing::TimingReport;
@@ -18,6 +19,8 @@ pub struct Outcome {
     timing: TimingReport,
     meets: bool,
     elapsed: Duration,
+    budgets: Vec<BudgetReport>,
+    degradations: Vec<DegradationEvent>,
 }
 
 impl Outcome {
@@ -38,7 +41,21 @@ impl Outcome {
             timing,
             meets,
             elapsed,
+            budgets: Vec::new(),
+            degradations: Vec::new(),
         }
+    }
+
+    /// Attaches a supervised run's budget reports and degradation-ladder
+    /// record to the outcome.
+    pub fn with_supervision(
+        mut self,
+        budgets: Vec<BudgetReport>,
+        degradations: Vec<DegradationEvent>,
+    ) -> Self {
+        self.budgets = budgets;
+        self.degradations = degradations;
+        self
     }
 
     /// The optimizer's name.
@@ -69,6 +86,24 @@ impl Outcome {
     /// Optimizer runtime.
     pub fn elapsed(&self) -> Duration {
         self.elapsed
+    }
+
+    /// Per-phase budget receipts from the supervised run (empty for
+    /// unsupervised optimizers and baselines).
+    pub fn budget_reports(&self) -> &[BudgetReport] {
+        &self.budgets
+    }
+
+    /// Whether any phase of the run was cut short by its budget — the
+    /// outcome is then the best feasible solution found so far, not a
+    /// converged one.
+    pub fn budget_exhausted(&self) -> bool {
+        self.budgets.iter().any(|b| b.exhausted)
+    }
+
+    /// Degradation-ladder rungs taken during the run, in order.
+    pub fn degradations(&self) -> &[DegradationEvent] {
+        &self.degradations
     }
 
     /// Clock-network power saving relative to `baseline`, as a fraction

@@ -326,6 +326,12 @@ impl<'c, 'a> EvalSession<'c, 'a> {
         self.committed_feasible = pending.eval.feasible;
         self.committed_network_uw = pending.network_uw;
         self.commits += 1;
+        #[cfg(feature = "fault-inject")]
+        if let Some((at_commit, delta_ps)) = self.ctx.divergence_fault() {
+            if self.commits == at_commit {
+                self.debug_corrupt_incremental(delta_ps);
+            }
+        }
         self.check_divergence();
     }
 
@@ -522,6 +528,10 @@ impl Prober<'_, '_> {
     /// the candidate. Duplicate edges collapse last-write-wins, exactly as
     /// in [`EvalSession::try_moves`].
     pub fn probe(&mut self, moves: &[(NodeId, RuleId)]) -> CandidateEval {
+        // Probe faults fire here and only here: the serial path never
+        // constructs a prober, so a parallel→serial retry is always clean.
+        #[cfg(feature = "fault-inject")]
+        self.ctx.on_parallel_probe();
         let eval = self.evaluate(moves).0;
         if let Some(engine) = self.engine.as_mut() {
             engine.rollback();

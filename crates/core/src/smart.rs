@@ -1,6 +1,8 @@
 //! The headline smart-NDR flow: best of both greedy constructions.
 
-use crate::{GreedyDowngrade, GreedyUpgradeRepair, NdrOptimizer, OptContext};
+use crate::{
+    Budget, GreedyDowngrade, GreedyUpgradeRepair, NdrOptimizer, OptContext, SupervisedRun,
+};
 use snr_cts::Assignment;
 
 /// The full smart-NDR flow as the experiments report it: run the
@@ -21,7 +23,7 @@ use snr_cts::Assignment;
 /// let s = SmartNdr::default();
 /// assert_eq!(snr_core::NdrOptimizer::name(&s), "smart-ndr");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SmartNdr {
     downgrade: GreedyDowngrade,
     upgrade: GreedyUpgradeRepair,
@@ -44,6 +46,21 @@ impl SmartNdr {
         self.upgrade = upgrade;
         self
     }
+
+    /// Returns a copy with both constructions bounded by `budget`.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.downgrade = self.downgrade.with_budget(budget.clone());
+        self.upgrade = self.upgrade.with_budget(budget);
+        self
+    }
+
+    /// Returns a copy with both constructions probing on `parallelism`
+    /// workers. Results stay bit-identical to the serial flow.
+    pub fn with_parallelism(mut self, parallelism: snr_par::Parallelism) -> Self {
+        self.downgrade = self.downgrade.with_parallelism(parallelism);
+        self.upgrade = self.upgrade.with_parallelism(parallelism);
+        self
+    }
 }
 
 impl NdrOptimizer for SmartNdr {
@@ -52,13 +69,22 @@ impl NdrOptimizer for SmartNdr {
     }
 
     fn assign(&self, ctx: &OptContext<'_>) -> Assignment {
-        let down = self.downgrade.assign(ctx);
+        self.assign_supervised(ctx).assignment
+    }
+
+    fn assign_supervised(&self, ctx: &OptContext<'_>) -> SupervisedRun {
+        let mut run = self.downgrade.assign_supervised(ctx);
+        let down = std::mem::replace(&mut run.assignment, ctx.conservative_assignment());
         // Polish the upgrade-repair result with downgrade passes: repair
         // leaves slack on non-critical edges the downgrades can harvest.
-        let up = self.downgrade.refine(ctx, self.upgrade.assign(ctx));
+        // Supervision records from *both* branches are kept — the ladder
+        // reports everything that happened during the run, not just the
+        // winner's path.
+        let repaired = run.absorb(self.upgrade.assign_supervised(ctx));
+        let up = run.absorb(self.downgrade.refine_supervised(ctx, repaired));
         let down_ok = ctx.feasible(&down);
         let up_ok = ctx.feasible(&up);
-        match (down_ok, up_ok) {
+        run.assignment = match (down_ok, up_ok) {
             (true, true) => {
                 if ctx.power(&up).network_uw() < ctx.power(&down).network_uw() {
                     up
@@ -70,7 +96,8 @@ impl NdrOptimizer for SmartNdr {
             (false, true) => up,
             // Both infeasible only when even the conservative start is.
             (false, false) => down,
-        }
+        };
+        run
     }
 }
 

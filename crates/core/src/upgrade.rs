@@ -1,10 +1,14 @@
 //! Dual construction: repair the all-default tree by targeted upgrades.
 
 use crate::session::{run_probe_job, ProbeJob};
-use crate::{NdrOptimizer, OptContext, Prober};
+use crate::supervise::Meter;
+use crate::{
+    panic_message, Budget, DegradationEvent, NdrOptimizer, OptContext, Prober, SupervisedRun,
+};
 use snr_cts::{Assignment, NodeId};
 use snr_par::{pool_scope, Parallelism};
 use snr_timing::TimingReport;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Upgrade-repair: start with *no* NDR anywhere (uniform default) and,
 /// while the tree violates the envelope, upgrade the most effective edge
@@ -18,19 +22,21 @@ use snr_timing::TimingReport;
 /// This is the natural dual of [`crate::GreedyDowngrade`]; the ablation
 /// experiment compares the two constructions' power at identical
 /// constraints.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct GreedyUpgradeRepair {
     max_iters: usize,
     parallelism: Parallelism,
+    budget: Budget,
 }
 
 impl GreedyUpgradeRepair {
     /// Creates the optimizer with a generous iteration cap, evaluating
-    /// candidates serially.
+    /// candidates serially under an unlimited budget.
     pub fn new() -> Self {
         GreedyUpgradeRepair {
             max_iters: 100_000,
             parallelism: Parallelism::serial(),
+            budget: Budget::unlimited(),
         }
     }
 
@@ -52,6 +58,14 @@ impl GreedyUpgradeRepair {
     /// ties), and every commit happens on the main session.
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Returns a copy bounded by `budget`. The single phase
+    /// `"upgrade-repair"` ticks once per repair iteration; tick placement
+    /// is identical on the serial and parallel paths.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
         self
     }
 
@@ -130,30 +144,73 @@ impl NdrOptimizer for GreedyUpgradeRepair {
     }
 
     fn assign(&self, ctx: &OptContext<'_>) -> Assignment {
+        self.assign_supervised(ctx).assignment
+    }
+
+    fn assign_supervised(&self, ctx: &OptContext<'_>) -> SupervisedRun {
+        if !self.parallelism.is_serial() {
+            match catch_unwind(AssertUnwindSafe(|| self.attempt(ctx, true))) {
+                Ok(run) => return run,
+                Err(payload) => {
+                    let detail = panic_message(&*payload, 120);
+                    let mut run = self.attempt(ctx, false);
+                    run.degradations.insert(
+                        0,
+                        DegradationEvent::ParallelToSerial {
+                            optimizer: "upgrade-repair",
+                            detail,
+                        },
+                    );
+                    return run;
+                }
+            }
+        }
+        self.attempt(ctx, false)
+    }
+}
+
+impl GreedyUpgradeRepair {
+    fn attempt(&self, ctx: &OptContext<'_>, parallel: bool) -> SupervisedRun {
         let mut session = ctx.session_from(ctx.default_assignment());
-        if self.parallelism.is_serial() {
-            self.repair_loop(ctx, &mut session, None);
-        } else {
+        let mut meter = Meter::start(&self.budget, "upgrade-repair");
+        if parallel {
             // The candidate pool of one iteration is usually tens of edges;
             // cap the pool at the job count (engine clones are not free).
             let workers = self.parallelism.jobs().max(2);
             let probers: Vec<Prober<'_, '_>> = (0..workers).map(|_| session.prober()).collect();
             let session = &mut session;
+            let m = &mut meter;
             pool_scope(probers, &run_probe_job, move |pool| {
-                self.repair_loop(ctx, session, Some(pool));
+                self.repair_loop(ctx, session, Some(pool), m);
             });
+        } else {
+            self.repair_loop(ctx, &mut session, None, &mut meter);
         }
+        let mut degradations: Vec<DegradationEvent> = session
+            .degradations()
+            .iter()
+            .copied()
+            .map(DegradationEvent::IncrementalToFull)
+            .collect();
         // Could not repair within budget: the conservative uniform tree is
-        // the guaranteed-feasible answer when one exists.
-        if session.feasible() {
+        // the guaranteed-feasible answer when one exists — the final
+        // ladder rung.
+        let assignment = if session.feasible() {
             session.into_assignment()
         } else {
+            degradations.push(DegradationEvent::OptimizerToBaseline {
+                optimizer: "upgrade-repair",
+                detail: "repair ended infeasible".to_owned(),
+            });
             ctx.conservative_assignment()
+        };
+        SupervisedRun {
+            assignment,
+            budgets: vec![meter.report()],
+            degradations,
         }
     }
-}
 
-impl GreedyUpgradeRepair {
     /// The repair loop shared by the serial and parallel paths. With a
     /// pool, candidate probes fan out across the probers (read-only) and
     /// every commit is broadcast back so the probers track the session;
@@ -164,6 +221,7 @@ impl GreedyUpgradeRepair {
         ctx: &'c OptContext<'a>,
         session: &mut crate::EvalSession<'c, 'a>,
         mut pool: Option<&mut snr_par::PoolHandle<'h, Prober<'c, 'a>, ProbeJob, Option<crate::CandidateEval>>>,
+        meter: &mut Meter<'_>,
     ) {
         let tree = ctx.tree();
         let rules = ctx.tech().rules();
@@ -178,6 +236,9 @@ impl GreedyUpgradeRepair {
             .sum();
         let budget = constraints.track_budget_um().unwrap_or(f64::INFINITY);
         for _ in 0..self.max_iters {
+            if !meter.tick() {
+                return;
+            }
             let report = session.report();
             let violation = constraints.violation_ps(&report);
             if violation <= 0.0 && session.feasible() {

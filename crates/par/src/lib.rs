@@ -27,6 +27,13 @@
 //!   per-worker state lives across many small job batches, so an
 //!   optimizer can keep per-thread cloned incremental engines in sync
 //!   with its committed state instead of re-cloning them per probe.
+//! * [`CancelToken`] / [`Deadline`] — cooperative cancellation: a shared
+//!   flag (optionally armed with a wall-clock deadline) that
+//!   [`try_par_map`] / [`try_par_map_n`] check at every work-claim
+//!   boundary, so a fired token *drains* workers deterministically
+//!   (everyone joins, partial work is discarded, the call returns
+//!   [`Cancelled`]) instead of abandoning threads mid-flight. Long
+//!   worker bodies can poll [`CancelToken::check`] themselves.
 //! * [`splitmix64`] — the stateless seed-derivation hash behind
 //!   per-sample RNG streams (`seed ^ splitmix64(index)`), which is what
 //!   makes Monte-Carlo sampling order-independent.
@@ -44,12 +51,16 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
 use std::thread;
+use std::time::{Duration, Instant};
 
 /// How many worker threads a parallel call may use.
 ///
@@ -130,6 +141,120 @@ pub fn splitmix64(x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+// ---------------------------------------------------------------------------
+// Cooperative cancellation
+// ---------------------------------------------------------------------------
+
+/// Error returned by the `try_*` primitives when their [`CancelToken`]
+/// fired before all items completed. Partial work is discarded; workers
+/// were drained (joined), never abandoned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("cancelled")
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+/// A wall-clock deadline: an instant after which work should stop.
+///
+/// Deadlines are inherently **non-deterministic** — where in an
+/// optimization a deadline fires depends on machine load — so
+/// reproducibility-sensitive paths (tests, published tables) should prefer
+/// iteration caps and leave deadlines off.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    at: Instant,
+}
+
+impl Deadline {
+    /// A deadline `d` from now.
+    pub fn after(d: Duration) -> Self {
+        Deadline { at: Instant::now() + d }
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.at
+    }
+
+    /// Time left before expiry (zero once expired).
+    pub fn remaining(&self) -> Duration {
+        self.at.saturating_duration_since(Instant::now())
+    }
+}
+
+#[derive(Debug, Default)]
+struct CancelInner {
+    flag: AtomicBool,
+    deadline: Option<Deadline>,
+}
+
+/// A cheaply clonable cooperative cancellation flag, optionally armed with
+/// a wall-clock [`Deadline`].
+///
+/// All clones share one flag: [`cancel`](Self::cancel) on any clone is
+/// observed by every holder. The `try_*` map primitives poll the token at
+/// each work-claim boundary; long-running worker bodies can additionally
+/// poll [`check`](Self::check) at their own safe points.
+///
+/// The default token never fires.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+impl CancelToken {
+    /// A token that only fires on an explicit [`cancel`](Self::cancel).
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// A token that fires at `deadline` (or on explicit cancel, whichever
+    /// comes first).
+    pub fn with_deadline(deadline: Deadline) -> Self {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                flag: AtomicBool::new(false),
+                deadline: Some(deadline),
+            }),
+        }
+    }
+
+    /// Fires the token; every clone observes it.
+    pub fn cancel(&self) {
+        self.inner.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has fired (explicitly or via its deadline).
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.flag.load(Ordering::Acquire)
+            || self.inner.deadline.is_some_and(|d| d.expired())
+    }
+
+    /// The cooperative checkpoint for worker bodies: `Err(Cancelled)` once
+    /// the token has fired.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] when [`is_cancelled`](Self::is_cancelled).
+    pub fn check(&self) -> Result<(), Cancelled> {
+        if self.is_cancelled() {
+            Err(Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The armed deadline, if any.
+    pub fn deadline(&self) -> Option<Deadline> {
+        self.inner.deadline
+    }
+}
+
 /// Maps `f` over `items`, returning results in input order.
 ///
 /// `f` receives `(index, &item)`. With `par.jobs() == 1` (or one item)
@@ -174,20 +299,106 @@ where
     I: Fn(usize) -> S + Sync,
     F: Fn(&mut S, usize, &T) -> U + Sync,
 {
+    match par_map_core(par, items, None, init, f) {
+        Ok(out) => out,
+        Err(Cancelled) => unreachable!("no token was supplied"),
+    }
+}
+
+/// Cancellable [`par_map`]: the token is polled at every work-claim
+/// boundary (and between items on the serial path). Once it fires, no new
+/// item is started, every worker drains and joins, the partial results are
+/// discarded and the call returns `Err(Cancelled)`.
+///
+/// A token that never fires makes this identical to [`par_map`].
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] when the token fired before all items completed.
+/// An item already in flight when the token fires still runs to
+/// completion (cooperative cancellation never abandons a thread), so a
+/// slow item delays — never corrupts — the drain.
+///
+/// # Panics
+///
+/// Same panic propagation as [`par_map`]; a panic takes precedence over
+/// cancellation.
+pub fn try_par_map<T, U, F>(
+    par: Parallelism,
+    items: &[T],
+    token: &CancelToken,
+    f: F,
+) -> Result<Vec<U>, Cancelled>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    par_map_core(par, items, Some(token), |_| (), |(), i, item| f(i, item))
+}
+
+/// Cancellable [`par_map_n`]: maps `f` over `0..n` with per-worker state,
+/// polling `token` at every work-claim boundary.
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] when the token fired before all items completed
+/// (see [`try_par_map`]).
+///
+/// # Panics
+///
+/// Same panic propagation as [`par_map`].
+pub fn try_par_map_n<S, U, I, F>(
+    par: Parallelism,
+    n: usize,
+    token: &CancelToken,
+    init: I,
+    f: F,
+) -> Result<Vec<U>, Cancelled>
+where
+    U: Send,
+    I: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, usize) -> U + Sync,
+{
+    let indices: Vec<usize> = (0..n).collect();
+    par_map_core(par, &indices, Some(token), init, |state, _, &i| f(state, i))
+}
+
+/// The shared engine behind every map primitive: dynamic scheduling,
+/// per-worker state, optional cooperative cancellation, deterministic
+/// panic propagation.
+fn par_map_core<S, T, U, I, F>(
+    par: Parallelism,
+    items: &[T],
+    token: Option<&CancelToken>,
+    init: I,
+    f: F,
+) -> Result<Vec<U>, Cancelled>
+where
+    T: Sync,
+    U: Send,
+    I: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> U + Sync,
+{
     let n = items.len();
     let workers = par.effective_jobs(n);
     if workers <= 1 {
         let mut state = init(0);
-        return items
-            .iter()
-            .enumerate()
-            .map(|(i, item)| f(&mut state, i, item))
-            .collect();
+        let mut out = Vec::with_capacity(n);
+        for (i, item) in items.iter().enumerate() {
+            if let Some(t) = token {
+                t.check()?;
+            }
+            out.push(f(&mut state, i, item));
+        }
+        return Ok(out);
     }
 
     // Dynamic scheduling: workers pull the next item index from a shared
     // counter. Which worker computes which item is nondeterministic; the
-    // per-item results are not.
+    // per-item results are not. The token is polled *before* claiming, so
+    // a fired token stops all claims and every worker falls through to a
+    // normal join — a drain, not an abandonment.
     let next = AtomicUsize::new(0);
     let mut partials: Vec<WorkerOutcome<U>> = thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
@@ -199,6 +410,9 @@ where
                     let mut state = init(w);
                     let mut out: Vec<(usize, U)> = Vec::new();
                     loop {
+                        if token.is_some_and(|t| t.is_cancelled()) {
+                            return WorkerOutcome { results: out, panic: None };
+                        }
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             return WorkerOutcome { results: out, panic: None };
@@ -234,15 +448,23 @@ where
 
     let mut out: Vec<Option<U>> = Vec::with_capacity(n);
     out.resize_with(n, || None);
+    let mut filled = 0usize;
     for p in partials {
         for (i, v) in p.results {
             debug_assert!(out[i].is_none(), "item {i} computed twice");
             out[i] = Some(v);
+            filled += 1;
         }
     }
-    out.into_iter()
+    if filled < n {
+        // Holes can only come from a fired token stopping the claims.
+        debug_assert!(token.is_some_and(|t| t.is_cancelled()));
+        return Err(Cancelled);
+    }
+    Ok(out
+        .into_iter()
         .map(|v| v.expect("every index was claimed exactly once"))
-        .collect()
+        .collect())
 }
 
 struct WorkerOutcome<U> {
@@ -301,12 +523,18 @@ pub enum PoolHandle<'h, S, J, R> {
     Threaded {
         /// Per-worker job senders.
         txs: Vec<Sender<(usize, J)>>,
-        /// Shared result channel (tag, result), arrival order.
-        rx: Receiver<(usize, R)>,
+        /// Shared result channel (tag, result-or-panic), arrival order.
+        /// A worker whose handler panicked delivers the payload as `Err`
+        /// instead of dying silently — otherwise a panicked worker would
+        /// leave the main thread blocked forever on `recv`.
+        rx: Receiver<(usize, Result<R, PanicPayload>)>,
         /// Results sent but not yet received.
         outstanding: usize,
     },
 }
+
+/// A caught panic payload in transit from a pool worker to the caller.
+type PanicPayload = Box<dyn std::any::Any + Send>;
 
 impl<S, J, R> PoolHandle<'_, S, J, R> {
     /// Number of workers (= states) in the pool.
@@ -322,8 +550,8 @@ impl<S, J, R> PoolHandle<'_, S, J, R> {
     ///
     /// # Panics
     ///
-    /// Panics if `worker` is out of range, or (threaded) if that worker
-    /// has died from a panic.
+    /// Panics if `worker` is out of range, or (threaded) re-raises the
+    /// original panic if that worker already died from one.
     pub fn send(&mut self, worker: usize, tag: usize, job: J) {
         match self {
             PoolHandle::Inline { state, handler, queued } => {
@@ -331,8 +559,12 @@ impl<S, J, R> PoolHandle<'_, S, J, R> {
                 let r = handler(state, job);
                 queued.push_back((tag, r));
             }
-            PoolHandle::Threaded { txs, outstanding, .. } => {
-                txs[worker].send((tag, job)).expect("pool worker panicked");
+            PoolHandle::Threaded { txs, rx, outstanding } => {
+                if txs[worker].send((tag, job)).is_err() {
+                    // The worker broke out of its loop after a panic; its
+                    // payload is queued on the result channel.
+                    raise_worker_panic(rx);
+                }
                 *outstanding += 1;
             }
         }
@@ -344,8 +576,8 @@ impl<S, J, R> PoolHandle<'_, S, J, R> {
     ///
     /// # Panics
     ///
-    /// Panics if no results are outstanding, or if a worker died from a
-    /// panic before delivering one.
+    /// Panics if no results are outstanding; re-raises the original panic
+    /// if a worker's handler panicked instead of producing a result.
     pub fn recv(&mut self) -> (usize, R) {
         match self {
             PoolHandle::Inline { queued, .. } => {
@@ -354,7 +586,14 @@ impl<S, J, R> PoolHandle<'_, S, J, R> {
             PoolHandle::Threaded { rx, outstanding, .. } => {
                 assert!(*outstanding > 0, "no outstanding pool results");
                 *outstanding -= 1;
-                rx.recv().expect("pool worker panicked")
+                match rx.recv() {
+                    Ok((tag, Ok(r))) => (tag, r),
+                    Ok((_, Err(payload))) => resume_unwind(payload),
+                    // Every live worker holds a result-sender clone, so a
+                    // closed channel means all workers panicked and their
+                    // payloads were already consumed.
+                    Err(_) => panic!("all pool workers died"),
+                }
             }
         }
     }
@@ -366,7 +605,8 @@ impl<S, J, R> PoolHandle<'_, S, J, R> {
     /// # Panics
     ///
     /// Panics if results are already outstanding (interleaving a broadcast
-    /// with pending probes would mix up tags), or if a worker has died.
+    /// with pending probes would mix up tags); re-raises the original
+    /// panic if a worker has died or dies handling the broadcast.
     pub fn broadcast(&mut self, job: J)
     where
         J: Clone,
@@ -380,14 +620,32 @@ impl<S, J, R> PoolHandle<'_, S, J, R> {
                 assert_eq!(*outstanding, 0, "broadcast with outstanding results");
                 let n = txs.len();
                 for tx in txs.iter() {
-                    tx.send((usize::MAX, job.clone())).expect("pool worker panicked");
+                    if tx.send((usize::MAX, job.clone())).is_err() {
+                        raise_worker_panic(rx);
+                    }
                 }
                 for _ in 0..n {
-                    let _ = rx.recv().expect("pool worker panicked");
+                    match rx.recv() {
+                        Ok((_, Ok(_))) => {}
+                        Ok((_, Err(payload))) => resume_unwind(payload),
+                        Err(_) => panic!("all pool workers died"),
+                    }
                 }
             }
         }
     }
+}
+
+/// Drains the result channel looking for a dead worker's panic payload and
+/// re-raises it; the generic panic below is unreachable in practice
+/// because a worker only breaks its loop after queueing its payload.
+fn raise_worker_panic<R>(rx: &Receiver<(usize, Result<R, PanicPayload>)>) -> ! {
+    while let Ok((_, res)) = rx.try_recv() {
+        if let Err(payload) = res {
+            resume_unwind(payload);
+        }
+    }
+    panic!("pool worker died without a panic payload");
 }
 
 /// Runs `body` with a pool of stateful workers.
@@ -406,9 +664,10 @@ impl<S, J, R> PoolHandle<'_, S, J, R> {
 ///
 /// # Panics
 ///
-/// A handler panic kills its worker; the panic surfaces on the calling
-/// thread at the next `send`/`recv`/`broadcast` involving that worker (or
-/// at scope teardown), never as a process abort.
+/// A handler panic kills its worker, but the payload is captured and
+/// delivered over the result channel: it re-surfaces on the calling
+/// thread at the next `send`/`recv`/`broadcast` involving that worker —
+/// never as a silent hang or a process abort.
 pub fn pool_scope<S, J, R, Ret>(
     mut states: Vec<S>,
     handler: &(dyn Fn(&mut S, J) -> R + Sync),
@@ -431,16 +690,20 @@ where
     }
 
     thread::scope(|s| {
-        let (res_tx, res_rx) = channel::<(usize, R)>();
+        let (res_tx, res_rx) = channel::<(usize, Result<R, PanicPayload>)>();
         let mut txs = Vec::with_capacity(states.len());
         for mut state in states {
             let (tx, rx) = channel::<(usize, J)>();
             let res_tx = res_tx.clone();
             s.spawn(move || {
                 for (tag, job) in rx {
-                    let r = handler(&mut state, job);
-                    if res_tx.send((tag, r)).is_err() {
-                        break; // pool torn down mid-flight
+                    // Catch handler panics and ship the payload as a
+                    // result: a dying worker that never answers would
+                    // deadlock the caller's next `recv`.
+                    let r = catch_unwind(AssertUnwindSafe(|| handler(&mut state, job)));
+                    let died = r.is_err();
+                    if res_tx.send((tag, r)).is_err() || died {
+                        break; // pool torn down mid-flight, or state poisoned
                     }
                 }
             });
@@ -585,6 +848,154 @@ mod tests {
             });
             assert_eq!(got, vec![101, 102, 103, 104, 105], "workers={workers}");
         }
+    }
+
+    #[test]
+    fn cancel_token_fires_for_every_clone() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        assert!(!t.is_cancelled());
+        assert!(t.check().is_ok());
+        u.cancel();
+        assert!(t.is_cancelled());
+        assert_eq!(t.check(), Err(Cancelled));
+        assert_eq!(Cancelled.to_string(), "cancelled");
+    }
+
+    #[test]
+    fn deadline_expiry() {
+        let live = Deadline::after(Duration::from_secs(3600));
+        assert!(!live.expired());
+        assert!(live.remaining() > Duration::ZERO);
+        let dead = Deadline::after(Duration::ZERO);
+        assert!(dead.expired());
+        assert_eq!(dead.remaining(), Duration::ZERO);
+        let t = CancelToken::with_deadline(dead);
+        assert!(t.is_cancelled());
+        assert!(t.deadline().is_some());
+        assert!(CancelToken::new().deadline().is_none());
+    }
+
+    #[test]
+    fn try_map_matches_map_when_token_never_fires() {
+        let items: Vec<u64> = (0..123).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| splitmix64(x)).collect();
+        let token = CancelToken::new();
+        for jobs in [1, 4] {
+            let got = try_par_map(Parallelism::new(jobs), &items, &token, |_, &x| splitmix64(x))
+                .expect("token never fired");
+            assert_eq!(got, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn fired_token_drains_and_returns_cancelled() {
+        let items: Vec<u64> = (0..64).collect();
+        for jobs in [1usize, 4] {
+            // Pre-cancelled: not a single item runs.
+            let ran = AtomicUsize::new(0);
+            let token = CancelToken::new();
+            token.cancel();
+            let res = try_par_map(Parallelism::new(jobs), &items, &token, |_, &x| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                x
+            });
+            assert_eq!(res, Err(Cancelled), "jobs={jobs}");
+            assert_eq!(ran.load(Ordering::Relaxed), 0, "jobs={jobs}");
+
+            // Fired mid-run: the call still returns (drains, no hang).
+            let token = CancelToken::new();
+            let res = try_par_map(Parallelism::new(jobs), &items, &token, |i, &x| {
+                if i == 3 {
+                    token.cancel();
+                }
+                x
+            });
+            assert!(res.is_err() || res.as_ref().map(Vec::len) == Ok(items.len()));
+        }
+    }
+
+    #[test]
+    fn try_map_n_cancellation_and_success() {
+        let token = CancelToken::new();
+        let got = try_par_map_n(Parallelism::new(3), 10, &token, |_| (), |(), i| i * i)
+            .expect("token never fired");
+        assert_eq!(got, vec![0, 1, 4, 9, 16, 25, 36, 49, 64, 81]);
+        token.cancel();
+        assert_eq!(
+            try_par_map_n(Parallelism::new(3), 10, &token, |_| (), |(), i| i),
+            Err(Cancelled)
+        );
+    }
+
+    #[test]
+    fn panic_beats_cancellation() {
+        let items: Vec<usize> = (0..16).collect();
+        let token = CancelToken::new();
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            try_par_map(Parallelism::new(2), &items, &token, |_, &x| {
+                if x == 0 {
+                    token.cancel();
+                    panic!("worker exploded");
+                }
+                x
+            })
+        }))
+        .expect_err("panic must propagate");
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(msg.contains("exploded"), "payload lost: {msg:?}");
+    }
+
+    #[test]
+    fn pool_worker_panic_surfaces_instead_of_hanging() {
+        // Regression: a panicking handler used to kill its worker without
+        // answering, leaving the caller blocked forever in recv().
+        let handler = |_state: &mut (), j: u32| {
+            if j == 13 {
+                panic!("probe failed on 13");
+            }
+            j * 2
+        };
+        for workers in [1usize, 3] {
+            let err = catch_unwind(AssertUnwindSafe(|| {
+                pool_scope(vec![(); workers], &handler, |pool| {
+                    pool.send(0, 0, 13);
+                    pool.recv()
+                })
+            }))
+            .expect_err("worker panic must re-surface");
+            let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+            assert!(msg.contains("13"), "workers={workers}: payload lost: {msg:?}");
+        }
+    }
+
+    #[test]
+    fn pool_survivors_still_answer_after_a_worker_dies() {
+        let handler = |state: &mut u32, j: u32| {
+            if j == u32::MAX {
+                panic!("dead worker");
+            }
+            *state + j
+        };
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            pool_scope(vec![10u32, 20], &handler, |pool| {
+                // Healthy probe on worker 1 first, then kill worker 0: the
+                // healthy result must still arrive before the payload does.
+                pool.send(1, 1, 5);
+                pool.send(0, 0, u32::MAX);
+                let mut healthy = None;
+                for _ in 0..2 {
+                    let (tag, r) = pool.recv();
+                    if tag == 1 {
+                        healthy = Some(r);
+                    }
+                }
+                healthy
+            })
+        }))
+        .expect_err("the dead worker's panic must still propagate");
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(msg.contains("dead worker"), "payload lost: {msg:?}");
     }
 
     #[test]

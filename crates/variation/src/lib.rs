@@ -48,7 +48,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use snr_cts::{Assignment, ClockTree};
 use snr_geom::Rect;
-use snr_par::{par_map_n, splitmix64, Parallelism};
+use snr_par::{splitmix64, try_par_map_n, CancelToken, Cancelled, Parallelism};
 use snr_tech::Technology;
 use snr_timing::{AnalysisOptions, Analyzer};
 use std::fmt;
@@ -319,6 +319,33 @@ impl MonteCarlo {
         tech: &Technology,
         assignment: &Assignment,
     ) -> VariationReport {
+        #[allow(clippy::expect_used)]
+        self.run_with_token(tree, tech, assignment, &CancelToken::new())
+            .expect("an unfired token never cancels")
+    }
+
+    /// [`run`](Self::run) under a cooperative [`CancelToken`]: sampling
+    /// stops at the next work-claim boundary once the token fires (e.g. a
+    /// `--timeout` deadline) and the whole run returns `Err(Cancelled)` —
+    /// partial statistics are never reported, because a sample subset
+    /// would silently change the distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] if the token fired before every sample
+    /// completed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment does not match the tree (see
+    /// [`snr_timing::Analyzer::run`]).
+    pub fn run_with_token(
+        &self,
+        tree: &ClockTree,
+        tech: &Technology,
+        assignment: &Assignment,
+        token: &CancelToken,
+    ) -> Result<VariationReport, Cancelled> {
         let n = tree.len();
         let layer = tech.clock_layer();
         let rules = tech.rules();
@@ -368,9 +395,10 @@ impl MonteCarlo {
             c_scale: Vec<f64>,
             g_cells: Vec<f64>,
         }
-        let samples: Vec<(f64, f64)> = par_map_n(
+        let samples: Vec<(f64, f64)> = try_par_map_n(
             self.parallelism,
             self.n_samples,
+            token,
             |_worker| Scratch {
                 analyzer: Analyzer::new(),
                 r_scale: vec![1.0f64; n],
@@ -407,11 +435,11 @@ impl MonteCarlo {
                 );
                 (rep.skew_ps(), rep.latency_ps())
             },
-        );
-        VariationReport {
+        )?;
+        Ok(VariationReport {
             skew_ps: samples.iter().map(|&(s, _)| s).collect(),
             latency_ps: samples.iter().map(|&(_, l)| l).collect(),
-        }
+        })
     }
 }
 
@@ -451,6 +479,25 @@ mod tests {
                 .run(&tree, &tech, &asg);
             assert_eq!(serial, par, "jobs={jobs} diverged from serial");
         }
+    }
+
+    #[test]
+    fn fired_token_cancels_instead_of_reporting_partial_stats() {
+        let (tree, tech) = setup(40);
+        let asg = Assignment::uniform(&tree, tech.rules().default_id());
+        let mc = MonteCarlo::new(VariationModel::default(), 10, 3);
+        let fired = CancelToken::new();
+        fired.cancel();
+        assert_eq!(
+            mc.run_with_token(&tree, &tech, &asg, &fired),
+            Err(Cancelled)
+        );
+        // An unfired token changes nothing.
+        let calm = CancelToken::new();
+        assert_eq!(
+            mc.run_with_token(&tree, &tech, &asg, &calm).unwrap(),
+            mc.run(&tree, &tech, &asg)
+        );
     }
 
     #[test]

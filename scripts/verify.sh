@@ -7,8 +7,10 @@ cd "$(dirname "$0")/.."
 
 step() { printf '\n== %s\n' "$*"; }
 
-step "cargo build --release"
-cargo build --release
+step "cargo build --release --workspace"
+# --workspace: the root manifest is also a package, so a bare build would
+# skip the other members (and leave target/release/bench_parallel stale).
+cargo build --release --workspace
 
 step "cargo test --workspace"
 cargo test -q --workspace
@@ -63,6 +65,18 @@ fi
 # bench_parallel --smoke asserts parallel == serial internally; write to a
 # temp path so the checked-in full-mode BENCH_parallel.json stays put.
 target/release/bench_parallel --smoke --out "$T/BENCH_smoke.json" >/dev/null
+
+step "supervision smoke"
+# Anytime contract: an absurdly small budget still yields a feasible
+# result (exit 0) with an exhausted-budget receipt in the JSON.
+capped="$("$BIN" run --sinks 60 --seed 2 --method smart --max-iters 3 --json)"
+case "$capped" in
+    *'"meets_constraints": true'*'"budget_exhausted": true'*|*'"budget_exhausted": true'*'"meets_constraints": true'*) ;;
+    *) echo "FAIL: capped run must stay feasible and report exhaustion: $capped" >&2; exit 1 ;;
+esac
+
+step "chaos soak + kill-and-resume (scripts/soak.sh)"
+scripts/soak.sh
 
 echo
 echo "verify: all checks passed"

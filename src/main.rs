@@ -2,11 +2,13 @@
 //!
 //! ```text
 //! smart-ndr gen   --sinks 800 --seed 7 --out design.sndr
-//! smart-ndr run   --design design.sndr [--tech n45|n32] [--method smart|greedy|upgrade|level|uniform|anneal]
+//! smart-ndr run   --design design.sndr [--tech n45|n32]
+//!                 [--method smart|greedy|upgrade|level|uniform|anneal|lagrangian]
 //!                 [--slew-margin 1.1] [--skew-budget 30] [--svg tree.svg] [--mc 200] [--jobs 4]
+//!                 [--timeout 30] [--max-iters 100000]
 //! smart-ndr run   --sinks 500 --seed 3            # generate on the fly
 //! smart-ndr lint  --design design.sndr [--repair [--out fixed.sndr]]   # validate / repair
-//! smart-ndr suite [--designs dir/] [--jobs 4]      # headline table over the 8-design suite
+//! smart-ndr suite [--designs dir/] [--jobs 4] [--out table.txt [--resume]]
 //! smart-ndr mesh  --sinks 800 [--grid 16] [--rule default|2w2s]   # mesh-vs-tree comparison
 //! ```
 //!
@@ -30,13 +32,26 @@
 //! rows print in suite order. Worker panics never abort the process:
 //!
 //! * `suite` catches a panicking design inside its worker and prints a
-//!   `FAILED` row (exit stays 0 — the table was produced);
+//!   `FAILED` row with the truncated panic message in the reason column
+//!   (exit stays 0 — the table was produced);
 //! * `run` maps a panicking Monte Carlo worker to the typed *infeasible*
 //!   error (exit 4), or *invalid input* (exit 3) if the design never loaded.
+//!
+//! # Run supervision
+//!
+//! `run --timeout <SECS>` arms a cooperative deadline and `--max-iters <N>`
+//! caps every optimizer phase at `N` iterations; both are *anytime* bounds —
+//! the optimizer returns its best feasible solution so far and the `--json`
+//! output carries a `"supervision"` object (per-phase budget receipts plus
+//! the degradation-ladder record). `suite --out <FILE> --resume` journals
+//! each completed row to `<FILE>.journal.jsonl` and skips journaled rows on
+//! the next run; the final `--out` file is written atomically and is
+//! byte-identical whether or not the run was interrupted.
 
 use smart_ndr::core::{
-    Annealing, Constraints, GreedyDowngrade, GreedyUpgradeRepair, LevelBased, NdrOptimizer,
-    OptContext, SmartNdr, Uniform,
+    panic_message, Annealing, Budget, CancelToken, Cancelled, Constraints, Deadline,
+    GreedyDowngrade, GreedyUpgradeRepair, Lagrangian, LevelBased, NdrOptimizer, OptContext,
+    Outcome, SmartNdr, Uniform,
 };
 use smart_ndr::cts::{save_assignment, svg::render_svg, svg::SvgOptions, synthesize, CtsOptions};
 use smart_ndr::netlist::validate::Bounds;
@@ -47,12 +62,16 @@ use smart_ndr::netlist::{
 use smart_ndr::power::PowerModel;
 use smart_ndr::tech::Technology;
 use smart_ndr::variation::{MonteCarlo, VariationModel};
+use snr_fsio::{atomic_write, Journal};
 use snr_par::{par_map, Parallelism};
 use std::collections::HashMap;
 use std::fs;
 use std::io::BufReader;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Mutex;
+use std::time::Duration;
 
 const USAGE: &str = "\
 smart-ndr: per-edge NDR assignment for clock power reduction
@@ -60,14 +79,24 @@ smart-ndr: per-edge NDR assignment for clock power reduction
 USAGE:
   smart-ndr gen   --sinks <N> [--seed <S>] [--freq <GHz>] --out <FILE>
   smart-ndr run   (--design <FILE> | --sinks <N> [--seed <S>])
-                  [--tech n45|n32] [--method smart|greedy|upgrade|level|uniform|anneal]
+                  [--tech n45|n32]
+                  [--method smart|greedy|upgrade|level|uniform|anneal|lagrangian]
                   [--slew-margin <X>] [--skew-budget <PS>] [--svg <FILE>] [--mc <SAMPLES>]
                   [--save-asg <FILE>] [--jobs <N>] [--json]
+                  [--timeout <SECS>] [--max-iters <N>]
   smart-ndr lint  --design <FILE> [--tech n45|n32] [--repair] [--out <FILE>] [--json]
   smart-ndr suite [--tech n45|n32] [--designs <DIR>] [--jobs <N>]
+                  [--out <FILE> [--resume]]
   smart-ndr mesh  (--design <FILE> | --sinks <N> [--seed <S>]) [--tech n45|n32]
                   [--grid <N>] [--drivers <K>] [--rule default|2w2s]
   smart-ndr help
+
+SUPERVISION:
+  --timeout <SECS>    cooperative wall-clock deadline (0 = off); anytime —
+                      the best feasible solution found so far is returned
+  --max-iters <N>     per-phase iteration cap (0 = off); deterministic
+  suite --resume      skip rows journaled in <OUT>.journal.jsonl by an
+                      earlier interrupted run (requires --out)
 
 EXIT CODES:
   0 success / lint-clean    1 usage error
@@ -164,7 +193,7 @@ fn run(args: Vec<String>) -> Result<(), CliError> {
 }
 
 /// Flags that take no value; present means "true".
-const BOOL_FLAGS: &[&str] = &["json", "repair"];
+const BOOL_FLAGS: &[&str] = &["json", "repair", "resume"];
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
     let mut flags = HashMap::new();
@@ -216,6 +245,27 @@ fn jobs_of(flags: &HashMap<String, String>) -> Result<Option<Parallelism>, CliEr
             Ok(Some(Parallelism::new(n)))
         }
     }
+}
+
+/// `--timeout <SECS>` / `--max-iters <N>` as a [`Budget`] plus the deadline
+/// token (shared with Monte Carlo so one timer bounds the whole command).
+/// Zero means "off" for both, matching their defaults.
+fn budget_of(flags: &HashMap<String, String>) -> Result<(Budget, Option<CancelToken>), CliError> {
+    let timeout: f64 = get_parsed(flags, "timeout", 0.0)?;
+    if !timeout.is_finite() || timeout < 0.0 {
+        return Err(CliError::usage(format!("--timeout must be >= 0 seconds, got {timeout}")));
+    }
+    let max_iters: u64 = get_parsed(flags, "max-iters", 0)?;
+    let mut budget = Budget::unlimited();
+    if max_iters > 0 {
+        budget = budget.with_max_iters(max_iters);
+    }
+    let token = (timeout > 0.0)
+        .then(|| CancelToken::with_deadline(Deadline::after(Duration::from_secs_f64(timeout))));
+    if let Some(t) = &token {
+        budget = budget.with_token(t.clone());
+    }
+    Ok((budget, token))
 }
 
 fn tech_of(flags: &HashMap<String, String>) -> Result<Technology, CliError> {
@@ -305,6 +355,48 @@ fn outcome_json(
     )
 }
 
+/// Serializes an outcome's supervision record (budget receipts plus the
+/// degradation ladder) as a JSON object. Elapsed times are deliberately
+/// omitted: every field here is deterministic for a given seed and job
+/// count, so callers can diff the whole object across runs.
+fn supervision_json(out: &Outcome, mc_cancelled: bool) -> String {
+    let budgets = out
+        .budget_reports()
+        .iter()
+        .map(|b| {
+            format!(
+                "{{\"phase\": \"{}\", \"iterations\": {}, \"exhausted\": {}}}",
+                json_escape(b.phase),
+                b.iterations_done,
+                b.exhausted
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    let rungs = out
+        .degradations()
+        .iter()
+        .map(|d| {
+            format!(
+                "{{\"rung\": \"{}\", \"detail\": \"{}\"}}",
+                json_escape(d.rung()),
+                json_escape(&d.detail())
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        concat!(
+            "{{\"budget_exhausted\": {}, \"mc_cancelled\": {}, ",
+            "\"budgets\": [{}], \"degradations\": [{}]}}"
+        ),
+        out.budget_exhausted(),
+        mc_cancelled,
+        budgets,
+        rungs,
+    )
+}
+
 fn cmd_run(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let design = design_of(flags)?;
     let tech = tech_of(flags)?;
@@ -328,14 +420,21 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), CliError> {
         println!("constraints: {}", ctx.constraints());
     }
 
+    let (budget, token) = budget_of(flags)?;
+    let par = jobs.unwrap_or_else(Parallelism::serial);
     let method: Box<dyn NdrOptimizer> =
         match flags.get("method").map(String::as_str).unwrap_or("smart") {
-            "smart" => Box::new(SmartNdr::default()),
-            "greedy" => Box::new(GreedyDowngrade::default()),
-            "upgrade" => Box::new(GreedyUpgradeRepair::default()),
+            "smart" => Box::new(SmartNdr::default().with_budget(budget).with_parallelism(par)),
+            "greedy" => {
+                Box::new(GreedyDowngrade::default().with_budget(budget).with_parallelism(par))
+            }
+            "upgrade" => {
+                Box::new(GreedyUpgradeRepair::default().with_budget(budget).with_parallelism(par))
+            }
             "level" => Box::new(LevelBased),
             "uniform" => Box::new(Uniform::conservative()),
-            "anneal" => Box::new(Annealing::new(20_000, 1)),
+            "anneal" => Box::new(Annealing::new(20_000, 1).with_budget(budget)),
+            "lagrangian" => Box::new(Lagrangian::new().with_budget(budget)),
             other => return Err(CliError::usage(format!("unknown --method {other:?}"))),
         };
 
@@ -349,10 +448,20 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), CliError> {
             100.0 * out.network_saving_vs(&base),
             100.0 * (1.0 - out.power().track_cost_um() / base.power().track_cost_um()),
         );
+        for b in out.budget_reports().iter().filter(|b| b.exhausted) {
+            println!(
+                "budget:   {} exhausted after {} iterations — result is best-so-far",
+                b.phase, b.iterations_done
+            );
+        }
+        for d in out.degradations() {
+            println!("degraded: {d}");
+        }
     }
 
     let mc_samples: usize = get_parsed(flags, "mc", 0)?;
     let mut sigma_skews: Option<(f64, f64)> = None;
+    let mut mc_cancelled = false;
     if mc_samples > 0 {
         let mut mc = MonteCarlo::new(VariationModel::default(), mc_samples, 7);
         if let Some(par) = jobs {
@@ -362,25 +471,40 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), CliError> {
         // joined; map it to the typed infeasible error so the CLI exits 4
         // instead of aborting. Results are bit-identical per --jobs anyway,
         // so --jobs 1 reproduces the failure serially.
-        let (rep_base, rep_out) = catch_unwind(AssertUnwindSafe(|| {
-            (
-                mc.run(&tree, &tech, base.assignment()),
-                mc.run(&tree, &tech, out.assignment()),
-            )
+        let mc_token = token.clone().unwrap_or_default();
+        let reps = catch_unwind(AssertUnwindSafe(|| -> Result<_, Cancelled> {
+            Ok((
+                mc.run_with_token(&tree, &tech, base.assignment(), &mc_token)?,
+                mc.run_with_token(&tree, &tech, out.assignment(), &mc_token)?,
+            ))
         }))
-        .map_err(|_| {
+        .map_err(|payload| {
             CliError::infeasible(format!(
-                "Monte Carlo analysis panicked on {} (re-run with --jobs 1 to localize)",
-                design.name()
+                "Monte Carlo analysis panicked on {}: {} (re-run with --jobs 1 to localize)",
+                design.name(),
+                panic_message(&*payload, 120),
             ))
         })?;
-        sigma_skews = Some((rep_base.sigma_skew_ps(), rep_out.sigma_skew_ps()));
-        if !json {
-            println!(
-                "variation ({mc_samples} samples): σ-skew baseline {:.2} ps, result {:.2} ps",
-                rep_base.sigma_skew_ps(),
-                rep_out.sigma_skew_ps()
-            );
+        match reps {
+            Ok((rep_base, rep_out)) => {
+                sigma_skews = Some((rep_base.sigma_skew_ps(), rep_out.sigma_skew_ps()));
+                if !json {
+                    println!(
+                        "variation ({mc_samples} samples): σ-skew baseline {:.2} ps, result {:.2} ps",
+                        rep_base.sigma_skew_ps(),
+                        rep_out.sigma_skew_ps()
+                    );
+                }
+            }
+            // The deadline fired mid-analysis. Partial statistics would
+            // silently change the reported distribution, so the variation
+            // section is dropped rather than degraded.
+            Err(Cancelled) => {
+                mc_cancelled = true;
+                if !json {
+                    println!("variation: cancelled by --timeout before {mc_samples} samples completed");
+                }
+            }
         }
     }
 
@@ -415,7 +539,8 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), CliError> {
                 "\"tech\": \"{}\", ",
                 "\"constraints\": {{\"slew_limit_ps\": {:.6}, \"skew_limit_ps\": {:.6}}}, ",
                 "\"baseline\": {}, \"result\": {}, ",
-                "\"saving\": {{\"network_frac\": {:.6}, \"track_frac\": {:.6}}}{}}}"
+                "\"saving\": {{\"network_frac\": {:.6}, \"track_frac\": {:.6}}}, ",
+                "\"supervision\": {}{}}}"
             ),
             json_escape(design.name()),
             design.sinks().len(),
@@ -427,6 +552,7 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), CliError> {
             outcome_json(&out, &tree, &tech),
             out.network_saving_vs(&base),
             1.0 - out.power().track_cost_um() / base.power().track_cost_um(),
+            supervision_json(&out, mc_cancelled),
             variation,
         );
     }
@@ -592,72 +718,178 @@ fn suite_entries(flags: &HashMap<String, String>) -> Result<Vec<SuiteEntry>, Cli
         .collect())
 }
 
-/// One evaluated suite row, ready to print: an optional stderr diagnostic,
-/// the table line, and whether the design counts as FAILED.
+/// One evaluated suite row: an optional stderr diagnostic, the
+/// deterministic table columns (runtime excluded), the measured runtime
+/// (absent for rows restored from a journal), and the FAILED verdict.
+#[derive(Clone)]
 struct SuiteRow {
     diagnostic: Option<String>,
+    name: String,
     line: String,
+    runtime_s: Option<f64>,
     failed: bool,
 }
 
-/// The table line for a design that loaded but did not finish the flow.
-fn failed_row(name: &str, sinks: usize) -> String {
-    format!("{name:<8} {sinks:>8} {:>12} {:>12} {:>8} {:>9}", "FAILED", "-", "-", "-")
+impl SuiteRow {
+    /// The stdout rendering: deterministic columns plus the wall-clock
+    /// runtime column (`-` for FAILED rows and rows resumed from a journal,
+    /// whose runtime was not re-measured).
+    fn stdout_line(&self) -> String {
+        match self.runtime_s {
+            Some(rt) => format!("{} {rt:>8.1}s", self.line),
+            None => format!("{} {:>9}", self.line, "-"),
+        }
+    }
+}
+
+/// Collapses `s` to one whitespace-normalized reason token stream of at
+/// most `max` chars (`-` when empty), so it fits a single table column.
+fn reason_cell(s: &str, max: usize) -> String {
+    let mut out = s.split_whitespace().collect::<Vec<_>>().join(" ");
+    if out.is_empty() {
+        out.push('-');
+    }
+    if out.chars().count() > max {
+        out = out.chars().take(max.saturating_sub(1)).collect();
+        out.push('…');
+    }
+    out
+}
+
+/// The deterministic columns of a row whose flow did not finish, with the
+/// failure reason in the reason column.
+fn failed_line(name: &str, sinks: &str, reason: &str) -> String {
+    format!("{name:<8} {sinks:>8} {:>12} {:>12} {:>8} {:<8}", "FAILED", "-", "-", reason)
 }
 
 /// Evaluates one suite entry. Runs on a worker thread under `--jobs`; the
 /// whole flow sits inside `catch_unwind` so a poisoned design (bad file,
-/// synthesis failure, even a panic in the flow) becomes a `FAILED` row
-/// instead of taking down the run.
+/// synthesis failure, even a panic in the flow) becomes a `FAILED` row —
+/// carrying the truncated panic message in its reason column — instead of
+/// taking down the run. Degradation-ladder rungs taken by a successful run
+/// surface in the same column as `degraded:<rung,...>`.
 fn suite_row(entry: &SuiteEntry, tech: &Technology) -> SuiteRow {
     let design = match entry {
         SuiteEntry::Design(d) => d,
         SuiteEntry::Unloadable { name, reason } => {
             return SuiteRow {
                 diagnostic: Some(format!("{name}: {reason}")),
-                line: format!(
-                    "{name:<8} {:>8} {:>12} {:>12} {:>8} {:>9}",
-                    "-", "FAILED", "-", "-", "-"
-                ),
+                name: name.clone(),
+                line: failed_line(name, "-", &reason_cell(reason, 60)),
+                runtime_s: None,
                 failed: true,
             }
         }
     };
-    let row = catch_unwind(AssertUnwindSafe(|| -> Result<String, String> {
+    let row = catch_unwind(AssertUnwindSafe(|| -> Result<(String, f64), String> {
         let tree = synthesize(design, tech, &CtsOptions::default()).map_err(|e| e.to_string())?;
         let ctx = OptContext::new(&tree, tech, PowerModel::new(design.freq_ghz()));
         let base = ctx.conservative_baseline();
         let out = SmartNdr::default().optimize(&ctx);
-        Ok(format!(
-            "{:<8} {:>8} {:>12.1} {:>12.1} {:>7.1}% {:>8.1}s",
-            design.name(),
-            design.sinks().len(),
-            base.power().network_uw(),
-            out.power().network_uw(),
-            100.0 * out.network_saving_vs(&base),
+        let mut rungs: Vec<&str> = Vec::new();
+        for d in out.degradations() {
+            if !rungs.contains(&d.rung()) {
+                rungs.push(d.rung());
+            }
+        }
+        let reason = if rungs.is_empty() {
+            "-".to_owned()
+        } else {
+            format!("degraded:{}", rungs.join(","))
+        };
+        Ok((
+            format!(
+                "{:<8} {:>8} {:>12.1} {:>12.1} {:>7.1}% {:<8}",
+                design.name(),
+                design.sinks().len(),
+                base.power().network_uw(),
+                out.power().network_uw(),
+                100.0 * out.network_saving_vs(&base),
+                reason,
+            ),
             out.elapsed().as_secs_f64(),
         ))
     }));
+    let name = design.name().to_owned();
+    let sinks = design.sinks().len().to_string();
     match row {
-        Ok(Ok(line)) => SuiteRow { diagnostic: None, line, failed: false },
+        Ok(Ok((line, rt))) => {
+            SuiteRow { diagnostic: None, name, line, runtime_s: Some(rt), failed: false }
+        }
         Ok(Err(reason)) => SuiteRow {
-            diagnostic: Some(format!("{}: {reason}", design.name())),
-            line: failed_row(design.name(), design.sinks().len()),
+            diagnostic: Some(format!("{name}: {reason}")),
+            line: failed_line(&name, &sinks, &reason_cell(&reason, 60)),
+            name,
+            runtime_s: None,
             failed: true,
         },
         Err(panic) => {
-            let reason = panic
-                .downcast_ref::<&str>()
-                .map(|s| (*s).to_owned())
-                .or_else(|| panic.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "panic".to_owned());
+            let reason = panic_message(&*panic, 60);
             SuiteRow {
-                diagnostic: Some(format!("{}: panicked: {reason}", design.name())),
-                line: failed_row(design.name(), design.sinks().len()),
+                diagnostic: Some(format!("{name}: panicked: {reason}")),
+                line: failed_line(&name, &sinks, &reason),
+                name,
+                runtime_s: None,
                 failed: true,
             }
         }
     }
+}
+
+/// The journal path for a `suite --out` file: `<out>.journal.jsonl`.
+fn journal_path(out: &Path) -> PathBuf {
+    let mut os = out.as_os_str().to_owned();
+    os.push(".journal.jsonl");
+    PathBuf::from(os)
+}
+
+/// One journal line for a completed row: flat JSON with the fields needed
+/// to reproduce the row byte-identically on `--resume`.
+fn journal_record(row: &SuiteRow) -> String {
+    format!(
+        "{{\"name\": \"{}\", \"failed\": {}, \"line\": \"{}\", \"diag\": \"{}\"}}",
+        json_escape(&row.name),
+        row.failed,
+        json_escape(&row.line),
+        json_escape(row.diagnostic.as_deref().unwrap_or("")),
+    )
+}
+
+/// Extracts and unescapes the string value of `key` from a flat one-line
+/// JSON object written by [`journal_record`]. `None` on malformed input.
+fn json_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let mut out = String::new();
+    let mut chars = line[start..].chars();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    out.push(char::from_u32(u32::from_str_radix(&hex, 16).ok()?)?);
+                }
+                c => out.push(c),
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+/// Parses one journal line back into a (resumed) row. Malformed lines
+/// return `None` and the design is simply re-evaluated.
+fn journal_row(line: &str) -> Option<SuiteRow> {
+    let name = json_field(line, "name")?;
+    let row_line = json_field(line, "line")?;
+    let diag = json_field(line, "diag")?;
+    Some(SuiteRow {
+        diagnostic: (!diag.is_empty()).then_some(diag),
+        name,
+        line: row_line,
+        runtime_s: None,
+        failed: line.contains("\"failed\": true"),
+    })
 }
 
 /// `smart-ndr suite`: the headline table. Robust by construction — every
@@ -666,24 +898,126 @@ fn suite_row(entry: &SuiteEntry, tech: &Technology) -> SuiteRow {
 /// designs. With `--jobs <N>` the designs evaluate on `N` worker threads;
 /// rows always print in suite order, so the table is byte-identical for any
 /// job count. Always exits 0 when the table itself could be produced.
+///
+/// With `--out <FILE>` the deterministic columns (runtime excluded) are
+/// additionally written to `FILE` through [`atomic_write`], and every
+/// completed row is journaled to `<FILE>.journal.jsonl` as it finishes;
+/// `--resume` restores journaled rows instead of re-evaluating them, so an
+/// interrupted run picks up where it stopped and still produces the
+/// byte-identical `FILE`. The journal is deleted once `FILE` lands.
 fn cmd_suite(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let tech = tech_of(flags)?;
     let par = jobs_of(flags)?.unwrap_or_else(Parallelism::serial);
+    let out_path = flags.get("out").map(PathBuf::from);
+    let resume = flags.contains_key("resume");
+    if resume && out_path.is_none() {
+        return Err(CliError::usage("suite --resume needs --out <FILE> (the journal lives next to it)"));
+    }
     let entries = suite_entries(flags)?;
-    println!(
-        "{:<8} {:>8} {:>12} {:>12} {:>8} {:>9}",
-        "design", "sinks", "2w2s µW", "smart µW", "save", "runtime"
+
+    // Rows completed by an earlier interrupted run, keyed by design name.
+    let mut done: HashMap<String, SuiteRow> = HashMap::new();
+    let journal = match &out_path {
+        None => None,
+        Some(out) => {
+            let jpath = journal_path(out);
+            let j = if resume {
+                let (j, lines) = Journal::resume(&jpath).map_err(|e| {
+                    CliError::invalid(format!("cannot resume journal {}: {e}", jpath.display()))
+                })?;
+                for row in lines.iter().filter_map(|l| journal_row(l)) {
+                    done.insert(row.name.clone(), row);
+                }
+                j
+            } else {
+                // A fresh run must not inherit rows from an older one.
+                match fs::remove_file(&jpath) {
+                    Err(e) if e.kind() != std::io::ErrorKind::NotFound => {
+                        return Err(CliError::invalid(format!(
+                            "cannot clear stale journal {}: {e}",
+                            jpath.display()
+                        )));
+                    }
+                    _ => {}
+                }
+                Journal::open(&jpath).map_err(|e| {
+                    CliError::invalid(format!("cannot open journal {}: {e}", jpath.display()))
+                })?
+            };
+            Some(Mutex::new(j))
+        }
+    };
+
+    let header = format!(
+        "{:<8} {:>8} {:>12} {:>12} {:>8} {:<8} {:>9}",
+        "design", "sinks", "2w2s µW", "smart µW", "save", "reason", "runtime"
     );
-    let rows = par_map(par, &entries, |_, entry| suite_row(entry, &tech));
+    println!("{header}");
+    let done = &done;
+    let journal_ref = journal.as_ref();
+    let rows = par_map(par, &entries, |_, entry| {
+        let name = match entry {
+            SuiteEntry::Design(d) => d.name(),
+            SuiteEntry::Unloadable { name, .. } => name,
+        };
+        if let Some(row) = done.get(name) {
+            return row.clone();
+        }
+        let row = suite_row(entry, &tech);
+        if let Some(j) = journal_ref {
+            let record = journal_record(&row);
+            // A journaling failure must not fail the run — the table is
+            // still produced; only resumability is lost.
+            match j.lock() {
+                Ok(mut j) => {
+                    if let Err(e) = j.append(&record) {
+                        eprintln!("warning: cannot journal row {}: {e}", row.name);
+                    }
+                }
+                Err(poisoned) => drop(poisoned),
+            }
+        }
+        row
+    });
     for row in &rows {
         if let Some(diag) = &row.diagnostic {
             eprintln!("{diag}");
         }
-        println!("{}", row.line);
+        println!("{}", row.stdout_line());
     }
     let failed = rows.iter().filter(|r| r.failed).count();
+    let mut tail = String::new();
     if failed > 0 {
-        println!("{failed} of {} designs FAILED", entries.len());
+        tail = format!("{failed} of {} designs FAILED", entries.len());
+        println!("{tail}");
+    }
+
+    if let Some(out) = &out_path {
+        // The artifact keeps only deterministic columns, so a resumed run
+        // reproduces it byte-for-byte.
+        let det_header = format!(
+            "{:<8} {:>8} {:>12} {:>12} {:>8} {:<8}",
+            "design", "sinks", "2w2s µW", "smart µW", "save", "reason"
+        );
+        let mut text = String::new();
+        text.push_str(det_header.trim_end());
+        text.push('\n');
+        for row in &rows {
+            text.push_str(row.line.trim_end());
+            text.push('\n');
+        }
+        if !tail.is_empty() {
+            text.push_str(&tail);
+            text.push('\n');
+        }
+        atomic_write(out, text.as_bytes())
+            .map_err(|e| CliError::invalid(format!("cannot write {}: {e}", out.display())))?;
+        if let Some(j) = journal {
+            let j = j.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Err(e) = j.remove() {
+                eprintln!("warning: cannot remove journal: {e}");
+            }
+        }
     }
     Ok(())
 }

@@ -1,0 +1,186 @@
+//! Seeded chaos soak (ISSUE 5 acceptance): ≥128 seeds × {panic, stall,
+//! divergence} execution faults against the supervised flow, asserting
+//! zero hangs (the test completes; `scripts/soak.sh` adds an outer
+//! timeout), zero partial/orphaned files from the crash-safe writers, and
+//! every recovery recorded on the degradation ladder.
+//!
+//! Runs the library API directly with the `fault-inject` hooks that the
+//! root dev-dependency enables; designs are shared across seeds so the
+//! soak stays fast while the fault parameters sweep.
+
+use smart_ndr::core::{
+    DegradationEvent, ExecFault, GreedyDowngrade, NdrOptimizer, OptContext, Parallelism,
+    SupervisedRun,
+};
+use smart_ndr::cts::{synthesize, Assignment, ClockTree, CtsOptions};
+use smart_ndr::netlist::BenchmarkSpec;
+use smart_ndr::power::PowerModel;
+use smart_ndr::tech::Technology;
+use std::path::PathBuf;
+
+const SEEDS: u64 = 128;
+
+/// A small pool of trees shared by every seed: the fault parameters vary
+/// per seed, the designs need not.
+fn fixtures() -> Vec<(ClockTree, Technology)> {
+    [(40usize, 2u64), (56, 9), (72, 17), (88, 23)]
+        .into_iter()
+        .map(|(sinks, seed)| {
+            let design =
+                BenchmarkSpec::new("chaos", sinks).seed(seed).build().expect("valid spec");
+            let tech = Technology::n45();
+            let tree = synthesize(&design, &tech, &CtsOptions::default()).expect("synthesizable");
+            (tree, tech)
+        })
+        .collect()
+}
+
+fn clean_reference(tree: &ClockTree, tech: &Technology) -> Assignment {
+    let ctx = OptContext::new(tree, tech, PowerModel::new(1.0));
+    GreedyDowngrade::default().assign(&ctx)
+}
+
+fn supervised_with_fault(
+    tree: &ClockTree,
+    tech: &Technology,
+    fault: ExecFault,
+    guard_every: bool,
+) -> SupervisedRun {
+    let mut ctx = OptContext::new(tree, tech, PowerModel::new(1.0)).with_exec_fault(fault);
+    if guard_every {
+        ctx = ctx.with_divergence_guard(1, 1e-6);
+    }
+    GreedyDowngrade::default().with_parallelism(Parallelism::new(2)).assign_supervised(&ctx)
+}
+
+fn rungs(run: &SupervisedRun) -> Vec<&'static str> {
+    run.degradations.iter().map(DegradationEvent::rung).collect()
+}
+
+#[test]
+fn chaos_soak_recovers_from_every_injected_fault() {
+    let pool = fixtures();
+    let references: Vec<Assignment> =
+        pool.iter().map(|(tree, tech)| clean_reference(tree, tech)).collect();
+    // The injected worker panics are expected; silence exactly those while
+    // keeping real assertion failures loud.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .is_some_and(|m| m.contains("injected fault"));
+        if !injected {
+            prev_hook(info);
+        }
+    }));
+    let mut guard_trips = 0usize;
+    for seed in 0..SEEDS {
+        let (tree, tech) = &pool[(seed % pool.len() as u64) as usize];
+        let reference = &references[(seed % pool.len() as u64) as usize];
+
+        // Fault parameters sweep with the seed.
+        let panic_run = supervised_with_fault(
+            tree,
+            tech,
+            ExecFault::ProbePanic { at_probe: seed % 11 },
+            false,
+        );
+        assert!(
+            rungs(&panic_run).contains(&"parallel_to_serial"),
+            "seed {seed}: worker panic not recorded on the ladder: {:?}",
+            panic_run.degradations
+        );
+        assert_eq!(
+            &panic_run.assignment, reference,
+            "seed {seed}: panic recovery must reproduce the clean serial result"
+        );
+
+        let stall_run = supervised_with_fault(
+            tree,
+            tech,
+            ExecFault::ProbeStall { at_probe: seed % 7, millis: 1 },
+            false,
+        );
+        assert!(
+            stall_run.degradations.is_empty(),
+            "seed {seed}: a stalled worker is not a failure: {:?}",
+            stall_run.degradations
+        );
+        assert_eq!(&stall_run.assignment, reference, "seed {seed}: stall changed the result");
+
+        // Divergence injection: the corrupted stage aggregates may or may
+        // not dominate the next commit's maxima (a perturbed non-critical
+        // stage is recomputed away harmlessly), so per-seed the invariant
+        // is *correctness* — the guarded run must reproduce the clean
+        // result either way, and any recovery that does happen must be the
+        // incremental→full rung. tests in crates/core/tests/exec_faults.rs
+        // pin a configuration where detection is deterministic.
+        let diverge_run = supervised_with_fault(
+            tree,
+            tech,
+            ExecFault::Divergence { at_commit: 1 + (seed % 5) as usize, delta_ps: 1e-3 },
+            true,
+        );
+        for rung in rungs(&diverge_run) {
+            assert_eq!(
+                rung, "incremental_to_full",
+                "seed {seed}: unexpected rung for a divergence fault"
+            );
+        }
+        guard_trips += diverge_run.degradations.len();
+        assert_eq!(
+            &diverge_run.assignment, reference,
+            "seed {seed}: guarded run must stay correct under corruption"
+        );
+    }
+    assert!(guard_trips > 0, "the sweep must trip the divergence guard at least once");
+    let _ = std::panic::take_hook();
+}
+
+#[test]
+fn chaos_soak_crash_safe_writers_leave_no_partial_files() {
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("smart-ndr-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let artifact = dir.join("rows.txt");
+    let journal_path = dir.join("rows.txt.journal.jsonl");
+    for seed in 0..SEEDS {
+        // A "crashed" predecessor left a stale temp and a torn journal tail.
+        std::fs::write(snr_fsio::temp_path(&artifact), b"torn artifact").expect("stale tmp");
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&journal_path)
+                .expect("journal file");
+            write!(f, "{{\"seed\": {seed}, \"torn\": tr").expect("torn tail");
+        }
+        // Resume drops the torn tail, appends, and the atomic write lands.
+        let (mut journal, recovered) =
+            snr_fsio::Journal::resume(&journal_path).expect("resume journal");
+        for line in &recovered {
+            assert!(!line.contains("\"torn\""), "seed {seed}: torn line survived: {line}");
+        }
+        journal.append(&format!("{{\"seed\": {seed}}}")).expect("append row");
+        snr_fsio::atomic_write(&artifact, format!("rows after seed {seed}\n").as_bytes())
+            .expect("atomic artifact");
+
+        // Invariants after every cycle: the artifact is complete and no
+        // temp file survives.
+        let text = std::fs::read_to_string(&artifact).expect("artifact readable");
+        assert_eq!(text, format!("rows after seed {seed}\n"));
+        assert!(
+            !snr_fsio::temp_path(&artifact).exists(),
+            "seed {seed}: orphaned temp file survived an atomic write"
+        );
+    }
+    // Every appended row survived every simulated crash.
+    let lines = snr_fsio::Journal::load(&journal_path).expect("journal readable");
+    assert_eq!(lines.len() as u64, SEEDS, "one durable line per seed");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,159 @@
+//! Kill-and-resume proof for `smart-ndr suite --resume` (ISSUE 5
+//! acceptance): journaled rows are restored instead of re-evaluated, the
+//! resumed `--out` artifact is byte-identical to an uninterrupted run, and
+//! the journal/temp files never outlive a successful run.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_smart-ndr"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("smart-ndr-resume-{}-{name}", std::process::id()));
+    p
+}
+
+fn journal_of(out: &Path) -> PathBuf {
+    let mut os = out.as_os_str().to_owned();
+    os.push(".journal.jsonl");
+    PathBuf::from(os)
+}
+
+fn temp_of(out: &Path) -> PathBuf {
+    let mut os = out.as_os_str().to_owned();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+/// Three healthy designs with distinct sink counts (names stay unique).
+fn pool(tag: &str) -> PathBuf {
+    let dir = tmp(tag);
+    std::fs::create_dir_all(&dir).expect("create pool dir");
+    for (file, sinks, seed) in [("a.sndr", "24", "1"), ("m.sndr", "28", "2"), ("z.sndr", "32", "3")]
+    {
+        let out = bin()
+            .args(["gen", "--sinks", sinks, "--seed", seed, "--out"])
+            .arg(dir.join(file))
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    }
+    dir
+}
+
+fn run_suite(dir: &Path, out_file: &Path, resume: bool) -> std::process::Output {
+    let mut cmd = bin();
+    cmd.args(["suite", "--jobs", "2", "--designs"]).arg(dir).arg("--out").arg(out_file);
+    if resume {
+        cmd.arg("--resume");
+    }
+    cmd.output().expect("binary runs")
+}
+
+#[test]
+fn resume_reproduces_byte_identical_artifact_and_skips_journaled_rows() {
+    let dir = pool("pool-a");
+    let out_a = tmp("a.txt");
+    let out_b = tmp("b.txt");
+
+    // Uninterrupted reference run.
+    let out = run_suite(&dir, &out_a, false);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let reference = std::fs::read(&out_a).expect("artifact written");
+    assert!(!journal_of(&out_a).exists(), "journal must be deleted after success");
+    assert!(!temp_of(&out_a).exists(), "no temp file after an atomic write");
+
+    // Simulate an interrupted run that completed exactly one row: its
+    // journal holds the true record for the middle design.
+    let text = String::from_utf8_lossy(&reference).to_string();
+    let row = text
+        .lines()
+        .find(|l| l.starts_with("cli-s28"))
+        .expect("row for the 28-sink design in the artifact");
+    std::fs::write(
+        journal_of(&out_b),
+        format!("{{\"name\": \"cli-s28\", \"failed\": false, \"line\": \"{row}\", \"diag\": \"\"}}\n"),
+    )
+    .expect("craft journal");
+
+    let out = run_suite(&dir, &out_b, true);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let resumed = std::fs::read(&out_b).expect("resumed artifact written");
+    assert_eq!(
+        resumed, reference,
+        "resumed artifact must be byte-identical to the uninterrupted run"
+    );
+    // The restored row carries no runtime measurement on stdout.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout.lines().find(|l| l.starts_with("cli-s28")).expect("resumed row printed");
+    assert_eq!(line.split_whitespace().last(), Some("-"), "resumed row has no runtime: {line}");
+    assert!(!journal_of(&out_b).exists(), "journal must be deleted after success");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_file(&out_a);
+    let _ = std::fs::remove_file(&out_b);
+}
+
+#[test]
+fn resume_trusts_the_journal_instead_of_reevaluating() {
+    let dir = pool("pool-b");
+    let out_c = tmp("c.txt");
+    // A sentinel row no real evaluation could ever produce: if it appears
+    // in the output, the design was *not* re-run.
+    std::fs::write(
+        journal_of(&out_c),
+        "{\"name\": \"cli-s28\", \"failed\": false, \"line\": \"SENTINEL-ROW cli-s28\", \"diag\": \"\"}\n",
+    )
+    .expect("craft journal");
+
+    let out = run_suite(&dir, &out_c, true);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("SENTINEL-ROW"),
+        "journaled row must be restored, not re-evaluated"
+    );
+    let artifact = std::fs::read_to_string(&out_c).expect("artifact written");
+    assert!(artifact.contains("SENTINEL-ROW cli-s28"), "restored row lands in the artifact");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_file(&out_c);
+}
+
+#[test]
+fn fresh_run_clears_a_stale_journal() {
+    let dir = pool("pool-c");
+    let out_d = tmp("d.txt");
+    std::fs::write(
+        journal_of(&out_d),
+        "{\"name\": \"cli-s28\", \"failed\": false, \"line\": \"SENTINEL-ROW stale\", \"diag\": \"\"}\n",
+    )
+    .expect("craft stale journal");
+
+    // Without --resume the stale journal must be discarded, not replayed.
+    let out = run_suite(&dir, &out_d, false);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(!String::from_utf8_lossy(&out.stdout).contains("SENTINEL-ROW"));
+    assert!(!std::fs::read_to_string(&out_d).expect("artifact").contains("SENTINEL-ROW"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_file(&out_d);
+}
+
+#[test]
+fn resume_without_out_is_a_usage_error() {
+    let dir = pool("pool-d");
+    let out = bin()
+        .args(["suite", "--resume", "--designs"])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "usage errors exit 1");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--out"),
+        "error must point at the missing --out"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
