@@ -1,0 +1,220 @@
+//! The warm parse+CTS cache: the first slice of content-addressed
+//! memoization (ROADMAP item 2).
+//!
+//! Production traffic repeats: the same design bytes under the same
+//! technology should be parsed and synthesized once per daemon lifetime,
+//! not once per request. Entries are keyed by a content hash of
+//! *(design bytes or generator spec, technology, CTS options)* — hashing
+//! the bytes (not the path) means a re-saved identical file still hits,
+//! and an edited file misses, with no mtime games.
+//!
+//! The cache holds `Arc`s, so concurrent requests share one parsed
+//! [`Design`] and one synthesized [`ClockTree`] without copying; eviction
+//! is oldest-insertion-first once the entry cap is reached.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use snr_cts::ClockTree;
+use snr_netlist::Design;
+
+/// Content-hash key of a cache entry. Stable across processes for the
+/// same inputs (FNV-1a, no randomized hasher).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey(pub u64);
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+/// Incremental FNV-1a hasher over domain-separated byte chunks.
+#[derive(Debug, Clone)]
+pub struct ContentHasher {
+    state: u64,
+}
+
+impl ContentHasher {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        ContentHasher { state: FNV_OFFSET }
+    }
+
+    /// Feeds one chunk, prefixed with its length so `("ab", "c")` and
+    /// `("a", "bc")` hash differently.
+    pub fn chunk(&mut self, bytes: &[u8]) -> &mut Self {
+        for b in (bytes.len() as u64).to_le_bytes() {
+            self.state = (self.state ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        for &b in bytes {
+            self.state = (self.state ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// The finished key.
+    pub fn finish(&self) -> CacheKey {
+        CacheKey(self.state)
+    }
+}
+
+impl Default for ContentHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One warm entry: the parsed design and its synthesized clock tree,
+/// shared by reference with every request that hits.
+#[derive(Debug)]
+pub struct Warm {
+    /// The parsed (or generated) design.
+    pub design: Arc<Design>,
+    /// The synthesized clock tree for that design under the entry's
+    /// technology and CTS options.
+    pub tree: Arc<ClockTree>,
+}
+
+/// How a request interacted with the cache; surfaced in the daemon's
+/// response envelope and aggregated into `stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// Served from a warm entry: parse+CTS skipped.
+    Hit,
+    /// Computed and inserted.
+    Miss,
+    /// The request opted out (`"cache": "off"`) or no cache was attached
+    /// (one-shot CLI execution).
+    Off,
+}
+
+impl CacheStatus {
+    /// The protocol spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheStatus::Hit => "hit",
+            CacheStatus::Miss => "miss",
+            CacheStatus::Off => "off",
+        }
+    }
+}
+
+/// The warm cache plus its hit/miss counters.
+#[derive(Debug)]
+pub struct WarmCache {
+    entries: HashMap<CacheKey, Arc<Warm>>,
+    /// Insertion order for eviction.
+    order: VecDeque<CacheKey>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl WarmCache {
+    /// A cache bounded at `capacity` entries (≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        WarmCache {
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up `key`, counting a hit or a miss.
+    pub fn lookup(&mut self, key: CacheKey) -> Option<Arc<Warm>> {
+        match self.entries.get(&key) {
+            Some(warm) => {
+                self.hits += 1;
+                Some(Arc::clone(warm))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts an entry computed after a miss, evicting the oldest entry
+    /// when full. A concurrent duplicate insert keeps the existing entry.
+    pub fn insert(&mut self, key: CacheKey, warm: Arc<Warm>) {
+        if self.entries.contains_key(&key) {
+            return;
+        }
+        while self.entries.len() >= self.capacity {
+            match self.order.pop_front() {
+                Some(old) => {
+                    self.entries.remove(&old);
+                }
+                None => break,
+            }
+        }
+        self.entries.insert(key, warm);
+        self.order.push_back(key);
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entry cap.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snr_cts::{synthesize, CtsOptions};
+    use snr_netlist::BenchmarkSpec;
+    use snr_tech::Technology;
+
+    fn warm(sinks: usize) -> Arc<Warm> {
+        let design = BenchmarkSpec::new("t", sinks).seed(1).build().unwrap();
+        let tech = Technology::n45();
+        let tree = synthesize(&design, &tech, &CtsOptions::default()).unwrap();
+        Arc::new(Warm { design: Arc::new(design), tree: Arc::new(tree) })
+    }
+
+    #[test]
+    fn content_hash_separates_chunks_and_is_stable() {
+        let a = ContentHasher::new().chunk(b"ab").chunk(b"c").finish();
+        let b = ContentHasher::new().chunk(b"a").chunk(b"bc").finish();
+        assert_ne!(a, b);
+        let again = ContentHasher::new().chunk(b"ab").chunk(b"c").finish();
+        assert_eq!(a, again);
+    }
+
+    #[test]
+    fn hit_miss_counting_and_eviction() {
+        let mut cache = WarmCache::new(2);
+        let (k1, k2, k3) = (CacheKey(1), CacheKey(2), CacheKey(3));
+        assert!(cache.lookup(k1).is_none());
+        cache.insert(k1, warm(24));
+        cache.insert(k2, warm(24));
+        assert!(cache.lookup(k1).is_some());
+        cache.insert(k3, warm(24)); // evicts k1 (oldest)
+        assert!(cache.lookup(k1).is_none());
+        assert!(cache.lookup(k3).is_some());
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.len(), 2);
+    }
+}

@@ -1,0 +1,113 @@
+//! The typed failure for the request → plan → execute pipeline.
+//!
+//! One error type serves every front end: the CLI maps the code to its
+//! process exit code, the daemon writes it as the `error` object of a
+//! response line. The codes (and their exit-code mapping) are the same
+//! stable contract the CLI has had since the robustness PR.
+
+use std::fmt;
+
+/// Classification of a failed request. The variant decides both the CLI
+/// exit code and the machine-readable `code` field of error objects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApiCode {
+    /// Malformed request: bad flags, unknown command, invalid protocol
+    /// line — exit 1.
+    Usage,
+    /// The input design is unreadable, malformed or rejected — exit 3.
+    InvalidInput,
+    /// The design loads but the flow cannot satisfy it — exit 4.
+    Infeasible,
+    /// The request died to a panic; the daemon isolated it — exit 4.
+    Panicked,
+    /// The request was cancelled before it started executing.
+    Cancelled,
+}
+
+impl ApiCode {
+    /// The stable machine-readable code string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ApiCode::Usage => "usage",
+            ApiCode::InvalidInput => "invalid_input",
+            ApiCode::Infeasible => "infeasible",
+            ApiCode::Panicked => "panicked",
+            ApiCode::Cancelled => "cancelled",
+        }
+    }
+
+    /// The CLI process exit code for this class of failure.
+    pub fn exit_code(self) -> u8 {
+        match self {
+            ApiCode::Usage => 1,
+            ApiCode::InvalidInput => 3,
+            ApiCode::Infeasible | ApiCode::Panicked | ApiCode::Cancelled => 4,
+        }
+    }
+}
+
+/// A failed request: classification, message, and optional detail lines
+/// (e.g. the individual lint diagnostics behind a rejection) that human
+/// front ends print before the error itself.
+#[derive(Debug, Clone)]
+pub struct ApiError {
+    code: ApiCode,
+    message: String,
+    details: Vec<String>,
+}
+
+impl ApiError {
+    /// A usage error (exit 1).
+    pub fn usage(msg: impl Into<String>) -> Self {
+        ApiError { code: ApiCode::Usage, message: msg.into(), details: Vec::new() }
+    }
+
+    /// An invalid-input error (exit 3).
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        ApiError { code: ApiCode::InvalidInput, message: msg.into(), details: Vec::new() }
+    }
+
+    /// An infeasible-constraints error (exit 4).
+    pub fn infeasible(msg: impl Into<String>) -> Self {
+        ApiError { code: ApiCode::Infeasible, message: msg.into(), details: Vec::new() }
+    }
+
+    /// An isolated panic (exit 4).
+    pub fn panicked(msg: impl Into<String>) -> Self {
+        ApiError { code: ApiCode::Panicked, message: msg.into(), details: Vec::new() }
+    }
+
+    /// A cancelled-before-start request.
+    pub fn cancelled(msg: impl Into<String>) -> Self {
+        ApiError { code: ApiCode::Cancelled, message: msg.into(), details: Vec::new() }
+    }
+
+    /// Returns a copy carrying detail lines to print before the message.
+    pub fn with_details(mut self, details: Vec<String>) -> Self {
+        self.details = details;
+        self
+    }
+
+    /// The error classification.
+    pub fn code(&self) -> ApiCode {
+        self.code
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Detail lines (possibly empty) to surface before the message.
+    pub fn details(&self) -> &[String] {
+        &self.details
+    }
+}
+
+impl fmt::Display for ApiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code.as_str(), self.message)
+    }
+}
+
+impl std::error::Error for ApiError {}

@@ -1,0 +1,513 @@
+//! Plan execution: turning a [`Plan`] into a typed [`Response`].
+//!
+//! `execute` is the one code path behind both the one-shot CLI and the
+//! resident daemon. The differences between the two are entirely in the
+//! [`ExecCtx`]: the daemon attaches a warm [`WarmCache`], an [`Event`]
+//! sink for progress streaming, and a cancellation-token registration
+//! hook; the CLI attaches none and gets exactly the behavior the binary
+//! has always had.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use snr_core::{
+    panic_message, Annealing, Budget, Cancelled, Constraints, GreedyDowngrade,
+    GreedyUpgradeRepair, Lagrangian, LevelBased, NdrOptimizer, OptContext, Outcome, SmartNdr,
+    Uniform,
+};
+use snr_cts::{synthesize, ClockTree, CtsOptions};
+use snr_netlist::{load_design, load_design_with, validate::Bounds, BenchmarkSpec, Design,
+    ErrorKind, LoadOptions};
+use snr_par::{par_map, CancelToken, Deadline, Parallelism};
+use snr_power::PowerModel;
+use snr_tech::Technology;
+use snr_variation::{MonteCarlo, VariationModel};
+
+use crate::cache::{CacheStatus, Warm, WarmCache};
+use crate::error::ApiError;
+use crate::plan::{DesignInput, LintPlan, Plan, RunPlan, SuiteEntry, SuitePlan};
+use crate::request::Method;
+
+/// A progress event emitted while a plan executes. The daemon streams
+/// these as protocol lines tagged with the request id; the CLI ignores
+/// them (its progress is the final rendering).
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A phase began.
+    PhaseStart {
+        /// Phase name: `parse`, `cts`, `optimize` or `mc`.
+        phase: &'static str,
+    },
+    /// A phase finished.
+    PhaseDone {
+        /// Phase name.
+        phase: &'static str,
+        /// Wall-clock time the phase took.
+        elapsed: Duration,
+    },
+    /// One suite row finished evaluating (fresh rows only — rows restored
+    /// from a journal are not re-announced).
+    SuiteRow(
+        /// The completed row.
+        SuiteRow,
+    ),
+}
+
+/// Execution context: what the front end attaches around `execute`.
+pub struct ExecCtx<'c> {
+    /// Warm parse+CTS cache shared across requests; `None` one-shot.
+    pub cache: Option<&'c Mutex<WarmCache>>,
+    /// Event sink; called from the executing thread (and, for suite rows,
+    /// from worker threads — hence `Sync`).
+    pub sink: Option<&'c (dyn Fn(&Event) + Sync)>,
+    /// Called once with the run's cancellation token before optimization
+    /// starts, so a resident front end can cancel mid-flight. When set, a
+    /// token is created (and registered) even without a `--timeout`.
+    pub on_token: Option<&'c (dyn Fn(&CancelToken) + Sync)>,
+}
+
+impl<'c> ExecCtx<'c> {
+    /// The one-shot context: no cache, no events, no cancellation hook.
+    pub fn oneshot() -> Self {
+        ExecCtx { cache: None, sink: None, on_token: None }
+    }
+
+    fn emit(&self, event: &Event) {
+        if let Some(sink) = self.sink {
+            sink(event);
+        }
+    }
+
+    /// Runs `f` bracketed by phase events.
+    fn phase<T>(&self, phase: &'static str, f: impl FnOnce() -> T) -> T {
+        self.emit(&Event::PhaseStart { phase });
+        let start = Instant::now();
+        let out = f();
+        self.emit(&Event::PhaseDone { phase, elapsed: start.elapsed() });
+        out
+    }
+}
+
+impl<'c> Default for ExecCtx<'c> {
+    fn default() -> Self {
+        ExecCtx::oneshot()
+    }
+}
+
+/// The result of a `run` plan: everything a front end needs to render the
+/// outcome, human or JSON, plus the artifacts (`tree`, assignment inside
+/// the outcomes) that `--svg` / `--save-asg` serialize.
+#[derive(Debug, Clone)]
+pub struct RunResponse {
+    /// The evaluated design.
+    pub design: Arc<Design>,
+    /// Its synthesized clock tree.
+    pub tree: Arc<ClockTree>,
+    /// The technology the run used.
+    pub tech: Technology,
+    /// The resolved constraints.
+    pub constraints: Constraints,
+    /// The conservative-uniform baseline.
+    pub baseline: Outcome,
+    /// The optimized result.
+    pub result: Outcome,
+    /// Monte-Carlo sample count requested (0 = none).
+    pub mc_samples: usize,
+    /// `(baseline σ-skew, result σ-skew)` in ps, when variation ran to
+    /// completion.
+    pub variation: Option<(f64, f64)>,
+    /// Whether the deadline cancelled variation analysis mid-run.
+    pub mc_cancelled: bool,
+    /// How this run interacted with the warm cache.
+    pub cache: CacheStatus,
+}
+
+/// The result of a `lint` plan.
+#[derive(Debug, Clone)]
+pub struct LintResponse {
+    /// The validated (possibly repaired) design.
+    pub design: Arc<Design>,
+    /// Diagnostics, rendered.
+    pub diagnostics: Vec<String>,
+    /// Repair actions taken, rendered.
+    pub repairs: Vec<String>,
+}
+
+impl LintResponse {
+    /// `clean` or `repaired` — the status word the CLI prints.
+    pub fn status(&self) -> &'static str {
+        if self.repairs.is_empty() {
+            "clean"
+        } else {
+            "repaired"
+        }
+    }
+}
+
+/// One evaluated suite row: an optional stderr diagnostic, the
+/// deterministic table columns (runtime excluded), the measured runtime
+/// (absent for rows restored from a journal), and the FAILED verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteRow {
+    /// Design name (the resume key).
+    pub name: String,
+    /// The deterministic table line.
+    pub line: String,
+    /// Optional stderr diagnostic.
+    pub diagnostic: Option<String>,
+    /// Measured runtime; `None` for FAILED and journal-restored rows.
+    pub runtime_s: Option<f64>,
+    /// Whether the flow failed on this design.
+    pub failed: bool,
+}
+
+impl SuiteRow {
+    /// The stdout rendering: deterministic columns plus the wall-clock
+    /// runtime column (`-` for FAILED rows and rows resumed from a
+    /// journal, whose runtime was not re-measured).
+    pub fn stdout_line(&self) -> String {
+        match self.runtime_s {
+            Some(rt) => format!("{} {rt:>8.1}s", self.line),
+            None => format!("{} {:>9}", self.line, "-"),
+        }
+    }
+}
+
+/// The result of a `suite` plan.
+#[derive(Debug, Clone)]
+pub struct SuiteResponse {
+    /// All rows, in table order.
+    pub rows: Vec<SuiteRow>,
+    /// How many rows FAILED.
+    pub failed: usize,
+}
+
+/// The typed result of executing a plan.
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// A completed run.
+    Run(Box<RunResponse>),
+    /// A completed lint.
+    Lint(Box<LintResponse>),
+    /// A completed suite.
+    Suite(SuiteResponse),
+}
+
+/// Executes a plan.
+///
+/// # Errors
+///
+/// The typed [`ApiError`] the front ends map to exit codes / error
+/// objects. Panics inside the flow are *not* caught here (except where
+/// the one-shot CLI always caught them: per suite row and around Monte
+/// Carlo); resident front ends wrap the whole call in `catch_unwind` for
+/// per-request isolation.
+pub fn execute(plan: &Plan, ctx: &ExecCtx<'_>) -> Result<Response, ApiError> {
+    match plan {
+        Plan::Run(p) => execute_run(p, ctx).map(Response::Run),
+        Plan::Lint(p) => execute_lint(p).map(Response::Lint),
+        Plan::Suite(p) => execute_suite(p, ctx).map(Response::Suite),
+    }
+}
+
+fn lock_cache(cache: &Mutex<WarmCache>) -> std::sync::MutexGuard<'_, WarmCache> {
+    cache.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Parses/generates the design and synthesizes its tree (the cold path).
+fn build_warm(plan: &RunPlan, ctx: &ExecCtx<'_>) -> Result<Arc<Warm>, ApiError> {
+    let design = ctx.phase("parse", || match &plan.input {
+        DesignInput::Bytes(bytes) => {
+            load_design(&bytes[..]).map_err(|e| ApiError::invalid(e.to_string()))
+        }
+        DesignInput::Spec { name, sinks, seed, freq_ghz } => {
+            BenchmarkSpec::new(name.clone(), *sinks)
+                .seed(*seed)
+                .freq_ghz(*freq_ghz)
+                .build()
+                .map_err(|e| ApiError::invalid(e.to_string()))
+        }
+    })?;
+    let tree = ctx.phase("cts", || {
+        synthesize(&design, &plan.tech, &CtsOptions::default())
+            .map_err(|e| ApiError::infeasible(e.to_string()))
+    })?;
+    Ok(Arc::new(Warm { design: Arc::new(design), tree: Arc::new(tree) }))
+}
+
+/// Serves the design+tree from the warm cache or computes them.
+fn acquire_warm(
+    plan: &RunPlan,
+    ctx: &ExecCtx<'_>,
+) -> Result<(Arc<Warm>, CacheStatus), ApiError> {
+    let cache = match (plan.cache, ctx.cache) {
+        (crate::request::CacheMode::On, Some(cache)) => cache,
+        _ => return Ok((build_warm(plan, ctx)?, CacheStatus::Off)),
+    };
+    if let Some(warm) = lock_cache(cache).lookup(plan.key) {
+        return Ok((warm, CacheStatus::Hit));
+    }
+    // Build outside the lock so a slow miss does not serialize the whole
+    // daemon; a concurrent duplicate build is wasted work, never a wrong
+    // answer (insert keeps the first entry).
+    let warm = build_warm(plan, ctx)?;
+    lock_cache(cache).insert(plan.key, Arc::clone(&warm));
+    Ok((warm, CacheStatus::Miss))
+}
+
+fn execute_run(plan: &RunPlan, ctx: &ExecCtx<'_>) -> Result<Box<RunResponse>, ApiError> {
+    #[cfg(feature = "fault-inject")]
+    if plan.fault == Some(crate::request::ServeFault::Panic) {
+        panic!("injected fault: poisoned request");
+    }
+
+    let (warm, cache_status) = acquire_warm(plan, ctx)?;
+    let design = Arc::clone(&warm.design);
+    let tree = Arc::clone(&warm.tree);
+
+    let opt_ctx = OptContext::new(&tree, &plan.tech, PowerModel::new(design.freq_ghz()))
+        .with_constraints(Constraints::relative(
+            &tree,
+            &plan.tech,
+            plan.slew_margin,
+            plan.skew_budget_ps,
+        ));
+    #[cfg(feature = "fault-inject")]
+    let opt_ctx = match plan.fault {
+        Some(crate::request::ServeFault::ProbePanic(at_probe)) => {
+            opt_ctx.with_exec_fault(snr_core::ExecFault::ProbePanic { at_probe })
+        }
+        _ => opt_ctx,
+    };
+
+    // Budget and cancellation, exactly as the CLI has always armed them —
+    // plus a resident-mode twist: when the front end wants a cancellation
+    // hook, a token exists even without a timeout.
+    let mut budget = Budget::unlimited();
+    if plan.max_iters > 0 {
+        budget = budget.with_max_iters(plan.max_iters);
+    }
+    let token = if plan.timeout_s > 0.0 {
+        Some(CancelToken::with_deadline(Deadline::after(Duration::from_secs_f64(
+            plan.timeout_s,
+        ))))
+    } else if ctx.on_token.is_some() {
+        Some(CancelToken::new())
+    } else {
+        None
+    };
+    if let Some(t) = &token {
+        budget = budget.with_token(t.clone());
+        if let Some(hook) = ctx.on_token {
+            hook(t);
+        }
+    }
+
+    let par = plan.jobs.unwrap_or_else(Parallelism::serial);
+    let method: Box<dyn NdrOptimizer> = match plan.method {
+        Method::Smart => Box::new(SmartNdr::default().with_budget(budget).with_parallelism(par)),
+        Method::Greedy => {
+            Box::new(GreedyDowngrade::default().with_budget(budget).with_parallelism(par))
+        }
+        Method::Upgrade => {
+            Box::new(GreedyUpgradeRepair::default().with_budget(budget).with_parallelism(par))
+        }
+        Method::Level => Box::new(LevelBased),
+        Method::Uniform => Box::new(Uniform::conservative()),
+        Method::Anneal => Box::new(Annealing::new(20_000, 1).with_budget(budget)),
+        Method::Lagrangian => Box::new(Lagrangian::new().with_budget(budget)),
+    };
+
+    let baseline = opt_ctx.conservative_baseline();
+    let result = ctx.phase("optimize", || method.optimize(&opt_ctx));
+
+    let mut variation = None;
+    let mut mc_cancelled = false;
+    if plan.mc_samples > 0 {
+        let mut mc = MonteCarlo::new(VariationModel::default(), plan.mc_samples, 7);
+        if let Some(par) = plan.jobs {
+            mc = mc.with_parallelism(par);
+        }
+        // A panicking sample worker surfaces here after every worker has
+        // joined; map it to the typed infeasible error so front ends
+        // report it instead of aborting. Results are bit-identical per
+        // job count, so jobs=1 reproduces the failure serially.
+        let mc_token = token.clone().unwrap_or_default();
+        let reps = ctx.phase("mc", || {
+            catch_unwind(AssertUnwindSafe(|| -> Result<_, Cancelled> {
+                Ok((
+                    mc.run_with_token(&tree, &plan.tech, baseline.assignment(), &mc_token)?,
+                    mc.run_with_token(&tree, &plan.tech, result.assignment(), &mc_token)?,
+                ))
+            }))
+        })
+        .map_err(|payload| {
+            ApiError::infeasible(format!(
+                "Monte Carlo analysis panicked on {}: {} (re-run with --jobs 1 to localize)",
+                design.name(),
+                panic_message(&*payload, 120),
+            ))
+        })?;
+        match reps {
+            Ok((rep_base, rep_out)) => {
+                variation = Some((rep_base.sigma_skew_ps(), rep_out.sigma_skew_ps()));
+            }
+            // The deadline fired mid-analysis. Partial statistics would
+            // silently change the reported distribution, so the variation
+            // section is dropped rather than degraded.
+            Err(Cancelled) => mc_cancelled = true,
+        }
+    }
+
+    let constraints = opt_ctx.constraints();
+    Ok(Box::new(RunResponse {
+        design,
+        tree,
+        tech: plan.tech.clone(),
+        constraints,
+        baseline,
+        result,
+        mc_samples: plan.mc_samples,
+        variation,
+        mc_cancelled,
+        cache: cache_status,
+    }))
+}
+
+fn execute_lint(plan: &LintPlan) -> Result<Box<LintResponse>, ApiError> {
+    let opts = LoadOptions { bounds: Bounds::for_tech(&plan.tech), repair: plan.repair };
+    let report = load_design_with(&plan.bytes[..], &opts).map_err(|e| {
+        // Surface the individual diagnostics with the failure, so front
+        // ends can show every problem at once instead of the first.
+        let details: Vec<String> = e.diagnostics().iter().map(|d| d.to_string()).collect();
+        let hint = match e.kind() {
+            ErrorKind::Parse => " (syntax error; run with a valid .sndr file)",
+            _ if !details.is_empty() => " (re-run with --repair to attempt salvage)",
+            _ => "",
+        };
+        ApiError::invalid(format!("{e}{hint}")).with_details(details)
+    })?;
+
+    let diagnostics: Vec<String> = report.diagnostics.iter().map(|d| d.to_string()).collect();
+    let repairs: Vec<String> = report.repairs.iter().map(|r| r.to_string()).collect();
+
+    // Feasibility smoke-check: a structurally valid design that no buffer
+    // in the library can drive is a constraint problem, not an input
+    // problem. The diagnostics still travel with the error so nothing
+    // already discovered is lost.
+    synthesize(&report.design, &plan.tech, &CtsOptions::default()).map_err(|e| {
+        let mut details = diagnostics.clone();
+        details.extend(repairs.iter().cloned());
+        ApiError::infeasible(format!("{}: {e}", report.design.name())).with_details(details)
+    })?;
+
+    Ok(Box::new(LintResponse { design: Arc::new(report.design), diagnostics, repairs }))
+}
+
+/// Collapses `s` to one whitespace-normalized reason token stream of at
+/// most `max` chars (`-` when empty), so it fits a single table column.
+fn reason_cell(s: &str, max: usize) -> String {
+    let mut out = s.split_whitespace().collect::<Vec<_>>().join(" ");
+    if out.is_empty() {
+        out.push('-');
+    }
+    if out.chars().count() > max {
+        out = out.chars().take(max.saturating_sub(1)).collect();
+        out.push('…');
+    }
+    out
+}
+
+/// The deterministic columns of a row whose flow did not finish, with the
+/// failure reason in the reason column.
+fn failed_line(name: &str, sinks: &str, reason: &str) -> String {
+    format!("{name:<8} {sinks:>8} {:>12} {:>12} {:>8} {:<8}", "FAILED", "-", "-", reason)
+}
+
+/// Evaluates one suite entry. Runs on a worker thread under `jobs`; the
+/// whole flow sits inside `catch_unwind` so a poisoned design (bad file,
+/// synthesis failure, even a panic in the flow) becomes a `FAILED` row —
+/// carrying the truncated panic message in its reason column — instead of
+/// taking down the run. Degradation-ladder rungs taken by a successful
+/// run surface in the same column as `degraded:<rung,...>`.
+fn suite_row(entry: &SuiteEntry, tech: &Technology) -> SuiteRow {
+    let design = match entry {
+        SuiteEntry::Design(d) => d,
+        SuiteEntry::Unloadable { name, reason } => {
+            return SuiteRow {
+                diagnostic: Some(format!("{name}: {reason}")),
+                name: name.clone(),
+                line: failed_line(name, "-", &reason_cell(reason, 60)),
+                runtime_s: None,
+                failed: true,
+            }
+        }
+    };
+    let row = catch_unwind(AssertUnwindSafe(|| -> Result<(String, f64), String> {
+        let tree = synthesize(design, tech, &CtsOptions::default()).map_err(|e| e.to_string())?;
+        let ctx = OptContext::new(&tree, tech, PowerModel::new(design.freq_ghz()));
+        let base = ctx.conservative_baseline();
+        let out = SmartNdr::default().optimize(&ctx);
+        let mut rungs: Vec<&str> = Vec::new();
+        for d in out.degradations() {
+            if !rungs.contains(&d.rung()) {
+                rungs.push(d.rung());
+            }
+        }
+        let reason = if rungs.is_empty() {
+            "-".to_owned()
+        } else {
+            format!("degraded:{}", rungs.join(","))
+        };
+        Ok((
+            format!(
+                "{:<8} {:>8} {:>12.1} {:>12.1} {:>7.1}% {:<8}",
+                design.name(),
+                design.sinks().len(),
+                base.power().network_uw(),
+                out.power().network_uw(),
+                100.0 * out.network_saving_vs(&base),
+                reason,
+            ),
+            out.elapsed().as_secs_f64(),
+        ))
+    }));
+    let name = design.name().to_owned();
+    let sinks = design.sinks().len().to_string();
+    match row {
+        Ok(Ok((line, rt))) => {
+            SuiteRow { diagnostic: None, name, line, runtime_s: Some(rt), failed: false }
+        }
+        Ok(Err(reason)) => SuiteRow {
+            diagnostic: Some(format!("{name}: {reason}")),
+            line: failed_line(&name, &sinks, &reason_cell(&reason, 60)),
+            name,
+            runtime_s: None,
+            failed: true,
+        },
+        Err(panic) => {
+            let reason = panic_message(&*panic, 60);
+            SuiteRow {
+                diagnostic: Some(format!("{name}: panicked: {reason}")),
+                line: failed_line(&name, &sinks, &reason),
+                name,
+                runtime_s: None,
+                failed: true,
+            }
+        }
+    }
+}
+
+fn execute_suite(plan: &SuitePlan, ctx: &ExecCtx<'_>) -> Result<SuiteResponse, ApiError> {
+    let rows = par_map(plan.par, &plan.entries, |_, entry| {
+        if let Some(row) = plan.prefilled.get(entry.name()) {
+            return row.clone();
+        }
+        let row = suite_row(entry, &plan.tech);
+        ctx.emit(&Event::SuiteRow(row.clone()));
+        row
+    });
+    let failed = rows.iter().filter(|r| r.failed).count();
+    Ok(SuiteResponse { rows, failed })
+}

@@ -1,0 +1,372 @@
+//! Plan construction: resolving a [`Request`] into an explicit,
+//! self-contained [`Plan`].
+//!
+//! Planning does everything that touches the outside world *once*: it
+//! reads design files into bytes, lists suite directories, resolves the
+//! technology, validates numeric fields, and computes the content-hash
+//! [`CacheKey`]. What comes out is a value the executor can run without
+//! further I/O decisions — the same plan executes identically one-shot or
+//! inside the daemon, and identical inputs produce identical cache keys.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::BufReader;
+
+use snr_netlist::{ispd_like_suite, load_design, Design};
+use snr_par::Parallelism;
+use snr_tech::Technology;
+
+use crate::cache::{CacheKey, ContentHasher};
+use crate::error::ApiError;
+use crate::request::{
+    CacheMode, DesignSource, LintRequest, Method, Request, RunRequest, SuiteRequest, SuiteSource,
+    TechId,
+};
+
+/// Fingerprint of the CTS options a plan bakes in. There is exactly one
+/// configuration today (`CtsOptions::default()`); the constant keeps the
+/// cache key honest if that ever changes.
+const CTS_OPTIONS_FINGERPRINT: &str = "cts-default-v1";
+
+/// The design input a plan carries: raw bytes to parse, or a generator
+/// spec to build.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DesignInput {
+    /// Raw `.sndr` bytes (from a file or inline text).
+    Bytes(Vec<u8>),
+    /// A benchmark-generator spec.
+    Spec {
+        /// Design name.
+        name: String,
+        /// Number of sinks.
+        sinks: usize,
+        /// Generator seed.
+        seed: u64,
+        /// Clock frequency in GHz.
+        freq_ghz: f64,
+    },
+}
+
+/// A resolved `run` request.
+#[derive(Debug, Clone)]
+pub struct RunPlan {
+    /// Content-hash key for the warm cache.
+    pub key: CacheKey,
+    /// The design to parse or generate.
+    pub input: DesignInput,
+    /// Resolved technology model.
+    pub tech: Technology,
+    /// Optimizer to run.
+    pub method: Method,
+    /// Slew margin over the conservative baseline.
+    pub slew_margin: f64,
+    /// Absolute skew budget in ps.
+    pub skew_budget_ps: f64,
+    /// Monte-Carlo sample count (0 = off).
+    pub mc_samples: usize,
+    /// Worker threads; `None` keeps per-phase defaults.
+    pub jobs: Option<Parallelism>,
+    /// Wall-clock deadline in seconds (0 = off).
+    pub timeout_s: f64,
+    /// Per-phase iteration cap (0 = off).
+    pub max_iters: u64,
+    /// Cache participation.
+    pub cache: CacheMode,
+    /// Injected fault (chaos testing only).
+    #[cfg(feature = "fault-inject")]
+    pub fault: Option<crate::request::ServeFault>,
+}
+
+/// A resolved `lint` request.
+#[derive(Debug, Clone)]
+pub struct LintPlan {
+    /// Raw `.sndr` bytes to validate.
+    pub bytes: Vec<u8>,
+    /// Resolved technology (bounds source).
+    pub tech: Technology,
+    /// Attempt repair.
+    pub repair: bool,
+}
+
+/// One suite entry: either a loaded design or a load failure to report as
+/// a `FAILED` row.
+#[derive(Debug, Clone)]
+pub enum SuiteEntry {
+    /// A loadable design.
+    Design(Box<Design>),
+    /// A file that would not load; becomes a `FAILED` row.
+    Unloadable {
+        /// Design name (file stem).
+        name: String,
+        /// Why it would not load.
+        reason: String,
+    },
+}
+
+impl SuiteEntry {
+    /// The design name this entry answers to (the resume key).
+    pub fn name(&self) -> &str {
+        match self {
+            SuiteEntry::Design(d) => d.name(),
+            SuiteEntry::Unloadable { name, .. } => name,
+        }
+    }
+}
+
+/// A resolved `suite` request.
+#[derive(Debug, Clone)]
+pub struct SuitePlan {
+    /// The designs to evaluate, in table order.
+    pub entries: Vec<SuiteEntry>,
+    /// Resolved technology model.
+    pub tech: Technology,
+    /// Cross-design parallelism.
+    pub par: Parallelism,
+    /// Rows restored from a journal, keyed by design name; these are
+    /// returned as-is (and not re-journaled via events).
+    pub prefilled: HashMap<String, crate::exec::SuiteRow>,
+}
+
+/// An executable plan: the output of [`plan`], the input of
+/// [`execute`](crate::exec::execute).
+#[derive(Debug, Clone)]
+pub enum Plan {
+    /// Full flow on one design.
+    Run(RunPlan),
+    /// Validation / repair.
+    Lint(LintPlan),
+    /// The multi-design table.
+    Suite(SuitePlan),
+}
+
+/// Reads the bytes behind a design source; `Generate` has no bytes.
+fn source_bytes(source: &DesignSource) -> Result<Option<Vec<u8>>, ApiError> {
+    match source {
+        DesignSource::Path(path) => fs::read(path)
+            .map(Some)
+            .map_err(|e| ApiError::invalid(format!("cannot open {path}: {e}"))),
+        DesignSource::Inline(text) => Ok(Some(text.clone().into_bytes())),
+        DesignSource::Generate { .. } => Ok(None),
+    }
+}
+
+/// The content-hash key for a run over `input` under `tech`.
+fn run_key(input: &DesignInput, tech: &Technology) -> CacheKey {
+    let mut h = ContentHasher::new();
+    match input {
+        DesignInput::Bytes(bytes) => {
+            h.chunk(b"design-bytes").chunk(bytes);
+        }
+        DesignInput::Spec { name, sinks, seed, freq_ghz } => {
+            h.chunk(b"design-spec")
+                .chunk(name.as_bytes())
+                .chunk(&(*sinks as u64).to_le_bytes())
+                .chunk(&seed.to_le_bytes())
+                .chunk(&freq_ghz.to_bits().to_le_bytes());
+        }
+    }
+    h.chunk(b"tech").chunk(tech.name().as_bytes());
+    h.chunk(b"cts").chunk(CTS_OPTIONS_FINGERPRINT.as_bytes());
+    h.finish()
+}
+
+fn design_input(source: &DesignSource) -> Result<DesignInput, ApiError> {
+    Ok(match source_bytes(source)? {
+        Some(bytes) => DesignInput::Bytes(bytes),
+        None => {
+            let DesignSource::Generate { sinks, seed, freq_ghz } = source else {
+                unreachable!("only Generate has no bytes")
+            };
+            DesignInput::Spec {
+                // The same name `smart-ndr run --sinks N` has always used,
+                // so generated one-shot and resident runs stay identical.
+                name: format!("cli-s{sinks}"),
+                sinks: *sinks,
+                seed: *seed,
+                freq_ghz: *freq_ghz,
+            }
+        }
+    })
+}
+
+fn plan_run(req: &RunRequest) -> Result<RunPlan, ApiError> {
+    if !req.timeout_s.is_finite() || req.timeout_s < 0.0 {
+        return Err(ApiError::usage(format!(
+            "--timeout must be >= 0 seconds, got {}",
+            req.timeout_s
+        )));
+    }
+    let input = design_input(&req.design)?;
+    let tech = req.tech.resolve();
+    let key = run_key(&input, &tech);
+    Ok(RunPlan {
+        key,
+        input,
+        tech,
+        method: req.method,
+        slew_margin: req.slew_margin,
+        skew_budget_ps: req.skew_budget_ps,
+        mc_samples: req.mc_samples,
+        jobs: req.jobs.map(Parallelism::new),
+        timeout_s: req.timeout_s,
+        max_iters: req.max_iters,
+        cache: req.cache,
+        #[cfg(feature = "fault-inject")]
+        fault: req.fault,
+    })
+}
+
+fn plan_lint(req: &LintRequest) -> Result<LintPlan, ApiError> {
+    let Some(bytes) = source_bytes(&req.design)? else {
+        return Err(ApiError::usage("lint needs a design file or inline text"));
+    };
+    Ok(LintPlan { bytes, tech: req.tech.resolve(), repair: req.repair })
+}
+
+/// Lists and pre-loads the designs of a suite request, preserving the
+/// established contract: `.sndr` files sorted by name, unloadable files
+/// becoming `FAILED` rows rather than failing the suite.
+fn suite_entries(source: &SuiteSource) -> Result<Vec<SuiteEntry>, ApiError> {
+    let dir = match source {
+        SuiteSource::Builtin => {
+            return Ok(ispd_like_suite()
+                .into_iter()
+                .map(|d| SuiteEntry::Design(Box::new(d)))
+                .collect());
+        }
+        SuiteSource::Dir(dir) => dir,
+    };
+    let mut paths: Vec<std::path::PathBuf> = fs::read_dir(dir)
+        .map_err(|e| ApiError::invalid(format!("cannot read {dir}: {e}")))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "sndr"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(ApiError::invalid(format!("no .sndr files in {dir}")));
+    }
+    Ok(paths
+        .into_iter()
+        .map(|p| {
+            let name = p
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| p.display().to_string());
+            let load = fs::File::open(&p)
+                .map_err(|e| format!("cannot open {}: {e}", p.display()))
+                .and_then(|f| load_design(BufReader::new(f)).map_err(|e| e.to_string()));
+            match load {
+                Ok(d) => SuiteEntry::Design(Box::new(d)),
+                Err(reason) => SuiteEntry::Unloadable { name, reason },
+            }
+        })
+        .collect())
+}
+
+fn plan_suite(req: &SuiteRequest) -> Result<SuitePlan, ApiError> {
+    let entries = suite_entries(&req.source)?;
+    let prefilled = req
+        .prefilled
+        .iter()
+        .map(|row| {
+            (
+                row.name.clone(),
+                crate::exec::SuiteRow {
+                    name: row.name.clone(),
+                    line: row.line.clone(),
+                    diagnostic: row.diagnostic.clone(),
+                    runtime_s: None,
+                    failed: row.failed,
+                },
+            )
+        })
+        .collect();
+    Ok(SuitePlan {
+        entries,
+        tech: req.tech.resolve(),
+        par: req.jobs.map(Parallelism::new).unwrap_or_else(Parallelism::serial),
+        prefilled,
+    })
+}
+
+/// Resolves a request into an executable plan.
+///
+/// # Errors
+///
+/// [`ApiError::usage`] for invalid fields, [`ApiError::invalid`] for
+/// unreadable inputs. Parse and synthesis failures are *execution*
+/// results, not planning failures — planning never parses a design.
+pub fn plan(req: &Request) -> Result<Plan, ApiError> {
+    match req {
+        Request::Run(r) => plan_run(r).map(Plan::Run),
+        Request::Lint(r) => plan_lint(r).map(Plan::Lint),
+        Request::Suite(r) => plan_suite(r).map(Plan::Suite),
+    }
+}
+
+/// The `TechId` spelled in a plan's technology. Convenience for renderers.
+pub fn tech_id_of(tech: &Technology) -> TechId {
+    if tech.name() == Technology::n32().name() {
+        TechId::N32
+    } else {
+        TechId::N45
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen_req(sinks: usize, seed: u64) -> RunRequest {
+        RunRequest::new(DesignSource::Generate { sinks, seed, freq_ghz: 1.0 })
+    }
+
+    #[test]
+    fn identical_requests_share_a_cache_key() {
+        let a = plan_run(&gen_req(40, 2)).unwrap();
+        let b = plan_run(&gen_req(40, 2)).unwrap();
+        assert_eq!(a.key, b.key);
+    }
+
+    #[test]
+    fn key_separates_design_tech_and_seed() {
+        let base = plan_run(&gen_req(40, 2)).unwrap();
+        assert_ne!(base.key, plan_run(&gen_req(40, 3)).unwrap().key);
+        assert_ne!(base.key, plan_run(&gen_req(41, 2)).unwrap().key);
+        let mut n32 = gen_req(40, 2);
+        n32.tech = TechId::N32;
+        assert_ne!(base.key, plan_run(&n32).unwrap().key);
+    }
+
+    #[test]
+    fn inline_and_path_bytes_share_a_key() {
+        let text = "sndr 1\ndesign d freq_ghz 1.0\ndie 0 0 1 1\nroot 0 0\nend\n";
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("snr-serve-plan-{}.sndr", std::process::id()));
+        std::fs::write(&path, text).unwrap();
+        let from_path = plan_run(&RunRequest::new(DesignSource::Path(
+            path.to_string_lossy().into_owned(),
+        )))
+        .unwrap();
+        let from_inline =
+            plan_run(&RunRequest::new(DesignSource::Inline(text.to_owned()))).unwrap();
+        assert_eq!(from_path.key, from_inline.key, "key hashes content, not origin");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_invalid_input() {
+        let err = plan(&Request::Run(RunRequest::new(DesignSource::Path(
+            "/nonexistent/nope.sndr".into(),
+        ))))
+        .unwrap_err();
+        assert_eq!(err.code(), crate::ApiCode::InvalidInput);
+    }
+
+    #[test]
+    fn negative_timeout_is_a_usage_error() {
+        let mut req = gen_req(40, 2);
+        req.timeout_s = -1.0;
+        assert_eq!(plan_run(&req).unwrap_err().code(), crate::ApiCode::Usage);
+    }
+}

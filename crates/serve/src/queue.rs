@@ -1,0 +1,148 @@
+//! A bounded MPMC job queue on `Mutex` + `Condvar` — the daemon's
+//! backpressure point.
+//!
+//! `push` blocks while the queue is full, so a reader thread pumping
+//! stdin simply stops consuming input when the workers fall behind; the
+//! pipe (or socket buffer) then exerts backpressure on the client. `pop`
+//! blocks while the queue is empty and returns `None` once the queue is
+//! closed *and* drained, which is how workers learn to exit.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue.
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    capacity: usize,
+    /// Signalled when an item is popped (space available).
+    space: Condvar,
+    /// Signalled when an item is pushed or the queue closes.
+    ready: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(QueueState { items: VecDeque::new(), closed: false }),
+            capacity: capacity.max(1),
+            space: Condvar::new(),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Enqueues `item`, blocking while the queue is full. Returns the
+    /// item back if the queue has been closed.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut st = self.lock();
+        while st.items.len() >= self.capacity && !st.closed {
+            st = self.space.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        if st.closed {
+            return Err(item);
+        }
+        st.items.push_back(item);
+        drop(st);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the next item, blocking while the queue is empty. `None`
+    /// once the queue is closed and fully drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.lock();
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                drop(st);
+                self.space.notify_one();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.ready.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue: `push` starts failing, `pop` drains what is left
+    /// and then returns `None`.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+        self.space.notify_all();
+    }
+
+    /// Items currently queued (the `stats` queue depth).
+    pub fn depth(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_and_drain_on_close() {
+        let q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert!(q.push(3).is_err());
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn push_blocks_until_space() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(1).unwrap();
+        let q2 = Arc::clone(&q);
+        let pusher = std::thread::spawn(move || q2.push(2).is_ok());
+        // Give the pusher time to block against the full queue.
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(q.depth(), 1, "second push must be blocked, not queued");
+        assert_eq!(q.pop(), Some(1));
+        assert!(pusher.join().unwrap());
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn workers_drain_concurrently() {
+        let q = Arc::new(BoundedQueue::new(8));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                let mut got = 0;
+                while q.pop().is_some() {
+                    got += 1;
+                }
+                got
+            }));
+        }
+        for i in 0..20 {
+            q.push(i).unwrap();
+        }
+        q.close();
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 20);
+    }
+}

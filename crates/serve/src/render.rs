@@ -1,0 +1,275 @@
+//! The single shared JSON serializer for flow results.
+//!
+//! These functions are the *only* place run/lint outcomes are turned into
+//! JSON: `smart-ndr run --json` prints [`run_json`] verbatim, and the
+//! daemon embeds the very same string inside its response envelope — so
+//! the two output paths cannot drift. (A test in `tests/api.rs` pins the
+//! envelope to embed `run_json` byte-identically.)
+//!
+//! Formatting is inherited unchanged from the original CLI writers:
+//! `": "` / `", "` separators, fixed decimal precisions, and elapsed
+//! times only where the CLI always reported them (`runtime_s`).
+
+use snr_core::Outcome;
+use snr_cts::ClockTree;
+use snr_tech::Technology;
+
+use crate::error::ApiError;
+use crate::exec::{Event, LintResponse, Response, RunResponse, SuiteResponse, SuiteRow};
+use crate::json::json_escape;
+
+/// Serializes an [`Outcome`] as a JSON object, including the per-rule
+/// wirelength histogram.
+pub fn outcome_json(out: &Outcome, tree: &ClockTree, tech: &Technology) -> String {
+    let usage = out.assignment().usage_um(tree, tech.rules());
+    let histogram = tech
+        .rules()
+        .iter()
+        .map(|(id, rule)| format!("\"{}\": {:.3}", json_escape(&rule.to_string()), usage[id.0]))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        concat!(
+            "{{\"name\": \"{}\", \"network_uw\": {:.6}, \"total_uw\": {:.6}, ",
+            "\"track_cost_um\": {:.3}, \"skew_ps\": {:.6}, \"max_slew_ps\": {:.6}, ",
+            "\"latency_ps\": {:.6}, \"meets_constraints\": {}, \"runtime_s\": {:.6}, ",
+            "\"rule_histogram_um\": {{{}}}}}"
+        ),
+        json_escape(out.name()),
+        out.power().network_uw(),
+        out.power().total_uw(),
+        out.power().track_cost_um(),
+        out.timing().skew_ps(),
+        out.timing().max_slew_ps(),
+        out.timing().latency_ps(),
+        out.meets_constraints(),
+        out.elapsed().as_secs_f64(),
+        histogram,
+    )
+}
+
+/// Serializes an outcome's supervision record (budget receipts plus the
+/// degradation ladder) as a JSON object. Elapsed times are deliberately
+/// omitted: every field here is deterministic for a given seed and job
+/// count, so callers can diff the whole object across runs.
+pub fn supervision_json(out: &Outcome, mc_cancelled: bool) -> String {
+    let budgets = out
+        .budget_reports()
+        .iter()
+        .map(|b| {
+            format!(
+                "{{\"phase\": \"{}\", \"iterations\": {}, \"exhausted\": {}}}",
+                json_escape(b.phase),
+                b.iterations_done,
+                b.exhausted
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    let rungs = out
+        .degradations()
+        .iter()
+        .map(|d| {
+            format!(
+                "{{\"rung\": \"{}\", \"detail\": \"{}\"}}",
+                json_escape(d.rung()),
+                json_escape(&d.detail())
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        concat!(
+            "{{\"budget_exhausted\": {}, \"mc_cancelled\": {}, ",
+            "\"budgets\": [{}], \"degradations\": [{}]}}"
+        ),
+        out.budget_exhausted(),
+        mc_cancelled,
+        budgets,
+        rungs,
+    )
+}
+
+/// The full machine-readable object for a completed run — exactly the
+/// line `smart-ndr run --json` prints.
+pub fn run_json(resp: &RunResponse) -> String {
+    let variation = match resp.variation {
+        Some((b, r)) => format!(
+            ", \"variation\": {{\"samples\": {}, \"sigma_skew_baseline_ps\": {b:.6}, \"sigma_skew_result_ps\": {r:.6}}}",
+            resp.mc_samples
+        ),
+        None => String::new(),
+    };
+    format!(
+        concat!(
+            "{{\"design\": {{\"name\": \"{}\", \"sinks\": {}, \"freq_ghz\": {}}}, ",
+            "\"tech\": \"{}\", ",
+            "\"constraints\": {{\"slew_limit_ps\": {:.6}, \"skew_limit_ps\": {:.6}}}, ",
+            "\"baseline\": {}, \"result\": {}, ",
+            "\"saving\": {{\"network_frac\": {:.6}, \"track_frac\": {:.6}}}, ",
+            "\"supervision\": {}{}}}"
+        ),
+        json_escape(resp.design.name()),
+        resp.design.sinks().len(),
+        resp.design.freq_ghz(),
+        json_escape(resp.tech.name()),
+        resp.constraints.slew_limit_ps(),
+        resp.constraints.skew_limit_ps(),
+        outcome_json(&resp.baseline, &resp.tree, &resp.tech),
+        outcome_json(&resp.result, &resp.tree, &resp.tech),
+        resp.result.network_saving_vs(&resp.baseline),
+        1.0 - resp.result.power().track_cost_um() / resp.baseline.power().track_cost_um(),
+        supervision_json(&resp.result, resp.mc_cancelled),
+        variation,
+    )
+}
+
+/// The machine-readable object for a completed lint — exactly the line
+/// `smart-ndr lint --json` prints.
+pub fn lint_json(resp: &LintResponse) -> String {
+    let list = |items: &[String]| {
+        items
+            .iter()
+            .map(|s| format!("\"{}\"", json_escape(s)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    format!(
+        "{{\"design\": \"{}\", \"status\": \"{}\", \"diagnostics\": [{}], \"repairs\": [{}]}}",
+        json_escape(resp.design.name()),
+        resp.status(),
+        list(&resp.diagnostics),
+        list(&resp.repairs),
+    )
+}
+
+/// The machine-readable object for a completed suite.
+pub fn suite_json(resp: &SuiteResponse) -> String {
+    let rows = resp
+        .rows
+        .iter()
+        .map(|row| {
+            let diag = match &row.diagnostic {
+                Some(d) => format!(", \"diagnostic\": \"{}\"", json_escape(d)),
+                None => String::new(),
+            };
+            format!(
+                "{{\"name\": \"{}\", \"line\": \"{}\", \"failed\": {}{}}}",
+                json_escape(&row.name),
+                json_escape(&row.line),
+                row.failed,
+                diag,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("{{\"rows\": [{}], \"failed\": {}}}", rows, resp.failed)
+}
+
+/// The structured error object for a failed command — exactly the line
+/// the CLI prints on `--json` failures.
+pub fn error_json(err: &ApiError) -> String {
+    format!(
+        "{{\"error\": {{\"code\": \"{}\", \"message\": \"{}\"}}}}",
+        err.code().as_str(),
+        json_escape(err.message())
+    )
+}
+
+/// The suite table's stdout header (with the runtime column).
+pub fn suite_header() -> String {
+    format!(
+        "{:<8} {:>8} {:>12} {:>12} {:>8} {:<8} {:>9}",
+        "design", "sinks", "2w2s µW", "smart µW", "save", "reason", "runtime"
+    )
+}
+
+/// The suite table's deterministic header (runtime excluded), used for
+/// `--out` artifacts that must be byte-identical across resumed runs.
+pub fn suite_det_header() -> String {
+    format!(
+        "{:<8} {:>8} {:>12} {:>12} {:>8} {:<8}",
+        "design", "sinks", "2w2s µW", "smart µW", "save", "reason"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Daemon envelope: id-tagged response, error and event lines.
+// ---------------------------------------------------------------------------
+
+/// The daemon's success line for request `id`: the shared result object,
+/// embedded verbatim, under an id-tagged envelope.
+pub fn response_line(id: u64, resp: &Response) -> String {
+    match resp {
+        Response::Run(r) => format!(
+            "{{\"id\": {id}, \"ok\": true, \"cache\": \"{}\", \"result\": {}}}",
+            r.cache.as_str(),
+            run_json(r)
+        ),
+        Response::Lint(r) => {
+            format!("{{\"id\": {id}, \"ok\": true, \"result\": {}}}", lint_json(r))
+        }
+        Response::Suite(r) => {
+            format!("{{\"id\": {id}, \"ok\": true, \"result\": {}}}", suite_json(r))
+        }
+    }
+}
+
+/// The daemon's error line. `id` is `null` when the failing line carried
+/// no readable id. Detail lines (e.g. lint diagnostics) ride along.
+pub fn error_line(id: Option<u64>, err: &ApiError) -> String {
+    let id = match id {
+        Some(id) => id.to_string(),
+        None => "null".to_owned(),
+    };
+    let details = if err.details().is_empty() {
+        String::new()
+    } else {
+        let items = err
+            .details()
+            .iter()
+            .map(|d| format!("\"{}\"", json_escape(d)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(", \"details\": [{items}]")
+    };
+    format!(
+        "{{\"id\": {id}, \"error\": {{\"code\": \"{}\", \"message\": \"{}\"{}}}}}",
+        err.code().as_str(),
+        json_escape(err.message()),
+        details,
+    )
+}
+
+/// One streamed event line for request `id`.
+pub fn event_line(id: u64, event: &Event) -> String {
+    match event {
+        Event::PhaseStart { phase } => {
+            format!("{{\"id\": {id}, \"event\": \"phase_start\", \"phase\": \"{phase}\"}}")
+        }
+        Event::PhaseDone { phase, elapsed } => format!(
+            "{{\"id\": {id}, \"event\": \"phase_done\", \"phase\": \"{phase}\", \"elapsed_ms\": {:.3}}}",
+            elapsed.as_secs_f64() * 1e3
+        ),
+        Event::SuiteRow(row) => format!(
+            "{{\"id\": {id}, \"event\": \"suite_row\", \"name\": \"{}\", \"failed\": {}}}",
+            json_escape(&row.name),
+            row.failed
+        ),
+    }
+}
+
+/// The daemon's post-execution supervision event: the deterministic
+/// budget/degradation summary of a finished run, streamed per request so
+/// monitoring clients need not parse the full result object.
+pub fn supervision_event_line(id: u64, resp: &RunResponse) -> String {
+    format!(
+        "{{\"id\": {id}, \"event\": \"supervision\", \"supervision\": {}}}",
+        supervision_json(&resp.result, resp.mc_cancelled)
+    )
+}
+
+/// Renders `row` exactly as `smart-ndr suite` prints it on stdout.
+pub fn suite_stdout_line(row: &SuiteRow) -> String {
+    row.stdout_line()
+}

@@ -1,0 +1,493 @@
+//! Typed requests: what a caller asks the flow to do.
+//!
+//! A [`Request`] is the single entry point shared by the one-shot CLI and
+//! the resident daemon: the CLI builds one from flags, the daemon parses
+//! one per protocol line. Either way it then goes through
+//! [`plan`](crate::plan::plan) and [`execute`](crate::exec::execute) — one
+//! code path for one-shot and resident execution.
+
+use crate::error::ApiError;
+use crate::json::Json;
+
+/// Where a request's design comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DesignSource {
+    /// A `.sndr` file on disk; read (and content-hashed) at plan time.
+    Path(String),
+    /// Inline `.sndr` text carried by the request itself.
+    Inline(String),
+    /// Generate a benchmark on the fly. The design is named
+    /// `cli-s{sinks}`, matching what `smart-ndr run --sinks` produces, so
+    /// one-shot and resident outputs stay byte-identical.
+    Generate {
+        /// Number of sinks.
+        sinks: usize,
+        /// Generator seed.
+        seed: u64,
+        /// Clock frequency in GHz.
+        freq_ghz: f64,
+    },
+}
+
+/// The technology to run under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TechId {
+    /// The 45 nm demo technology (default).
+    #[default]
+    N45,
+    /// The 32 nm demo technology.
+    N32,
+}
+
+impl TechId {
+    /// Parses the CLI/protocol spelling.
+    pub fn parse(s: &str) -> Result<TechId, ApiError> {
+        match s {
+            "n45" => Ok(TechId::N45),
+            "n32" => Ok(TechId::N32),
+            other => Err(ApiError::usage(format!("unknown --tech {other:?} (n45|n32)"))),
+        }
+    }
+
+    /// Resolves to the concrete technology model.
+    pub fn resolve(self) -> snr_tech::Technology {
+        match self {
+            TechId::N45 => snr_tech::Technology::n45(),
+            TechId::N32 => snr_tech::Technology::n32(),
+        }
+    }
+
+    /// The CLI/protocol spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TechId::N45 => "n45",
+            TechId::N32 => "n32",
+        }
+    }
+}
+
+/// The optimizer a run request uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Method {
+    /// Best of the two greedy constructions (default, the headline flow).
+    #[default]
+    Smart,
+    /// Sensitivity-ordered downgrades from the conservative start.
+    Greedy,
+    /// Upgrades from the all-default start until feasible.
+    Upgrade,
+    /// Conservative near the root, default near the leaves.
+    Level,
+    /// One conservative rule everywhere.
+    Uniform,
+    /// Simulated annealing.
+    Anneal,
+    /// Lagrangian relaxation.
+    Lagrangian,
+}
+
+impl Method {
+    /// Parses the CLI/protocol spelling.
+    pub fn parse(s: &str) -> Result<Method, ApiError> {
+        match s {
+            "smart" => Ok(Method::Smart),
+            "greedy" => Ok(Method::Greedy),
+            "upgrade" => Ok(Method::Upgrade),
+            "level" => Ok(Method::Level),
+            "uniform" => Ok(Method::Uniform),
+            "anneal" => Ok(Method::Anneal),
+            "lagrangian" => Ok(Method::Lagrangian),
+            other => Err(ApiError::usage(format!("unknown --method {other:?}"))),
+        }
+    }
+}
+
+/// Whether a request may consult (and populate) the warm cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheMode {
+    /// Use the cache when one is attached to the execution context.
+    #[default]
+    On,
+    /// Bypass the cache entirely (the `"cache": "off"` escape hatch).
+    Off,
+}
+
+/// An injected request fault for chaos-testing the daemon's isolation
+/// (feature `fault-inject` only; plain builds reject the field).
+#[cfg(feature = "fault-inject")]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServeFault {
+    /// Panic inside `execute`, after planning succeeded.
+    Panic,
+    /// Arm [`snr_core::ExecFault::ProbePanic`] on the optimizer context,
+    /// exercising the parallel→serial degradation rung inside the daemon.
+    ProbePanic(u64),
+}
+
+/// A `run` request: the full NDR flow on one design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRequest {
+    /// The design to evaluate.
+    pub design: DesignSource,
+    /// Technology to run under.
+    pub tech: TechId,
+    /// Optimizer to use.
+    pub method: Method,
+    /// Slew margin over the conservative baseline (≥ 1).
+    pub slew_margin: f64,
+    /// Absolute skew budget in ps.
+    pub skew_budget_ps: f64,
+    /// Monte-Carlo sample count (0 = skip variation analysis).
+    pub mc_samples: usize,
+    /// Worker threads for Monte Carlo and candidate probes; `None` keeps
+    /// each phase's own default (MC auto-detects cores, probes stay
+    /// serial).
+    pub jobs: Option<usize>,
+    /// Cooperative wall-clock deadline in seconds (0 = off).
+    pub timeout_s: f64,
+    /// Per-phase iteration cap (0 = off).
+    pub max_iters: u64,
+    /// Cache participation.
+    pub cache: CacheMode,
+    /// Injected fault (chaos testing only).
+    #[cfg(feature = "fault-inject")]
+    pub fault: Option<ServeFault>,
+}
+
+impl RunRequest {
+    /// A request with the CLI's defaults for everything but the design.
+    pub fn new(design: DesignSource) -> Self {
+        RunRequest {
+            design,
+            tech: TechId::default(),
+            method: Method::default(),
+            slew_margin: 1.10,
+            skew_budget_ps: 30.0,
+            mc_samples: 0,
+            jobs: None,
+            timeout_s: 0.0,
+            max_iters: 0,
+            cache: CacheMode::default(),
+            #[cfg(feature = "fault-inject")]
+            fault: None,
+        }
+    }
+}
+
+/// A `lint` request: validate (and optionally repair) a design without
+/// running the flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintRequest {
+    /// The design to validate.
+    pub design: DesignSource,
+    /// Technology whose bounds the validation uses.
+    pub tech: TechId,
+    /// Attempt to repair salvageable diagnostics.
+    pub repair: bool,
+}
+
+/// Which designs a `suite` request evaluates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SuiteSource {
+    /// The built-in 8-design ISPD-like suite.
+    Builtin,
+    /// Every `.sndr` file in a directory (sorted by name).
+    Dir(String),
+}
+
+/// A pre-completed suite row carried by a resuming request: rows restored
+/// from a journal are returned as-is instead of being re-evaluated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrefilledRow {
+    /// Design name (the resume key).
+    pub name: String,
+    /// The deterministic table line.
+    pub line: String,
+    /// Optional stderr diagnostic.
+    pub diagnostic: Option<String>,
+    /// Whether the row had FAILED.
+    pub failed: bool,
+}
+
+/// A `suite` request: the headline table over many designs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteRequest {
+    /// Designs to evaluate.
+    pub source: SuiteSource,
+    /// Technology to run under.
+    pub tech: TechId,
+    /// Worker threads across designs; `None` = serial.
+    pub jobs: Option<usize>,
+    /// Rows already completed by an earlier interrupted run.
+    pub prefilled: Vec<PrefilledRow>,
+}
+
+/// A job request: work that goes through plan → execute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Full flow on one design.
+    Run(RunRequest),
+    /// Validation / repair of one design.
+    Lint(LintRequest),
+    /// The multi-design table.
+    Suite(SuiteRequest),
+}
+
+/// A control operation the daemon answers directly, without scheduling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Control {
+    /// Report cache, queue and timing statistics.
+    Stats,
+    /// Cancel a queued or in-flight request by id.
+    Cancel {
+        /// The id of the request to cancel.
+        target: u64,
+    },
+    /// Stop accepting input; drain the queue and exit.
+    Shutdown,
+}
+
+/// One parsed protocol line: the request id (required for jobs, optional
+/// for control ops) plus the operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Caller-chosen request id, echoed on every response and event line.
+    pub id: Option<u64>,
+    /// What to do.
+    pub op: Op,
+}
+
+/// The operation of an [`Envelope`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Schedulable work.
+    Job(Request),
+    /// Directly-answered control operation.
+    Control(Control),
+}
+
+fn get_f64(obj: &Json, key: &str, default: f64) -> Result<f64, ApiError> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_f64()
+            .ok_or_else(|| ApiError::usage(format!("field {key:?} must be a number"))),
+    }
+}
+
+fn get_u64(obj: &Json, key: &str, default: u64) -> Result<u64, ApiError> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| ApiError::usage(format!("field {key:?} must be a non-negative integer"))),
+    }
+}
+
+fn get_str<'j>(obj: &'j Json, key: &str) -> Result<Option<&'j str>, ApiError> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(Some)
+            .ok_or_else(|| ApiError::usage(format!("field {key:?} must be a string"))),
+    }
+}
+
+/// Parses the `design` field of a run/lint request.
+fn design_source(obj: &Json) -> Result<DesignSource, ApiError> {
+    let Some(design) = obj.get("design") else {
+        return Err(ApiError::usage("request needs a \"design\" object"));
+    };
+    if let Some(path) = get_str(design, "path")? {
+        return Ok(DesignSource::Path(path.to_owned()));
+    }
+    if let Some(text) = get_str(design, "inline")? {
+        return Ok(DesignSource::Inline(text.to_owned()));
+    }
+    if let Some(gen) = design.get("generate") {
+        let sinks = get_u64(gen, "sinks", 0)? as usize;
+        if sinks == 0 {
+            return Err(ApiError::usage("\"generate\" needs a positive \"sinks\" count"));
+        }
+        let seed = get_u64(gen, "seed", 1)?;
+        let freq_ghz = get_f64(gen, "freq_ghz", 1.0)?;
+        return Ok(DesignSource::Generate { sinks, seed, freq_ghz });
+    }
+    Err(ApiError::usage(
+        "\"design\" must carry \"path\", \"inline\" or \"generate\"",
+    ))
+}
+
+fn tech_of(obj: &Json) -> Result<TechId, ApiError> {
+    match get_str(obj, "tech")? {
+        None => Ok(TechId::default()),
+        Some(s) => TechId::parse(s),
+    }
+}
+
+fn jobs_of(obj: &Json) -> Result<Option<usize>, ApiError> {
+    match obj.get("jobs") {
+        None => Ok(None),
+        Some(v) => {
+            let n = v
+                .as_u64()
+                .ok_or_else(|| ApiError::usage("field \"jobs\" must be a non-negative integer"))?;
+            if n == 0 {
+                return Err(ApiError::usage("\"jobs\" must be at least 1"));
+            }
+            Ok(Some(n as usize))
+        }
+    }
+}
+
+#[cfg(feature = "fault-inject")]
+fn fault_of(obj: &Json) -> Result<Option<ServeFault>, ApiError> {
+    match obj.get("fault") {
+        None => Ok(None),
+        Some(Json::Str(s)) if s == "panic" => Ok(Some(ServeFault::Panic)),
+        Some(v) => {
+            if let Some(n) = v.get("probe_panic").and_then(Json::as_u64) {
+                return Ok(Some(ServeFault::ProbePanic(n)));
+            }
+            Err(ApiError::usage("unknown \"fault\" (want \"panic\" or {\"probe_panic\": N})"))
+        }
+    }
+}
+
+impl Envelope {
+    /// Parses one protocol line (already JSON-parsed) into an envelope.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::usage`] for a missing/unknown `op`, a job without an
+    /// `id`, or any ill-typed field.
+    pub fn from_json(v: &Json) -> Result<Envelope, ApiError> {
+        if !matches!(v, Json::Obj(_)) {
+            return Err(ApiError::usage("protocol line must be a JSON object"));
+        }
+        let id = match v.get("id") {
+            None | Some(Json::Null) => None,
+            Some(j) => Some(
+                j.as_u64()
+                    .ok_or_else(|| ApiError::usage("field \"id\" must be a non-negative integer"))?,
+            ),
+        };
+        let op = get_str(v, "op")?.ok_or_else(|| ApiError::usage("request needs an \"op\""))?;
+        let op = match op {
+            "run" => {
+                let mut req = RunRequest::new(design_source(v)?);
+                req.tech = tech_of(v)?;
+                if let Some(m) = get_str(v, "method")? {
+                    req.method = Method::parse(m)?;
+                }
+                req.slew_margin = get_f64(v, "slew_margin", req.slew_margin)?;
+                req.skew_budget_ps = get_f64(v, "skew_budget", req.skew_budget_ps)?;
+                req.mc_samples = get_u64(v, "mc", 0)? as usize;
+                req.jobs = jobs_of(v)?;
+                req.timeout_s = get_f64(v, "timeout", 0.0)?;
+                req.max_iters = get_u64(v, "max_iters", 0)?;
+                req.cache = match get_str(v, "cache")? {
+                    None | Some("on") => CacheMode::On,
+                    Some("off") => CacheMode::Off,
+                    Some(other) => {
+                        return Err(ApiError::usage(format!(
+                            "unknown \"cache\" {other:?} (on|off)"
+                        )))
+                    }
+                };
+                #[cfg(feature = "fault-inject")]
+                {
+                    req.fault = fault_of(v)?;
+                }
+                #[cfg(not(feature = "fault-inject"))]
+                if v.get("fault").is_some() {
+                    return Err(ApiError::usage(
+                        "\"fault\" requires a fault-inject build",
+                    ));
+                }
+                Op::Job(Request::Run(req))
+            }
+            "lint" => Op::Job(Request::Lint(LintRequest {
+                design: design_source(v)?,
+                tech: tech_of(v)?,
+                repair: v.get("repair").and_then(Json::as_bool).unwrap_or(false),
+            })),
+            "suite" => Op::Job(Request::Suite(SuiteRequest {
+                source: match get_str(v, "designs")? {
+                    None => SuiteSource::Builtin,
+                    Some(dir) => SuiteSource::Dir(dir.to_owned()),
+                },
+                tech: tech_of(v)?,
+                jobs: jobs_of(v)?,
+                prefilled: Vec::new(),
+            })),
+            "stats" => Op::Control(Control::Stats),
+            "shutdown" => Op::Control(Control::Shutdown),
+            "cancel" => {
+                let target = v
+                    .get("target")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| ApiError::usage("\"cancel\" needs a numeric \"target\" id"))?;
+                Op::Control(Control::Cancel { target })
+            }
+            other => return Err(ApiError::usage(format!("unknown op {other:?}"))),
+        };
+        if id.is_none() && matches!(op, Op::Job(_)) {
+            return Err(ApiError::usage("job requests need an \"id\""));
+        }
+        Ok(Envelope { id, op })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_minimal_run_request() {
+        let v = Json::parse(r#"{"id": 1, "op": "run", "design": {"generate": {"sinks": 40}}}"#)
+            .unwrap();
+        let env = Envelope::from_json(&v).unwrap();
+        assert_eq!(env.id, Some(1));
+        let Op::Job(Request::Run(req)) = env.op else { panic!("expected run") };
+        assert_eq!(req.design, DesignSource::Generate { sinks: 40, seed: 1, freq_ghz: 1.0 });
+        assert_eq!(req.method, Method::Smart);
+        assert_eq!(req.cache, CacheMode::On);
+    }
+
+    #[test]
+    fn job_without_id_is_a_usage_error() {
+        let v = Json::parse(r#"{"op": "run", "design": {"inline": "x"}}"#).unwrap();
+        let err = Envelope::from_json(&v).unwrap_err();
+        assert_eq!(err.code(), crate::ApiCode::Usage);
+    }
+
+    #[test]
+    fn control_ops_parse_without_id() {
+        for (line, want) in [
+            (r#"{"op": "stats"}"#, Control::Stats),
+            (r#"{"op": "shutdown"}"#, Control::Shutdown),
+            (r#"{"op": "cancel", "target": 3}"#, Control::Cancel { target: 3 }),
+        ] {
+            let env = Envelope::from_json(&Json::parse(line).unwrap()).unwrap();
+            assert_eq!(env.op, Op::Control(want));
+        }
+    }
+
+    #[test]
+    fn bad_fields_are_usage_errors() {
+        for line in [
+            r#"{"id": 1, "op": "run"}"#,
+            r#"{"id": 1, "op": "run", "design": {}}"#,
+            r#"{"id": 1, "op": "run", "design": {"inline": "x"}, "tech": "n99"}"#,
+            r#"{"id": 1, "op": "run", "design": {"inline": "x"}, "jobs": 0}"#,
+            r#"{"id": 1, "op": "run", "design": {"inline": "x"}, "cache": "maybe"}"#,
+            r#"{"id": 1, "op": "frobnicate"}"#,
+            r#"[1, 2]"#,
+        ] {
+            let v = Json::parse(line).unwrap();
+            assert!(Envelope::from_json(&v).is_err(), "{line} should fail");
+        }
+    }
+}

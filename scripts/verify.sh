@@ -75,6 +75,23 @@ case "$capped" in
     *) echo "FAIL: capped run must stay feasible and report exhaustion: $capped" >&2; exit 1 ;;
 esac
 
+step "serve smoke (resident daemon)"
+# Three requests, one invalid: the invalid one gets a typed error, the
+# daemon keeps serving (the repeat request hits the warm cache), and EOF
+# drains the queue and exits 0 — set -e fails the script otherwise.
+serve_out="$T/serve_out.jsonl"
+printf '%s\n' \
+    '{"op": "run", "id": 1, "design": {"generate": {"sinks": 60, "seed": 2}}}' \
+    '{"op": "frobnicate", "id": 2}' \
+    '{"op": "run", "id": 3, "design": {"generate": {"sinks": 60, "seed": 2}}}' \
+    | "$BIN" serve --jobs 1 > "$serve_out"
+grep -q '"id": 1, "ok": true, "cache": "miss"' "$serve_out" \
+    || { echo "FAIL: first serve request should succeed with a cache miss" >&2; exit 1; }
+grep -q '"id": 2, "error": {"code": "usage"' "$serve_out" \
+    || { echo "FAIL: invalid serve request should get a typed error" >&2; exit 1; }
+grep -q '"id": 3, "ok": true, "cache": "hit"' "$serve_out" \
+    || { echo "FAIL: repeat serve request should hit the warm cache" >&2; exit 1; }
+
 step "chaos soak + kill-and-resume (scripts/soak.sh)"
 scripts/soak.sh
 

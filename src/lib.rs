@@ -36,6 +36,7 @@ pub use snr_geom as geom;
 pub use snr_mesh as mesh;
 pub use snr_netlist as netlist;
 pub use snr_power as power;
+pub use snr_serve as serve;
 pub use snr_tech as tech;
 pub use snr_timing as timing;
 pub use snr_variation as variation;

@@ -9,8 +9,16 @@
 //! smart-ndr run   --sinks 500 --seed 3            # generate on the fly
 //! smart-ndr lint  --design design.sndr [--repair [--out fixed.sndr]]   # validate / repair
 //! smart-ndr suite [--designs dir/] [--jobs 4] [--out table.txt [--resume]]
+//! smart-ndr serve [--jobs 4] [--queue 64] [--cache 32] [--socket PATH]  # resident daemon
 //! smart-ndr mesh  --sinks 800 [--grid 16] [--rule default|2w2s]   # mesh-vs-tree comparison
 //! ```
+//!
+//! Every command is a thin adapter over the typed request→plan→execute API
+//! in [`snr_serve`]: the CLI builds a [`snr_serve::Request`] from flags,
+//! plans and executes it, and renders the response with the same shared
+//! serializers the resident daemon uses — one code path for one-shot and
+//! resident execution, so `run --json` output and `serve` responses cannot
+//! drift.
 //!
 //! # Exit codes
 //!
@@ -47,31 +55,35 @@
 //! each completed row to `<FILE>.journal.jsonl` and skips journaled rows on
 //! the next run; the final `--out` file is written atomically and is
 //! byte-identical whether or not the run was interrupted.
+//!
+//! # Serve mode
+//!
+//! `smart-ndr serve` keeps parsed designs, synthesized trees and warm
+//! statistics resident and speaks line-delimited JSON over stdin/stdout
+//! (or `--socket <PATH>`): job requests (`run`/`lint`/`suite`) carry an
+//! `"id"` and stream progress events; control requests (`stats`, `cancel`,
+//! `shutdown`) are answered immediately. See `DESIGN.md` §3.9 for the
+//! protocol.
 
-use smart_ndr::core::{
-    panic_message, Annealing, Budget, CancelToken, Cancelled, Constraints, Deadline,
-    GreedyDowngrade, GreedyUpgradeRepair, Lagrangian, LevelBased, NdrOptimizer, OptContext,
-    Outcome, SmartNdr, Uniform,
-};
+use smart_ndr::core::{NdrOptimizer, OptContext, SmartNdr};
 use smart_ndr::cts::{save_assignment, svg::render_svg, svg::SvgOptions, synthesize, CtsOptions};
-use smart_ndr::netlist::validate::Bounds;
-use smart_ndr::netlist::{
-    ispd_like_suite, load_design, load_design_with, save_design, BenchmarkSpec, Design,
-    ErrorKind, LoadOptions,
-};
+use smart_ndr::netlist::{load_design, save_design, BenchmarkSpec, Design};
 use smart_ndr::power::PowerModel;
-use smart_ndr::tech::Technology;
-use smart_ndr::variation::{MonteCarlo, VariationModel};
 use snr_fsio::{atomic_write, Journal};
-use snr_par::{par_map, Parallelism};
+use snr_serve::json::json_escape;
+use snr_serve::render::{
+    error_json, lint_json, run_json, suite_det_header, suite_header,
+};
+use snr_serve::{
+    execute, plan, ApiCode, ApiError, DesignSource, Event, ExecCtx, LintRequest, Method, Plan,
+    Request, Response, RunRequest, ServeConfig, SuiteRequest, SuiteRow, SuiteSource, TechId,
+};
 use std::collections::HashMap;
 use std::fs;
 use std::io::BufReader;
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Mutex;
-use std::time::Duration;
 
 const USAGE: &str = "\
 smart-ndr: per-edge NDR assignment for clock power reduction
@@ -87,6 +99,7 @@ USAGE:
   smart-ndr lint  --design <FILE> [--tech n45|n32] [--repair] [--out <FILE>] [--json]
   smart-ndr suite [--tech n45|n32] [--designs <DIR>] [--jobs <N>]
                   [--out <FILE> [--resume]]
+  smart-ndr serve [--jobs <N>] [--queue <N>] [--cache <N>] [--socket <PATH>]
   smart-ndr mesh  (--design <FILE> | --sinks <N> [--seed <S>]) [--tech n45|n32]
                   [--grid <N>] [--drivers <K>] [--rule default|2w2s]
   smart-ndr help
@@ -98,57 +111,17 @@ SUPERVISION:
   suite --resume      skip rows journaled in <OUT>.journal.jsonl by an
                       earlier interrupted run (requires --out)
 
+SERVE:
+  serve reads one JSON request per line from stdin (or --socket <PATH>)
+  and writes id-tagged JSON responses and progress events to stdout.
+  Parsed designs and synthesized trees stay warm across requests;
+  `{\"op\": \"stats\"}` reports cache hits, queue depth and phase timings.
+  EOF or `{\"op\": \"shutdown\"}` drains the queue and exits 0.
+
 EXIT CODES:
   0 success / lint-clean    1 usage error
   3 invalid input           4 infeasible constraints
 ";
-
-/// A classified CLI failure: the variant decides the exit code and the
-/// machine-readable `code` field of the `--json` error object.
-enum CliError {
-    /// Bad flags or unknown command — exit 1.
-    Usage(String),
-    /// The input design is unreadable, malformed or rejected — exit 3.
-    InvalidInput(String),
-    /// The design loads but the flow cannot satisfy it — exit 4.
-    Infeasible(String),
-}
-
-impl CliError {
-    fn usage(msg: impl Into<String>) -> Self {
-        CliError::Usage(msg.into())
-    }
-
-    fn invalid(msg: impl Into<String>) -> Self {
-        CliError::InvalidInput(msg.into())
-    }
-
-    fn infeasible(msg: impl Into<String>) -> Self {
-        CliError::Infeasible(msg.into())
-    }
-
-    fn code(&self) -> &'static str {
-        match self {
-            CliError::Usage(_) => "usage",
-            CliError::InvalidInput(_) => "invalid_input",
-            CliError::Infeasible(_) => "infeasible",
-        }
-    }
-
-    fn message(&self) -> &str {
-        match self {
-            CliError::Usage(m) | CliError::InvalidInput(m) | CliError::Infeasible(m) => m,
-        }
-    }
-
-    fn exit_code(&self) -> u8 {
-        match self {
-            CliError::Usage(_) => 1,
-            CliError::InvalidInput(_) => 3,
-            CliError::Infeasible(_) => 4,
-        }
-    }
-}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -157,25 +130,21 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(err) => {
             if json {
-                println!(
-                    "{{\"error\": {{\"code\": \"{}\", \"message\": \"{}\"}}}}",
-                    err.code(),
-                    json_escape(err.message())
-                );
+                println!("{}", error_json(&err));
             } else {
                 eprintln!("error: {}", err.message());
-                if matches!(err, CliError::Usage(_)) {
+                if err.code() == ApiCode::Usage {
                     eprintln!("\n{USAGE}");
                 }
             }
-            ExitCode::from(err.exit_code())
+            ExitCode::from(err.code().exit_code())
         }
     }
 }
 
-fn run(args: Vec<String>) -> Result<(), CliError> {
+fn run(args: Vec<String>) -> Result<(), ApiError> {
     let Some((cmd, rest)) = args.split_first() else {
-        return Err(CliError::usage("no command given"));
+        return Err(ApiError::usage("no command given"));
     };
     let flags = parse_flags(rest)?;
     match cmd.as_str() {
@@ -183,26 +152,27 @@ fn run(args: Vec<String>) -> Result<(), CliError> {
         "run" => cmd_run(&flags),
         "lint" => cmd_lint(&flags),
         "suite" => cmd_suite(&flags),
+        "serve" => cmd_serve(&flags),
         "mesh" => cmd_mesh(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(CliError::usage(format!("unknown command {other:?}"))),
+        other => Err(ApiError::usage(format!("unknown command {other:?}"))),
     }
 }
 
 /// Flags that take no value; present means "true".
 const BOOL_FLAGS: &[&str] = &["json", "repair", "resume"];
 
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, ApiError> {
     let mut flags = HashMap::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let key = match arg.strip_prefix("--") {
             Some(key) => key,
             None if arg == "-j" => "jobs",
-            None => return Err(CliError::usage(format!("expected --flag, got {arg:?}"))),
+            None => return Err(ApiError::usage(format!("expected --flag, got {arg:?}"))),
         };
         if BOOL_FLAGS.contains(&key) {
             flags.insert(key.to_owned(), "true".to_owned());
@@ -210,7 +180,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
         }
         let value = it
             .next()
-            .ok_or_else(|| CliError::usage(format!("flag --{key} needs a value")))?;
+            .ok_or_else(|| ApiError::usage(format!("flag --{key} needs a value")))?;
         flags.insert(key.to_owned(), value.clone());
     }
     Ok(flags)
@@ -220,71 +190,65 @@ fn get_parsed<T: std::str::FromStr>(
     flags: &HashMap<String, String>,
     key: &str,
     default: T,
-) -> Result<T, CliError> {
+) -> Result<T, ApiError> {
     match flags.get(key) {
         None => Ok(default),
         Some(v) => v
             .parse()
-            .map_err(|_| CliError::usage(format!("invalid --{key} {v:?}"))),
+            .map_err(|_| ApiError::usage(format!("invalid --{key} {v:?}"))),
     }
 }
 
-/// `--jobs <N>` / `-j <N>` as a [`Parallelism`], or `None` when absent so
-/// each command keeps its own default (Monte Carlo auto-detects cores, the
-/// suite stays serial).
-fn jobs_of(flags: &HashMap<String, String>) -> Result<Option<Parallelism>, CliError> {
+/// `--jobs <N>` / `-j <N>`, or `None` when absent so each command keeps its
+/// own default (Monte Carlo auto-detects cores, the suite stays serial).
+fn jobs_of(flags: &HashMap<String, String>) -> Result<Option<usize>, ApiError> {
     match flags.get("jobs") {
         None => Ok(None),
         Some(v) => {
             let n: usize = v
                 .parse()
-                .map_err(|_| CliError::usage(format!("invalid --jobs {v:?}")))?;
+                .map_err(|_| ApiError::usage(format!("invalid --jobs {v:?}")))?;
             if n == 0 {
-                return Err(CliError::usage("--jobs must be at least 1"));
+                return Err(ApiError::usage("--jobs must be at least 1"));
             }
-            Ok(Some(Parallelism::new(n)))
+            Ok(Some(n))
         }
     }
 }
 
-/// `--timeout <SECS>` / `--max-iters <N>` as a [`Budget`] plus the deadline
-/// token (shared with Monte Carlo so one timer bounds the whole command).
-/// Zero means "off" for both, matching their defaults.
-fn budget_of(flags: &HashMap<String, String>) -> Result<(Budget, Option<CancelToken>), CliError> {
-    let timeout: f64 = get_parsed(flags, "timeout", 0.0)?;
-    if !timeout.is_finite() || timeout < 0.0 {
-        return Err(CliError::usage(format!("--timeout must be >= 0 seconds, got {timeout}")));
-    }
-    let max_iters: u64 = get_parsed(flags, "max-iters", 0)?;
-    let mut budget = Budget::unlimited();
-    if max_iters > 0 {
-        budget = budget.with_max_iters(max_iters);
-    }
-    let token = (timeout > 0.0)
-        .then(|| CancelToken::with_deadline(Deadline::after(Duration::from_secs_f64(timeout))));
-    if let Some(t) = &token {
-        budget = budget.with_token(t.clone());
-    }
-    Ok((budget, token))
-}
-
-fn tech_of(flags: &HashMap<String, String>) -> Result<Technology, CliError> {
-    match flags.get("tech").map(String::as_str).unwrap_or("n45") {
-        "n45" => Ok(Technology::n45()),
-        "n32" => Ok(Technology::n32()),
-        other => Err(CliError::usage(format!("unknown --tech {other:?} (n45|n32)"))),
+fn tech_of(flags: &HashMap<String, String>) -> Result<TechId, ApiError> {
+    match flags.get("tech") {
+        None => Ok(TechId::default()),
+        Some(v) => TechId::parse(v),
     }
 }
 
-fn design_of(flags: &HashMap<String, String>) -> Result<Design, CliError> {
+/// The design a `run` request names: a file path, or a generator spec from
+/// `--sinks`/`--seed`/`--freq`.
+fn design_source_of(flags: &HashMap<String, String>) -> Result<DesignSource, ApiError> {
     if let Some(path) = flags.get("design") {
-        let file = fs::File::open(path)
-            .map_err(|e| CliError::invalid(format!("cannot open {path}: {e}")))?;
-        return load_design(BufReader::new(file)).map_err(|e| CliError::invalid(e.to_string()));
+        return Ok(DesignSource::Path(path.clone()));
     }
     let sinks: usize = get_parsed(flags, "sinks", 0)?;
     if sinks == 0 {
-        return Err(CliError::usage("need --design <FILE> or --sinks <N>"));
+        return Err(ApiError::usage("need --design <FILE> or --sinks <N>"));
+    }
+    let seed: u64 = get_parsed(flags, "seed", 1)?;
+    let freq_ghz: f64 = get_parsed(flags, "freq", 1.0)?;
+    Ok(DesignSource::Generate { sinks, seed, freq_ghz })
+}
+
+/// Loads or generates a design eagerly — for `gen` and `mesh`, which need
+/// the design itself rather than a plan over it.
+fn design_of(flags: &HashMap<String, String>) -> Result<Design, ApiError> {
+    if let Some(path) = flags.get("design") {
+        let file = fs::File::open(path)
+            .map_err(|e| ApiError::invalid(format!("cannot open {path}: {e}")))?;
+        return load_design(BufReader::new(file)).map_err(|e| ApiError::invalid(e.to_string()));
+    }
+    let sinks: usize = get_parsed(flags, "sinks", 0)?;
+    if sinks == 0 {
+        return Err(ApiError::usage("need --design <FILE> or --sinks <N>"));
     }
     let seed: u64 = get_parsed(flags, "seed", 1)?;
     let freq: f64 = get_parsed(flags, "freq", 1.0)?;
@@ -292,269 +256,106 @@ fn design_of(flags: &HashMap<String, String>) -> Result<Design, CliError> {
         .seed(seed)
         .freq_ghz(freq)
         .build()
-        .map_err(|e| CliError::invalid(e.to_string()))
+        .map_err(|e| ApiError::invalid(e.to_string()))
 }
 
-fn cmd_gen(flags: &HashMap<String, String>) -> Result<(), CliError> {
+fn cmd_gen(flags: &HashMap<String, String>) -> Result<(), ApiError> {
     let design = design_of(flags)?;
     let out = flags
         .get("out")
-        .ok_or_else(|| CliError::usage("gen needs --out <FILE>"))?;
-    let file =
-        fs::File::create(out).map_err(|e| CliError::invalid(format!("cannot create {out}: {e}")))?;
-    save_design(&design, file).map_err(|e| CliError::invalid(e.to_string()))?;
+        .ok_or_else(|| ApiError::usage("gen needs --out <FILE>"))?;
+    let file = fs::File::create(out)
+        .map_err(|e| ApiError::invalid(format!("cannot create {out}: {e}")))?;
+    save_design(&design, file).map_err(|e| ApiError::invalid(e.to_string()))?;
     println!("wrote {design} to {out}");
     Ok(())
 }
 
-/// Escapes `s` for use inside a JSON string literal.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// Serializes an [`Outcome`] as a JSON object, including the per-rule
-/// wirelength histogram.
-fn outcome_json(
-    out: &smart_ndr::core::Outcome,
-    tree: &smart_ndr::cts::ClockTree,
-    tech: &Technology,
-) -> String {
-    let usage = out.assignment().usage_um(tree, tech.rules());
-    let histogram = tech
-        .rules()
-        .iter()
-        .map(|(id, rule)| format!("\"{}\": {:.3}", json_escape(&rule.to_string()), usage[id.0]))
-        .collect::<Vec<_>>()
-        .join(", ");
-    format!(
-        concat!(
-            "{{\"name\": \"{}\", \"network_uw\": {:.6}, \"total_uw\": {:.6}, ",
-            "\"track_cost_um\": {:.3}, \"skew_ps\": {:.6}, \"max_slew_ps\": {:.6}, ",
-            "\"latency_ps\": {:.6}, \"meets_constraints\": {}, \"runtime_s\": {:.6}, ",
-            "\"rule_histogram_um\": {{{}}}}}"
-        ),
-        json_escape(out.name()),
-        out.power().network_uw(),
-        out.power().total_uw(),
-        out.power().track_cost_um(),
-        out.timing().skew_ps(),
-        out.timing().max_slew_ps(),
-        out.timing().latency_ps(),
-        out.meets_constraints(),
-        out.elapsed().as_secs_f64(),
-        histogram,
-    )
-}
-
-/// Serializes an outcome's supervision record (budget receipts plus the
-/// degradation ladder) as a JSON object. Elapsed times are deliberately
-/// omitted: every field here is deterministic for a given seed and job
-/// count, so callers can diff the whole object across runs.
-fn supervision_json(out: &Outcome, mc_cancelled: bool) -> String {
-    let budgets = out
-        .budget_reports()
-        .iter()
-        .map(|b| {
-            format!(
-                "{{\"phase\": \"{}\", \"iterations\": {}, \"exhausted\": {}}}",
-                json_escape(b.phase),
-                b.iterations_done,
-                b.exhausted
-            )
-        })
-        .collect::<Vec<_>>()
-        .join(", ");
-    let rungs = out
-        .degradations()
-        .iter()
-        .map(|d| {
-            format!(
-                "{{\"rung\": \"{}\", \"detail\": \"{}\"}}",
-                json_escape(d.rung()),
-                json_escape(&d.detail())
-            )
-        })
-        .collect::<Vec<_>>()
-        .join(", ");
-    format!(
-        concat!(
-            "{{\"budget_exhausted\": {}, \"mc_cancelled\": {}, ",
-            "\"budgets\": [{}], \"degradations\": [{}]}}"
-        ),
-        out.budget_exhausted(),
-        mc_cancelled,
-        budgets,
-        rungs,
-    )
-}
-
-fn cmd_run(flags: &HashMap<String, String>) -> Result<(), CliError> {
-    let design = design_of(flags)?;
-    let tech = tech_of(flags)?;
-    let slew_margin: f64 = get_parsed(flags, "slew-margin", 1.10)?;
-    let skew_budget: f64 = get_parsed(flags, "skew-budget", 30.0)?;
-    let jobs = jobs_of(flags)?;
+/// `smart-ndr run`: build the typed request from flags, plan, execute
+/// one-shot, render. The engine is exactly the daemon's; only the
+/// presentation here is CLI-specific.
+fn cmd_run(flags: &HashMap<String, String>) -> Result<(), ApiError> {
     let json = flags.contains_key("json");
-
-    if !json {
-        println!("design: {design}");
+    let mut req = RunRequest::new(design_source_of(flags)?);
+    req.tech = tech_of(flags)?;
+    if let Some(m) = flags.get("method") {
+        req.method = Method::parse(m)?;
     }
-    let tree = synthesize(&design, &tech, &CtsOptions::default())
-        .map_err(|e| CliError::infeasible(e.to_string()))?;
-    if !json {
-        println!("tree:   {}", tree.stats());
-    }
+    req.slew_margin = get_parsed(flags, "slew-margin", req.slew_margin)?;
+    req.skew_budget_ps = get_parsed(flags, "skew-budget", req.skew_budget_ps)?;
+    req.mc_samples = get_parsed(flags, "mc", 0)?;
+    req.jobs = jobs_of(flags)?;
+    req.timeout_s = get_parsed(flags, "timeout", 0.0)?;
+    req.max_iters = get_parsed(flags, "max-iters", 0)?;
 
-    let ctx = OptContext::new(&tree, &tech, PowerModel::new(design.freq_ghz()))
-        .with_constraints(Constraints::relative(&tree, &tech, slew_margin, skew_budget));
-    if !json {
-        println!("constraints: {}", ctx.constraints());
-    }
+    let plan = plan(&Request::Run(req))?;
+    let resp = match execute(&plan, &ExecCtx::oneshot())? {
+        Response::Run(resp) => resp,
+        _ => unreachable!("run plans produce run responses"),
+    };
 
-    let (budget, token) = budget_of(flags)?;
-    let par = jobs.unwrap_or_else(Parallelism::serial);
-    let method: Box<dyn NdrOptimizer> =
-        match flags.get("method").map(String::as_str).unwrap_or("smart") {
-            "smart" => Box::new(SmartNdr::default().with_budget(budget).with_parallelism(par)),
-            "greedy" => {
-                Box::new(GreedyDowngrade::default().with_budget(budget).with_parallelism(par))
-            }
-            "upgrade" => {
-                Box::new(GreedyUpgradeRepair::default().with_budget(budget).with_parallelism(par))
-            }
-            "level" => Box::new(LevelBased),
-            "uniform" => Box::new(Uniform::conservative()),
-            "anneal" => Box::new(Annealing::new(20_000, 1).with_budget(budget)),
-            "lagrangian" => Box::new(Lagrangian::new().with_budget(budget)),
-            other => return Err(CliError::usage(format!("unknown --method {other:?}"))),
-        };
-
-    let base = ctx.conservative_baseline();
-    let out = method.optimize(&ctx);
     if !json {
-        println!("\nbaseline: {base}");
-        println!("result:   {out}");
+        println!("design: {}", resp.design);
+        println!("tree:   {}", resp.tree.stats());
+        println!("constraints: {}", resp.constraints);
+        println!("\nbaseline: {}", resp.baseline);
+        println!("result:   {}", resp.result);
         println!(
             "saving:   {:.1}% of clock-network power, {:.1}% of track cost",
-            100.0 * out.network_saving_vs(&base),
-            100.0 * (1.0 - out.power().track_cost_um() / base.power().track_cost_um()),
+            100.0 * resp.result.network_saving_vs(&resp.baseline),
+            100.0
+                * (1.0
+                    - resp.result.power().track_cost_um()
+                        / resp.baseline.power().track_cost_um()),
         );
-        for b in out.budget_reports().iter().filter(|b| b.exhausted) {
+        for b in resp.result.budget_reports().iter().filter(|b| b.exhausted) {
             println!(
                 "budget:   {} exhausted after {} iterations — result is best-so-far",
                 b.phase, b.iterations_done
             );
         }
-        for d in out.degradations() {
+        for d in resp.result.degradations() {
             println!("degraded: {d}");
         }
-    }
-
-    let mc_samples: usize = get_parsed(flags, "mc", 0)?;
-    let mut sigma_skews: Option<(f64, f64)> = None;
-    let mut mc_cancelled = false;
-    if mc_samples > 0 {
-        let mut mc = MonteCarlo::new(VariationModel::default(), mc_samples, 7);
-        if let Some(par) = jobs {
-            mc = mc.with_parallelism(par);
-        }
-        // A panicking sample worker surfaces here after every worker has
-        // joined; map it to the typed infeasible error so the CLI exits 4
-        // instead of aborting. Results are bit-identical per --jobs anyway,
-        // so --jobs 1 reproduces the failure serially.
-        let mc_token = token.clone().unwrap_or_default();
-        let reps = catch_unwind(AssertUnwindSafe(|| -> Result<_, Cancelled> {
-            Ok((
-                mc.run_with_token(&tree, &tech, base.assignment(), &mc_token)?,
-                mc.run_with_token(&tree, &tech, out.assignment(), &mc_token)?,
-            ))
-        }))
-        .map_err(|payload| {
-            CliError::infeasible(format!(
-                "Monte Carlo analysis panicked on {}: {} (re-run with --jobs 1 to localize)",
-                design.name(),
-                panic_message(&*payload, 120),
-            ))
-        })?;
-        match reps {
-            Ok((rep_base, rep_out)) => {
-                sigma_skews = Some((rep_base.sigma_skew_ps(), rep_out.sigma_skew_ps()));
-                if !json {
-                    println!(
-                        "variation ({mc_samples} samples): σ-skew baseline {:.2} ps, result {:.2} ps",
-                        rep_base.sigma_skew_ps(),
-                        rep_out.sigma_skew_ps()
-                    );
-                }
-            }
-            // The deadline fired mid-analysis. Partial statistics would
-            // silently change the reported distribution, so the variation
-            // section is dropped rather than degraded.
-            Err(Cancelled) => {
-                mc_cancelled = true;
-                if !json {
-                    println!("variation: cancelled by --timeout before {mc_samples} samples completed");
-                }
-            }
+        if let Some((b, r)) = resp.variation {
+            println!(
+                "variation ({} samples): σ-skew baseline {b:.2} ps, result {r:.2} ps",
+                resp.mc_samples
+            );
+        } else if resp.mc_cancelled {
+            println!(
+                "variation: cancelled by --timeout before {} samples completed",
+                resp.mc_samples
+            );
         }
     }
 
     if let Some(path) = flags.get("save-asg") {
         let file = fs::File::create(path)
-            .map_err(|e| CliError::invalid(format!("cannot create {path}: {e}")))?;
-        save_assignment(out.assignment(), &tree, file)
-            .map_err(|e| CliError::invalid(e.to_string()))?;
+            .map_err(|e| ApiError::invalid(format!("cannot create {path}: {e}")))?;
+        save_assignment(resp.result.assignment(), &resp.tree, file)
+            .map_err(|e| ApiError::invalid(e.to_string()))?;
         if !json {
             println!("wrote {path}");
         }
     }
 
     if let Some(path) = flags.get("svg") {
-        let svg = render_svg(&tree, tech.rules(), out.assignment(), &SvgOptions::default());
-        fs::write(path, svg).map_err(|e| CliError::invalid(format!("cannot write {path}: {e}")))?;
+        let svg = render_svg(
+            &resp.tree,
+            resp.tech.rules(),
+            resp.result.assignment(),
+            &SvgOptions::default(),
+        );
+        fs::write(path, svg)
+            .map_err(|e| ApiError::invalid(format!("cannot write {path}: {e}")))?;
         if !json {
             println!("wrote {path}");
         }
     }
 
     if json {
-        let variation = match sigma_skews {
-            Some((b, r)) => format!(
-                ", \"variation\": {{\"samples\": {mc_samples}, \"sigma_skew_baseline_ps\": {b:.6}, \"sigma_skew_result_ps\": {r:.6}}}"
-            ),
-            None => String::new(),
-        };
-        println!(
-            concat!(
-                "{{\"design\": {{\"name\": \"{}\", \"sinks\": {}, \"freq_ghz\": {}}}, ",
-                "\"tech\": \"{}\", ",
-                "\"constraints\": {{\"slew_limit_ps\": {:.6}, \"skew_limit_ps\": {:.6}}}, ",
-                "\"baseline\": {}, \"result\": {}, ",
-                "\"saving\": {{\"network_frac\": {:.6}, \"track_frac\": {:.6}}}, ",
-                "\"supervision\": {}{}}}"
-            ),
-            json_escape(design.name()),
-            design.sinks().len(),
-            design.freq_ghz(),
-            json_escape(tech.name()),
-            ctx.constraints().slew_limit_ps(),
-            ctx.constraints().skew_limit_ps(),
-            outcome_json(&base, &tree, &tech),
-            outcome_json(&out, &tree, &tech),
-            out.network_saving_vs(&base),
-            1.0 - out.power().track_cost_um() / base.power().track_cost_um(),
-            supervision_json(&out, mc_cancelled),
-            variation,
-        );
+        println!("{}", run_json(&resp));
     }
     Ok(())
 }
@@ -563,108 +364,85 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), CliError> {
 /// without running the flow. Every diagnostic and every repair action is
 /// printed; a feasibility smoke-check (can the default CTS flow synthesize
 /// the design at all?) separates "invalid input" from "infeasible".
-fn cmd_lint(flags: &HashMap<String, String>) -> Result<(), CliError> {
+fn cmd_lint(flags: &HashMap<String, String>) -> Result<(), ApiError> {
     let path = flags
         .get("design")
-        .ok_or_else(|| CliError::usage("lint needs --design <FILE>"))?;
-    let tech = tech_of(flags)?;
+        .ok_or_else(|| ApiError::usage("lint needs --design <FILE>"))?;
     let json = flags.contains_key("json");
-    let repair = flags.contains_key("repair");
+    let req = Request::Lint(LintRequest {
+        design: DesignSource::Path(path.clone()),
+        tech: tech_of(flags)?,
+        repair: flags.contains_key("repair"),
+    });
 
-    let file =
-        fs::File::open(path).map_err(|e| CliError::invalid(format!("cannot open {path}: {e}")))?;
-    let opts = LoadOptions {
-        bounds: Bounds::for_tech(&tech),
-        repair,
-    };
-    let report = load_design_with(BufReader::new(file), &opts).map_err(|e| {
-        // Surface the individual diagnostics before failing, so the user
-        // sees every problem at once instead of the first.
-        if !json {
-            for d in e.diagnostics() {
-                println!("{d}");
+    let plan = plan(&req)?;
+    let resp = match execute(&plan, &ExecCtx::oneshot()) {
+        Ok(Response::Lint(resp)) => resp,
+        Ok(_) => unreachable!("lint plans produce lint responses"),
+        Err(err) => {
+            // Surface the individual diagnostics before failing, so the
+            // user sees every problem at once instead of the first.
+            if !json {
+                for d in err.details() {
+                    println!("{d}");
+                }
             }
+            return Err(err);
         }
-        let hint = match e.kind() {
-            ErrorKind::Parse => " (syntax error; run with a valid .sndr file)",
-            _ if !e.diagnostics().is_empty() => " (re-run with --repair to attempt salvage)",
-            _ => "",
-        };
-        CliError::invalid(format!("{e}{hint}"))
-    })?;
+    };
 
     if !json {
-        for d in &report.diagnostics {
+        for d in &resp.diagnostics {
             println!("{d}");
         }
-        for r in &report.repairs {
+        for r in &resp.repairs {
             println!("{r}");
         }
     }
 
-    // Feasibility smoke-check: a structurally valid design that no buffer in
-    // the library can drive is a constraint problem, not an input problem.
-    synthesize(&report.design, &tech, &CtsOptions::default())
-        .map_err(|e| CliError::infeasible(format!("{}: {e}", report.design.name())))?;
-
     if let Some(out) = flags.get("out") {
         let file = fs::File::create(out)
-            .map_err(|e| CliError::invalid(format!("cannot create {out}: {e}")))?;
-        save_design(&report.design, file).map_err(|e| CliError::invalid(e.to_string()))?;
+            .map_err(|e| ApiError::invalid(format!("cannot create {out}: {e}")))?;
+        save_design(&resp.design, file).map_err(|e| ApiError::invalid(e.to_string()))?;
     }
 
-    let status = if report.repairs.is_empty() { "clean" } else { "repaired" };
     if json {
-        let list = |items: &[String]| {
-            items
-                .iter()
-                .map(|s| format!("\"{}\"", json_escape(s)))
-                .collect::<Vec<_>>()
-                .join(", ")
-        };
-        let diags: Vec<String> = report.diagnostics.iter().map(|d| d.to_string()).collect();
-        let repairs: Vec<String> = report.repairs.iter().map(|r| r.to_string()).collect();
-        println!(
-            "{{\"design\": \"{}\", \"status\": \"{}\", \"diagnostics\": [{}], \"repairs\": [{}]}}",
-            json_escape(report.design.name()),
-            status,
-            list(&diags),
-            list(&repairs),
-        );
+        println!("{}", lint_json(&resp));
     } else {
         println!(
             "{}: {} ({} diagnostics, {} repairs)",
-            report.design.name(),
-            status,
-            report.diagnostics.len(),
-            report.repairs.len(),
+            resp.design.name(),
+            resp.status(),
+            resp.diagnostics.len(),
+            resp.repairs.len(),
         );
     }
     Ok(())
 }
 
-fn cmd_mesh(flags: &HashMap<String, String>) -> Result<(), CliError> {
+fn cmd_mesh(flags: &HashMap<String, String>) -> Result<(), ApiError> {
     use smart_ndr::mesh::{ClockMesh, MeshSpec};
     use smart_ndr::tech::Rule;
 
     let design = design_of(flags)?;
-    let tech = tech_of(flags)?;
+    let tech = tech_of(flags)?.resolve();
     let grid: usize = get_parsed(flags, "grid", 16)?;
     let drivers: usize = get_parsed(flags, "drivers", 3)?;
     let rule = match flags.get("rule").map(String::as_str).unwrap_or("default") {
         "default" => Rule::DEFAULT,
         "2w2s" => Rule::new(2.0, 2.0).expect("2W2S is valid"),
-        other => return Err(CliError::usage(format!("unknown --rule {other:?} (default|2w2s)"))),
+        other => return Err(ApiError::usage(format!("unknown --rule {other:?} (default|2w2s)"))),
     };
 
     println!("design: {design}");
     let tree = synthesize(&design, &tech, &CtsOptions::default())
-        .map_err(|e| CliError::infeasible(e.to_string()))?;
+        .map_err(|e| ApiError::infeasible(e.to_string()))?;
     let ctx = OptContext::new(&tree, &tech, PowerModel::new(design.freq_ghz()));
     let smart = SmartNdr::default().optimize(&ctx);
     println!("tree:   {smart}");
 
-    let spec = MeshSpec::new(grid, grid, drivers, rule).map_err(|e| CliError::usage(e.to_string()))?;
+    let spec =
+        MeshSpec::new(grid, grid, drivers, rule).map_err(|e| ApiError::usage(e.to_string()))?;
     let mesh = ClockMesh::build(&design, &tech, spec);
     let rep = mesh.analyze(&tech, design.freq_ghz());
     println!("{rep} ({} drivers)", rep.n_drivers);
@@ -673,167 +451,6 @@ fn cmd_mesh(flags: &HashMap<String, String>) -> Result<(), CliError> {
         rep.network_uw() / smart.power().network_uw()
     );
     Ok(())
-}
-
-/// One suite entry: either a loaded design or a load failure to report as a
-/// `FAILED` row.
-enum SuiteEntry {
-    Design(Box<Design>),
-    Unloadable { name: String, reason: String },
-}
-
-/// Designs for `cmd_suite`: the built-in 8-design suite, or every `.sndr`
-/// file in `--designs <DIR>` (sorted by name for a stable table order).
-fn suite_entries(flags: &HashMap<String, String>) -> Result<Vec<SuiteEntry>, CliError> {
-    let Some(dir) = flags.get("designs") else {
-        return Ok(ispd_like_suite()
-            .into_iter()
-            .map(|d| SuiteEntry::Design(Box::new(d)))
-            .collect());
-    };
-    let mut paths: Vec<std::path::PathBuf> = fs::read_dir(dir)
-        .map_err(|e| CliError::invalid(format!("cannot read {dir}: {e}")))?
-        .filter_map(|entry| entry.ok().map(|e| e.path()))
-        .filter(|p| p.extension().is_some_and(|x| x == "sndr"))
-        .collect();
-    paths.sort();
-    if paths.is_empty() {
-        return Err(CliError::invalid(format!("no .sndr files in {dir}")));
-    }
-    Ok(paths
-        .into_iter()
-        .map(|p| {
-            let name = p
-                .file_stem()
-                .map(|s| s.to_string_lossy().into_owned())
-                .unwrap_or_else(|| p.display().to_string());
-            let load = fs::File::open(&p)
-                .map_err(|e| format!("cannot open {}: {e}", p.display()))
-                .and_then(|f| load_design(BufReader::new(f)).map_err(|e| e.to_string()));
-            match load {
-                Ok(d) => SuiteEntry::Design(Box::new(d)),
-                Err(reason) => SuiteEntry::Unloadable { name, reason },
-            }
-        })
-        .collect())
-}
-
-/// One evaluated suite row: an optional stderr diagnostic, the
-/// deterministic table columns (runtime excluded), the measured runtime
-/// (absent for rows restored from a journal), and the FAILED verdict.
-#[derive(Clone)]
-struct SuiteRow {
-    diagnostic: Option<String>,
-    name: String,
-    line: String,
-    runtime_s: Option<f64>,
-    failed: bool,
-}
-
-impl SuiteRow {
-    /// The stdout rendering: deterministic columns plus the wall-clock
-    /// runtime column (`-` for FAILED rows and rows resumed from a journal,
-    /// whose runtime was not re-measured).
-    fn stdout_line(&self) -> String {
-        match self.runtime_s {
-            Some(rt) => format!("{} {rt:>8.1}s", self.line),
-            None => format!("{} {:>9}", self.line, "-"),
-        }
-    }
-}
-
-/// Collapses `s` to one whitespace-normalized reason token stream of at
-/// most `max` chars (`-` when empty), so it fits a single table column.
-fn reason_cell(s: &str, max: usize) -> String {
-    let mut out = s.split_whitespace().collect::<Vec<_>>().join(" ");
-    if out.is_empty() {
-        out.push('-');
-    }
-    if out.chars().count() > max {
-        out = out.chars().take(max.saturating_sub(1)).collect();
-        out.push('…');
-    }
-    out
-}
-
-/// The deterministic columns of a row whose flow did not finish, with the
-/// failure reason in the reason column.
-fn failed_line(name: &str, sinks: &str, reason: &str) -> String {
-    format!("{name:<8} {sinks:>8} {:>12} {:>12} {:>8} {:<8}", "FAILED", "-", "-", reason)
-}
-
-/// Evaluates one suite entry. Runs on a worker thread under `--jobs`; the
-/// whole flow sits inside `catch_unwind` so a poisoned design (bad file,
-/// synthesis failure, even a panic in the flow) becomes a `FAILED` row —
-/// carrying the truncated panic message in its reason column — instead of
-/// taking down the run. Degradation-ladder rungs taken by a successful run
-/// surface in the same column as `degraded:<rung,...>`.
-fn suite_row(entry: &SuiteEntry, tech: &Technology) -> SuiteRow {
-    let design = match entry {
-        SuiteEntry::Design(d) => d,
-        SuiteEntry::Unloadable { name, reason } => {
-            return SuiteRow {
-                diagnostic: Some(format!("{name}: {reason}")),
-                name: name.clone(),
-                line: failed_line(name, "-", &reason_cell(reason, 60)),
-                runtime_s: None,
-                failed: true,
-            }
-        }
-    };
-    let row = catch_unwind(AssertUnwindSafe(|| -> Result<(String, f64), String> {
-        let tree = synthesize(design, tech, &CtsOptions::default()).map_err(|e| e.to_string())?;
-        let ctx = OptContext::new(&tree, tech, PowerModel::new(design.freq_ghz()));
-        let base = ctx.conservative_baseline();
-        let out = SmartNdr::default().optimize(&ctx);
-        let mut rungs: Vec<&str> = Vec::new();
-        for d in out.degradations() {
-            if !rungs.contains(&d.rung()) {
-                rungs.push(d.rung());
-            }
-        }
-        let reason = if rungs.is_empty() {
-            "-".to_owned()
-        } else {
-            format!("degraded:{}", rungs.join(","))
-        };
-        Ok((
-            format!(
-                "{:<8} {:>8} {:>12.1} {:>12.1} {:>7.1}% {:<8}",
-                design.name(),
-                design.sinks().len(),
-                base.power().network_uw(),
-                out.power().network_uw(),
-                100.0 * out.network_saving_vs(&base),
-                reason,
-            ),
-            out.elapsed().as_secs_f64(),
-        ))
-    }));
-    let name = design.name().to_owned();
-    let sinks = design.sinks().len().to_string();
-    match row {
-        Ok(Ok((line, rt))) => {
-            SuiteRow { diagnostic: None, name, line, runtime_s: Some(rt), failed: false }
-        }
-        Ok(Err(reason)) => SuiteRow {
-            diagnostic: Some(format!("{name}: {reason}")),
-            line: failed_line(&name, &sinks, &reason_cell(&reason, 60)),
-            name,
-            runtime_s: None,
-            failed: true,
-        },
-        Err(panic) => {
-            let reason = panic_message(&*panic, 60);
-            SuiteRow {
-                diagnostic: Some(format!("{name}: panicked: {reason}")),
-                line: failed_line(&name, &sinks, &reason),
-                name,
-                runtime_s: None,
-                failed: true,
-            }
-        }
-    }
 }
 
 /// The journal path for a `suite --out` file: `<out>.journal.jsonl`.
@@ -893,7 +510,7 @@ fn journal_row(line: &str) -> Option<SuiteRow> {
 }
 
 /// `smart-ndr suite`: the headline table. Robust by construction — every
-/// design runs inside `catch_unwind` (see [`suite_row`]), so one poisoned
+/// design runs inside `catch_unwind` (see the executor), so one poisoned
 /// design yields a `FAILED` row and the run continues with the remaining
 /// designs. With `--jobs <N>` the designs evaluate on `N` worker threads;
 /// rows always print in suite order, so the table is byte-identical for any
@@ -901,39 +518,52 @@ fn journal_row(line: &str) -> Option<SuiteRow> {
 ///
 /// With `--out <FILE>` the deterministic columns (runtime excluded) are
 /// additionally written to `FILE` through [`atomic_write`], and every
-/// completed row is journaled to `<FILE>.journal.jsonl` as it finishes;
-/// `--resume` restores journaled rows instead of re-evaluating them, so an
-/// interrupted run picks up where it stopped and still produces the
-/// byte-identical `FILE`. The journal is deleted once `FILE` lands.
-fn cmd_suite(flags: &HashMap<String, String>) -> Result<(), CliError> {
-    let tech = tech_of(flags)?;
-    let par = jobs_of(flags)?.unwrap_or_else(Parallelism::serial);
+/// completed row is journaled to `<FILE>.journal.jsonl` as it finishes (via
+/// the executor's event stream); `--resume` restores journaled rows instead
+/// of re-evaluating them, so an interrupted run picks up where it stopped
+/// and still produces the byte-identical `FILE`. The journal is deleted
+/// once `FILE` lands.
+fn cmd_suite(flags: &HashMap<String, String>) -> Result<(), ApiError> {
     let out_path = flags.get("out").map(PathBuf::from);
     let resume = flags.contains_key("resume");
     if resume && out_path.is_none() {
-        return Err(CliError::usage("suite --resume needs --out <FILE> (the journal lives next to it)"));
+        return Err(ApiError::usage(
+            "suite --resume needs --out <FILE> (the journal lives next to it)",
+        ));
     }
-    let entries = suite_entries(flags)?;
+    let req = Request::Suite(SuiteRequest {
+        source: match flags.get("designs") {
+            None => SuiteSource::Builtin,
+            Some(dir) => SuiteSource::Dir(dir.clone()),
+        },
+        tech: tech_of(flags)?,
+        jobs: jobs_of(flags)?,
+        prefilled: Vec::new(),
+    });
+    let mut plan = plan(&req)?;
 
-    // Rows completed by an earlier interrupted run, keyed by design name.
-    let mut done: HashMap<String, SuiteRow> = HashMap::new();
+    // Rows completed by an earlier interrupted run, restored from the
+    // journal and injected into the plan so the executor skips them.
     let journal = match &out_path {
         None => None,
         Some(out) => {
             let jpath = journal_path(out);
             let j = if resume {
                 let (j, lines) = Journal::resume(&jpath).map_err(|e| {
-                    CliError::invalid(format!("cannot resume journal {}: {e}", jpath.display()))
+                    ApiError::invalid(format!("cannot resume journal {}: {e}", jpath.display()))
                 })?;
+                let Plan::Suite(sp) = &mut plan else {
+                    unreachable!("suite requests produce suite plans")
+                };
                 for row in lines.iter().filter_map(|l| journal_row(l)) {
-                    done.insert(row.name.clone(), row);
+                    sp.prefilled.insert(row.name.clone(), row);
                 }
                 j
             } else {
                 // A fresh run must not inherit rows from an older one.
                 match fs::remove_file(&jpath) {
                     Err(e) if e.kind() != std::io::ErrorKind::NotFound => {
-                        return Err(CliError::invalid(format!(
+                        return Err(ApiError::invalid(format!(
                             "cannot clear stale journal {}: {e}",
                             jpath.display()
                         )));
@@ -941,31 +571,22 @@ fn cmd_suite(flags: &HashMap<String, String>) -> Result<(), CliError> {
                     _ => {}
                 }
                 Journal::open(&jpath).map_err(|e| {
-                    CliError::invalid(format!("cannot open journal {}: {e}", jpath.display()))
+                    ApiError::invalid(format!("cannot open journal {}: {e}", jpath.display()))
                 })?
             };
             Some(Mutex::new(j))
         }
     };
 
-    let header = format!(
-        "{:<8} {:>8} {:>12} {:>12} {:>8} {:<8} {:>9}",
-        "design", "sinks", "2w2s µW", "smart µW", "save", "reason", "runtime"
-    );
-    println!("{header}");
-    let done = &done;
+    println!("{}", suite_header());
     let journal_ref = journal.as_ref();
-    let rows = par_map(par, &entries, |_, entry| {
-        let name = match entry {
-            SuiteEntry::Design(d) => d.name(),
-            SuiteEntry::Unloadable { name, .. } => name,
-        };
-        if let Some(row) = done.get(name) {
-            return row.clone();
-        }
-        let row = suite_row(entry, &tech);
+    // Fresh rows reach this sink from the executor's worker threads the
+    // moment they complete; journaling here (not after the barrier) is
+    // what makes --resume survive a mid-run kill.
+    let sink = |event: &Event| {
+        let Event::SuiteRow(row) = event else { return };
         if let Some(j) = journal_ref {
-            let record = journal_record(&row);
+            let record = journal_record(row);
             // A journaling failure must not fail the run — the table is
             // still produced; only resumability is lost.
             match j.lock() {
@@ -977,32 +598,32 @@ fn cmd_suite(flags: &HashMap<String, String>) -> Result<(), CliError> {
                 Err(poisoned) => drop(poisoned),
             }
         }
-        row
-    });
-    for row in &rows {
+    };
+    let ctx = ExecCtx { cache: None, sink: Some(&sink), on_token: None };
+    let resp = match execute(&plan, &ctx)? {
+        Response::Suite(resp) => resp,
+        _ => unreachable!("suite plans produce suite responses"),
+    };
+
+    for row in &resp.rows {
         if let Some(diag) = &row.diagnostic {
             eprintln!("{diag}");
         }
         println!("{}", row.stdout_line());
     }
-    let failed = rows.iter().filter(|r| r.failed).count();
     let mut tail = String::new();
-    if failed > 0 {
-        tail = format!("{failed} of {} designs FAILED", entries.len());
+    if resp.failed > 0 {
+        tail = format!("{} of {} designs FAILED", resp.failed, resp.rows.len());
         println!("{tail}");
     }
 
     if let Some(out) = &out_path {
         // The artifact keeps only deterministic columns, so a resumed run
         // reproduces it byte-for-byte.
-        let det_header = format!(
-            "{:<8} {:>8} {:>12} {:>12} {:>8} {:<8}",
-            "design", "sinks", "2w2s µW", "smart µW", "save", "reason"
-        );
         let mut text = String::new();
-        text.push_str(det_header.trim_end());
+        text.push_str(suite_det_header().trim_end());
         text.push('\n');
-        for row in &rows {
+        for row in &resp.rows {
             text.push_str(row.line.trim_end());
             text.push('\n');
         }
@@ -1011,7 +632,7 @@ fn cmd_suite(flags: &HashMap<String, String>) -> Result<(), CliError> {
             text.push('\n');
         }
         atomic_write(out, text.as_bytes())
-            .map_err(|e| CliError::invalid(format!("cannot write {}: {e}", out.display())))?;
+            .map_err(|e| ApiError::invalid(format!("cannot write {}: {e}", out.display())))?;
         if let Some(j) = journal {
             let j = j.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
             if let Err(e) = j.remove() {
@@ -1020,4 +641,30 @@ fn cmd_suite(flags: &HashMap<String, String>) -> Result<(), CliError> {
         }
     }
     Ok(())
+}
+
+/// `smart-ndr serve`: the resident daemon. See the module docs and
+/// `DESIGN.md` §3.9 for the protocol.
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), ApiError> {
+    let mut config = ServeConfig::default();
+    if let Some(n) = jobs_of(flags)? {
+        config.workers = n;
+    }
+    config.queue_capacity = get_parsed(flags, "queue", config.queue_capacity)?;
+    if config.queue_capacity == 0 {
+        return Err(ApiError::usage("--queue must be at least 1"));
+    }
+    config.cache_capacity = get_parsed(flags, "cache", config.cache_capacity)?;
+
+    if let Some(path) = flags.get("socket") {
+        #[cfg(unix)]
+        return snr_serve::serve_socket(&config, Path::new(path))
+            .map_err(|e| ApiError::invalid(format!("serve: cannot serve on {path}: {e}")));
+        #[cfg(not(unix))]
+        {
+            let _ = path;
+            return Err(ApiError::usage("--socket is only available on unix platforms"));
+        }
+    }
+    snr_serve::serve_stdio(&config).map_err(|e| ApiError::invalid(format!("serve: {e}")))
 }

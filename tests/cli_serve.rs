@@ -1,0 +1,256 @@
+//! End-to-end tests of `smart-ndr serve`: the resident daemon driven over
+//! stdin/stdout exactly as a client would drive it.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+
+struct Daemon {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    reader: BufReader<ChildStdout>,
+    /// Every line read so far, for assertions over the event stream.
+    transcript: Vec<String>,
+}
+
+impl Daemon {
+    fn spawn(args: &[&str]) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_smart-ndr"))
+            .arg("serve")
+            .args(args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("daemon spawns");
+        let stdin = child.stdin.take().expect("piped stdin");
+        let reader = BufReader::new(child.stdout.take().expect("piped stdout"));
+        Daemon { child, stdin: Some(stdin), reader, transcript: Vec::new() }
+    }
+
+    fn send(&mut self, line: &str) {
+        let stdin = self.stdin.as_mut().expect("stdin still open");
+        writeln!(stdin, "{line}").expect("write to daemon");
+        stdin.flush().expect("flush to daemon");
+    }
+
+    fn read_line(&mut self) -> String {
+        let mut s = String::new();
+        let n = self.reader.read_line(&mut s).expect("read from daemon");
+        assert!(n > 0, "daemon closed stdout unexpectedly; transcript: {:#?}", self.transcript);
+        let line = s.trim_end().to_owned();
+        self.transcript.push(line.clone());
+        line
+    }
+
+    /// Reads lines (collecting events into the transcript) until a final
+    /// response line has arrived for every id in `ids`, in any order.
+    fn finals_for(&mut self, ids: &[u64]) -> HashMap<u64, String> {
+        let mut finals = HashMap::new();
+        for _ in 0..10_000 {
+            if ids.iter().all(|id| finals.contains_key(id)) {
+                return finals;
+            }
+            let line = self.read_line();
+            if line.contains("\"event\"") {
+                continue;
+            }
+            for id in ids {
+                if line.starts_with(&format!("{{\"id\": {id}, ")) {
+                    finals.insert(*id, line.clone());
+                }
+            }
+        }
+        panic!("no final lines for {ids:?} after 10000 lines; transcript: {:#?}", self.transcript)
+    }
+
+    /// Closes stdin (EOF) and waits for the daemon to drain and exit.
+    fn eof_and_wait(mut self) -> std::process::ExitStatus {
+        drop(self.stdin.take());
+        // Drain stdout so the daemon never blocks on a full pipe.
+        let mut rest = String::new();
+        let _ = std::io::Read::read_to_string(&mut self.reader, &mut rest);
+        self.child.wait().expect("daemon exits")
+    }
+}
+
+fn run_request(id: u64, sinks: usize, seed: u64, extra: &str) -> String {
+    format!(
+        "{{\"op\": \"run\", \"id\": {id}, \"design\": {{\"generate\": {{\"sinks\": {sinks}, \"seed\": {seed}}}}}{extra}}}"
+    )
+}
+
+/// Replaces every measured `"runtime_s"` value with `X`, leaving all
+/// deterministic fields intact for byte comparison.
+fn normalize_runtime(s: &str) -> String {
+    const KEY: &str = "\"runtime_s\": ";
+    let mut out = String::new();
+    let mut rest = s;
+    while let Some(i) = rest.find(KEY) {
+        let start = i + KEY.len();
+        out.push_str(&rest[..start]);
+        out.push('X');
+        let tail = &rest[start..];
+        let end = tail
+            .find([',', '}'])
+            .expect("runtime_s value is followed by , or }");
+        rest = &tail[end..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// The acceptance pin for the warm cache: N identical `run` requests parse
+/// and synthesize once; every later request is a cache hit, visible both
+/// in the response envelope and in `stats`.
+#[test]
+fn identical_requests_share_one_parse_and_cts() {
+    let mut d = Daemon::spawn(&["--jobs", "1"]);
+    for id in 1..=3 {
+        d.send(&run_request(id, 100, 7, ""));
+    }
+    let finals = d.finals_for(&[1, 2, 3]);
+    assert!(finals[&1].contains("\"ok\": true") && finals[&1].contains("\"cache\": \"miss\""));
+    for id in [2, 3] {
+        assert!(
+            finals[&id].contains("\"ok\": true") && finals[&id].contains("\"cache\": \"hit\""),
+            "request {id} should hit the warm cache: {}",
+            finals[&id]
+        );
+    }
+
+    // All three responses arrived, so the workers are idle: stats are
+    // settled and must show exactly one parse+CTS for three optimizations.
+    d.send("{\"op\": \"stats\", \"id\": 9}");
+    let stats = &d.finals_for(&[9])[&9];
+    assert!(stats.contains("\"hits\": 2, \"misses\": 1"), "cache counters: {stats}");
+    assert!(stats.contains("\"parse\": {\"count\": 1,"), "parse ran once: {stats}");
+    assert!(stats.contains("\"cts\": {\"count\": 1,"), "cts ran once: {stats}");
+    assert!(stats.contains("\"optimize\": {\"count\": 3,"), "optimize ran thrice: {stats}");
+    assert!(stats.contains("\"received\": 3, \"completed\": 3"), "request counters: {stats}");
+
+    // The daemon also streamed progress: intake acks and phase events.
+    assert!(d.transcript.iter().any(|l| l.contains("\"event\": \"accepted\"")));
+    assert!(d.transcript.iter().any(|l| l.contains("\"event\": \"phase_done\"")
+        && l.contains("\"phase\": \"optimize\"")));
+
+    let status = d.eof_and_wait();
+    assert!(status.success(), "EOF must be a clean exit, got {status:?}");
+}
+
+/// Two different designs in flight at once on two workers; both succeed.
+#[test]
+fn concurrent_requests_complete_independently() {
+    let mut d = Daemon::spawn(&["--jobs", "2"]);
+    d.send(&run_request(1, 100, 1, ""));
+    d.send(&run_request(2, 120, 2, ""));
+    let finals = d.finals_for(&[1, 2]);
+    assert!(finals[&1].contains("\"ok\": true") && finals[&1].contains("cli-s100"));
+    assert!(finals[&2].contains("\"ok\": true") && finals[&2].contains("cli-s120"));
+    assert!(d.eof_and_wait().success());
+}
+
+/// The acceptance pin for per-request isolation: a fault-injected request
+/// that panics mid-execution yields a typed `panicked` error response
+/// while its neighbor succeeds and the daemon keeps serving.
+#[test]
+fn poisoned_request_fails_alone_and_daemon_survives() {
+    let mut d = Daemon::spawn(&["--jobs", "1"]);
+    d.send(&run_request(1, 100, 7, ", \"fault\": \"panic\""));
+    d.send(&run_request(2, 100, 7, ""));
+    let finals = d.finals_for(&[1, 2]);
+    assert!(
+        finals[&1].contains("\"error\": {\"code\": \"panicked\""),
+        "poisoned request must fail typed: {}",
+        finals[&1]
+    );
+    assert!(
+        finals[&2].contains("\"ok\": true"),
+        "neighbor of a poisoned request must succeed: {}",
+        finals[&2]
+    );
+    // Still alive: a control request round-trips after the panic.
+    d.send("{\"op\": \"stats\", \"id\": 9}");
+    assert!(d.finals_for(&[9])[&9].contains("\"panics\": 1"));
+    assert!(d.eof_and_wait().success());
+}
+
+/// A request whose iteration budget expires mid-optimization still returns
+/// a best-so-far result (ok, with the exhaustion receipt in supervision),
+/// not an error.
+#[test]
+fn budget_expired_request_returns_best_so_far() {
+    let mut d = Daemon::spawn(&["--jobs", "1"]);
+    d.send(&run_request(1, 200, 3, ", \"max_iters\": 1"));
+    let finals = d.finals_for(&[1]);
+    let line = &finals[&1];
+    assert!(line.contains("\"ok\": true"), "budget expiry is not an error: {line}");
+    assert!(
+        line.contains("\"budget_exhausted\": true") && line.contains("\"exhausted\": true"),
+        "supervision must carry the exhaustion receipt: {line}"
+    );
+    assert!(d.eof_and_wait().success());
+}
+
+/// Malformed lines get typed error responses; well-formed neighbors on the
+/// same connection still execute, and EOF still exits 0.
+#[test]
+fn malformed_lines_answer_typed_errors_without_killing_the_daemon() {
+    let mut d = Daemon::spawn(&["--jobs", "1"]);
+    d.send("this is not json");
+    d.send("{\"op\": \"frobnicate\", \"id\": 8}");
+    d.send("{\"op\": \"run\", \"id\": 9}"); // run without a design
+    d.send(&run_request(1, 100, 7, ""));
+
+    let garbage = d.read_line();
+    assert!(
+        garbage.starts_with("{\"id\": null, \"error\": {\"code\": \"usage\""),
+        "unparseable line: {garbage}"
+    );
+    let finals = d.finals_for(&[8, 9, 1]);
+    assert!(finals[&8].contains("\"error\": {\"code\": \"usage\""), "{}", finals[&8]);
+    assert!(finals[&9].contains("\"error\": {\"code\": \"usage\""), "{}", finals[&9]);
+    assert!(finals[&1].contains("\"ok\": true"), "{}", finals[&1]);
+    assert!(d.eof_and_wait().success());
+}
+
+/// The drift pin: the daemon's `result` object and the one-shot CLI's
+/// `run --json` line are byte-identical (runtime fields normalized) —
+/// both are rendered by the same serializer, and this test keeps it that
+/// way.
+#[test]
+fn serve_result_is_byte_identical_to_cli_run_json() {
+    let cli = Command::new(env!("CARGO_BIN_EXE_smart-ndr"))
+        .args(["run", "--sinks", "120", "--seed", "9", "--json"])
+        .output()
+        .expect("cli runs");
+    assert!(cli.status.success(), "{}", String::from_utf8_lossy(&cli.stderr));
+    let cli_json = String::from_utf8(cli.stdout).expect("utf-8").trim_end().to_owned();
+
+    let mut d = Daemon::spawn(&["--jobs", "1"]);
+    d.send(&run_request(1, 120, 9, ""));
+    let line = d.finals_for(&[1])[&1].clone();
+    assert!(d.eof_and_wait().success());
+
+    let prefix = "{\"id\": 1, \"ok\": true, \"cache\": \"miss\", \"result\": ";
+    let serve_json = line
+        .strip_prefix(prefix)
+        .and_then(|rest| rest.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("unexpected envelope shape: {line}"));
+
+    assert_eq!(
+        normalize_runtime(serve_json),
+        normalize_runtime(&cli_json),
+        "daemon result and CLI --json output must not drift"
+    );
+}
+
+/// `shutdown` stops intake and exits 0 even with stdin still open.
+#[test]
+fn shutdown_request_exits_cleanly() {
+    let mut d = Daemon::spawn(&["--jobs", "1"]);
+    d.send("{\"op\": \"shutdown\", \"id\": 1}");
+    let ack = d.finals_for(&[1])[&1].clone();
+    assert!(ack.contains("\"shutdown\": true"), "{ack}");
+    assert!(d.eof_and_wait().success());
+}
