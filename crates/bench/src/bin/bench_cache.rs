@@ -1,0 +1,118 @@
+//! `BENCH_cache.json` — cold-vs-warm latency of the durable result store,
+//! written to the repository root.
+//!
+//! For each workload size the full request→plan→execute path runs twice
+//! against the same store directory: once cold (parse, CTS, optimize,
+//! persist) and once warm (verified disk replay). The replayed JSON is
+//! asserted byte-identical to the cold run's before anything is timed —
+//! the store's whole point is that a hit changes latency, never bytes.
+//!
+//! `--smoke` shrinks the workloads so the whole run fits in a verify
+//! gate; `--out <FILE>` overrides the output path.
+
+use snr_serve::render::run_json;
+use snr_serve::{execute, plan, DesignSource, ExecCtx, Request, Response, RunRequest};
+use snr_store::ResultStore;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn request(sinks: usize, seed: u64) -> Request {
+    Request::Run(RunRequest::new(DesignSource::Generate { sinks, seed, freq_ghz: 1.0 }))
+}
+
+/// Executes `req` against `store`, returning the rendered result JSON and
+/// whether it was served from disk.
+fn run_once(store: &ResultStore, req: &Request) -> (String, bool) {
+    let ctx = ExecCtx { cache: None, store: Some(store), sink: None, on_token: None };
+    let plan = plan(req).expect("plan");
+    match execute(&plan, &ctx).expect("execute") {
+        Response::Run(resp) => (run_json(&resp), false),
+        Response::Replayed(r) => (r.run_json.clone(), true),
+        other => panic!("unexpected response {other:?}"),
+    }
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+struct Row {
+    sinks: usize,
+    cold_s: f64,
+    warm_s: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path: PathBuf = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_cache.json")
+        });
+
+    let sizes: &[usize] = if smoke { &[200, 400] } else { &[400, 800, 1600] };
+    let reps = if smoke { 2 } else { 5 };
+    let scratch = std::env::temp_dir().join(format!("snr-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let mut rows = Vec::new();
+    for (i, &sinks) in sizes.iter().enumerate() {
+        let req = request(sinks, 100 + i as u64);
+        let (mut colds, mut warms) = (Vec::new(), Vec::new());
+        for rep in 0..reps {
+            // A fresh directory per rep keeps every cold run genuinely
+            // cold; the warm run replays the entry the cold one persisted.
+            let store = ResultStore::open(&scratch.join(format!("{sinks}-{rep}")))
+                .expect("open store");
+            let t0 = Instant::now();
+            let (cold_json, replayed) = run_once(&store, &req);
+            colds.push(t0.elapsed().as_secs_f64());
+            assert!(!replayed, "first run must compute");
+
+            let t0 = Instant::now();
+            let (warm_json, replayed) = run_once(&store, &req);
+            warms.push(t0.elapsed().as_secs_f64());
+            assert!(replayed, "second run must replay from disk");
+            assert_eq!(warm_json, cold_json, "a replay must be byte-identical");
+        }
+        let row = Row { sinks, cold_s: median(colds), warm_s: median(warms) };
+        eprintln!(
+            "cache {sinks} sinks: cold {:.4}s, warm {:.6}s ({:.0}x)",
+            row.cold_s,
+            row.warm_s,
+            row.cold_s / row.warm_s
+        );
+        rows.push(row);
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let rows_json = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"sinks\": {}, \"cold_s\": {:.6}, \"warm_s\": {:.6}, \"speedup\": {:.1}}}",
+                r.sinks,
+                r.cold_s,
+                r.warm_s,
+                r.cold_s / r.warm_s
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n      ");
+    let json = format!(
+        "{{\n  \"generated_by\": \"scripts/bench.sh (bench_cache{})\",\n  \"mode\": \"{}\",\n  \
+         \"note\": \"cold = parse+CTS+optimize+persist, warm = verified disk replay; replays are asserted byte-identical before timing\",\n  \
+         \"benches\": {{\n    \"result_store\": [\n      {rows_json}\n    ]\n  }}\n}}\n",
+        if smoke { " --smoke" } else { "" },
+        if smoke { "smoke" } else { "full" },
+    );
+    // Atomic: an interrupted bench must not leave a truncated artifact.
+    snr_fsio::atomic_write(&out_path, json.as_bytes()).expect("write BENCH_cache.json");
+    println!("{json}");
+    println!("[written {}]", out_path.display());
+}

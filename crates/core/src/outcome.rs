@@ -106,6 +106,13 @@ impl Outcome {
         &self.degradations
     }
 
+    /// Appends one degradation event after the fact — for rungs taken
+    /// *around* the optimizer rather than inside it (e.g. a quarantined
+    /// result-store entry forcing a recompute).
+    pub fn record_degradation(&mut self, event: DegradationEvent) {
+        self.degradations.push(event);
+    }
+
     /// Clock-network power saving relative to `baseline`, as a fraction
     /// (0.12 = 12 % less network power than the baseline).
     pub fn network_saving_vs(&self, baseline: &Outcome) -> f64 {

@@ -169,6 +169,13 @@ pub enum DegradationEvent {
         /// Why the baseline was returned.
         detail: String,
     },
+    /// A durable result-store entry failed integrity verification and was
+    /// quarantined; the result was recomputed from scratch instead of
+    /// replayed.
+    CacheEntryQuarantined {
+        /// What failed verification (reason and entry identity).
+        detail: String,
+    },
 }
 
 impl DegradationEvent {
@@ -178,6 +185,7 @@ impl DegradationEvent {
             DegradationEvent::ParallelToSerial { .. } => "parallel_to_serial",
             DegradationEvent::IncrementalToFull(_) => "incremental_to_full",
             DegradationEvent::OptimizerToBaseline { .. } => "optimizer_to_baseline",
+            DegradationEvent::CacheEntryQuarantined { .. } => "cache_entry_quarantined",
         }
     }
 
@@ -190,6 +198,9 @@ impl DegradationEvent {
             DegradationEvent::IncrementalToFull(d) => d.to_string(),
             DegradationEvent::OptimizerToBaseline { optimizer, detail } => {
                 format!("{optimizer}: {detail}; returned uniform-2W2S baseline")
+            }
+            DegradationEvent::CacheEntryQuarantined { detail } => {
+                format!("{detail}; recomputed from scratch")
             }
         }
     }

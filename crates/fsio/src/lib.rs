@@ -29,6 +29,122 @@ pub fn temp_path(path: &Path) -> PathBuf {
     PathBuf::from(os)
 }
 
+/// A per-process sibling temp path (`<path>.<pid>.tmp`), for writers that
+/// may race other *processes* on the same destination: each writer stages
+/// through its own temp file and the final rename is last-writer-wins.
+pub fn unique_temp_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(format!(".{}.tmp", std::process::id()));
+    PathBuf::from(os)
+}
+
+/// Extracts the writer pid from a [`unique_temp_path`] file name
+/// (`<stem>.<pid>.tmp`), so sweepers can tell orphans (writer dead) from
+/// in-flight stages (writer alive). `None` when the name does not match.
+pub fn temp_writer_pid(path: &Path) -> Option<u32> {
+    let name = path.file_name()?.to_str()?;
+    let stem = name.strip_suffix(".tmp")?;
+    let (_, pid) = stem.rsplit_once('.')?;
+    pid.parse().ok()
+}
+
+/// Whether the process `pid` is still alive. Used for stale lock-file and
+/// orphan temp-file detection; on non-Linux platforms this conservatively
+/// answers `true` (never steal, never sweep).
+pub fn process_alive(pid: u32) -> bool {
+    if cfg!(target_os = "linux") {
+        Path::new(&format!("/proc/{pid}")).exists()
+    } else {
+        true
+    }
+}
+
+/// Like [`atomic_write`], but stages through [`unique_temp_path`] so
+/// concurrent writers in different processes never clobber each other's
+/// stage file; whichever rename lands last wins, and the destination is
+/// complete either way.
+///
+/// # Errors
+///
+/// Any I/O error from create/write/sync/rename; the temp file is removed
+/// on a failed rename.
+pub fn atomic_write_unique(path: &Path, contents: &[u8]) -> io::Result<()> {
+    let tmp = unique_temp_path(path);
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(contents)?;
+        f.sync_data()?;
+    }
+    fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = fs::remove_file(&tmp);
+    })
+}
+
+/// A cooperative cross-process lock: a `create_new` file holding the
+/// owner's pid. Held for *maintenance* work (sweeps, compactions) that
+/// must not run twice concurrently; data writes themselves rely on
+/// [`atomic_write_unique`] and need no lock.
+///
+/// A lock left behind by a SIGKILLed owner is stolen once its pid is
+/// provably dead (see [`process_alive`]), so a crash never wedges the
+/// store.
+#[derive(Debug)]
+pub struct LockFile {
+    path: PathBuf,
+}
+
+impl LockFile {
+    /// Tries to take the lock at `path`. Returns `None` when another
+    /// *live* process holds it; a dead owner's lock is removed and
+    /// re-acquired.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error other than the lock being held.
+    pub fn try_acquire(path: &Path) -> io::Result<Option<LockFile>> {
+        // Bounded steal loop: each retry only happens after removing a
+        // provably-dead owner's file, and a racing acquirer winning the
+        // re-create is a "held" answer, not an error.
+        for _ in 0..4 {
+            match OpenOptions::new().write(true).create_new(true).open(path) {
+                Ok(mut f) => {
+                    let _ = f.write_all(std::process::id().to_string().as_bytes());
+                    let _ = f.sync_data();
+                    return Ok(Some(LockFile { path: path.to_owned() }));
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    let owner: Option<u32> = fs::read_to_string(path)
+                        .ok()
+                        .and_then(|s| s.trim().parse().ok());
+                    match owner {
+                        Some(pid) if !process_alive(pid) => {
+                            // Dead owner: remove and retry. NotFound means
+                            // another acquirer stole it first.
+                            let _ = fs::remove_file(path);
+                        }
+                        // Held by a live process — or mid-write (no pid
+                        // yet), which we must treat as live.
+                        _ => return Ok(None),
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(None)
+    }
+
+    /// The lock file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for LockFile {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
 /// Writes `contents` to `path` atomically: stage into [`temp_path`], sync,
 /// then rename over the destination. After an interruption at any point,
 /// `path` holds either its previous complete contents or the new complete
@@ -215,6 +331,39 @@ mod tests {
         // Removing an already-gone journal is fine.
         Journal::open(&p).unwrap().remove().unwrap();
         fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn unique_temp_write_and_pid_parse() {
+        let d = tmpdir("utmp");
+        let p = d.join("entry.bin");
+        let tmp = unique_temp_path(&p);
+        assert_eq!(temp_writer_pid(&tmp), Some(std::process::id()));
+        assert_eq!(temp_writer_pid(&temp_path(&p)), None, "fixed temp has no pid");
+        atomic_write_unique(&p, b"payload").unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"payload");
+        assert!(!tmp.exists(), "unique temp must not survive");
+        // Last-writer-wins over an existing destination.
+        atomic_write_unique(&p, b"newer").unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"newer");
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn lock_excludes_self_and_is_stolen_from_the_dead() {
+        let d = tmpdir("lock");
+        let p = d.join("maint.lock");
+        let held = LockFile::try_acquire(&p).unwrap().expect("first acquire");
+        assert!(LockFile::try_acquire(&p).unwrap().is_none(), "held lock excludes");
+        drop(held);
+        assert!(!p.exists(), "drop releases the lock");
+        // A lock whose owner pid is provably dead is stolen. Pid 0 is the
+        // kernel's; no /proc/0 entry exists, so it reads as dead.
+        fs::write(&p, b"0").unwrap();
+        if cfg!(target_os = "linux") {
+            assert!(LockFile::try_acquire(&p).unwrap().is_some(), "dead owner is stolen");
+        }
+        let _ = fs::remove_dir_all(&d);
     }
 
     #[test]

@@ -19,49 +19,10 @@ use std::sync::Arc;
 use snr_cts::ClockTree;
 use snr_netlist::Design;
 
-/// Content-hash key of a cache entry. Stable across processes for the
-/// same inputs (FNV-1a, no randomized hasher).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct CacheKey(pub u64);
-
-const FNV_OFFSET: u64 = 0xcbf29ce484222325;
-const FNV_PRIME: u64 = 0x100000001b3;
-
-/// Incremental FNV-1a hasher over domain-separated byte chunks.
-#[derive(Debug, Clone)]
-pub struct ContentHasher {
-    state: u64,
-}
-
-impl ContentHasher {
-    /// A fresh hasher.
-    pub fn new() -> Self {
-        ContentHasher { state: FNV_OFFSET }
-    }
-
-    /// Feeds one chunk, prefixed with its length so `("ab", "c")` and
-    /// `("a", "bc")` hash differently.
-    pub fn chunk(&mut self, bytes: &[u8]) -> &mut Self {
-        for b in (bytes.len() as u64).to_le_bytes() {
-            self.state = (self.state ^ u64::from(b)).wrapping_mul(FNV_PRIME);
-        }
-        for &b in bytes {
-            self.state = (self.state ^ u64::from(b)).wrapping_mul(FNV_PRIME);
-        }
-        self
-    }
-
-    /// The finished key.
-    pub fn finish(&self) -> CacheKey {
-        CacheKey(self.state)
-    }
-}
-
-impl Default for ContentHasher {
-    fn default() -> Self {
-        Self::new()
-    }
-}
+// The content-hash primitives moved down into `snr-store` (the disk
+// layer keys entries with them too); re-exported here so every existing
+// `crate::cache::{CacheKey, ContentHasher}` import keeps working.
+pub use snr_store::{CacheKey, ContentHasher};
 
 /// One warm entry: the parsed design and its synthesized clock tree,
 /// shared by reference with every request that hits.
@@ -85,6 +46,9 @@ pub enum CacheStatus {
     /// The request opted out (`"cache": "off"`) or no cache was attached
     /// (one-shot CLI execution).
     Off,
+    /// Replayed from the durable result store: parse, CTS *and*
+    /// optimization skipped.
+    StoreHit,
 }
 
 impl CacheStatus {
@@ -94,6 +58,7 @@ impl CacheStatus {
             CacheStatus::Hit => "hit",
             CacheStatus::Miss => "miss",
             CacheStatus::Off => "off",
+            CacheStatus::StoreHit => "store_hit",
         }
     }
 }

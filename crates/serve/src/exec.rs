@@ -21,13 +21,14 @@ use snr_netlist::{load_design, load_design_with, validate::Bounds, BenchmarkSpec
     ErrorKind, LoadOptions};
 use snr_par::{par_map, CancelToken, Deadline, Parallelism};
 use snr_power::PowerModel;
+use snr_store::{CacheKey, ContentHasher, Lookup, QuarantineReason, ResultStore, StoreKind};
 use snr_tech::Technology;
 use snr_variation::{MonteCarlo, VariationModel};
 
 use crate::cache::{CacheStatus, Warm, WarmCache};
 use crate::error::ApiError;
 use crate::plan::{DesignInput, LintPlan, Plan, RunPlan, SuiteEntry, SuitePlan};
-use crate::request::Method;
+use crate::request::{CacheMode, Method};
 
 /// A progress event emitted while a plan executes. The daemon streams
 /// these as protocol lines tagged with the request id; the CLI ignores
@@ -47,11 +48,20 @@ pub enum Event {
         elapsed: Duration,
     },
     /// One suite row finished evaluating (fresh rows only — rows restored
-    /// from a journal are not re-announced).
+    /// from a journal or replayed from the result store are not
+    /// re-announced).
     SuiteRow(
         /// The completed row.
         SuiteRow,
     ),
+    /// A durable result-store entry failed integrity verification and was
+    /// quarantined; the work was recomputed from scratch.
+    StoreQuarantined {
+        /// `run` or `suite`.
+        scope: &'static str,
+        /// Entry identity and the verification step that failed.
+        detail: String,
+    },
 }
 
 /// Execution context: what the front end attaches around `execute`.
@@ -65,12 +75,16 @@ pub struct ExecCtx<'c> {
     /// starts, so a resident front end can cancel mid-flight. When set, a
     /// token is created (and registered) even without a `--timeout`.
     pub on_token: Option<&'c (dyn Fn(&CancelToken) + Sync)>,
+    /// Durable result store (L2, under the warm cache); `None` keeps
+    /// execution disk-free.
+    pub store: Option<&'c ResultStore>,
 }
 
 impl<'c> ExecCtx<'c> {
-    /// The one-shot context: no cache, no events, no cancellation hook.
+    /// The one-shot context: no cache, no events, no cancellation hook,
+    /// no result store.
     pub fn oneshot() -> Self {
-        ExecCtx { cache: None, sink: None, on_token: None }
+        ExecCtx { cache: None, sink: None, on_token: None, store: None }
     }
 
     fn emit(&self, event: &Event) {
@@ -183,11 +197,54 @@ pub struct SuiteResponse {
     pub failed: usize,
 }
 
+/// A run replayed byte-for-byte from the durable result store: the
+/// renderings a cold run saved, returned without parsing, synthesizing
+/// or optimizing anything. Holding rendered strings (not live objects)
+/// is what makes the warm output *byte-identical* to the cold run's.
+#[derive(Debug, Clone)]
+pub struct ReplayedRun {
+    /// Exactly what `run --json` printed on the cold run.
+    pub run_json: String,
+    /// Exactly what plain `run` printed on the cold run.
+    pub human: String,
+    /// The cold run's deterministic supervision object.
+    pub supervision: String,
+}
+
+/// The section names a run entry stores.
+const SECTION_RUN_JSON: &str = "run_json";
+const SECTION_HUMAN: &str = "human";
+const SECTION_SUPERVISION: &str = "supervision";
+
+impl ReplayedRun {
+    /// Reassembles a replay from a verified entry's sections. `None` when
+    /// a required section is missing or not UTF-8 — a checksum-valid
+    /// entry written by an incompatible writer, which callers quarantine.
+    fn from_sections(sections: snr_store::Sections) -> Option<ReplayedRun> {
+        let mut run_json = None;
+        let mut human = None;
+        let mut supervision = None;
+        for (name, bytes) in sections {
+            let text = String::from_utf8(bytes).ok()?;
+            match name.as_str() {
+                SECTION_RUN_JSON => run_json = Some(text),
+                SECTION_HUMAN => human = Some(text),
+                SECTION_SUPERVISION => supervision = Some(text),
+                // Unknown sections are forward-compatible extras.
+                _ => {}
+            }
+        }
+        Some(ReplayedRun { run_json: run_json?, human: human?, supervision: supervision? })
+    }
+}
+
 /// The typed result of executing a plan.
 #[derive(Debug, Clone)]
 pub enum Response {
     /// A completed run.
     Run(Box<RunResponse>),
+    /// A run replayed from the durable result store.
+    Replayed(Box<ReplayedRun>),
     /// A completed lint.
     Lint(Box<LintResponse>),
     /// A completed suite.
@@ -205,10 +262,99 @@ pub enum Response {
 /// per-request isolation.
 pub fn execute(plan: &Plan, ctx: &ExecCtx<'_>) -> Result<Response, ApiError> {
     match plan {
-        Plan::Run(p) => execute_run(p, ctx).map(Response::Run),
+        Plan::Run(p) => execute_run_stored(p, ctx),
         Plan::Lint(p) => execute_lint(p).map(Response::Lint),
         Plan::Suite(p) => execute_suite(p, ctx).map(Response::Suite),
     }
+}
+
+/// The result store a plan may consult: attached to the context *and*
+/// not opted out of by the request.
+fn active_store<'c>(cache: CacheMode, ctx: &ExecCtx<'c>) -> Option<&'c ResultStore> {
+    match (cache, ctx.store) {
+        (CacheMode::On, Some(store)) => Some(store),
+        _ => None,
+    }
+}
+
+/// Whether a completed run may be written back to the store. Only fully
+/// deterministic, undisturbed runs qualify: no wall-clock deadline (what
+/// it completes is timing-dependent), no degradations taken, no injected
+/// fault.
+fn save_eligible(plan: &RunPlan, resp: &RunResponse) -> bool {
+    #[cfg(feature = "fault-inject")]
+    if plan.fault.is_some() {
+        return false;
+    }
+    plan.timeout_s == 0.0 && !resp.mc_cancelled && resp.result.degradations().is_empty()
+}
+
+/// The store-aware run path: consult the durable store, replay on a
+/// verified hit, otherwise compute, write back, and surface any
+/// quarantine as a degradation event.
+fn execute_run_stored(plan: &RunPlan, ctx: &ExecCtx<'_>) -> Result<Response, ApiError> {
+    let store = active_store(plan.cache, ctx);
+    let mut quarantine_detail: Option<String> = None;
+    if let Some(store) = store {
+        match store.load(StoreKind::Run, plan.result_key) {
+            Lookup::Hit(sections) => match ReplayedRun::from_sections(sections) {
+                Some(replay) => return Ok(Response::Replayed(Box::new(replay))),
+                None => {
+                    // Checksum-valid bytes this reader cannot use (an
+                    // incompatible writer's sections): same treatment as
+                    // corruption — quarantine and recompute.
+                    store.quarantine(
+                        StoreKind::Run,
+                        plan.result_key,
+                        QuarantineReason::BadFraming,
+                    );
+                    quarantine_detail = Some(format!(
+                        "result-store entry {:016x} missing required sections",
+                        plan.result_key.0
+                    ));
+                }
+            },
+            Lookup::Quarantined(reason) => {
+                quarantine_detail = Some(format!(
+                    "result-store entry {:016x} failed verification ({})",
+                    plan.result_key.0,
+                    reason.as_str()
+                ));
+            }
+            Lookup::Miss => {}
+        }
+    }
+
+    let mut resp = execute_run(plan, ctx)?;
+
+    // Write back *before* recording the quarantine rung: the stored
+    // renderings must describe the computation itself, so a later replay
+    // does not re-report this store's past corruption.
+    if let Some(store) = store {
+        if save_eligible(plan, &resp) {
+            let run_json = crate::render::run_json(&resp);
+            let human = crate::render::run_human(&resp);
+            let supervision =
+                crate::render::supervision_json(&resp.result, resp.mc_cancelled);
+            // Best-effort: a full disk loses durability, not the answer.
+            let _ = store.save(
+                StoreKind::Run,
+                plan.result_key,
+                &[
+                    (SECTION_RUN_JSON, run_json.as_bytes()),
+                    (SECTION_HUMAN, human.as_bytes()),
+                    (SECTION_SUPERVISION, supervision.as_bytes()),
+                ],
+            );
+        }
+    }
+
+    if let Some(detail) = quarantine_detail {
+        ctx.emit(&Event::StoreQuarantined { scope: "run", detail: detail.clone() });
+        resp.result
+            .record_degradation(snr_core::DegradationEvent::CacheEntryQuarantined { detail });
+    }
+    Ok(Response::Run(resp))
 }
 
 fn lock_cache(cache: &Mutex<WarmCache>) -> std::sync::MutexGuard<'_, WarmCache> {
@@ -499,13 +645,90 @@ fn suite_row(entry: &SuiteEntry, tech: &Technology) -> SuiteRow {
     }
 }
 
+/// The result-store key of one suite row: a content hash of the design's
+/// canonical serialized bytes (not its name or path), the technology and
+/// the CTS configuration. `None` when the design cannot be serialized —
+/// such a row just runs uncached.
+fn suite_row_key(design: &Design, tech: &Technology) -> Option<CacheKey> {
+    let mut bytes = Vec::new();
+    snr_netlist::save_design(design, &mut bytes).ok()?;
+    Some(
+        ContentHasher::new()
+            .chunk(b"suite-row-v1")
+            .chunk(&bytes)
+            .chunk(tech.name().as_bytes())
+            .chunk(crate::plan::CTS_OPTIONS_FINGERPRINT.as_bytes())
+            .finish(),
+    )
+}
+
+/// Reassembles a suite row from a verified store entry. Stored rows are
+/// always successful ones (see the save gate), so the diagnostic is empty
+/// and — like journal-restored rows — the runtime was not re-measured.
+fn suite_row_from_sections(sections: snr_store::Sections) -> Option<SuiteRow> {
+    let mut name = None;
+    let mut line = None;
+    for (section, bytes) in sections {
+        let text = String::from_utf8(bytes).ok()?;
+        match section.as_str() {
+            "name" => name = Some(text),
+            "line" => line = Some(text),
+            _ => {}
+        }
+    }
+    Some(SuiteRow {
+        name: name?,
+        line: line?,
+        diagnostic: None,
+        runtime_s: None,
+        failed: false,
+    })
+}
+
 fn execute_suite(plan: &SuitePlan, ctx: &ExecCtx<'_>) -> Result<SuiteResponse, ApiError> {
+    let store = active_store(plan.cache, ctx);
     let rows = par_map(plan.par, &plan.entries, |_, entry| {
         if let Some(row) = plan.prefilled.get(entry.name()) {
             return row.clone();
         }
+        let key = match (store, entry) {
+            (Some(_), SuiteEntry::Design(d)) => suite_row_key(d, &plan.tech),
+            _ => None,
+        };
+        if let (Some(store), Some(key)) = (store, key) {
+            match store.load(StoreKind::SuiteRow, key) {
+                Lookup::Hit(sections) => match suite_row_from_sections(sections) {
+                    // Replayed rows are not re-announced (no SuiteRow
+                    // event), exactly like journal-restored rows.
+                    Some(row) => return row,
+                    None => store.quarantine(StoreKind::SuiteRow, key, QuarantineReason::BadFraming),
+                },
+                Lookup::Quarantined(reason) => {
+                    ctx.emit(&Event::StoreQuarantined {
+                        scope: "suite",
+                        detail: format!(
+                            "suite-row entry {:016x} failed verification ({})",
+                            key.0,
+                            reason.as_str()
+                        ),
+                    });
+                }
+                Lookup::Miss => {}
+            }
+        }
         let row = suite_row(entry, &plan.tech);
         ctx.emit(&Event::SuiteRow(row.clone()));
+        // Only clean, undegraded rows are worth replaying; failures and
+        // degraded runs re-evaluate every time.
+        if let (Some(store), Some(key)) = (store, key) {
+            if !row.failed && row.diagnostic.is_none() && !row.line.contains("degraded:") {
+                let _ = store.save(
+                    StoreKind::SuiteRow,
+                    key,
+                    &[("name", row.name.as_bytes()), ("line", row.line.as_bytes())],
+                );
+            }
+        }
         row
     });
     let failed = rows.iter().filter(|r| r.failed).count();

@@ -33,7 +33,7 @@ impl Json {
     /// Parses one complete JSON value from `s`; trailing non-whitespace is
     /// an error. Errors carry a byte offset and a short reason.
     pub fn parse(s: &str) -> Result<Json, JsonError> {
-        let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+        let mut p = Parser { bytes: s.as_bytes(), pos: 0, depth: 0 };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -105,9 +105,15 @@ impl fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
+/// Maximum container nesting depth. The parser recurses per `[`/`{`, so
+/// without a bound a line of a few thousand brackets would overflow the
+/// stack; 128 is far beyond anything the protocol produces.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'s> {
     bytes: &'s [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'s> Parser<'s> {
@@ -143,10 +149,24 @@ impl<'s> Parser<'s> {
         }
     }
 
+    /// Runs one container parser with the depth bound enforced.
+    fn nested(
+        &mut self,
+        f: fn(&mut Self) -> Result<Json, JsonError>,
+    ) -> Result<Json, JsonError> {
+        if self.depth == MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        self.depth += 1;
+        let v = f(self);
+        self.depth -= 1;
+        v
+    }
+
     fn value(&mut self) -> Result<Json, JsonError> {
         match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
+            Some(b'{') => self.nested(Self::object),
+            Some(b'[') => self.nested(Self::array),
             Some(b'"') => Ok(Json::Str(self.string()?)),
             Some(b't') => self.literal("true", Json::Bool(true)),
             Some(b'f') => self.literal("false", Json::Bool(false)),
@@ -371,5 +391,60 @@ mod tests {
         assert_eq!(Json::parse("7").unwrap().as_u64(), Some(7));
         assert_eq!(Json::parse("-1").unwrap().as_u64(), None);
         assert_eq!(Json::parse("1.5").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn nesting_is_bounded_not_stack_fatal() {
+        // At the bound: parses.
+        let ok = format!("{}{}", "[".repeat(128), "]".repeat(128));
+        assert!(Json::parse(&ok).is_ok());
+        // One past the bound: a typed error, not a stack overflow.
+        let deep = format!("{}{}", "[".repeat(129), "]".repeat(129));
+        assert_eq!(Json::parse(&deep).unwrap_err().reason, "nesting too deep");
+        // Far past the bound — a hostile line of brackets — still an error.
+        let hostile = format!("{}1{}", "[".repeat(100_000), "]".repeat(100_000));
+        assert_eq!(Json::parse(&hostile).unwrap_err().reason, "nesting too deep");
+        // Objects count against the same bound.
+        let objs =
+            format!("{}1{}", "{\"k\": ".repeat(200), "}".repeat(200));
+        assert_eq!(Json::parse(&objs).unwrap_err().reason, "nesting too deep");
+        // The depth resets between siblings: wide is fine, only deep is not.
+        let wide = format!("[{}]", vec!["[1]"; 1000].join(", "));
+        assert!(Json::parse(&wide).is_ok());
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_and_half_pairs_fail() {
+        // A surrogate pair decodes to one astral-plane character...
+        assert_eq!(Json::parse(r#""😀""#).unwrap(), Json::Str("😀".into()));
+        // ...and composes with neighbors on both sides.
+        assert_eq!(
+            Json::parse(r#""a😀z""#).unwrap(),
+            Json::Str("a😀z".into())
+        );
+        // A high surrogate missing its partner is rejected, whatever follows.
+        for bad in [r#""\ud83d""#, r#""\ud83dx""#, r#""\ud83d\n""#, r#""\ud83dA""#] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+        // A lone low surrogate is not a character.
+        assert!(Json::parse(r#""\ude00""#).is_err());
+    }
+
+    #[test]
+    fn duplicate_keys_keep_the_first_value() {
+        let v = Json::parse(r#"{"id": 1, "id": 2, "op": "stats", "op": null}"#).unwrap();
+        assert_eq!(v.get("id").and_then(Json::as_u64), Some(1));
+        assert_eq!(v.get("op").and_then(Json::as_str), Some("stats"));
+        let Json::Obj(pairs) = v else { panic!("not an object") };
+        assert_eq!(pairs.len(), 2, "duplicates must not accumulate");
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        for bad in ["{} x", "{}{}", "null,", "[1] [2]", "7 //c", "true\u{0}"] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+        // Trailing whitespace alone is fine.
+        assert!(Json::parse("{\"a\": 1} \t\r\n").is_ok());
     }
 }

@@ -36,13 +36,20 @@ pub mod server;
 
 pub use cache::{CacheKey, CacheStatus, WarmCache};
 pub use error::{ApiCode, ApiError};
-pub use exec::{execute, Event, ExecCtx, LintResponse, Response, RunResponse, SuiteResponse, SuiteRow};
+pub use exec::{
+    execute, Event, ExecCtx, LintResponse, ReplayedRun, Response, RunResponse, SuiteResponse,
+    SuiteRow,
+};
 pub use plan::{plan, LintPlan, Plan, RunPlan, SuitePlan};
 pub use request::{
     CacheMode, Control, DesignSource, Envelope, LintRequest, Method, Op, Request, RunRequest,
     SuiteRequest, SuiteSource, TechId,
 };
 pub use server::{serve_stdio, ServeConfig, ServerState};
+pub use snr_store::{Lookup, QuarantineReason, ResultStore, StoreKind, StoreStats};
+
+#[cfg(feature = "fault-inject")]
+pub use snr_store::faultinject::{corrupt_entry, StoreFault};
 
 #[cfg(feature = "fault-inject")]
 pub use request::ServeFault;

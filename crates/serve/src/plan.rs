@@ -26,7 +26,7 @@ use crate::request::{
 /// Fingerprint of the CTS options a plan bakes in. There is exactly one
 /// configuration today (`CtsOptions::default()`); the constant keeps the
 /// cache key honest if that ever changes.
-const CTS_OPTIONS_FINGERPRINT: &str = "cts-default-v1";
+pub(crate) const CTS_OPTIONS_FINGERPRINT: &str = "cts-default-v1";
 
 /// The design input a plan carries: raw bytes to parse, or a generator
 /// spec to build.
@@ -52,6 +52,13 @@ pub enum DesignInput {
 pub struct RunPlan {
     /// Content-hash key for the warm cache.
     pub key: CacheKey,
+    /// Content-hash key for the durable result store: [`Self::key`]
+    /// extended with every option that changes the rendered result.
+    /// `jobs` is deliberately excluded (results are bit-identical for
+    /// every job count) and so is `timeout_s` (runs under a wall-clock
+    /// deadline are never saved, because what they complete is
+    /// nondeterministic).
+    pub result_key: CacheKey,
     /// The design to parse or generate.
     pub input: DesignInput,
     /// Resolved technology model.
@@ -125,6 +132,8 @@ pub struct SuitePlan {
     /// Rows restored from a journal, keyed by design name; these are
     /// returned as-is (and not re-journaled via events).
     pub prefilled: HashMap<String, crate::exec::SuiteRow>,
+    /// Cache participation: `Off` bypasses the per-row result store.
+    pub cache: CacheMode,
 }
 
 /// An executable plan: the output of [`plan`], the input of
@@ -170,6 +179,20 @@ fn run_key(input: &DesignInput, tech: &Technology) -> CacheKey {
     h.finish()
 }
 
+/// The result-store key: the warm key plus every request option that
+/// shapes the rendered result.
+fn result_key(warm_key: CacheKey, req: &RunRequest) -> CacheKey {
+    ContentHasher::new()
+        .chunk(b"result-v1")
+        .chunk(&warm_key.0.to_le_bytes())
+        .chunk(req.method.as_str().as_bytes())
+        .chunk(&req.slew_margin.to_bits().to_le_bytes())
+        .chunk(&req.skew_budget_ps.to_bits().to_le_bytes())
+        .chunk(&(req.mc_samples as u64).to_le_bytes())
+        .chunk(&req.max_iters.to_le_bytes())
+        .finish()
+}
+
 fn design_input(source: &DesignSource) -> Result<DesignInput, ApiError> {
     Ok(match source_bytes(source)? {
         Some(bytes) => DesignInput::Bytes(bytes),
@@ -201,6 +224,7 @@ fn plan_run(req: &RunRequest) -> Result<RunPlan, ApiError> {
     let key = run_key(&input, &tech);
     Ok(RunPlan {
         key,
+        result_key: result_key(key, req),
         input,
         tech,
         method: req.method,
@@ -286,6 +310,7 @@ fn plan_suite(req: &SuiteRequest) -> Result<SuitePlan, ApiError> {
         tech: req.tech.resolve(),
         par: req.jobs.map(Parallelism::new).unwrap_or_else(Parallelism::serial),
         prefilled,
+        cache: req.cache,
     })
 }
 
@@ -336,6 +361,23 @@ mod tests {
         let mut n32 = gen_req(40, 2);
         n32.tech = TechId::N32;
         assert_ne!(base.key, plan_run(&n32).unwrap().key);
+    }
+
+    #[test]
+    fn result_key_tracks_result_shaping_options_only() {
+        let base = plan_run(&gen_req(40, 2)).unwrap();
+        let mut other_method = gen_req(40, 2);
+        other_method.method = Method::Greedy;
+        let greedy = plan_run(&other_method).unwrap();
+        assert_eq!(base.key, greedy.key, "warm key ignores the optimizer");
+        assert_ne!(base.result_key, greedy.result_key, "result key must not");
+        let mut more_jobs = gen_req(40, 2);
+        more_jobs.jobs = Some(4);
+        assert_eq!(
+            base.result_key,
+            plan_run(&more_jobs).unwrap().result_key,
+            "results are bit-identical per job count, so jobs is excluded"
+        );
     }
 
     #[test]

@@ -124,6 +124,53 @@ pub fn run_json(resp: &RunResponse) -> String {
     )
 }
 
+/// The human rendering of a completed run — exactly the block plain
+/// `smart-ndr run` prints (trailing newline included). Centralized here
+/// so the result store can save it on a cold run and the warm replay can
+/// reproduce it byte-for-byte.
+pub fn run_human(resp: &RunResponse) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "design: {}", resp.design);
+    let _ = writeln!(out, "tree:   {}", resp.tree.stats());
+    let _ = writeln!(out, "constraints: {}", resp.constraints);
+    let _ = writeln!(out, "\nbaseline: {}", resp.baseline);
+    let _ = writeln!(out, "result:   {}", resp.result);
+    let _ = writeln!(
+        out,
+        "saving:   {:.1}% of clock-network power, {:.1}% of track cost",
+        100.0 * resp.result.network_saving_vs(&resp.baseline),
+        100.0
+            * (1.0
+                - resp.result.power().track_cost_um()
+                    / resp.baseline.power().track_cost_um()),
+    );
+    for b in resp.result.budget_reports().iter().filter(|b| b.exhausted) {
+        let _ = writeln!(
+            out,
+            "budget:   {} exhausted after {} iterations — result is best-so-far",
+            b.phase, b.iterations_done
+        );
+    }
+    for d in resp.result.degradations() {
+        let _ = writeln!(out, "degraded: {d}");
+    }
+    if let Some((b, r)) = resp.variation {
+        let _ = writeln!(
+            out,
+            "variation ({} samples): σ-skew baseline {b:.2} ps, result {r:.2} ps",
+            resp.mc_samples
+        );
+    } else if resp.mc_cancelled {
+        let _ = writeln!(
+            out,
+            "variation: cancelled by --timeout before {} samples completed",
+            resp.mc_samples
+        );
+    }
+    out
+}
+
 /// The machine-readable object for a completed lint — exactly the line
 /// `smart-ndr lint --json` prints.
 pub fn lint_json(resp: &LintResponse) -> String {
@@ -206,6 +253,13 @@ pub fn response_line(id: u64, resp: &Response) -> String {
             r.cache.as_str(),
             run_json(r)
         ),
+        // The stored result object, embedded verbatim: byte-identical to
+        // the envelope the cold run produced (modulo the cache status).
+        Response::Replayed(r) => format!(
+            "{{\"id\": {id}, \"ok\": true, \"cache\": \"{}\", \"result\": {}}}",
+            crate::cache::CacheStatus::StoreHit.as_str(),
+            r.run_json
+        ),
         Response::Lint(r) => {
             format!("{{\"id\": {id}, \"ok\": true, \"result\": {}}}", lint_json(r))
         }
@@ -256,6 +310,11 @@ pub fn event_line(id: u64, event: &Event) -> String {
             json_escape(&row.name),
             row.failed
         ),
+        Event::StoreQuarantined { scope, detail } => format!(
+            "{{\"id\": {id}, \"event\": \"store_quarantined\", \"scope\": \"{scope}\", \
+             \"detail\": \"{}\"}}",
+            json_escape(detail)
+        ),
     }
 }
 
@@ -263,10 +322,13 @@ pub fn event_line(id: u64, event: &Event) -> String {
 /// budget/degradation summary of a finished run, streamed per request so
 /// monitoring clients need not parse the full result object.
 pub fn supervision_event_line(id: u64, resp: &RunResponse) -> String {
-    format!(
-        "{{\"id\": {id}, \"event\": \"supervision\", \"supervision\": {}}}",
-        supervision_json(&resp.result, resp.mc_cancelled)
-    )
+    supervision_event_line_raw(id, &supervision_json(&resp.result, resp.mc_cancelled))
+}
+
+/// Same event from an already-rendered supervision object — what a
+/// store-replayed run carries.
+pub fn supervision_event_line_raw(id: u64, supervision: &str) -> String {
+    format!("{{\"id\": {id}, \"event\": \"supervision\", \"supervision\": {supervision}}}")
 }
 
 /// Renders `row` exactly as `smart-ndr suite` prints it on stdout.

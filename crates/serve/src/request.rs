@@ -100,6 +100,19 @@ impl Method {
             other => Err(ApiError::usage(format!("unknown --method {other:?}"))),
         }
     }
+
+    /// The CLI/protocol spelling (also part of result-store keys).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Smart => "smart",
+            Method::Greedy => "greedy",
+            Method::Upgrade => "upgrade",
+            Method::Level => "level",
+            Method::Uniform => "uniform",
+            Method::Anneal => "anneal",
+            Method::Lagrangian => "lagrangian",
+        }
+    }
 }
 
 /// Whether a request may consult (and populate) the warm cache.
@@ -220,6 +233,9 @@ pub struct SuiteRequest {
     pub jobs: Option<usize>,
     /// Rows already completed by an earlier interrupted run.
     pub prefilled: Vec<PrefilledRow>,
+    /// Cache participation (`--no-cache` / `"cache": "off"` bypasses the
+    /// per-row result store).
+    pub cache: CacheMode,
 }
 
 /// A job request: work that goes through plan → execute.
@@ -341,6 +357,15 @@ fn jobs_of(obj: &Json) -> Result<Option<usize>, ApiError> {
     }
 }
 
+/// Parses the shared `"cache": "on"|"off"` escape hatch.
+fn cache_of(obj: &Json) -> Result<CacheMode, ApiError> {
+    match get_str(obj, "cache")? {
+        None | Some("on") => Ok(CacheMode::On),
+        Some("off") => Ok(CacheMode::Off),
+        Some(other) => Err(ApiError::usage(format!("unknown \"cache\" {other:?} (on|off)"))),
+    }
+}
+
 #[cfg(feature = "fault-inject")]
 fn fault_of(obj: &Json) -> Result<Option<ServeFault>, ApiError> {
     match obj.get("fault") {
@@ -387,15 +412,7 @@ impl Envelope {
                 req.jobs = jobs_of(v)?;
                 req.timeout_s = get_f64(v, "timeout", 0.0)?;
                 req.max_iters = get_u64(v, "max_iters", 0)?;
-                req.cache = match get_str(v, "cache")? {
-                    None | Some("on") => CacheMode::On,
-                    Some("off") => CacheMode::Off,
-                    Some(other) => {
-                        return Err(ApiError::usage(format!(
-                            "unknown \"cache\" {other:?} (on|off)"
-                        )))
-                    }
-                };
+                req.cache = cache_of(v)?;
                 #[cfg(feature = "fault-inject")]
                 {
                     req.fault = fault_of(v)?;
@@ -421,6 +438,7 @@ impl Envelope {
                 tech: tech_of(v)?,
                 jobs: jobs_of(v)?,
                 prefilled: Vec::new(),
+                cache: cache_of(v)?,
             })),
             "stats" => Op::Control(Control::Stats),
             "shutdown" => Op::Control(Control::Shutdown),

@@ -42,7 +42,9 @@ use crate::exec::{execute, Event, ExecCtx, Response};
 use crate::json::Json;
 use crate::plan::plan;
 use crate::queue::BoundedQueue;
-use crate::render::{error_line, event_line, response_line, supervision_event_line};
+use crate::render::{
+    error_line, event_line, response_line, supervision_event_line, supervision_event_line_raw,
+};
 use crate::request::{Control, Envelope, Op, Request};
 
 /// Daemon configuration.
@@ -54,6 +56,9 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Warm-cache entry cap.
     pub cache_capacity: usize,
+    /// Durable result-store directory (`--store <DIR>`); `None` keeps the
+    /// daemon disk-free.
+    pub store_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -62,6 +67,7 @@ impl Default for ServeConfig {
             workers: Parallelism::auto().jobs(),
             queue_capacity: 64,
             cache_capacity: 32,
+            store_dir: None,
         }
     }
 }
@@ -95,6 +101,7 @@ enum CancelSlot {
 /// successive connections: the warm cache outlives any one client.
 pub struct ServerState {
     cache: Mutex<WarmCache>,
+    store: Option<snr_store::ResultStore>,
     counters: Mutex<Counters>,
     phases: Mutex<BTreeMap<&'static str, PhaseStat>>,
     cancels: Mutex<HashMap<u64, CancelSlot>>,
@@ -108,8 +115,20 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 impl ServerState {
     /// Fresh state for `config`.
     pub fn new(config: &ServeConfig) -> Self {
+        // The store is strictly additive: if the directory cannot be
+        // opened the daemon still serves, it just recomputes everything.
+        let store = config.store_dir.as_deref().and_then(|dir| {
+            match snr_store::ResultStore::open(dir) {
+                Ok(store) => Some(store),
+                Err(e) => {
+                    eprintln!("serve: result store disabled ({}: {e})", dir.display());
+                    None
+                }
+            }
+        });
         ServerState {
             cache: Mutex::new(WarmCache::new(config.cache_capacity)),
+            store,
             counters: Mutex::new(Counters::default()),
             phases: Mutex::new(BTreeMap::new()),
             cancels: Mutex::new(HashMap::new()),
@@ -141,11 +160,23 @@ impl ServerState {
             })
             .collect::<Vec<_>>()
             .join(", ");
+        let store = match &self.store {
+            Some(store) => {
+                let s = store.stats();
+                format!(
+                    "{{\"enabled\": true, \"hits\": {}, \"misses\": {}, \
+                     \"quarantined\": {}, \"writes\": {}}}",
+                    s.hits, s.misses, s.quarantined, s.writes
+                )
+            }
+            None => "{\"enabled\": false}".to_owned(),
+        };
         format!(
             concat!(
                 "{{\"requests\": {{\"received\": {}, \"completed\": {}, \"errors\": {}, ",
                 "\"panics\": {}, \"cancelled\": {}}}, ",
                 "\"cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}, \"capacity\": {}}}, ",
+                "\"store\": {}, ",
                 "\"queue\": {{\"depth\": {}, \"capacity\": {}}}, ",
                 "\"workers\": {}, \"phases\": {{{}}}}}"
             ),
@@ -158,6 +189,7 @@ impl ServerState {
             misses,
             entries,
             cache_cap,
+            store,
             queue.depth(),
             queue.capacity(),
             self.workers,
@@ -211,6 +243,7 @@ fn worker_loop<W: Write + Send>(state: &ServerState, queue: &BoundedQueue<Job>, 
             };
             let ctx = ExecCtx {
                 cache: Some(&state.cache),
+                store: state.store.as_ref(),
                 sink: Some(&sink),
                 on_token: Some(&on_token),
             };
@@ -223,8 +256,12 @@ fn worker_loop<W: Write + Send>(state: &ServerState, queue: &BoundedQueue<Job>, 
         match result {
             Ok(Ok(resp)) => {
                 lock(&state.counters).completed += 1;
-                if let Response::Run(run) = &resp {
-                    send(out, &supervision_event_line(id, run));
+                match &resp {
+                    Response::Run(run) => send(out, &supervision_event_line(id, run)),
+                    Response::Replayed(r) => {
+                        send(out, &supervision_event_line_raw(id, &r.supervision));
+                    }
+                    _ => {}
                 }
                 send(out, &response_line(id, &resp));
             }

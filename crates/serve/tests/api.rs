@@ -37,7 +37,7 @@ fn oneshot_run_executes_without_a_cache() {
 #[test]
 fn warm_cache_misses_then_hits_and_shares_artifacts() {
     let cache = Mutex::new(WarmCache::new(8));
-    let ctx = ExecCtx { cache: Some(&cache), sink: None, on_token: None };
+    let ctx = ExecCtx { cache: Some(&cache), store: None, sink: None, on_token: None };
     let req = gen_request(40, 2);
 
     let first = run_response(&req, &ctx);
@@ -56,7 +56,7 @@ fn warm_cache_misses_then_hits_and_shares_artifacts() {
 #[test]
 fn cache_off_bypasses_an_attached_cache() {
     let cache = Mutex::new(WarmCache::new(8));
-    let ctx = ExecCtx { cache: Some(&cache), sink: None, on_token: None };
+    let ctx = ExecCtx { cache: Some(&cache), store: None, sink: None, on_token: None };
     let mut req = RunRequest::new(DesignSource::Generate { sinks: 40, seed: 2, freq_ghz: 1.0 });
     req.cache = CacheMode::Off;
 
@@ -88,10 +88,11 @@ fn events_bracket_every_phase_in_order() {
             Event::PhaseStart { phase } => format!("start:{phase}"),
             Event::PhaseDone { phase, .. } => format!("done:{phase}"),
             Event::SuiteRow(_) => "row".to_owned(),
+            Event::StoreQuarantined { scope, .. } => format!("quarantine:{scope}"),
         };
         events.lock().expect("events lock").push(tag);
     };
-    let ctx = ExecCtx { cache: None, sink: Some(&sink), on_token: None };
+    let ctx = ExecCtx { cache: None, store: None, sink: Some(&sink), on_token: None };
     run_response(&gen_request(40, 2), &ctx);
     assert_eq!(
         events.lock().expect("events lock").as_slice(),
@@ -154,7 +155,7 @@ fn final_line(lines: &[String], id: u64) -> Json {
 
 #[test]
 fn serve_io_runs_jobs_and_persists_the_cache_across_connections() {
-    let config = ServeConfig { workers: 1, queue_capacity: 4, cache_capacity: 8 };
+    let config = ServeConfig { workers: 1, queue_capacity: 4, cache_capacity: 8, store_dir: None };
     let state = ServerState::new(&config);
     let request = r#"{"op": "run", "id": 1, "design": {"generate": {"sinks": 40, "seed": 2}}}"#;
 
@@ -178,7 +179,7 @@ fn serve_io_runs_jobs_and_persists_the_cache_across_connections() {
 
 #[test]
 fn serve_io_reports_malformed_lines_and_keeps_serving() {
-    let config = ServeConfig { workers: 1, queue_capacity: 4, cache_capacity: 8 };
+    let config = ServeConfig { workers: 1, queue_capacity: 4, cache_capacity: 8, store_dir: None };
     let state = ServerState::new(&config);
     let input = concat!(
         "this is not json\n",
@@ -206,7 +207,7 @@ fn serve_io_reports_malformed_lines_and_keeps_serving() {
 
 #[test]
 fn shutdown_acknowledges_and_stops_the_loop() {
-    let config = ServeConfig { workers: 1, queue_capacity: 4, cache_capacity: 8 };
+    let config = ServeConfig { workers: 1, queue_capacity: 4, cache_capacity: 8, store_dir: None };
     let state = ServerState::new(&config);
     let (lines, shutdown) = serve(
         &state,
@@ -227,7 +228,7 @@ fn shutdown_acknowledges_and_stops_the_loop() {
 
 #[test]
 fn stats_reports_cache_queue_and_phase_timings() {
-    let config = ServeConfig { workers: 1, queue_capacity: 4, cache_capacity: 8 };
+    let config = ServeConfig { workers: 1, queue_capacity: 4, cache_capacity: 8, store_dir: None };
     let state = ServerState::new(&config);
     let request = |id: u64| {
         format!("{{\"op\": \"run\", \"id\": {id}, \"design\": {{\"generate\": {{\"sinks\": 40, \"seed\": 2}}}}}}")
@@ -261,7 +262,7 @@ fn stats_reports_cache_queue_and_phase_timings() {
 
 #[test]
 fn cancel_of_an_unknown_id_reports_unknown() {
-    let config = ServeConfig { workers: 1, queue_capacity: 4, cache_capacity: 8 };
+    let config = ServeConfig { workers: 1, queue_capacity: 4, cache_capacity: 8, store_dir: None };
     let state = ServerState::new(&config);
     let (lines, _) = serve(&state, &config, "{\"op\": \"cancel\", \"id\": 4, \"target\": 99}\n");
     let ack = final_line(&lines, 4);
@@ -274,7 +275,7 @@ fn cancel_of_an_unknown_id_reports_unknown() {
 #[cfg(feature = "fault-inject")]
 #[test]
 fn poisoned_request_fails_in_isolation_while_neighbors_succeed() {
-    let config = ServeConfig { workers: 1, queue_capacity: 4, cache_capacity: 8 };
+    let config = ServeConfig { workers: 1, queue_capacity: 4, cache_capacity: 8, store_dir: None };
     let state = ServerState::new(&config);
     let input = concat!(
         "{\"op\": \"run\", \"id\": 1, \"design\": {\"generate\": {\"sinks\": 40, \"seed\": 2}}, ",
@@ -300,4 +301,140 @@ fn poisoned_request_fails_in_isolation_while_neighbors_succeed() {
         Some(true),
         "the daemon must keep serving after a poisoned request: {lines:?}"
     );
+}
+
+/// Fresh per-test store directory under the system temp dir.
+fn store_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("snr-serve-store-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn entry_files(dir: &std::path::Path) -> Vec<std::path::PathBuf> {
+    let mut out = Vec::new();
+    if let Ok(rd) = std::fs::read_dir(dir.join("entries").join("run")) {
+        for e in rd.flatten() {
+            if e.path().extension().is_some_and(|x| x == "entry") {
+                out.push(e.path());
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+#[test]
+fn store_replays_across_restarts_byte_identically() {
+    let dir = store_dir("replay");
+    let config = ServeConfig {
+        workers: 1,
+        queue_capacity: 4,
+        cache_capacity: 8,
+        store_dir: Some(dir.clone()),
+    };
+    let request = r#"{"op": "run", "id": 1, "json": true, "design": {"generate": {"sinks": 40, "seed": 2}}}"#;
+
+    // Cold daemon: compute, persist.
+    let state = ServerState::new(&config);
+    let (cold, _) = serve(&state, &config, &format!("{request}\n"));
+    let cold_final = final_line(&cold, 1);
+    assert_eq!(cold_final.get("cache").and_then(Json::as_str), Some("miss"));
+    assert_eq!(entry_files(&dir).len(), 1, "clean run must persist one entry");
+
+    // "Restarted" daemon: fresh memory cache, same store directory.
+    let state = ServerState::new(&config);
+    let (warm, _) = serve(&state, &config, &format!("{request}\n"));
+    let warm_final = final_line(&warm, 1);
+    assert_eq!(
+        warm_final.get("cache").and_then(Json::as_str),
+        Some("store_hit"),
+        "restart must replay from disk: {warm:?}"
+    );
+
+    // The replayed result and supervision lines are the cold run's bytes;
+    // only the envelope's cache tag differs.
+    let cold_line = cold.iter().find(|l| l.contains("\"ok\": true")).expect("cold final");
+    let warm_line = warm.iter().find(|l| l.contains("\"ok\": true")).expect("warm final");
+    assert_eq!(
+        warm_line.replace("\"cache\": \"store_hit\"", "\"cache\": \"miss\""),
+        *cold_line,
+        "replayed result must be byte-identical to the cold run"
+    );
+    let cold_sup = cold.iter().find(|l| l.contains("\"event\": \"supervision\"")).expect("cold");
+    let warm_sup = warm.iter().find(|l| l.contains("\"event\": \"supervision\"")).expect("warm");
+    assert_eq!(warm_sup, cold_sup, "replayed supervision must be byte-identical");
+
+    // Stats surface the store section.
+    let (lines, _) = serve(&state, &config, "{\"op\": \"stats\", \"id\": 9}\n");
+    let store = final_line(&lines, 9);
+    let store = store.get("result").and_then(|r| r.get("store")).expect("store section");
+    assert_eq!(store.get("enabled").and_then(Json::as_bool), Some(true));
+    assert_eq!(store.get("hits").and_then(Json::as_u64), Some(1));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_store_entry_quarantines_and_recomputes() {
+    let dir = store_dir("quarantine");
+    let config = ServeConfig {
+        workers: 1,
+        queue_capacity: 4,
+        cache_capacity: 8,
+        store_dir: Some(dir.clone()),
+    };
+    let request = r#"{"op": "run", "id": 1, "design": {"generate": {"sinks": 40, "seed": 2}}}"#;
+
+    let state = ServerState::new(&config);
+    serve(&state, &config, &format!("{request}\n"));
+    let entries = entry_files(&dir);
+    assert_eq!(entries.len(), 1);
+
+    // Flip one bit in the persisted payload: a torn/corrupted entry.
+    let mut bytes = std::fs::read(&entries[0]).expect("read entry");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x40;
+    std::fs::write(&entries[0], &bytes).expect("rewrite entry");
+
+    let state = ServerState::new(&config);
+    let (lines, _) = serve(&state, &config, &format!("{request}\n"));
+    let quarantine = line_for(&lines, |v| {
+        v.get("event").and_then(Json::as_str) == Some("store_quarantined")
+    });
+    assert!(quarantine.is_some(), "corruption must surface as an event: {lines:?}");
+    let fin = final_line(&lines, 1);
+    assert_eq!(fin.get("ok").and_then(Json::as_bool), Some(true), "{lines:?}");
+    assert_eq!(
+        fin.get("cache").and_then(Json::as_str),
+        Some("miss"),
+        "a quarantined entry is a miss, never a stale hit"
+    );
+
+    // The bad entry moved to corrupt/ and the slot was re-written clean.
+    let corpses = std::fs::read_dir(dir.join("corrupt")).expect("corrupt dir").count();
+    assert_eq!(corpses, 1, "quarantine must preserve the evidence");
+    assert_eq!(entry_files(&dir).len(), 1, "the clean recompute must heal the slot");
+
+    let (lines, _) = serve(&state, &config, "{\"op\": \"stats\", \"id\": 9}\n");
+    let stats = final_line(&lines, 9);
+    let store = stats.get("result").and_then(|r| r.get("store")).expect("store section");
+    assert_eq!(store.get("quarantined").and_then(Json::as_u64), Some(1));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_off_requests_bypass_the_store_entirely() {
+    let dir = store_dir("bypass");
+    let config = ServeConfig {
+        workers: 1,
+        queue_capacity: 4,
+        cache_capacity: 8,
+        store_dir: Some(dir.clone()),
+    };
+    let request = r#"{"op": "run", "id": 1, "cache": "off", "design": {"generate": {"sinks": 40, "seed": 2}}}"#;
+    let state = ServerState::new(&config);
+    let (lines, _) = serve(&state, &config, &format!("{request}\n"));
+    let fin = final_line(&lines, 1);
+    assert_eq!(fin.get("cache").and_then(Json::as_str), Some("off"));
+    assert!(entry_files(&dir).is_empty(), "cache=off must not write to the store");
+    let _ = std::fs::remove_dir_all(&dir);
 }

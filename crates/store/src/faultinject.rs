@@ -1,0 +1,143 @@
+//! Seeded store-corruption injection (feature `fault-inject` only).
+//!
+//! Chaos tests drive these against a real store directory and then run
+//! the full load→plan→execute path, proving that every corruption
+//! category quarantines and recomputes — zero panics, zero wrong
+//! answers. Positions are derived from a splitmix64 stream of the seed,
+//! so every failure is reproducible from its seed alone.
+
+use std::fs::{self, OpenOptions};
+use std::io;
+use std::path::Path;
+
+use crate::{CacheKey, ResultStore, StoreKind};
+
+/// One category of store corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreFault {
+    /// Flip one seeded bit anywhere in the entry file.
+    BitFlip,
+    /// Truncate the entry to a seeded prefix (torn write).
+    Truncate,
+    /// Rewrite the header's format version (version skew).
+    StaleVersion,
+    /// Plant a partial temp file next to the entry, as a SIGKILLed
+    /// writer would leave behind. The entry itself stays intact.
+    PartialTmp,
+}
+
+impl StoreFault {
+    /// All categories, for exhaustive sweeps.
+    pub const ALL: [StoreFault; 4] = [
+        StoreFault::BitFlip,
+        StoreFault::Truncate,
+        StoreFault::StaleVersion,
+        StoreFault::PartialTmp,
+    ];
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Injects `fault` into the store entry for `key`. Returns `false` when
+/// the entry does not exist (nothing to corrupt); `PartialTmp` plants its
+/// debris either way.
+///
+/// # Errors
+///
+/// Any I/O error from the corruption itself.
+pub fn corrupt_entry(
+    store: &ResultStore,
+    kind: StoreKind,
+    key: CacheKey,
+    fault: StoreFault,
+    seed: u64,
+) -> io::Result<bool> {
+    let path = store.entry_path(kind, key);
+    let mut rng = seed;
+    match fault {
+        StoreFault::BitFlip => {
+            let Ok(mut bytes) = fs::read(&path) else { return Ok(false) };
+            if bytes.is_empty() {
+                return Ok(false);
+            }
+            let bit = (splitmix64(&mut rng) as usize) % (bytes.len() * 8);
+            bytes[bit / 8] ^= 1 << (bit % 8);
+            fs::write(&path, bytes)?;
+            Ok(true)
+        }
+        StoreFault::Truncate => {
+            let Ok(meta) = fs::metadata(&path) else { return Ok(false) };
+            let len = meta.len();
+            if len == 0 {
+                return Ok(false);
+            }
+            // Keep a strict prefix: anywhere from 0 bytes to len-1.
+            let keep = splitmix64(&mut rng) % len;
+            OpenOptions::new().write(true).open(&path)?.set_len(keep)?;
+            Ok(true)
+        }
+        StoreFault::StaleVersion => {
+            let Ok(mut bytes) = fs::read(&path) else { return Ok(false) };
+            let header = b"snr-store ";
+            if bytes.len() <= header.len() || !bytes.starts_with(header) {
+                return Ok(false);
+            }
+            // Same-length substitution keeps every offset valid, so the
+            // *only* defense is the version check itself.
+            bytes[header.len()] = b'0';
+            fs::write(&path, bytes)?;
+            Ok(true)
+        }
+        StoreFault::PartialTmp => {
+            // A writer pid that can never be alive: planted debris must
+            // read as a dead writer's orphan.
+            let fake_pid = u32::MAX;
+            let tmp = sibling_tmp(&path, fake_pid);
+            let n = 1 + (splitmix64(&mut rng) as usize) % 64;
+            fs::write(tmp, vec![0xAB; n])?;
+            Ok(path.exists())
+        }
+    }
+}
+
+fn sibling_tmp(path: &Path, pid: u32) -> std::path::PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(format!(".{pid}.tmp"));
+    std::path::PathBuf::from(os)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Lookup;
+
+    #[test]
+    fn every_fault_category_is_survivable() {
+        let d = std::env::temp_dir()
+            .join(format!("snr-store-fi-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        let key = CacheKey(42);
+        for (i, fault) in StoreFault::ALL.iter().enumerate() {
+            let root = d.join(i.to_string());
+            let store = ResultStore::open(&root).unwrap();
+            store.save(StoreKind::Run, key, &[("run_json", b"{}")]).unwrap();
+            assert!(corrupt_entry(&store, StoreKind::Run, key, *fault, 7 + i as u64).unwrap());
+            match (fault, store.load(StoreKind::Run, key)) {
+                // Debris next to the entry must not affect the entry.
+                (StoreFault::PartialTmp, Lookup::Hit(_)) => {}
+                (StoreFault::PartialTmp, other) => {
+                    panic!("partial tmp must not corrupt the entry: {other:?}")
+                }
+                (_, Lookup::Quarantined(_)) => {}
+                (f, other) => panic!("{f:?}: expected quarantine, got {other:?}"),
+            }
+        }
+        fs::remove_dir_all(&d).unwrap();
+    }
+}

@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Regenerates the performance artifacts: the criterion micro-benchmarks and
-# the BENCH_parallel.json speedup record at the repository root.
+# the BENCH_parallel.json / BENCH_cache.json records at the repository root.
 #
-#   scripts/bench.sh            full run (criterion + full bench_parallel)
-#   scripts/bench.sh --smoke    fast pass: bench_parallel --smoke only,
-#                               writes BENCH_parallel.json in smoke mode
+#   scripts/bench.sh            full run (criterion + bench_parallel + bench_cache)
+#   scripts/bench.sh --smoke    fast pass: bench_parallel/bench_cache --smoke
+#                               only, writing both records in smoke mode
 #
 # Speedups in BENCH_parallel.json depend on spare cores: a single-core
 # machine honestly records ~1x (the parallel paths are still exercised and
@@ -17,6 +17,8 @@ step() { printf '\n== %s\n' "$*"; }
 if [ "${1:-}" = "--smoke" ]; then
     step "bench_parallel --smoke"
     cargo run -q --release -p snr-bench --bin bench_parallel -- --smoke
+    step "bench_cache --smoke"
+    cargo run -q --release -p snr-bench --bin bench_cache -- --smoke
     exit 0
 fi
 
@@ -26,5 +28,8 @@ cargo bench -p snr-bench
 step "bench_parallel (full)"
 cargo run -q --release -p snr-bench --bin bench_parallel
 
+step "bench_cache (full)"
+cargo run -q --release -p snr-bench --bin bench_cache
+
 echo
-echo "bench: BENCH_parallel.json regenerated"
+echo "bench: BENCH_parallel.json and BENCH_cache.json regenerated"

@@ -92,6 +92,31 @@ grep -q '"id": 2, "error": {"code": "usage"' "$serve_out" \
 grep -q '"id": 3, "ok": true, "cache": "hit"' "$serve_out" \
     || { echo "FAIL: repeat serve request should hit the warm cache" >&2; exit 1; }
 
+step "result-store round trip smoke"
+# Cold run persists; the warm rerun replays byte-identically from disk.
+"$BIN" run --sinks 60 --seed 2 --json --store "$T/store" > "$T/cold.json" 2>/dev/null
+"$BIN" run --sinks 60 --seed 2 --json --store "$T/store" > "$T/warm.json" 2> "$T/warm.err"
+cmp -s "$T/cold.json" "$T/warm.json" \
+    || { echo "FAIL: warm store rerun must be byte-identical to the cold run" >&2; exit 1; }
+grep -q "store: 1 hit(s)" "$T/warm.err" \
+    || { echo "FAIL: warm rerun should be served from the store" >&2; exit 1; }
+# A corrupted entry is quarantined (degradation visible in the JSON) and
+# recomputed — never a stale or wrong answer, never a crash.
+entry="$(ls "$T"/store/entries/run/*.entry)"
+printf 'X' | dd of="$entry" bs=1 seek=40 conv=notrunc 2>/dev/null
+"$BIN" run --sinks 60 --seed 2 --json --store "$T/store" > "$T/recovered.json" 2>/dev/null
+grep -q "cache_entry_quarantined" "$T/recovered.json" \
+    || { echo "FAIL: corruption must surface as a degradation in the JSON" >&2; exit 1; }
+[ -n "$(ls -A "$T/store/corrupt")" ] \
+    || { echo "FAIL: the corrupted entry must be preserved in corrupt/" >&2; exit 1; }
+# The recompute healed the slot: the next run replays again.
+"$BIN" run --sinks 60 --seed 2 --json --store "$T/store" >/dev/null 2> "$T/healed.err"
+grep -q "store: 1 hit(s)" "$T/healed.err" \
+    || { echo "FAIL: the recompute must heal the store slot" >&2; exit 1; }
+# bench_cache --smoke asserts cold==warm bytes internally; temp output so
+# the checked-in full-mode BENCH_cache.json stays put.
+target/release/bench_cache --smoke --out "$T/BENCH_cache_smoke.json" >/dev/null
+
 step "chaos soak + kill-and-resume (scripts/soak.sh)"
 scripts/soak.sh
 

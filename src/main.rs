@@ -5,11 +5,12 @@
 //! smart-ndr run   --design design.sndr [--tech n45|n32]
 //!                 [--method smart|greedy|upgrade|level|uniform|anneal|lagrangian]
 //!                 [--slew-margin 1.1] [--skew-budget 30] [--svg tree.svg] [--mc 200] [--jobs 4]
-//!                 [--timeout 30] [--max-iters 100000]
+//!                 [--timeout 30] [--max-iters 100000] [--store cache/] [--no-cache]
 //! smart-ndr run   --sinks 500 --seed 3            # generate on the fly
 //! smart-ndr lint  --design design.sndr [--repair [--out fixed.sndr]]   # validate / repair
 //! smart-ndr suite [--designs dir/] [--jobs 4] [--out table.txt [--resume]]
-//! smart-ndr serve [--jobs 4] [--queue 64] [--cache 32] [--socket PATH]  # resident daemon
+//!                 [--store cache/] [--no-cache]
+//! smart-ndr serve [--jobs 4] [--queue 64] [--cache 32] [--socket PATH] [--store cache/]
 //! smart-ndr mesh  --sinks 800 [--grid 16] [--rule default|2w2s]   # mesh-vs-tree comparison
 //! ```
 //!
@@ -72,11 +73,12 @@ use smart_ndr::power::PowerModel;
 use snr_fsio::{atomic_write, Journal};
 use snr_serve::json::json_escape;
 use snr_serve::render::{
-    error_json, lint_json, run_json, suite_det_header, suite_header,
+    error_json, lint_json, run_human, run_json, suite_det_header, suite_header,
 };
 use snr_serve::{
-    execute, plan, ApiCode, ApiError, DesignSource, Event, ExecCtx, LintRequest, Method, Plan,
-    Request, Response, RunRequest, ServeConfig, SuiteRequest, SuiteRow, SuiteSource, TechId,
+    execute, plan, ApiCode, ApiError, CacheMode, DesignSource, Event, ExecCtx, LintRequest,
+    Method, Plan, Request, Response, ResultStore, RunRequest, ServeConfig, SuiteRequest, SuiteRow,
+    SuiteSource, TechId,
 };
 use std::collections::HashMap;
 use std::fs;
@@ -95,11 +97,12 @@ USAGE:
                   [--method smart|greedy|upgrade|level|uniform|anneal|lagrangian]
                   [--slew-margin <X>] [--skew-budget <PS>] [--svg <FILE>] [--mc <SAMPLES>]
                   [--save-asg <FILE>] [--jobs <N>] [--json]
-                  [--timeout <SECS>] [--max-iters <N>]
+                  [--timeout <SECS>] [--max-iters <N>] [--store <DIR>] [--no-cache]
   smart-ndr lint  --design <FILE> [--tech n45|n32] [--repair] [--out <FILE>] [--json]
   smart-ndr suite [--tech n45|n32] [--designs <DIR>] [--jobs <N>]
-                  [--out <FILE> [--resume]]
+                  [--out <FILE> [--resume]] [--store <DIR>] [--no-cache]
   smart-ndr serve [--jobs <N>] [--queue <N>] [--cache <N>] [--socket <PATH>]
+                  [--store <DIR>]
   smart-ndr mesh  (--design <FILE> | --sinks <N> [--seed <S>]) [--tech n45|n32]
                   [--grid <N>] [--drivers <K>] [--rule default|2w2s]
   smart-ndr help
@@ -110,6 +113,15 @@ SUPERVISION:
   --max-iters <N>     per-phase iteration cap (0 = off); deterministic
   suite --resume      skip rows journaled in <OUT>.journal.jsonl by an
                       earlier interrupted run (requires --out)
+
+CACHING:
+  --store <DIR>       durable content-addressed result store: clean runs
+                      persist to DIR and replay byte-identically on the
+                      next identical invocation; entries failing integrity
+                      verification are quarantined to DIR/corrupt/ and the
+                      result is recomputed from scratch
+  --no-cache          bypass warm caches and the store for this invocation
+                      (serve requests take {\"cache\": \"off\"} per request)
 
 SERVE:
   serve reads one JSON request per line from stdin (or --socket <PATH>)
@@ -163,7 +175,7 @@ fn run(args: Vec<String>) -> Result<(), ApiError> {
 }
 
 /// Flags that take no value; present means "true".
-const BOOL_FLAGS: &[&str] = &["json", "repair", "resume"];
+const BOOL_FLAGS: &[&str] = &["json", "repair", "resume", "no-cache"];
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, ApiError> {
     let mut flags = HashMap::new();
@@ -221,6 +233,39 @@ fn tech_of(flags: &HashMap<String, String>) -> Result<TechId, ApiError> {
         None => Ok(TechId::default()),
         Some(v) => TechId::parse(v),
     }
+}
+
+/// `--no-cache` maps to the API's `"cache": "off"`: skip warm caches and
+/// the durable store for this invocation.
+fn cache_of(flags: &HashMap<String, String>) -> CacheMode {
+    if flags.contains_key("no-cache") {
+        CacheMode::Off
+    } else {
+        CacheMode::On
+    }
+}
+
+/// Opens the durable result store named by `--store <DIR>`, if any. An
+/// unopenable store degrades to a warning — the run still computes.
+fn store_of(flags: &HashMap<String, String>) -> Option<ResultStore> {
+    let dir = flags.get("store")?;
+    match ResultStore::open(Path::new(dir)) {
+        Ok(store) => Some(store),
+        Err(e) => {
+            eprintln!("warning: result store disabled ({dir}: {e})");
+            None
+        }
+    }
+}
+
+/// One stderr line of store traffic for this invocation, when attached.
+fn store_note(store: Option<&ResultStore>) {
+    let Some(store) = store else { return };
+    let s = store.stats();
+    eprintln!(
+        "store: {} hit(s), {} miss(es), {} quarantined, {} write(s)",
+        s.hits, s.misses, s.quarantined, s.writes
+    );
 }
 
 /// The design a `run` request names: a file path, or a generator spec from
@@ -287,47 +332,46 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), ApiError> {
     req.jobs = jobs_of(flags)?;
     req.timeout_s = get_parsed(flags, "timeout", 0.0)?;
     req.max_iters = get_parsed(flags, "max-iters", 0)?;
+    req.cache = cache_of(flags);
+
+    // A replayed run carries rendered text only — no live tree or
+    // assignment — so artifact-producing flags keep the store detached
+    // and always compute.
+    let wants_artifacts = flags.contains_key("svg") || flags.contains_key("save-asg");
+    let store = if wants_artifacts {
+        if flags.contains_key("store") {
+            eprintln!("note: --store is ignored with --svg/--save-asg (artifacts need a live run)");
+        }
+        None
+    } else {
+        store_of(flags)
+    };
 
     let plan = plan(&Request::Run(req))?;
-    let resp = match execute(&plan, &ExecCtx::oneshot())? {
+    let sink = |event: &Event| {
+        if let Event::StoreQuarantined { detail, .. } = event {
+            eprintln!("warning: {detail}; recomputing from scratch");
+        }
+    };
+    let ctx = ExecCtx { cache: None, store: store.as_ref(), sink: Some(&sink), on_token: None };
+    let resp = match execute(&plan, &ctx)? {
         Response::Run(resp) => resp,
+        Response::Replayed(r) => {
+            // The stored entry holds the cold run's rendered bytes, so a
+            // warm replay prints exactly what the cold run printed.
+            if json {
+                println!("{}", r.run_json);
+            } else {
+                print!("{}", r.human);
+            }
+            store_note(store.as_ref());
+            return Ok(());
+        }
         _ => unreachable!("run plans produce run responses"),
     };
 
     if !json {
-        println!("design: {}", resp.design);
-        println!("tree:   {}", resp.tree.stats());
-        println!("constraints: {}", resp.constraints);
-        println!("\nbaseline: {}", resp.baseline);
-        println!("result:   {}", resp.result);
-        println!(
-            "saving:   {:.1}% of clock-network power, {:.1}% of track cost",
-            100.0 * resp.result.network_saving_vs(&resp.baseline),
-            100.0
-                * (1.0
-                    - resp.result.power().track_cost_um()
-                        / resp.baseline.power().track_cost_um()),
-        );
-        for b in resp.result.budget_reports().iter().filter(|b| b.exhausted) {
-            println!(
-                "budget:   {} exhausted after {} iterations — result is best-so-far",
-                b.phase, b.iterations_done
-            );
-        }
-        for d in resp.result.degradations() {
-            println!("degraded: {d}");
-        }
-        if let Some((b, r)) = resp.variation {
-            println!(
-                "variation ({} samples): σ-skew baseline {b:.2} ps, result {r:.2} ps",
-                resp.mc_samples
-            );
-        } else if resp.mc_cancelled {
-            println!(
-                "variation: cancelled by --timeout before {} samples completed",
-                resp.mc_samples
-            );
-        }
+        print!("{}", run_human(&resp));
     }
 
     if let Some(path) = flags.get("save-asg") {
@@ -357,6 +401,7 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), ApiError> {
     if json {
         println!("{}", run_json(&resp));
     }
+    store_note(store.as_ref());
     Ok(())
 }
 
@@ -539,7 +584,9 @@ fn cmd_suite(flags: &HashMap<String, String>) -> Result<(), ApiError> {
         tech: tech_of(flags)?,
         jobs: jobs_of(flags)?,
         prefilled: Vec::new(),
+        cache: cache_of(flags),
     });
+    let store = store_of(flags);
     let mut plan = plan(&req)?;
 
     // Rows completed by an earlier interrupted run, restored from the
@@ -584,6 +631,10 @@ fn cmd_suite(flags: &HashMap<String, String>) -> Result<(), ApiError> {
     // moment they complete; journaling here (not after the barrier) is
     // what makes --resume survive a mid-run kill.
     let sink = |event: &Event| {
+        if let Event::StoreQuarantined { detail, .. } = event {
+            eprintln!("warning: {detail}; recomputing from scratch");
+            return;
+        }
         let Event::SuiteRow(row) = event else { return };
         if let Some(j) = journal_ref {
             let record = journal_record(row);
@@ -599,7 +650,7 @@ fn cmd_suite(flags: &HashMap<String, String>) -> Result<(), ApiError> {
             }
         }
     };
-    let ctx = ExecCtx { cache: None, sink: Some(&sink), on_token: None };
+    let ctx = ExecCtx { cache: None, store: store.as_ref(), sink: Some(&sink), on_token: None };
     let resp = match execute(&plan, &ctx)? {
         Response::Suite(resp) => resp,
         _ => unreachable!("suite plans produce suite responses"),
@@ -640,6 +691,7 @@ fn cmd_suite(flags: &HashMap<String, String>) -> Result<(), ApiError> {
             }
         }
     }
+    store_note(store.as_ref());
     Ok(())
 }
 
@@ -655,6 +707,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), ApiError> {
         return Err(ApiError::usage("--queue must be at least 1"));
     }
     config.cache_capacity = get_parsed(flags, "cache", config.cache_capacity)?;
+    config.store_dir = flags.get("store").map(PathBuf::from);
 
     if let Some(path) = flags.get("socket") {
         #[cfg(unix)]

@@ -184,3 +184,103 @@ fn chaos_soak_crash_safe_writers_leave_no_partial_files() {
     assert_eq!(lines.len() as u64, SEEDS, "one durable line per seed");
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Replaces every measured `"runtime_s"` value with `X`, leaving all
+/// deterministic fields intact for comparison.
+fn normalize_runtime(s: &str) -> String {
+    const KEY: &str = "\"runtime_s\": ";
+    let mut out = String::new();
+    let mut rest = s;
+    while let Some(i) = rest.find(KEY) {
+        let start = i + KEY.len();
+        out.push_str(&rest[..start]);
+        out.push('X');
+        let tail = &rest[start..];
+        let end = tail.find([',', '}']).expect("runtime_s value is delimited");
+        rest = &tail[end..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// The disk-cache chaos arm (ISSUE 7 acceptance): `run --store` processes
+/// SIGKILLed at seeded delays mid-run must never leave the store in a state
+/// that panics, replays wrong bytes, or quarantines anything — atomic
+/// per-pid staging means a torn write simply never becomes an entry. After
+/// the dust settles, a completed run persists and the next run replays it
+/// byte-identically, with no temp debris left behind.
+#[test]
+fn chaos_soak_store_survives_sigkill_mid_run() {
+    let bin = env!("CARGO_BIN_EXE_smart-ndr");
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("smart-ndr-chaos-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let store = dir.join("store");
+    let store_arg = store.to_str().expect("utf-8 path");
+    let args = ["run", "--sinks", "80", "--seed", "5", "--json", "--store", store_arg];
+
+    // The clean reference, computed without any store.
+    let reference = std::process::Command::new(bin)
+        .args(["run", "--sinks", "80", "--seed", "5", "--json"])
+        .output()
+        .expect("reference run");
+    assert!(reference.status.success());
+    let reference = normalize_runtime(&String::from_utf8(reference.stdout).expect("utf-8"));
+
+    for seed in 0..24u64 {
+        let mut child = std::process::Command::new(bin)
+            .args(args)
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .expect("store run spawns");
+        // Seeded kill delay sweeps from "barely started" past "already
+        // done"; both sides of the race must be survivable.
+        std::thread::sleep(std::time::Duration::from_micros((seed * seed) % 40_000));
+        let _ = child.kill();
+        let _ = child.wait();
+
+        // Recovery run: must complete and reproduce the clean reference
+        // whether it found a persisted entry, torn debris, or nothing.
+        let out = std::process::Command::new(bin).args(args).output().expect("recovery run");
+        assert!(out.status.success(), "seed {seed}: recovery run failed");
+        let json = normalize_runtime(&String::from_utf8(out.stdout).expect("utf-8"));
+        assert_eq!(json, reference, "seed {seed}: recovery drifted from the clean reference");
+    }
+
+    // Atomic staging means a SIGKILL can tear a temp file but never an
+    // entry: nothing across the whole soak may have been quarantined.
+    let corpses = std::fs::read_dir(store.join("corrupt")).map(|rd| rd.count()).unwrap_or(0);
+    assert_eq!(corpses, 0, "a torn write must never become a (quarantined) entry");
+
+    // The store settled warm: two more runs replay the same entry, byte-
+    // identical to each other (a replay serves the stored cold bytes).
+    let a = std::process::Command::new(bin).args(args).output().expect("warm run");
+    let b = std::process::Command::new(bin).args(args).output().expect("warm run");
+    assert!(a.status.success() && b.status.success());
+    assert_eq!(a.stdout, b.stdout, "warm replays must be byte-identical");
+    assert_eq!(
+        normalize_runtime(&String::from_utf8(a.stdout).expect("utf-8")),
+        reference,
+        "the persisted result must match the clean reference"
+    );
+    assert!(
+        String::from_utf8(b.stderr).expect("utf-8").contains("store: 1 hit(s)"),
+        "the final run must be served from the store"
+    );
+
+    // The final open swept every dead writer's temp file.
+    for sub in ["run", "suite"] {
+        let dir = store.join("entries").join(sub);
+        let Ok(listing) = std::fs::read_dir(&dir) else { continue };
+        for entry in listing.filter_map(Result::ok) {
+            assert!(
+                entry.path().extension().is_some_and(|x| x == "entry"),
+                "stray non-entry file survived the soak: {:?}",
+                entry.path()
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -296,3 +296,87 @@ fn suite_continues_past_poisoned_design() {
     assert!(text.contains("1 of 3 designs FAILED"), "{text}");
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// The suite front-end of the durable store: rows persist per design
+/// content, a second run replays them (runtime column shows `-`, like a
+/// resumed row), and the deterministic `--out` artifact is byte-identical
+/// cold vs warm.
+#[test]
+fn suite_store_replays_rows_byte_identically() {
+    let dir = tmp("suite-store");
+    let designs = dir.join("designs");
+    std::fs::create_dir_all(&designs).expect("designs dir");
+    for (name, sinks, seed) in [("a.sndr", "24", "1"), ("b.sndr", "32", "2")] {
+        let out = bin()
+            .args(["gen", "--sinks", sinks, "--seed", seed, "--out"])
+            .arg(designs.join(name))
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    }
+    let store = dir.join("store");
+    let run = |out_name: &str| {
+        let out = bin()
+            .args(["suite", "--designs"])
+            .arg(&designs)
+            .args(["--store"])
+            .arg(&store)
+            .args(["--out"])
+            .arg(dir.join(out_name))
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        (
+            String::from_utf8(out.stdout).expect("utf-8"),
+            String::from_utf8(out.stderr).expect("utf-8"),
+        )
+    };
+
+    let (_, cold_err) = run("cold.txt");
+    assert!(
+        cold_err.contains("store: 0 hit(s), 2 miss(es), 0 quarantined, 2 write(s)"),
+        "cold suite must persist every clean row: {cold_err}"
+    );
+    let (warm_out, warm_err) = run("warm.txt");
+    assert!(
+        warm_err.contains("store: 2 hit(s), 0 miss(es), 0 quarantined, 0 write(s)"),
+        "warm suite must replay every row: {warm_err}"
+    );
+    // Replayed rows have no fresh runtime measurement, like resumed rows.
+    for line in warm_out.lines().filter(|l| l.contains("cli-s")) {
+        assert!(line.trim_end().ends_with(" -"), "replayed row must show '-': {line:?}");
+    }
+    let cold = std::fs::read(dir.join("cold.txt")).expect("cold artifact");
+    let warm = std::fs::read(dir.join("warm.txt")).expect("warm artifact");
+    assert_eq!(cold, warm, "the deterministic artifact must be byte-identical cold vs warm");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `--no-cache` bypasses the store on both ends: nothing is replayed,
+/// nothing is written.
+#[test]
+fn no_cache_flag_bypasses_the_store() {
+    let dir = tmp("no-cache");
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let store = dir.join("store");
+    let run_once = || {
+        let out = bin()
+            .args(["run", "--sinks", "40", "--seed", "2", "--json", "--no-cache", "--store"])
+            .arg(&store)
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8(out.stderr).expect("utf-8")
+    };
+    run_once();
+    let err = run_once();
+    assert!(
+        err.contains("store: 0 hit(s), 0 miss(es), 0 quarantined, 0 write(s)"),
+        "--no-cache must not touch the store: {err}"
+    );
+    let entries = std::fs::read_dir(store.join("entries").join("run"))
+        .map(|rd| rd.count())
+        .unwrap_or(0);
+    assert_eq!(entries, 0, "--no-cache must not persist entries");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -254,3 +254,109 @@ fn shutdown_request_exits_cleanly() {
     assert!(ack.contains("\"shutdown\": true"), "{ack}");
     assert!(d.eof_and_wait().success());
 }
+
+/// The durable store behind the daemon: results persist across daemon
+/// restarts (unlike the in-memory warm cache), replay byte-identically,
+/// and a corrupted entry is quarantined — visible as a `store_quarantined`
+/// event and in the `stats` store section — then recomputed and healed.
+#[test]
+fn store_backed_daemon_replays_across_restarts_and_quarantines_corruption() {
+    let dir = std::env::temp_dir()
+        .join(format!("smart-ndr-serve-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store_arg = dir.to_str().expect("utf-8 path").to_owned();
+
+    // First daemon: cold compute, persisted on the way out.
+    let mut d = Daemon::spawn(&["--jobs", "1", "--store", &store_arg]);
+    d.send(&run_request(1, 100, 7, ""));
+    let cold = d.finals_for(&[1])[&1].clone();
+    assert!(cold.contains("\"ok\": true") && cold.contains("\"cache\": \"miss\""), "{cold}");
+    assert!(d.eof_and_wait().success());
+
+    // Second daemon, same directory: a fresh process replays from disk.
+    let mut d = Daemon::spawn(&["--jobs", "1", "--store", &store_arg]);
+    d.send(&run_request(1, 100, 7, ""));
+    let warm = d.finals_for(&[1])[&1].clone();
+    assert!(
+        warm.contains("\"cache\": \"store_hit\""),
+        "a restarted daemon must replay from the store: {warm}"
+    );
+    assert_eq!(
+        warm.replace("\"cache\": \"store_hit\"", "\"cache\": \"miss\""),
+        cold,
+        "the replayed result must be the cold run's bytes"
+    );
+    d.send("{\"op\": \"stats\", \"id\": 9}");
+    let stats = d.finals_for(&[9])[&9].clone();
+    assert!(
+        stats.contains("\"store\": {\"enabled\": true, \"hits\": 1, \"misses\": 0"),
+        "stats must carry the store section: {stats}"
+    );
+    assert!(
+        stats.contains("\"phases\": {}"),
+        "a store hit must skip parse, CTS and optimize entirely: {stats}"
+    );
+    assert!(d.eof_and_wait().success());
+
+    // Corrupt the single persisted entry on disk.
+    let entries = dir.join("entries").join("run");
+    let entry = std::fs::read_dir(&entries)
+        .expect("entry dir")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "entry"))
+        .expect("one persisted entry");
+    let mut bytes = std::fs::read(&entry).expect("read entry");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&entry, &bytes).expect("corrupt entry");
+
+    // Third daemon: the corruption is detected, quarantined, recomputed.
+    let mut d = Daemon::spawn(&["--jobs", "1", "--store", &store_arg]);
+    d.send(&run_request(1, 100, 7, ""));
+    let recovered = d.finals_for(&[1])[&1].clone();
+    assert!(
+        recovered.contains("\"ok\": true") && recovered.contains("\"cache\": \"miss\""),
+        "a corrupted entry must recompute, not replay: {recovered}"
+    );
+    assert!(
+        recovered.contains("cache_entry_quarantined"),
+        "the degradation must ride in the response supervision: {recovered}"
+    );
+    assert!(
+        d.transcript.iter().any(|l| l.contains("\"event\": \"store_quarantined\"")),
+        "the quarantine must stream as an event: {:#?}",
+        d.transcript
+    );
+    d.send("{\"op\": \"stats\", \"id\": 9}");
+    let stats = d.finals_for(&[9])[&9].clone();
+    assert!(
+        stats.contains("\"quarantined\": 1"),
+        "stats must count the quarantine: {stats}"
+    );
+    assert!(d.eof_and_wait().success());
+
+    let corpses = std::fs::read_dir(dir.join("corrupt")).expect("corrupt dir").count();
+    assert_eq!(corpses, 1, "the corrupted entry must be preserved as evidence");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `"cache": "off"` per request bypasses the store on an otherwise
+/// store-backed daemon — the CLI's `--no-cache` maps to exactly this.
+#[test]
+fn cache_off_request_bypasses_a_store_backed_daemon() {
+    let dir = std::env::temp_dir()
+        .join(format!("smart-ndr-serve-nocache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store_arg = dir.to_str().expect("utf-8 path").to_owned();
+    let mut d = Daemon::spawn(&["--jobs", "1", "--store", &store_arg]);
+    d.send(&run_request(1, 100, 7, ", \"cache\": \"off\""));
+    let fin = d.finals_for(&[1])[&1].clone();
+    assert!(fin.contains("\"ok\": true") && fin.contains("\"cache\": \"off\""), "{fin}");
+    assert!(d.eof_and_wait().success());
+    let wrote = std::fs::read_dir(dir.join("entries").join("run"))
+        .map(|rd| rd.count())
+        .unwrap_or(0);
+    assert_eq!(wrote, 0, "cache=off must not persist anything");
+    let _ = std::fs::remove_dir_all(&dir);
+}

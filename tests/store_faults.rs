@@ -1,0 +1,181 @@
+//! Seeded store-corruption soak (ISSUE 7 acceptance): every
+//! [`StoreFault`] category — bit flips, torn truncations, stale version
+//! headers, partial temp files — injected into a real store directory and
+//! driven through the full plan→execute path. The invariants, per seed:
+//! zero panics, never a stale or wrong response, every corrupted entry
+//! quarantined to `corrupt/` with the degradation recorded, and the slot
+//! healed by the clean recompute.
+//!
+//! Uses the `fault-inject` hooks the root dev-dependency enables.
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use snr_serve::render::run_json;
+use snr_serve::{
+    corrupt_entry, execute, plan, DesignSource, Event, ExecCtx, Lookup, Plan, Request, Response,
+    ResultStore, RunRequest, StoreFault, StoreKind,
+};
+
+const SEEDS_PER_FAULT: u64 = 8;
+
+fn scratch(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("smart-ndr-storefaults-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn request(sinks: usize, seed: u64) -> Request {
+    Request::Run(RunRequest::new(DesignSource::Generate { sinks, seed, freq_ghz: 1.0 }))
+}
+
+/// Replaces every measured `"runtime_s"` value with `X`; all other fields
+/// stay byte-exact.
+fn normalize_runtime(s: &str) -> String {
+    const KEY: &str = "\"runtime_s\": ";
+    let mut out = String::new();
+    let mut rest = s;
+    while let Some(i) = rest.find(KEY) {
+        let start = i + KEY.len();
+        out.push_str(&rest[..start]);
+        out.push('X');
+        let tail = &rest[start..];
+        let end = tail.find([',', '}']).expect("runtime_s value is delimited");
+        rest = &tail[end..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Removes the quarantine rung from the degradations array, so a
+/// recompute (which records it) can be compared against its clean cold
+/// run (which has none). Everything else must match byte-for-byte.
+fn strip_quarantine(s: &str) -> String {
+    match s.find("{\"rung\": \"cache_entry_quarantined\"") {
+        None => s.to_owned(),
+        Some(i) => {
+            let end = i + s[i..].find('}').expect("rung object closes") + 1;
+            format!("{}{}", &s[..i], &s[end..])
+        }
+    }
+}
+
+/// Runs `req` against `store`, returning the rendered result JSON, the
+/// quarantine events that fired, and whether this was a disk replay.
+fn run_stored(store: &ResultStore, req: &Request) -> (String, Vec<String>, bool) {
+    let events: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let sink = |e: &Event| {
+        if let Event::StoreQuarantined { detail, .. } = e {
+            events.lock().expect("events lock").push(detail.clone());
+        }
+    };
+    let ctx = ExecCtx { cache: None, store: Some(store), sink: Some(&sink), on_token: None };
+    let plan = plan(req).expect("plan");
+    let (json, replayed) = match execute(&plan, &ctx).expect("execute never errors here") {
+        Response::Run(resp) => (run_json(&resp), false),
+        Response::Replayed(r) => (r.run_json.clone(), true),
+        other => panic!("unexpected response {other:?}"),
+    };
+    (json, events.into_inner().expect("events lock"), replayed)
+}
+
+fn result_key(req: &Request) -> snr_serve::CacheKey {
+    match plan(req).expect("plan") {
+        Plan::Run(p) => p.result_key,
+        _ => unreachable!("run requests produce run plans"),
+    }
+}
+
+#[test]
+fn every_store_fault_category_quarantines_and_recomputes() {
+    let dir = scratch("sweep");
+    let mut case = 0u64;
+    for fault in StoreFault::ALL {
+        for seed in 0..SEEDS_PER_FAULT {
+            case += 1;
+            let root = dir.join(case.to_string());
+            let store = ResultStore::open(&root).expect("open store");
+            // Designs vary with the seed so keys differ across cases.
+            let req = request(40 + 4 * (seed as usize % 4), 2 + seed);
+            let key = result_key(&req);
+
+            let (cold, events, replayed) = run_stored(&store, &req);
+            assert!(!replayed && events.is_empty(), "{fault:?}/{seed}: cold run must compute");
+            assert!(
+                corrupt_entry(&store, StoreKind::Run, key, fault, seed).expect("inject"),
+                "{fault:?}/{seed}: there must be an entry to corrupt"
+            );
+
+            let (second, events, replayed) = run_stored(&store, &req);
+            if fault == StoreFault::PartialTmp {
+                // Debris beside the entry must not affect the entry: this
+                // is a clean replay of the cold run's exact bytes.
+                assert!(replayed, "{fault:?}/{seed}: entry intact, must replay");
+                assert_eq!(second, cold, "{fault:?}/{seed}: replay must be byte-identical");
+                assert!(events.is_empty(), "{fault:?}/{seed}: no quarantine for debris");
+                continue;
+            }
+            // Corrupted entry: recomputed, never replayed, never wrong.
+            assert!(!replayed, "{fault:?}/{seed}: corruption must force a recompute");
+            assert_eq!(
+                events.len(),
+                1,
+                "{fault:?}/{seed}: exactly one quarantine event, got {events:?}"
+            );
+            assert!(
+                second.contains("cache_entry_quarantined"),
+                "{fault:?}/{seed}: the degradation must surface in the JSON supervision"
+            );
+            assert_eq!(
+                normalize_runtime(&strip_quarantine(&second)),
+                normalize_runtime(&cold),
+                "{fault:?}/{seed}: recompute must reproduce the cold result"
+            );
+            let corpses = std::fs::read_dir(store.corrupt_dir())
+                .map(|rd| rd.count())
+                .unwrap_or(0);
+            assert_eq!(corpses, 1, "{fault:?}/{seed}: evidence must land in corrupt/");
+
+            // The recompute healed the slot: the next lookup is a verified
+            // hit whose bytes replay the *recompute* (no quarantine rung).
+            match store.load(StoreKind::Run, key) {
+                Lookup::Hit(_) => {}
+                other => panic!("{fault:?}/{seed}: slot not healed: {other:?}"),
+            }
+            let (third, events, replayed) = run_stored(&store, &req);
+            assert!(replayed && events.is_empty(), "{fault:?}/{seed}: healed slot must replay");
+            assert!(
+                !third.contains("cache_entry_quarantined"),
+                "{fault:?}/{seed}: stored bytes must never carry the quarantine rung"
+            );
+            assert_eq!(normalize_runtime(&third), normalize_runtime(&cold));
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Stacked corruption: every category injected in sequence against the
+/// same slot, with a full flow between each. The store must keep
+/// converging back to a healthy replaying state.
+#[test]
+fn repeated_corruption_keeps_healing() {
+    let dir = scratch("repeat");
+    let store = ResultStore::open(&dir).expect("open store");
+    let req = request(48, 11);
+    let key = result_key(&req);
+    let (cold, _, _) = run_stored(&store, &req);
+    for (round, fault) in StoreFault::ALL.into_iter().cycle().take(12).enumerate() {
+        corrupt_entry(&store, StoreKind::Run, key, fault, round as u64).expect("inject");
+        let (json, _, _) = run_stored(&store, &req);
+        assert_eq!(
+            normalize_runtime(&strip_quarantine(&json)),
+            normalize_runtime(&cold),
+            "round {round} ({fault:?}): result drifted"
+        );
+    }
+    // After the dust settles the slot replays cleanly.
+    let (fin, events, replayed) = run_stored(&store, &req);
+    assert!(replayed && events.is_empty(), "final lookup must be a clean replay");
+    assert_eq!(normalize_runtime(&fin), normalize_runtime(&cold));
+    let _ = std::fs::remove_dir_all(&dir);
+}
