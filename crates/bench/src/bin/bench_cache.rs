@@ -104,8 +104,10 @@ fn main() {
         })
         .collect::<Vec<_>>()
         .join(",\n      ");
+    let machine = snr_bench::machine_json();
     let json = format!(
         "{{\n  \"generated_by\": \"scripts/bench.sh (bench_cache{})\",\n  \"mode\": \"{}\",\n  \
+         \"machine\": {machine},\n  \
          \"note\": \"cold = parse+CTS+optimize+persist, warm = verified disk replay; replays are asserted byte-identical before timing\",\n  \
          \"benches\": {{\n    \"result_store\": [\n      {rows_json}\n    ]\n  }}\n}}\n",
         if smoke { " --smoke" } else { "" },

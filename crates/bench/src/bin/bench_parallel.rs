@@ -147,9 +147,10 @@ fn main() {
     eprintln!("mesh_cg {n}x{n}, {} taps: alloc {:.4}s, scratch {:.4}s", taps.len(), alloc_s, scratch_s);
 
     // --- Emit --------------------------------------------------------------
+    let machine = snr_bench::machine_json();
     let json = format!(
         "{{\n  \"generated_by\": \"scripts/bench.sh (bench_parallel{})\",\n  \"mode\": \"{}\",\n  \
-         \"machine\": {{\"available_cores\": {cores}}},\n  \
+         \"machine\": {machine},\n  \
          \"note\": \"all parallel paths are bit-identical to serial; speedup needs spare cores, a 1-core machine reports ~1x\",\n  \
          \"benches\": {{\n    \"monte_carlo\": {},\n    \"suite\": {},\n    \
          \"mesh_cg_scratch\": {{\"grid\": {n}, \"taps\": {}, \"alloc_s\": {:.4}, \"scratch_s\": {:.4}, \"alloc_over_scratch\": {:.2}}}\n  }}\n}}\n",

@@ -120,6 +120,21 @@ impl Table {
     }
 }
 
+/// JSON object describing the benchmarking host, embedded in every
+/// `BENCH_*.json` artifact so recorded numbers carry their context.
+///
+/// `serial_baseline` is true on a single-core machine, where parallel
+/// speedups honestly degenerate to ~1x and recorded timings are a serial
+/// baseline rather than a parallel measurement.
+pub fn machine_json() -> String {
+    let cores = snr_par::Parallelism::auto().jobs();
+    if cores == 1 {
+        format!("{{\"available_cores\": {cores}, \"serial_baseline\": true}}")
+    } else {
+        format!("{{\"available_cores\": {cores}}}")
+    }
+}
+
 /// The repository `results/` directory (next to the workspace root).
 pub fn results_dir() -> PathBuf {
     // CARGO_MANIFEST_DIR = crates/bench; results live two levels up.
@@ -179,5 +194,14 @@ mod tests {
         assert_eq!(fmt(1.234f64, 2), "1.23");
         assert_eq!(pct(0.123), "12.3%");
         assert!(results_dir().ends_with("results"));
+    }
+
+    #[test]
+    fn machine_json_shape() {
+        let m = machine_json();
+        assert!(m.starts_with('{') && m.ends_with('}'));
+        assert!(m.contains("\"available_cores\": "));
+        let single = m.contains("\"available_cores\": 1");
+        assert_eq!(m.contains("\"serial_baseline\": true"), single);
     }
 }

@@ -5,7 +5,7 @@ use snr_cts::{Assignment, ClockTree, NodeId, NodeKind};
 use snr_netlist::TimingArc;
 use snr_power::{evaluate, PowerModel, PowerReport};
 use snr_tech::{Corner, Technology};
-use snr_timing::{AnalysisOptions, Analyzer, TimingReport};
+use snr_timing::{AnalysisOptions, Analyzer, BatchAnalyzer, DelayMetric, TimingReport, TimingSummary};
 use std::sync::{Mutex, OnceLock, PoisonError};
 use std::time::Duration;
 
@@ -45,6 +45,9 @@ pub struct OptContext<'a> {
     /// `Sync` and parallel probers can hold `&OptContext`; serial callers
     /// pay one uncontended lock per analysis.
     analyzer: Mutex<Analyzer>,
+    /// Shared scratch for the multi-lane corner sweep: all corners of one
+    /// candidate evaluate in a single tree traversal.
+    batch: Mutex<BatchAnalyzer>,
     analysis_opts: AnalysisOptions,
     eval_mode: EvalMode,
     divergence_every: usize,
@@ -70,6 +73,7 @@ impl<'a> OptContext<'a> {
             arcs: Vec::new(),
             corner_base_skew: OnceLock::new(),
             analyzer: Mutex::new(Analyzer::new()),
+            batch: Mutex::new(BatchAnalyzer::new()),
             analysis_opts: AnalysisOptions::default(),
             eval_mode: EvalMode::default(),
             divergence_every: 256,
@@ -347,22 +351,51 @@ impl<'a> OptContext<'a> {
             return true;
         }
         let base_skews = self.corner_base_skews();
-        for (i, &corner) in self.corners.iter().enumerate() {
+        let summaries = self.corner_summaries(assignment);
+        for (i, (&corner, at)) in self.corners.iter().zip(&summaries).enumerate() {
             let scale = corner.r_scale() * corner.c_scale();
-            let at = snr_timing::analyze_at_corner(
-                self.tree,
-                self.tech,
-                assignment,
-                corner,
-                &self.analysis_opts,
-            );
-            let slew_ok = at.max_slew_ps() <= self.constraints.slew_limit_ps() * scale.max(1.0);
+            let slew_ok = at.max_slew_ps <= self.constraints.slew_limit_ps() * scale.max(1.0);
             let skew_ok = at.skew_ps() <= self.constraints.skew_limit_ps() + base_skews[i];
             if !(slew_ok && skew_ok) {
                 return false;
             }
         }
         true
+    }
+
+    /// Evaluates `assignment` at every configured corner.
+    ///
+    /// Under the (default) Elmore metric all corners share one multi-lane
+    /// tree traversal through the [`BatchAnalyzer`] — the summaries are bit
+    /// for bit what per-corner [`snr_timing::analyze_at_corner`] calls would
+    /// produce. D2M analysis falls back to the serial per-corner path, since
+    /// the batched kernel implements only the optimizer's Elmore metric.
+    fn corner_summaries(&self, assignment: &Assignment) -> Vec<TimingSummary> {
+        if self.analysis_opts.metric == DelayMetric::Elmore {
+            self.batch
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .run_at_corners(self.tree, self.tech, assignment, &self.corners)
+                .to_vec()
+        } else {
+            self.corners
+                .iter()
+                .map(|&c| {
+                    let at = snr_timing::analyze_at_corner(
+                        self.tree,
+                        self.tech,
+                        assignment,
+                        c,
+                        &self.analysis_opts,
+                    );
+                    TimingSummary {
+                        latency_ps: at.latency_ps(),
+                        min_arrival_ps: at.min_arrival_ps(),
+                        max_slew_ps: at.max_slew_ps(),
+                    }
+                })
+                .collect()
+        }
     }
 
     /// Conservative-baseline skew at each corner — assignment-independent,
@@ -374,18 +407,9 @@ impl<'a> OptContext<'a> {
         self.corner_base_skew
             .get_or_init(|| {
                 let base = self.conservative_assignment();
-                self.corners
+                self.corner_summaries(&base)
                     .iter()
-                    .map(|&c| {
-                        snr_timing::analyze_at_corner(
-                            self.tree,
-                            self.tech,
-                            &base,
-                            c,
-                            &self.analysis_opts,
-                        )
-                        .skew_ps()
-                    })
+                    .map(|s| s.skew_ps())
                     .collect()
             })
             .clone()

@@ -122,7 +122,7 @@ fn environment(ctx: &OptContext<'_>, asg: &Assignment) -> Environment {
             NodeKind::Sink { cap_ff, .. } => cap_ff,
             _ => 0.0,
         };
-        for &ch in node.children() {
+        for ch in tree.children(id) {
             let wire = layer.unit_c_delay(rules.rule(asg.rule(ch))) * len_um(ch);
             let below = match tree.node(ch).kind() {
                 NodeKind::Buffer { cell } => cells[cell].input_cap_ff(),
@@ -160,10 +160,9 @@ fn aggregate_weights(
     let mut skew_w = vec![0.0; n];
     let mut slew_w = vec![0.0; n];
     for id in tree.postorder() {
-        let node = tree.node(id);
         let mut sk = sink_dual[id.0];
         let mut sl = slew_dual[id.0];
-        for &ch in node.children() {
+        for ch in tree.children(id) {
             sk += skew_w[ch.0];
             if !tree.node(ch).kind().is_buffer() {
                 sl += slew_w[ch.0];

@@ -49,11 +49,11 @@ impl StageExhaustive {
     fn stage_edges(ctx: &OptContext<'_>, source: NodeId) -> Vec<NodeId> {
         let tree = ctx.tree();
         let mut edges = Vec::new();
-        let mut stack: Vec<NodeId> = tree.node(source).children().to_vec();
+        let mut stack: Vec<NodeId> = tree.children(source).collect();
         while let Some(id) = stack.pop() {
             edges.push(id);
             if !tree.node(id).kind().is_buffer() {
-                stack.extend_from_slice(tree.node(id).children());
+                stack.extend(tree.children(id));
             }
         }
         edges
@@ -85,7 +85,7 @@ impl NdrOptimizer for StageExhaustive {
         // Stage sources: the root plus every buffer.
         let mut sources = vec![tree.root()];
         sources.extend(tree.buffer_nodes());
-        sources.retain(|s| !tree.node(*s).children().is_empty());
+        sources.retain(|s| !tree.node(*s).is_leaf());
         sources.sort_unstable();
         sources.dedup();
 

@@ -1,0 +1,261 @@
+//! CSR-flattened traversal arena over a finished [`ClockTree`].
+//!
+//! The tree itself threads children through an intrusive sibling list —
+//! ideal for O(1) append during construction, but pointer-chasing for the
+//! timing kernels that walk the whole tree thousands of times per
+//! optimization run. [`TreeArena`] flattens that structure once into
+//! compressed-sparse-row (CSR) arrays plus structure-of-arrays copies of
+//! the node attributes the hot loops touch, so a traversal is a handful of
+//! linear scans over dense `u32`/`f64` slices.
+//!
+//! Built lazily via [`ClockTree::arena`] and cached on the tree; any
+//! structural mutation invalidates the cache.
+
+use crate::{ClockTree, NodeKind};
+
+/// Sentinel in [`TreeArena::parents`] marking the root (no parent).
+pub const NO_PARENT: u32 = u32::MAX;
+
+/// Flat, cache-friendly view of a [`ClockTree`]'s structure and the node
+/// attributes timing kernels need.
+///
+/// Children of node `v` occupy `child_list[child_index[v]..child_index[v+1]]`
+/// in insertion (= ascending id) order — the same order
+/// [`ClockTree::children`] yields, so kernels that gather child
+/// contributions sum in the identical floating-point order as sibling-list
+/// walks.
+///
+/// Because `ClockTree` is append-only (a parent always has a smaller id
+/// than its children), ascending id order *is* a topological order and
+/// descending id order is a postorder; [`TreeArena::topo`] materializes the
+/// former so kernels can iterate a dense index slice forwards (topo) or
+/// backwards (reverse topo) without recomputing anything.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeArena {
+    n: usize,
+    root: u32,
+    child_index: Vec<u32>,
+    child_list: Vec<u32>,
+    parent: Vec<u32>,
+    topo: Vec<u32>,
+    len_um: Vec<f64>,
+    /// 0 = Steiner, 1 = sink, 2 = buffer.
+    tag: Vec<u8>,
+    cap_ff: Vec<f64>,
+    cell: Vec<u32>,
+    sinks: Vec<u32>,
+    buffers: Vec<u32>,
+}
+
+const TAG_STEINER: u8 = 0;
+const TAG_SINK: u8 = 1;
+const TAG_BUFFER: u8 = 2;
+
+impl TreeArena {
+    /// Flattens `tree` into CSR + SoA form. O(n); called once per tree by
+    /// [`ClockTree::arena`].
+    pub(crate) fn build(tree: &ClockTree) -> TreeArena {
+        let n = tree.len();
+        let mut child_index = vec![0u32; n + 1];
+        let mut parent = vec![NO_PARENT; n];
+        let mut len_um = vec![0.0f64; n];
+        let mut tag = vec![TAG_STEINER; n];
+        let mut cap_ff = vec![0.0f64; n];
+        let mut cell = vec![u32::MAX; n];
+        let mut sinks = Vec::new();
+        let mut buffers = Vec::new();
+
+        for node in tree.nodes() {
+            let v = node.id().0;
+            if let Some(p) = node.parent() {
+                parent[v] = p.0 as u32;
+                child_index[p.0 + 1] += 1;
+            }
+            len_um[v] = node.edge_len_nm() as f64 / 1_000.0;
+            match node.kind() {
+                NodeKind::Sink { cap_ff: c, .. } => {
+                    tag[v] = TAG_SINK;
+                    cap_ff[v] = c;
+                    sinks.push(v as u32);
+                }
+                NodeKind::Buffer { cell: c } => {
+                    tag[v] = TAG_BUFFER;
+                    cell[v] = c as u32;
+                    buffers.push(v as u32);
+                }
+                NodeKind::Steiner => {}
+            }
+        }
+        for v in 0..n {
+            child_index[v + 1] += child_index[v];
+        }
+        // Fill grouped by parent. Nodes arrive in ascending id order and a
+        // parent's children were appended in ascending id order too, so the
+        // per-parent runs come out in insertion order automatically.
+        let mut cursor = child_index.clone();
+        let mut child_list = vec![0u32; child_index[n] as usize];
+        for node in tree.nodes() {
+            if let Some(p) = node.parent() {
+                child_list[cursor[p.0] as usize] = node.id().0 as u32;
+                cursor[p.0] += 1;
+            }
+        }
+
+        TreeArena {
+            n,
+            root: tree.root().0 as u32,
+            child_index,
+            child_list,
+            parent,
+            topo: (0..n as u32).collect(),
+            len_um,
+            tag,
+            cap_ff,
+            cell,
+            sinks,
+            buffers,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the arena is empty (never: trees always have a root).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The root node index.
+    pub fn root(&self) -> usize {
+        self.root as usize
+    }
+
+    /// Children of node `v`, in insertion (= ascending id) order.
+    pub fn children(&self, v: usize) -> &[u32] {
+        &self.child_list[self.child_index[v] as usize..self.child_index[v + 1] as usize]
+    }
+
+    /// CSR row index: children of `v` are `child_list()[child_index()[v] ..
+    /// child_index()[v+1]]`.
+    pub fn child_index(&self) -> &[u32] {
+        &self.child_index
+    }
+
+    /// CSR child array, grouped by parent.
+    pub fn child_list(&self) -> &[u32] {
+        &self.child_list
+    }
+
+    /// Parent of each node ([`NO_PARENT`] for the root).
+    pub fn parents(&self) -> &[u32] {
+        &self.parent
+    }
+
+    /// Parent of `v`, `None` for the root.
+    pub fn parent(&self, v: usize) -> Option<usize> {
+        let p = self.parent[v];
+        (p != NO_PARENT).then_some(p as usize)
+    }
+
+    /// Topological (parent-before-child) node order as a dense index slice.
+    ///
+    /// Iterate it in reverse for a postorder (child-before-parent) walk.
+    pub fn topo(&self) -> &[u32] {
+        &self.topo
+    }
+
+    /// Routed length of the edge above each node, µm (0 for the root).
+    pub fn len_um(&self) -> &[f64] {
+        &self.len_um
+    }
+
+    /// Whether node `v` is a sink.
+    pub fn is_sink(&self, v: usize) -> bool {
+        self.tag[v] == TAG_SINK
+    }
+
+    /// Whether node `v` is a buffer.
+    pub fn is_buffer(&self, v: usize) -> bool {
+        self.tag[v] == TAG_BUFFER
+    }
+
+    /// Sink pin capacitance of node `v` in fF (0 for non-sinks).
+    pub fn sink_cap_ff(&self, v: usize) -> f64 {
+        self.cap_ff[v]
+    }
+
+    /// Buffer-library cell index of node `v`, `None` for non-buffers.
+    pub fn buffer_cell(&self, v: usize) -> Option<usize> {
+        (self.tag[v] == TAG_BUFFER).then_some(self.cell[v] as usize)
+    }
+
+    /// All sink node indices, ascending.
+    pub fn sinks(&self) -> &[u32] {
+        &self.sinks
+    }
+
+    /// All buffer node indices, ascending.
+    pub fn buffers(&self) -> &[u32] {
+        &self.buffers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClockTree, NodeId};
+    use snr_geom::Point;
+    use snr_netlist::SinkId;
+
+    fn sink(i: usize) -> NodeKind {
+        NodeKind::Sink { sink: SinkId(i), cap_ff: 1.0 + i as f64 }
+    }
+
+    #[test]
+    fn csr_matches_sibling_list() {
+        let mut t = ClockTree::with_root(Point::new(0, 0), NodeKind::Buffer { cell: 2 });
+        let a = t.add_node(NodeKind::Steiner, Point::new(0, 100), t.root(), 100);
+        let b = t.add_node(NodeKind::Steiner, Point::new(100, 0), t.root(), 100);
+        t.add_node(sink(0), Point::new(0, 200), a, 100);
+        t.add_node(sink(1), Point::new(50, 100), a, 50);
+        t.add_node(sink(2), Point::new(100, 50), b, 50);
+
+        let arena = t.arena();
+        assert_eq!(arena.len(), t.len());
+        assert_eq!(arena.root(), 0);
+        for id in t.topo_order() {
+            let via_links: Vec<u32> = t.children(id).map(|c| c.0 as u32).collect();
+            assert_eq!(arena.children(id.0), via_links.as_slice(), "node {id}");
+            assert_eq!(arena.parent(id.0), t.node(id).parent().map(|p| p.0));
+        }
+        assert_eq!(arena.sinks(), &[3, 4, 5]);
+        assert_eq!(arena.buffers(), &[0]);
+        assert_eq!(arena.buffer_cell(0), Some(2));
+        assert_eq!(arena.buffer_cell(1), None);
+        assert!((arena.sink_cap_ff(4) - 2.0).abs() < 1e-12);
+        assert_eq!(arena.topo(), &[0, 1, 2, 3, 4, 5]);
+        assert!((arena.len_um()[1] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arena_invalidated_by_mutation() {
+        let mut t = ClockTree::with_root(Point::new(0, 0), NodeKind::Steiner);
+        let a = t.add_node(sink(0), Point::new(0, 10), t.root(), 10);
+        assert_eq!(t.arena().len(), 2);
+        t.add_node(sink(1), Point::new(0, 20), a, 10);
+        assert_eq!(t.arena().len(), 3);
+        assert_eq!(t.arena().children(a.0), &[2]);
+    }
+
+    #[test]
+    fn clone_rebuilds_arena_after_remap() {
+        let mut t = ClockTree::with_root(Point::new(0, 0), NodeKind::Buffer { cell: 3 });
+        t.add_node(sink(0), Point::new(0, 10), t.root(), 10);
+        assert_eq!(t.arena().buffer_cell(0), Some(3));
+        let u = t.with_remapped_buffers(|_, c| c - 1);
+        assert_eq!(u.arena().buffer_cell(0), Some(2));
+        assert_eq!(NodeId(u.arena().root()), u.root());
+    }
+}

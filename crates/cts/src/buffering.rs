@@ -43,8 +43,7 @@ pub fn insert_buffers(
     // Merge height: 0 at leaves, 1 + max(children) above.
     let mut height = vec![0usize; n];
     for id in tree.postorder() {
-        let node = tree.node(id);
-        for &ch in node.children() {
+        for ch in tree.children(id) {
             height[id.0] = height[id.0].max(height[ch.0] + 1);
         }
     }
@@ -71,7 +70,7 @@ pub fn insert_buffers(
                 NodeKind::Sink { cap_ff, .. } => cap_ff,
                 _ => 0.0,
             };
-            for &ch in node.children() {
+            for ch in tree.children(id) {
                 let wire_ff = c_unit * tree.node(ch).edge_len_nm() as f64 / 1_000.0;
                 let below = if let Some(ci) = level_cell[height[ch.0]] {
                     // Child level is buffered: upstream sees only the input
@@ -142,10 +141,8 @@ pub fn insert_buffers(
     );
     // DFS copy, translating ids.
     let mut stack: Vec<(NodeId, NodeId)> = tree
-        .node(tree.root())
-        .children()
-        .iter()
-        .map(|&c| (c, out.root()))
+        .children(tree.root())
+        .map(|c| (c, out.root()))
         .collect();
     while let Some((old_id, new_parent)) = stack.pop() {
         let node = tree.node(old_id);
@@ -157,7 +154,7 @@ pub fn insert_buffers(
             other => other,
         };
         let new_id = out.add_node(kind, node.location(), new_parent, node.edge_len_nm());
-        for &ch in node.children() {
+        for ch in tree.children(old_id) {
             stack.push((ch, new_id));
         }
     }
@@ -250,7 +247,7 @@ mod tests {
                 NodeKind::Sink { cap_ff, .. } => cap_ff,
                 NodeKind::Buffer { .. } | NodeKind::Steiner => 0.0,
             };
-            for &ch in node.children() {
+            for ch in t.children(id) {
                 let wire = c_unit * t.node(ch).edge_len_nm() as f64 / 1_000.0;
                 let below = match t.node(ch).kind() {
                     NodeKind::Buffer { cell } => tech.buffers().cells()[cell].input_cap_ff(),

@@ -544,7 +544,7 @@ mod tests {
                 NodeKind::Sink { cap_ff, .. } => cap_ff,
                 _ => 0.0,
             };
-            for &ch in node.children() {
+            for ch in tree.children(id) {
                 let len_um = tree.node(ch).edge_len_nm() as f64 / 1_000.0;
                 acc += cap[ch.0] + c * len_um;
             }

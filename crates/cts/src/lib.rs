@@ -33,6 +33,7 @@
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+mod arena;
 mod assignment;
 mod buffering;
 mod dme;
@@ -44,6 +45,7 @@ mod topology;
 mod tree;
 pub mod svg;
 
+pub use arena::{TreeArena, NO_PARENT};
 pub use assignment::Assignment;
 pub use buffering::insert_buffers;
 pub use dme::{build_buffered_tree, build_unbuffered_tree};
@@ -52,7 +54,7 @@ pub use htree::h_tree;
 pub use io::{load_assignment, save_assignment};
 pub use options::CtsOptions;
 pub use topology::{bisection_topology, nearest_neighbor_topology, PlanNode, TopologyPlan};
-pub use tree::{ClockTree, Node, NodeId, NodeKind, TreeStats};
+pub use tree::{Children, ClockTree, Node, NodeId, NodeKind, TreeStats};
 
 use snr_netlist::Design;
 use snr_tech::Technology;

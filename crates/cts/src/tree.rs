@@ -1,8 +1,10 @@
 //! The clock-tree data structure.
 
+use crate::TreeArena;
 use snr_geom::Point;
 use snr_netlist::SinkId;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Identifier of a node within a [`ClockTree`].
 ///
@@ -51,13 +53,22 @@ impl NodeKind {
 }
 
 /// A node of the clock tree.
+///
+/// Children are threaded through the node table as an intrusive singly
+/// linked sibling list (`first_child` / `next_sibling`) instead of a
+/// per-node `Vec<NodeId>`: construction appends in O(1) without a heap
+/// allocation per node, and finished trees expose a cache-friendly CSR
+/// view through [`ClockTree::arena`]. Iterate children with
+/// [`ClockTree::children`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct Node {
     pub(crate) id: NodeId,
     pub(crate) kind: NodeKind,
     pub(crate) location: Point,
     pub(crate) parent: Option<NodeId>,
-    pub(crate) children: Vec<NodeId>,
+    pub(crate) first_child: Option<NodeId>,
+    pub(crate) last_child: Option<NodeId>,
+    pub(crate) next_sibling: Option<NodeId>,
     /// Routed length of the edge from `parent` to this node, in nm. May
     /// exceed the Manhattan distance when DME balances delays by snaking.
     pub(crate) edge_len_nm: i64,
@@ -84,9 +95,9 @@ impl Node {
         self.parent
     }
 
-    /// Child nodes.
-    pub fn children(&self) -> &[NodeId] {
-        &self.children
+    /// Whether this node has no children (a leaf).
+    pub fn is_leaf(&self) -> bool {
+        self.first_child.is_none()
     }
 
     /// Routed length in nm of the edge connecting this node to its parent
@@ -144,10 +155,49 @@ impl fmt::Display for TreeStats {
 /// assert_eq!(tree.node(child).parent(), Some(tree.root()));
 /// assert_eq!(tree.len(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug)]
 pub struct ClockTree {
     nodes: Vec<Node>,
     root: NodeId,
+    /// Lazily built CSR traversal arena; invalidated by `add_node`.
+    arena: OnceLock<TreeArena>,
+}
+
+impl Clone for ClockTree {
+    fn clone(&self) -> Self {
+        // The arena is derived state: a fresh clone rebuilds it on demand.
+        ClockTree {
+            nodes: self.nodes.clone(),
+            root: self.root,
+            arena: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for ClockTree {
+    fn eq(&self, other: &Self) -> bool {
+        self.nodes == other.nodes && self.root == other.root
+    }
+}
+
+/// Iterator over a node's children, in insertion (= ascending id) order.
+///
+/// Returned by [`ClockTree::children`]; walks the intrusive sibling list,
+/// so it works during construction as well as on finished trees.
+#[derive(Debug, Clone)]
+pub struct Children<'a> {
+    nodes: &'a [Node],
+    next: Option<NodeId>,
+}
+
+impl Iterator for Children<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.next?;
+        self.next = self.nodes[id.0].next_sibling;
+        Some(id)
+    }
 }
 
 impl ClockTree {
@@ -158,12 +208,15 @@ impl ClockTree {
             kind,
             location,
             parent: None,
-            children: Vec::new(),
+            first_child: None,
+            last_child: None,
+            next_sibling: None,
             edge_len_nm: 0,
         };
         ClockTree {
             nodes: vec![root],
             root: NodeId(0),
+            arena: OnceLock::new(),
         }
     }
 
@@ -194,11 +247,41 @@ impl ClockTree {
             kind,
             location,
             parent: Some(parent),
-            children: Vec::new(),
+            first_child: None,
+            last_child: None,
+            next_sibling: None,
             edge_len_nm,
         });
-        self.nodes[parent.0].children.push(id);
+        match self.nodes[parent.0].last_child {
+            Some(last) => self.nodes[last.0].next_sibling = Some(id),
+            None => self.nodes[parent.0].first_child = Some(id),
+        }
+        self.nodes[parent.0].last_child = Some(id);
+        // Structure changed: drop any previously built traversal arena.
+        self.arena.take();
         id
+    }
+
+    /// Children of `id`, in insertion (= ascending id) order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn children(&self, id: NodeId) -> Children<'_> {
+        Children {
+            nodes: &self.nodes,
+            next: self.nodes[id.0].first_child,
+        }
+    }
+
+    /// The CSR-flattened traversal arena for this tree, built on first use
+    /// and cached (cheap to call repeatedly).
+    ///
+    /// Hot traversal kernels — the timing analyzers, CTS buffering — read
+    /// tree structure through this flat view instead of chasing per-node
+    /// sibling links.
+    pub fn arena(&self) -> &TreeArena {
+        self.arena.get_or_init(|| TreeArena::build(self))
     }
 
     /// The root node id.
@@ -341,7 +424,7 @@ impl ClockTree {
                     if p.0 >= n.id.0 {
                         return Err(format!("node {} has non-topological parent {p}", n.id));
                     }
-                    if !self.nodes[p.0].children.contains(&n.id) {
+                    if !self.children(p).any(|c| c == n.id) {
                         return Err(format!("parent {p} does not list child {}", n.id));
                     }
                     let dist = self.nodes[p.0].location.manhattan(n.location);
@@ -353,12 +436,12 @@ impl ClockTree {
                     }
                 }
             }
-            for &c in &n.children {
+            for c in self.children(n.id) {
                 if self.nodes[c.0].parent != Some(n.id) {
                     return Err(format!("child {c} of {} does not point back", n.id));
                 }
             }
-            if n.children.is_empty() && !n.kind.is_sink() && self.nodes.len() > 1 {
+            if n.is_leaf() && !n.kind.is_sink() && self.nodes.len() > 1 {
                 return Err(format!("leaf {} is not a sink", n.id));
             }
         }
@@ -402,8 +485,8 @@ mod tests {
         let t = tiny_tree();
         assert_eq!(t.len(), 4);
         assert_eq!(t.node(NodeId(1)).parent(), Some(NodeId(0)));
-        assert_eq!(t.node(NodeId(0)).children(), &[NodeId(1)]);
-        assert_eq!(t.node(NodeId(1)).children().len(), 2);
+        assert_eq!(t.children(NodeId(0)).collect::<Vec<_>>(), vec![NodeId(1)]);
+        assert_eq!(t.children(NodeId(1)).count(), 2);
         assert!(t.check().is_ok());
     }
 

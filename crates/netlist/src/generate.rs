@@ -64,6 +64,16 @@ impl BenchmarkSpec {
         }
     }
 
+    /// The design name the spec builds.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The number of sinks the spec builds.
+    pub fn sink_count(&self) -> usize {
+        self.sink_count
+    }
+
     /// Sets the die dimensions in µm.
     pub fn die_um(mut self, w: f64, h: f64) -> Self {
         self.die_w_um = w;
@@ -203,6 +213,36 @@ pub fn ispd_like_suite() -> Vec<Design> {
         .collect()
 }
 
+/// Specs for the large-scale timing-kernel sweep: 6 k to 1 M sinks, the
+/// range where traversal redundancy (not constant factors) dominates.
+///
+/// Returned as *specs* rather than built designs so callers can build only
+/// the sizes they need — the 1 M-sink design alone holds a million sinks,
+/// and generation, while O(n), is not free at that scale. Defaults scale
+/// with the sink count (die side grows as √n at ~500 sinks/mm²), so the
+/// million-sink entry models a full-reticle die rather than an absurdly
+/// dense small one.
+///
+/// Deterministic: every call returns identical specs, and each spec builds
+/// an identical design.
+///
+/// # Examples
+///
+/// ```
+/// let specs = snr_netlist::scaling_specs();
+/// assert_eq!(specs.last().unwrap().sink_count(), 1_000_000);
+/// let small = specs[0].build()?;
+/// assert_eq!(small.sinks().len(), specs[0].sink_count());
+/// # Ok::<(), snr_netlist::NetlistError>(())
+/// ```
+pub fn scaling_specs() -> Vec<BenchmarkSpec> {
+    [6_000usize, 25_000, 100_000, 1_000_000]
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| BenchmarkSpec::new(format!("x{n}"), n).seed(2_000 + i as u64))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,6 +327,20 @@ mod tests {
             .build()
             .is_err());
         assert!(BenchmarkSpec::new("t", 10).die_um(0.0, 1.0).build().is_err());
+    }
+
+    #[test]
+    fn scaling_specs_deterministic_and_ordered() {
+        let a = scaling_specs();
+        assert_eq!(a.len(), 4);
+        assert!(a.windows(2).all(|w| w[0].sink_count() < w[1].sink_count()));
+        assert_eq!(a[3].sink_count(), 1_000_000);
+        // Identical specs build identical designs (only the smallest is
+        // built here; the large entries are exercised by bench_timing).
+        let d1 = a[0].build().unwrap();
+        let d2 = a[0].build().unwrap();
+        assert_eq!(d1, d2);
+        assert_eq!(d1.sinks().len(), 6_000);
     }
 
     #[test]

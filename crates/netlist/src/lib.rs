@@ -40,7 +40,7 @@ pub mod validate;
 pub use arcs::{random_timing_arcs, TimingArc};
 pub use design::Design;
 pub use error::{ErrorKind, NetlistError};
-pub use generate::{ispd_like_suite, BenchmarkSpec};
+pub use generate::{ispd_like_suite, scaling_specs, BenchmarkSpec};
 pub use io::{
     load_design, load_design_with, parse_raw, save_design, LoadOptions, LoadReport, FORMAT_VERSION,
 };

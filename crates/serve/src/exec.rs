@@ -12,9 +12,8 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use snr_core::{
-    panic_message, Annealing, Budget, Cancelled, Constraints, GreedyDowngrade,
-    GreedyUpgradeRepair, Lagrangian, LevelBased, NdrOptimizer, OptContext, Outcome, SmartNdr,
-    Uniform,
+    panic_message, Annealing, Budget, Constraints, GreedyDowngrade, GreedyUpgradeRepair,
+    Lagrangian, LevelBased, NdrOptimizer, OptContext, Outcome, SmartNdr, Uniform,
 };
 use snr_cts::{synthesize, ClockTree, CtsOptions};
 use snr_netlist::{load_design, load_design_with, validate::Bounds, BenchmarkSpec, Design,
@@ -23,7 +22,7 @@ use snr_par::{par_map, CancelToken, Deadline, Parallelism};
 use snr_power::PowerModel;
 use snr_store::{CacheKey, ContentHasher, Lookup, QuarantineReason, ResultStore, StoreKind};
 use snr_tech::Technology;
-use snr_variation::{MonteCarlo, VariationModel};
+use snr_variation::{MonteCarlo, VariationError, VariationModel};
 
 use crate::cache::{CacheStatus, Warm, WarmCache};
 use crate::error::ApiError;
@@ -481,7 +480,7 @@ fn execute_run(plan: &RunPlan, ctx: &ExecCtx<'_>) -> Result<Box<RunResponse>, Ap
         // job count, so jobs=1 reproduces the failure serially.
         let mc_token = token.clone().unwrap_or_default();
         let reps = ctx.phase("mc", || {
-            catch_unwind(AssertUnwindSafe(|| -> Result<_, Cancelled> {
+            catch_unwind(AssertUnwindSafe(|| -> Result<_, VariationError> {
                 Ok((
                     mc.run_with_token(&tree, &plan.tech, baseline.assignment(), &mc_token)?,
                     mc.run_with_token(&tree, &plan.tech, result.assignment(), &mc_token)?,
@@ -502,7 +501,15 @@ fn execute_run(plan: &RunPlan, ctx: &ExecCtx<'_>) -> Result<Box<RunResponse>, Ap
             // The deadline fired mid-analysis. Partial statistics would
             // silently change the reported distribution, so the variation
             // section is dropped rather than degraded.
-            Err(Cancelled) => mc_cancelled = true,
+            Err(VariationError::Cancelled) => mc_cancelled = true,
+            // Optimizer assignments always draw from the plan's rule set,
+            // but the typed error must still be surfaced, not swallowed.
+            Err(e @ VariationError::RuleOutOfRange { .. }) => {
+                return Err(ApiError::infeasible(format!(
+                    "Monte Carlo analysis rejected {}: {e}",
+                    design.name()
+                )));
+            }
         }
     }
 

@@ -1,7 +1,7 @@
 //! The RC-tree analyzer.
 
 use crate::TimingReport;
-use snr_cts::{Assignment, ClockTree, NodeId, NodeKind};
+use snr_cts::{Assignment, ClockTree, NodeId, TreeArena};
 use snr_tech::Technology;
 
 const LN9: f64 = 2.197_224_577_336_219_6;
@@ -110,6 +110,7 @@ impl Analyzer {
             "assignment built for a different tree"
         );
         let n = tree.len();
+        let arena = tree.arena();
         let layer = tech.clock_layer();
         let rules = tech.rules();
         let cells = tech.buffers().cells();
@@ -134,82 +135,84 @@ impl Analyzer {
             assert_eq!(rs.len(), n, "r-scale vector built for a different tree");
             assert_eq!(cs.len(), n, "c-scale vector built for a different tree");
         }
-        for e in tree.edges() {
+        let len_um = arena.len_um();
+        let parents = arena.parents();
+        for v in 0..n {
+            if parents[v] == snr_cts::NO_PARENT {
+                continue;
+            }
             let rule = rules
-                .get(assignment.rule(e))
+                .get(assignment.rule(NodeId(v)))
                 .expect("assignment references a rule outside the technology rule set");
-            let len_um = tree.node(e).edge_len_nm() as f64 / 1_000.0;
-            let (rsc, csc) = scales.map_or((1.0, 1.0), |(rs, cs)| (rs[e.0], cs[e.0]));
-            self.edge_r[e.0] = layer.unit_r(rule) * len_um * rsc;
+            let (rsc, csc) = scales.map_or((1.0, 1.0), |(rs, cs)| (rs[v], cs[v]));
+            self.edge_r[v] = layer.unit_r(rule) * len_um[v] * rsc;
             // Delay/slew see the *effective* capacitance (Miller-amplified
             // coupling on unshielded rules); power uses the switching view.
-            self.edge_c[e.0] = layer.unit_c_delay(rule) * len_um * csc;
+            self.edge_c[v] = layer.unit_c_delay(rule) * len_um[v] * csc;
         }
 
-        // Pass 1 (postorder): stage-local downstream load.
-        for id in tree.postorder() {
-            let node = tree.node(id);
-            let mut acc = match node.kind() {
-                NodeKind::Sink { cap_ff, .. } => cap_ff,
-                _ => 0.0,
-            };
-            for &ch in node.children() {
-                acc += self.edge_c[ch.0] + self.in_stage_cap(tree, cells, ch);
+        // Pass 1 (postorder = descending id): stage-local downstream load.
+        for v in (0..n).rev() {
+            let mut acc = if arena.is_sink(v) { arena.sink_cap_ff(v) } else { 0.0 };
+            for &ch in arena.children(v) {
+                let ch = ch as usize;
+                acc += self.edge_c[ch] + self.in_stage_cap(arena, cells, ch);
             }
-            self.load[id.0] = acc;
+            self.load[v] = acc;
         }
 
         // Pass 2 (topo): within-stage first moments + arrivals + slews.
-        let root = tree.root();
-        let root_node = tree.node(root);
-        match root_node.kind() {
-            NodeKind::Buffer { cell } => {
+        let root = arena.root();
+        match arena.buffer_cell(root) {
+            Some(cell) => {
                 let c = &cells[cell];
-                self.arrival[root.0] = c.delay_ps(self.load[root.0]);
-                self.src_slew[root.0] = c.output_slew_ps(self.load[root.0]);
-                self.slew[root.0] = self.src_slew[root.0];
+                self.arrival[root] = c.delay_ps(self.load[root]);
+                self.src_slew[root] = c.output_slew_ps(self.load[root]);
+                self.slew[root] = self.src_slew[root];
             }
-            _ => {
-                self.arrival[root.0] = 0.0;
+            None => {
+                self.arrival[root] = 0.0;
                 // Unbuffered tree: assume an ideal fast source.
-                self.src_slew[root.0] = 1.0;
-                self.slew[root.0] = 1.0;
+                self.src_slew[root] = 1.0;
+                self.slew[root] = 1.0;
             }
         }
 
-        for id in tree.topo_order() {
-            let node = tree.node(id);
-            let Some(p) = node.parent() else { continue };
-            let downstream = self.in_stage_cap(tree, cells, id);
-            let step = self.edge_r[id.0] * (self.edge_c[id.0] / 2.0 + downstream);
+        for v in 0..n {
+            let p = parents[v];
+            if p == snr_cts::NO_PARENT {
+                continue;
+            }
+            let p = p as usize;
+            let downstream = self.in_stage_cap(arena, cells, v);
+            let step = self.edge_r[v] * (self.edge_c[v] / 2.0 + downstream);
             // Wire delay accumulates from the stage source: a buffered (or
             // root) parent starts a fresh stage.
-            let parent_is_source =
-                tree.node(p).kind().is_buffer() || tree.node(p).parent().is_none();
-            self.wire_m1[id.0] = if parent_is_source {
+            let parent_is_source = arena.is_buffer(p) || parents[p] == snr_cts::NO_PARENT;
+            self.wire_m1[v] = if parent_is_source {
                 step
             } else {
-                self.wire_m1[p.0] + step
+                self.wire_m1[p] + step
             };
 
-            let src_slew = self.src_slew[p.0];
-            self.src_slew[id.0] = src_slew;
-            let wire_slew = LN9 * self.wire_m1[id.0];
-            self.slew[id.0] = (src_slew * src_slew + wire_slew * wire_slew).sqrt();
+            let src_slew = self.src_slew[p];
+            self.src_slew[v] = src_slew;
+            let wire_slew = LN9 * self.wire_m1[v];
+            self.slew[v] = (src_slew * src_slew + wire_slew * wire_slew).sqrt();
 
-            self.arrival[id.0] = self.arrival[p.0] + step;
+            self.arrival[v] = self.arrival[p] + step;
 
-            if let NodeKind::Buffer { cell } = node.kind() {
+            if let Some(cell) = arena.buffer_cell(v) {
                 let c = &cells[cell];
-                self.arrival[id.0] += c.delay_ps(self.load[id.0]);
-                self.src_slew[id.0] = c.output_slew_ps(self.load[id.0]);
+                self.arrival[v] += c.delay_ps(self.load[v]);
+                self.src_slew[v] = c.output_slew_ps(self.load[v]);
             }
         }
 
         // Optional D2M refinement: recompute arrivals with two-moment wire
         // delays per stage.
         if opts.metric == DelayMetric::D2m {
-            self.refine_d2m(tree, cells);
+            self.refine_d2m(arena, cells);
         }
 
         // Aggregate.
@@ -225,14 +228,14 @@ impl Analyzer {
             min_arrival = 0.0;
         }
         let mut max_slew = 0.0f64;
-        for node in tree.nodes() {
-            let checked = node.kind().is_sink() || node.kind().is_buffer();
-            if checked && node.parent().is_some() {
-                max_slew = max_slew.max(self.slew[node.id().0]);
+        for (v, &par) in parents.iter().enumerate().take(n) {
+            let checked = arena.is_sink(v) || arena.is_buffer(v);
+            if checked && par != snr_cts::NO_PARENT {
+                max_slew = max_slew.max(self.slew[v]);
             }
         }
-        if tree.len() == 1 {
-            max_slew = self.slew[root.0];
+        if n == 1 {
+            max_slew = self.slew[root];
         }
 
         TimingReport {
@@ -246,17 +249,12 @@ impl Analyzer {
         }
     }
 
-    /// Capacitance node `id` presents to its *parent's* stage: buffers hide
+    /// Capacitance node `v` presents to its *parent's* stage: buffers hide
     /// their subtree behind their input pin.
-    fn in_stage_cap(
-        &self,
-        tree: &ClockTree,
-        cells: &[snr_tech::BufferCell],
-        id: NodeId,
-    ) -> f64 {
-        match tree.node(id).kind() {
-            NodeKind::Buffer { cell } => cells[cell].input_cap_ff(),
-            _ => self.load[id.0],
+    fn in_stage_cap(&self, arena: &TreeArena, cells: &[snr_tech::BufferCell], v: usize) -> f64 {
+        match arena.buffer_cell(v) {
+            Some(cell) => cells[cell].input_cap_ff(),
+            None => self.load[v],
         }
     }
 
@@ -266,89 +264,96 @@ impl Analyzer {
     /// The second moment of an RC tree node is
     /// `m2(v) = Σᵢ R_shared(v,i) · Cᵢ · m1(i)`, computed exactly like Elmore
     /// with the capacitances weighted by their own first moments.
-    fn refine_d2m(&mut self, tree: &ClockTree, cells: &[snr_tech::BufferCell]) {
+    fn refine_d2m(&mut self, arena: &TreeArena, cells: &[snr_tech::BufferCell]) {
         // Pass A (postorder): B[v] = Σ_subtree-within-stage C_i · m1(i),
         // with edge caps split half/half between endpoints.
         for v in &mut self.m2b {
             *v = 0.0;
         }
-        for id in tree.postorder() {
-            let node = tree.node(id);
-            let is_buf = node.kind().is_buffer();
+        let n = arena.len();
+        let parents = arena.parents();
+        for v in (0..n).rev() {
+            let is_buf = arena.is_buffer(v);
+            let has_parent = parents[v] != snr_cts::NO_PARENT;
             // Node-lumped capacitance within the *parent's* stage: terminal
             // cap, the far half of the node's own edge, and (for non-buffer
             // nodes) the near halves of the children edges. A buffer's
             // children edges belong to the next stage.
-            let mut lump = match node.kind() {
-                NodeKind::Sink { cap_ff, .. } => cap_ff,
-                NodeKind::Buffer { cell } if node.parent().is_some() => {
-                    cells[cell].input_cap_ff()
+            let mut lump = if arena.is_sink(v) {
+                arena.sink_cap_ff(v)
+            } else {
+                match arena.buffer_cell(v) {
+                    Some(cell) if has_parent => cells[cell].input_cap_ff(),
+                    _ => 0.0,
                 }
-                _ => 0.0,
             };
-            if node.parent().is_some() {
-                lump += self.edge_c[id.0] / 2.0;
+            if has_parent {
+                lump += self.edge_c[v] / 2.0;
             }
             if !is_buf {
-                for &ch in node.children() {
-                    lump += self.edge_c[ch.0] / 2.0;
+                for &ch in arena.children(v) {
+                    lump += self.edge_c[ch as usize] / 2.0;
                 }
             }
-            let mut b = lump * self.wire_m1[id.0];
+            let mut b = lump * self.wire_m1[v];
             if !is_buf {
-                for &ch in node.children() {
-                    b += self.m2b[ch.0];
+                for &ch in arena.children(v) {
+                    b += self.m2b[ch as usize];
                 }
             }
-            self.m2b[id.0] = b;
+            self.m2b[v] = b;
         }
         // Pass B (topo): m2 accumulates like Elmore with B as the load.
-        for id in tree.topo_order() {
-            let node = tree.node(id);
-            let Some(p) = node.parent() else { continue };
-            let parent_is_source =
-                tree.node(p).kind().is_buffer() || tree.node(p).parent().is_none();
-            let step = self.edge_r[id.0] * self.m2b[id.0];
-            self.wire_m2[id.0] = if parent_is_source {
+        for v in 0..n {
+            let p = parents[v];
+            if p == snr_cts::NO_PARENT {
+                continue;
+            }
+            let p = p as usize;
+            let parent_is_source = arena.is_buffer(p) || parents[p] == snr_cts::NO_PARENT;
+            let step = self.edge_r[v] * self.m2b[v];
+            self.wire_m2[v] = if parent_is_source {
                 step
             } else {
-                self.wire_m2[p.0] + step
+                self.wire_m2[p] + step
             };
         }
         // Rebuild arrivals with D2M per stage.
-        for id in tree.topo_order() {
-            let node = tree.node(id);
-            let Some(p) = node.parent() else { continue };
-            let m1 = self.wire_m1[id.0];
-            let m2 = self.wire_m2[id.0];
+        for v in 0..n {
+            let p = parents[v];
+            if p == snr_cts::NO_PARENT {
+                continue;
+            }
+            let p = p as usize;
+            let m1 = self.wire_m1[v];
+            let m2 = self.wire_m2[v];
             let wire_delay = if m2 > 0.0 && m1 > 0.0 {
                 (LN2 * m1 * m1 / m2.sqrt()).min(m1)
             } else {
                 m1
             };
-            let parent_is_source =
-                tree.node(p).kind().is_buffer() || tree.node(p).parent().is_none();
+            let parent_is_source = arena.is_buffer(p) || parents[p] == snr_cts::NO_PARENT;
             let base = if parent_is_source {
-                self.arrival[p.0]
+                self.arrival[p]
             } else {
                 // Parent arrival minus the parent's own wire delay gives the
                 // stage-source arrival.
-                self.arrival[p.0] - self.stage_wire_delay(tree, p)
+                self.arrival[p] - self.stage_wire_delay(arena, p)
             };
             let mut a = base + wire_delay;
-            if let NodeKind::Buffer { cell } = node.kind() {
-                a += cells[cell].delay_ps(self.load[id.0]);
+            if let Some(cell) = arena.buffer_cell(v) {
+                a += cells[cell].delay_ps(self.load[v]);
             }
-            self.arrival[id.0] = a;
+            self.arrival[v] = a;
         }
     }
 
     /// D2M wire delay already folded into `arrival[node]` (0 at stage
     /// sources).
-    fn stage_wire_delay(&self, tree: &ClockTree, node: NodeId) -> f64 {
-        let m1 = self.wire_m1[node.0];
-        let m2 = self.wire_m2[node.0];
-        if tree.node(node).kind().is_buffer() {
+    fn stage_wire_delay(&self, arena: &TreeArena, v: usize) -> f64 {
+        let m1 = self.wire_m1[v];
+        let m2 = self.wire_m2[v];
+        if arena.is_buffer(v) {
             return 0.0;
         }
         if m2 > 0.0 && m1 > 0.0 {
@@ -506,7 +511,7 @@ mod tests {
         // edge's wire cap belongs to its parent's stage.
         let edge = tree
             .edges()
-            .find(|e| !tree.node(*e).children().is_empty() && !tree.node(*e).kind().is_buffer())
+            .find(|e| !tree.node(*e).is_leaf() && !tree.node(*e).kind().is_buffer())
             .unwrap();
         asg.set(edge, rules.default_id());
         let after = analyze(&tree, &tech, &asg, &o);

@@ -190,15 +190,16 @@ impl IncrementalAnalyzer {
         );
         let n = tree.len();
         let root = tree.root();
+        let arena = tree.arena();
+        let parents = arena.parents();
 
         // Stage sources in topological (= id) order.
         let mut stages = Vec::new();
         let mut headed = vec![NO_STAGE; n];
-        for id in tree.topo_order() {
-            let node = tree.node(id);
-            if node.parent().is_none() || node.kind().is_buffer() {
-                headed[id.0] = stages.len() as u32;
-                stages.push(id);
+        for v in 0..n {
+            if parents[v] == snr_cts::NO_PARENT || arena.is_buffer(v) {
+                headed[v] = stages.len() as u32;
+                stages.push(NodeId(v));
             }
         }
         debug_assert_eq!(stages[0], root, "root must head the first stage");
@@ -207,24 +208,22 @@ impl IncrementalAnalyzer {
         // Owning stage of each node's wire values: the nearest strict
         // ancestor that is a source.
         let mut owner = vec![0u32; n];
-        for id in tree.topo_order() {
-            let Some(p) = tree.node(id).parent() else {
-                owner[id.0] = headed[id.0];
+        for v in 0..n {
+            let p = parents[v];
+            if p == snr_cts::NO_PARENT {
+                owner[v] = headed[v];
                 continue;
-            };
-            owner[id.0] = if headed[p.0] != NO_STAGE {
-                headed[p.0]
-            } else {
-                owner[p.0]
-            };
+            }
+            let p = p as usize;
+            owner[v] = if headed[p] != NO_STAGE { headed[p] } else { owner[p] };
         }
 
         // Members grouped by owner, ascending id (counting sort keeps the
         // topological order within each stage).
         let mut counts = vec![0u32; s_count];
-        for id in tree.topo_order() {
-            if tree.node(id).parent().is_some() {
-                counts[owner[id.0] as usize] += 1;
+        for v in 0..n {
+            if parents[v] != snr_cts::NO_PARENT {
+                counts[owner[v] as usize] += 1;
             }
         }
         let mut member_range = Vec::with_capacity(s_count);
@@ -235,10 +234,10 @@ impl IncrementalAnalyzer {
         }
         let mut member_nodes = vec![NodeId(0); start as usize];
         let mut cursor: Vec<u32> = member_range.iter().map(|&(lo, _)| lo).collect();
-        for id in tree.topo_order() {
-            if tree.node(id).parent().is_some() {
-                let si = owner[id.0] as usize;
-                member_nodes[cursor[si] as usize] = id;
+        for v in 0..n {
+            if parents[v] != snr_cts::NO_PARENT {
+                let si = owner[v] as usize;
+                member_nodes[cursor[si] as usize] = NodeId(v);
                 cursor[si] += 1;
             }
         }
@@ -546,6 +545,7 @@ impl IncrementalAnalyzer {
     /// mirroring the full analyzer's two passes over just this stage.
     fn recompute_stage(&mut self, tree: &ClockTree, tech: &Technology, si: usize) {
         let ep = self.epoch;
+        let arena = tree.arena();
         let layer = tech.clock_layer();
         let rules = tech.rules();
         let cells = tech.buffers().cells();
@@ -575,7 +575,8 @@ impl IncrementalAnalyzer {
                     NodeKind::Sink { cap_ff, .. } => cap_ff,
                     _ => 0.0,
                 };
-                for &ch in node.children() {
+                for &ch in arena.children(v.0) {
+                    let ch = NodeId(ch as usize);
                     acc += self.p_edge_c[ch.0] + self.pending_in_stage_cap(tree, cells, ch);
                 }
                 self.p_load[v.0] = acc;
@@ -589,7 +590,8 @@ impl IncrementalAnalyzer {
             NodeKind::Sink { cap_ff, .. } => cap_ff,
             _ => 0.0,
         };
-        for &ch in snode.children() {
+        for &ch in arena.children(src.0) {
+            let ch = NodeId(ch as usize);
             acc += self.p_edge_c[ch.0] + self.pending_in_stage_cap(tree, cells, ch);
         }
         self.p_load[src.0] = acc;

@@ -41,9 +41,11 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 mod analysis;
+mod batch;
 mod incremental;
 mod report;
 
 pub use analysis::{analyze, analyze_at_corner, Analyzer, AnalysisOptions, DelayMetric};
+pub use batch::{BatchAnalyzer, EdgeNominals};
 pub use incremental::{IncrementalAnalyzer, TimingSummary};
 pub use report::TimingReport;

@@ -59,6 +59,11 @@ impl TimingReport {
         self.latency_ps
     }
 
+    /// Minimum sink arrival, in ps.
+    pub fn min_arrival_ps(&self) -> f64 {
+        self.min_arrival_ps
+    }
+
     /// Global skew: max − min sink arrival, in ps.
     pub fn skew_ps(&self) -> f64 {
         self.latency_ps - self.min_arrival_ps

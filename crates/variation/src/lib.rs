@@ -13,13 +13,18 @@
 //! * per-edge R/C perturbation through [`snr_tech::Layer::unit_r_varied`] /
 //!   [`unit_c_varied`](snr_tech::Layer::unit_c_varied) — narrow rules suffer
 //!   more, exactly as in silicon;
-//! * skew/latency distributions via [`snr_timing::Analyzer::run_scaled`].
+//! * skew/latency distributions via the multi-lane
+//!   [`snr_timing::BatchAnalyzer`]: samples are chunked into [`LANES`]-wide
+//!   batches so tree structure and rule tables are read once per chunk
+//!   instead of once per sample.
 //!
 //! Sampling is parallel (see [`MonteCarlo::with_parallelism`]) and
-//! **bit-identical for any thread count**: every sample derives its own RNG
-//! stream as `seed ^ splitmix64(sample_index)`, so the drawn variation
-//! vector is a pure function of the run seed and the sample index, never of
-//! scheduling.
+//! **bit-identical for any thread count and any batching**: every sample
+//! derives its own RNG stream as `seed ^ splitmix64(sample_index)`, so the
+//! drawn variation vector is a pure function of the run seed and the sample
+//! index, never of scheduling — and every batch lane performs the serial
+//! analyzer's floating-point operations in the serial order, so batching
+//! never changes a single bit of the statistics.
 //!
 //! # Examples
 //!
@@ -46,12 +51,56 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use snr_cts::{Assignment, ClockTree};
+use snr_cts::{Assignment, ClockTree, NodeId};
 use snr_geom::Rect;
 use snr_par::{splitmix64, try_par_map_n, CancelToken, Cancelled, Parallelism};
-use snr_tech::Technology;
-use snr_timing::{AnalysisOptions, Analyzer};
+use snr_tech::{Rule, RuleId, Technology};
+use snr_timing::{BatchAnalyzer, EdgeNominals};
 use std::fmt;
+
+/// Lane width of the batched sampler: samples are evaluated in chunks of
+/// this many [`snr_timing::BatchAnalyzer`] lanes (the final chunk may be
+/// ragged). Purely an execution detail — results are bit-identical for any
+/// lane width.
+pub const LANES: usize = 16;
+
+/// Why a Monte-Carlo run returned no statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VariationError {
+    /// The cancel token fired before every sample completed. Partial
+    /// statistics are never reported.
+    Cancelled,
+    /// The assignment references a rule outside the technology's rule set.
+    /// Detected up front, before any sampling starts — a malformed
+    /// assignment can never panic a parallel sample worker.
+    RuleOutOfRange {
+        /// The edge (child node id) carrying the unknown rule.
+        edge: NodeId,
+        /// The out-of-range rule id.
+        rule: RuleId,
+    },
+}
+
+impl fmt::Display for VariationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VariationError::Cancelled => write!(f, "Monte-Carlo run cancelled"),
+            VariationError::RuleOutOfRange { edge, rule } => write!(
+                f,
+                "assignment references a rule outside the rule set (rule r{} on edge {edge})",
+                rule.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VariationError {}
+
+impl From<Cancelled> for VariationError {
+    fn from(_: Cancelled) -> Self {
+        VariationError::Cancelled
+    }
+}
 
 /// Statistical model of wire-width variation.
 ///
@@ -312,28 +361,35 @@ impl MonteCarlo {
     /// # Panics
     ///
     /// Panics if the assignment does not match the tree (see
-    /// [`snr_timing::Analyzer::run`]).
+    /// [`snr_timing::Analyzer::run`]) or references a rule outside the
+    /// technology's rule set; use [`run_with_token`](Self::run_with_token)
+    /// to receive the latter as a typed [`VariationError`] instead.
     pub fn run(
         &self,
         tree: &ClockTree,
         tech: &Technology,
         assignment: &Assignment,
     ) -> VariationReport {
-        #[allow(clippy::expect_used)]
-        self.run_with_token(tree, tech, assignment, &CancelToken::new())
-            .expect("an unfired token never cancels")
+        match self.run_with_token(tree, tech, assignment, &CancelToken::new()) {
+            Ok(rep) => rep,
+            Err(VariationError::Cancelled) => unreachable!("an unfired token never cancels"),
+            Err(e @ VariationError::RuleOutOfRange { .. }) => panic!("{e}"),
+        }
     }
 
     /// [`run`](Self::run) under a cooperative [`CancelToken`]: sampling
     /// stops at the next work-claim boundary once the token fires (e.g. a
-    /// `--timeout` deadline) and the whole run returns `Err(Cancelled)` —
-    /// partial statistics are never reported, because a sample subset
-    /// would silently change the distribution.
+    /// `--timeout` deadline) and the whole run returns
+    /// `Err(VariationError::Cancelled)` — partial statistics are never
+    /// reported, because a sample subset would silently change the
+    /// distribution.
     ///
     /// # Errors
     ///
-    /// Returns [`Cancelled`] if the token fired before every sample
-    /// completed.
+    /// Returns [`VariationError::Cancelled`] if the token fired before
+    /// every sample completed, and [`VariationError::RuleOutOfRange`] if
+    /// the assignment references a rule id the technology does not define
+    /// (checked up front, before any sampling).
     ///
     /// # Panics
     ///
@@ -345,11 +401,10 @@ impl MonteCarlo {
         tech: &Technology,
         assignment: &Assignment,
         token: &CancelToken,
-    ) -> Result<VariationReport, Cancelled> {
+    ) -> Result<VariationReport, VariationError> {
         let n = tree.len();
         let layer = tech.clock_layer();
         let rules = tech.rules();
-        let opts = AnalysisOptions::default();
 
         // Edge midpoints -> correlation-grid cells.
         let bbox = Rect::bounding(tree.nodes().iter().map(|nd| nd.location()))
@@ -378,9 +433,23 @@ impl MonteCarlo {
         };
 
         // The correlation cells depend only on geometry: resolve them once
-        // so every sample worker shares a read-only table.
+        // so every sample worker shares a read-only table. The per-edge
+        // rules are validated and resolved here too — a malformed assignment
+        // fails the whole run up front instead of panicking a worker.
         let edges: Vec<snr_cts::NodeId> = tree.edges().collect();
         let cells: Vec<usize> = edges.iter().map(|&e| cell_of(e)).collect();
+        let edge_rules: Vec<Rule> = edges
+            .iter()
+            .map(|&e| {
+                let id = assignment.rule(e);
+                rules
+                    .get(id)
+                    .ok_or(VariationError::RuleOutOfRange { edge: e, rule: id })
+            })
+            .collect::<Result<_, _>>()?;
+        // Nominal parasitics are shared by every chunk (one rule-table sweep
+        // for the whole run instead of one per chunk).
+        let nominals = EdgeNominals::compute(tree, tech, assignment);
 
         let sd = self.model.sigma_w_um;
         let (w_die, w_sp, w_rnd) = (
@@ -389,53 +458,69 @@ impl MonteCarlo {
             self.model.frac_random().sqrt(),
         );
 
+        // Samples are evaluated LANES at a time through the batched kernel:
+        // chunk c covers samples [c·LANES, c·LANES + lk) with a possibly
+        // ragged final chunk. Scale vectors are lane-major ([edge·lk + l]),
+        // and each lane's RNG stream is exactly the stream the serial path
+        // gave that sample index, so the report stays bit-identical.
         struct Scratch {
-            analyzer: Analyzer,
+            batch: BatchAnalyzer,
             r_scale: Vec<f64>,
             c_scale: Vec<f64>,
             g_cells: Vec<f64>,
         }
-        let samples: Vec<(f64, f64)> = try_par_map_n(
+        let n_samples = self.n_samples;
+        let n_chunks = n_samples.div_ceil(LANES);
+        let chunks: Vec<Vec<(f64, f64)>> = try_par_map_n(
             self.parallelism,
-            self.n_samples,
+            n_chunks,
             token,
             |_worker| Scratch {
-                analyzer: Analyzer::new(),
-                r_scale: vec![1.0f64; n],
-                c_scale: vec![1.0f64; n],
+                batch: BatchAnalyzer::new(),
+                r_scale: Vec::new(),
+                c_scale: Vec::new(),
                 g_cells: Vec::with_capacity(g * g),
             },
-            |scratch, i| {
-                // Each sample owns an RNG stream derived from (seed, i), so
-                // the drawn vector never depends on which worker runs it or
-                // how samples are interleaved — the determinism contract.
-                let mut rng = StdRng::seed_from_u64(self.seed ^ splitmix64(i as u64));
-                let g_die = gaussian(&mut rng);
-                scratch.g_cells.clear();
-                scratch
-                    .g_cells
-                    .extend((0..g * g).map(|_| gaussian(&mut rng)));
-                for (k, &e) in edges.iter().enumerate() {
-                    let g_e = gaussian(&mut rng);
-                    let dw =
-                        sd * (w_die * g_die + w_sp * scratch.g_cells[cells[k]] + w_rnd * g_e);
-                    let rule = rules
-                        .get(assignment.rule(e))
-                        .expect("assignment references a rule outside the rule set");
-                    scratch.r_scale[e.0] = layer.unit_r_varied(rule, dw) / layer.unit_r(rule);
-                    scratch.c_scale[e.0] =
-                        layer.unit_c_delay_varied(rule, dw) / layer.unit_c_delay(rule);
+            |scratch, ci| {
+                let lk = LANES.min(n_samples - ci * LANES);
+                scratch.r_scale.clear();
+                scratch.r_scale.resize(n * lk, 1.0);
+                scratch.c_scale.clear();
+                scratch.c_scale.resize(n * lk, 1.0);
+                for l in 0..lk {
+                    let i = ci * LANES + l;
+                    // Each sample owns an RNG stream derived from (seed, i),
+                    // so the drawn vector never depends on which worker or
+                    // lane evaluates it — the determinism contract.
+                    let mut rng = StdRng::seed_from_u64(self.seed ^ splitmix64(i as u64));
+                    let g_die = gaussian(&mut rng);
+                    scratch.g_cells.clear();
+                    scratch
+                        .g_cells
+                        .extend((0..g * g).map(|_| gaussian(&mut rng)));
+                    for (k, &e) in edges.iter().enumerate() {
+                        let g_e = gaussian(&mut rng);
+                        let dw =
+                            sd * (w_die * g_die + w_sp * scratch.g_cells[cells[k]] + w_rnd * g_e);
+                        let rule = edge_rules[k];
+                        scratch.r_scale[e.0 * lk + l] =
+                            layer.unit_r_varied(rule, dw) / layer.unit_r(rule);
+                        scratch.c_scale[e.0 * lk + l] =
+                            layer.unit_c_delay_varied(rule, dw) / layer.unit_c_delay(rule);
+                    }
                 }
-                let rep = scratch.analyzer.run_scaled(
+                let lanes = scratch.batch.run_scaled_nominal(
                     tree,
                     tech,
-                    assignment,
-                    Some((&scratch.r_scale, &scratch.c_scale)),
-                    &opts,
+                    &nominals,
+                    lk,
+                    &scratch.r_scale,
+                    &scratch.c_scale,
                 );
-                (rep.skew_ps(), rep.latency_ps())
+                lanes.iter().map(|s| (s.skew_ps(), s.latency_ps)).collect()
             },
         )?;
+        let samples: Vec<(f64, f64)> = chunks.into_iter().flatten().collect();
         Ok(VariationReport {
             skew_ps: samples.iter().map(|&(s, _)| s).collect(),
             latency_ps: samples.iter().map(|&(_, l)| l).collect(),
@@ -490,13 +575,47 @@ mod tests {
         fired.cancel();
         assert_eq!(
             mc.run_with_token(&tree, &tech, &asg, &fired),
-            Err(Cancelled)
+            Err(VariationError::Cancelled)
         );
         // An unfired token changes nothing.
         let calm = CancelToken::new();
         assert_eq!(
             mc.run_with_token(&tree, &tech, &asg, &calm).unwrap(),
             mc.run(&tree, &tech, &asg)
+        );
+    }
+
+    #[test]
+    fn out_of_range_rule_is_a_typed_error_not_a_worker_panic() {
+        let (tree, tech) = setup(40);
+        let bogus = RuleId(tech.rules().len() + 7);
+        let asg = Assignment::uniform(&tree, bogus);
+        let mc = MonteCarlo::new(VariationModel::default(), 10, 3);
+        let err = mc
+            .run_with_token(&tree, &tech, &asg, &CancelToken::new())
+            .unwrap_err();
+        match err {
+            VariationError::RuleOutOfRange { rule, .. } => assert_eq!(rule, bogus),
+            other => panic!("expected RuleOutOfRange, got {other:?}"),
+        }
+        assert!(err.to_string().contains("outside the rule set"));
+    }
+
+    #[test]
+    fn batching_is_bit_identical_for_ragged_sample_counts() {
+        // 13 samples = one full 8-lane chunk plus a ragged 5-lane chunk;
+        // the sample statistics must not depend on how lanes are packed.
+        let (tree, tech) = setup(60);
+        let asg = Assignment::uniform(&tree, tech.rules().default_id());
+        let rep = MonteCarlo::new(VariationModel::default(), 13, 5).run(&tree, &tech, &asg);
+        assert_eq!(rep.n_samples(), 13);
+        // Every prefix of a longer run matches: sample i depends only on
+        // (seed, i), never on n_samples or its chunk position.
+        let longer = MonteCarlo::new(VariationModel::default(), 21, 5).run(&tree, &tech, &asg);
+        assert_eq!(
+            rep.skew_samples_ps(),
+            &longer.skew_samples_ps()[..13],
+            "sample streams must be independent of n_samples"
         );
     }
 

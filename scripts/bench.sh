@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Regenerates the performance artifacts: the criterion micro-benchmarks and
-# the BENCH_parallel.json / BENCH_cache.json records at the repository root.
+# the BENCH_parallel.json / BENCH_cache.json / BENCH_timing.json records at
+# the repository root.
 #
-#   scripts/bench.sh            full run (criterion + bench_parallel + bench_cache)
-#   scripts/bench.sh --smoke    fast pass: bench_parallel/bench_cache --smoke
-#                               only, writing both records in smoke mode
+#   scripts/bench.sh            full run (criterion + bench_parallel +
+#                               bench_cache + bench_timing)
+#   scripts/bench.sh --smoke    fast pass: bench_parallel/bench_cache/
+#                               bench_timing --smoke only, writing all three
+#                               records in smoke mode
 #
 # Speedups in BENCH_parallel.json depend on spare cores: a single-core
 # machine honestly records ~1x (the parallel paths are still exercised and
@@ -19,6 +22,8 @@ if [ "${1:-}" = "--smoke" ]; then
     cargo run -q --release -p snr-bench --bin bench_parallel -- --smoke
     step "bench_cache --smoke"
     cargo run -q --release -p snr-bench --bin bench_cache -- --smoke
+    step "bench_timing --smoke"
+    cargo run -q --release -p snr-bench --bin bench_timing -- --smoke
     exit 0
 fi
 
@@ -31,5 +36,8 @@ cargo run -q --release -p snr-bench --bin bench_parallel
 step "bench_cache (full)"
 cargo run -q --release -p snr-bench --bin bench_cache
 
+step "bench_timing (full)"
+cargo run -q --release -p snr-bench --bin bench_timing
+
 echo
-echo "bench: BENCH_parallel.json and BENCH_cache.json regenerated"
+echo "bench: BENCH_parallel.json, BENCH_cache.json and BENCH_timing.json regenerated"

@@ -66,6 +66,17 @@ fi
 # temp path so the checked-in full-mode BENCH_parallel.json stays put.
 target/release/bench_parallel --smoke --out "$T/BENCH_smoke.json" >/dev/null
 
+step "batched timing kernel smoke"
+# bench_timing --smoke asserts every batch lane bit-identical to the serial
+# analyzer before timing anything; temp output path for the same reason.
+target/release/bench_timing --smoke --out "$T/BENCH_timing_smoke.json" >/dev/null
+grep -q '"batched_kernel"' "$T/BENCH_timing_smoke.json" \
+    || { echo "FAIL: bench_timing smoke artifact is malformed" >&2; exit 1; }
+# The checked-in full-mode record must stay well-formed and cover the
+# 100k-sink row the README cites.
+grep -q '"sinks": 100000' BENCH_timing.json \
+    || { echo "FAIL: BENCH_timing.json lost its 100k-sink row" >&2; exit 1; }
+
 step "supervision smoke"
 # Anytime contract: an absurdly small budget still yields a feasible
 # result (exit 0) with an exhausted-budget receipt in the JSON.
