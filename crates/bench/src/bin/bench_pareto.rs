@@ -1,0 +1,149 @@
+//! `BENCH_pareto.json` — sweep throughput of the Pareto exploration
+//! service, written to the repository root.
+//!
+//! For each design size the default sweep runs three ways against the
+//! request→plan→execute path: serial, parallel (`jobs` workers), and
+//! store-warm (every point replayed from a durable store the cold run
+//! populated). Before anything is timed, the three fronts are asserted
+//! byte-identical — the headline contract of `smart-ndr pareto` is that
+//! scheduling changes latency, never bytes.
+//!
+//! `--smoke` shrinks the workloads so the whole run fits in a verify
+//! gate; `--out <FILE>` overrides the output path.
+
+use snr_serve::render::pareto_json;
+use snr_serve::{execute, plan, DesignSource, ExecCtx, ParetoRequest, Request, Response};
+use snr_store::ResultStore;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn request(sinks: usize, seed: u64, jobs: Option<usize>) -> Request {
+    let mut req = ParetoRequest::new(DesignSource::Generate { sinks, seed, freq_ghz: 1.0 });
+    req.jobs = jobs;
+    Request::Pareto(req)
+}
+
+/// Executes one sweep, returning the rendered result JSON and how many
+/// points the store replayed.
+fn sweep_once(store: Option<&ResultStore>, req: &Request) -> (String, usize) {
+    let ctx = ExecCtx { cache: None, store, sink: None, on_token: None };
+    let plan = plan(req).expect("plan");
+    match execute(&plan, &ctx).expect("execute") {
+        Response::Pareto(resp) => (pareto_json(&resp), resp.replayed),
+        other => panic!("unexpected response {other:?}"),
+    }
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+struct Row {
+    sinks: usize,
+    points: usize,
+    serial_s: f64,
+    parallel_s: f64,
+    warm_s: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path: PathBuf = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pareto.json")
+        });
+
+    let sizes: &[usize] = if smoke { &[200] } else { &[400, 800, 1600] };
+    let reps = if smoke { 2 } else { 5 };
+    let jobs = 4usize;
+    let scratch = std::env::temp_dir().join(format!("snr-bench-pareto-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let mut rows = Vec::new();
+    for (i, &sinks) in sizes.iter().enumerate() {
+        let seed = 200 + i as u64;
+        let serial_req = request(sinks, seed, None);
+        let parallel_req = request(sinks, seed, Some(jobs));
+        let (mut serials, mut parallels, mut warms) = (Vec::new(), Vec::new(), Vec::new());
+        let mut points = 0usize;
+        for rep in 0..reps {
+            let t0 = Instant::now();
+            let (serial_json, _) = sweep_once(None, &serial_req);
+            serials.push(t0.elapsed().as_secs_f64());
+
+            let t0 = Instant::now();
+            let (parallel_json, _) = sweep_once(None, &parallel_req);
+            parallels.push(t0.elapsed().as_secs_f64());
+            assert_eq!(parallel_json, serial_json, "front must not depend on jobs");
+
+            // A fresh directory per rep keeps the cold fill genuinely
+            // cold; the timed warm sweep replays every point from disk.
+            let store = ResultStore::open(&scratch.join(format!("{sinks}-{rep}")))
+                .expect("open store");
+            let (cold_json, replayed) = sweep_once(Some(&store), &parallel_req);
+            assert_eq!(replayed, 0, "first store sweep must compute every point");
+            let t0 = Instant::now();
+            let (warm_json, replayed) = sweep_once(Some(&store), &parallel_req);
+            warms.push(t0.elapsed().as_secs_f64());
+            assert!(replayed > 0, "second store sweep must replay");
+            assert_eq!(warm_json, cold_json, "a replayed front must be byte-identical");
+            assert_eq!(warm_json, serial_json, "store participation must not change bytes");
+            points = replayed;
+        }
+        let row = Row {
+            sinks,
+            points,
+            serial_s: median(serials),
+            parallel_s: median(parallels),
+            warm_s: median(warms),
+        };
+        eprintln!(
+            "pareto {sinks} sinks ({} points): serial {:.4}s, jobs={jobs} {:.4}s ({:.1}x), warm {:.4}s ({:.0}x)",
+            row.points,
+            row.serial_s,
+            row.parallel_s,
+            row.serial_s / row.parallel_s,
+            row.warm_s,
+            row.serial_s / row.warm_s,
+        );
+        rows.push(row);
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let rows_json = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"sinks\": {}, \"points\": {}, \"serial_s\": {:.6}, \"parallel_s\": {:.6}, \
+                 \"warm_s\": {:.6}, \"parallel_speedup\": {:.1}, \"warm_speedup\": {:.1}}}",
+                r.sinks,
+                r.points,
+                r.serial_s,
+                r.parallel_s,
+                r.warm_s,
+                r.serial_s / r.parallel_s,
+                r.serial_s / r.warm_s,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n      ");
+    let machine = snr_bench::machine_json();
+    let json = format!(
+        "{{\n  \"generated_by\": \"scripts/bench.sh (bench_pareto{})\",\n  \"mode\": \"{}\",\n  \
+         \"machine\": {machine},\n  \
+         \"note\": \"default 15-point sweep; serial vs jobs=4 vs store-warm replay; fronts are asserted byte-identical across all three before timing\",\n  \
+         \"benches\": {{\n    \"pareto_sweep\": [\n      {rows_json}\n    ]\n  }}\n}}\n",
+        if smoke { " --smoke" } else { "" },
+        if smoke { "smoke" } else { "full" },
+    );
+    // Atomic: an interrupted bench must not leave a truncated artifact.
+    snr_fsio::atomic_write(&out_path, json.as_bytes()).expect("write BENCH_pareto.json");
+    println!("{json}");
+    println!("[written {}]", out_path.display());
+}

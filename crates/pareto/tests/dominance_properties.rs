@@ -1,0 +1,126 @@
+//! Property-based pinning of the dominance filter.
+//!
+//! The [`ParetoFront`] incremental filter is the one component every
+//! determinism claim of the `pareto` command rests on, so its contract
+//! is pinned four ways against randomly generated point sets:
+//!
+//! 1. the output is *mutually non-dominated*;
+//! 2. the output contains *every* non-dominated input point (including
+//!    duplicated objective vectors — equal vectors never dominate);
+//! 3. membership is *insertion-order independent*;
+//! 4. filtering is *idempotent* — re-filtering a front is the identity.
+//!
+//! Plus the oracle: the incremental filter agrees exactly with the
+//! brute-force O(n²) scan. Objective values are drawn from a small
+//! integer grid so ties, duplicates and dominance chains all occur with
+//! high probability instead of almost never (random reals are almost
+//! surely mutually non-dominated in four dimensions).
+
+use proptest::prelude::*;
+use snr_pareto::{brute_force_front, FrontPoint, Objectives, ParetoFront};
+
+/// One objective vector from a 6×6×6×6 integer grid, scaled to
+/// plausible magnitudes so the axes are not interchangeable.
+fn arb_objectives() -> impl Strategy<Value = Objectives> {
+    (0u32..6, 0u32..6, 0u32..6, 0u32..6).prop_map(|(p, s, v, t)| Objectives {
+        power_uw: 1000.0 + 100.0 * f64::from(p),
+        skew_ps: 5.0 * f64::from(s),
+        sigma_skew_ps: 0.5 * f64::from(v),
+        track_cost_um: 8000.0 + 500.0 * f64::from(t),
+    })
+}
+
+/// A point set with the indices a sweep would assign (positional).
+fn arb_points() -> impl Strategy<Value = Vec<FrontPoint>> {
+    proptest::collection::vec(arb_objectives(), 0..24).prop_map(|objs| {
+        objs.into_iter()
+            .enumerate()
+            .map(|(index, objectives)| FrontPoint { index, objectives })
+            .collect()
+    })
+}
+
+/// Runs every point through the incremental filter in the given order.
+fn filter(points: &[FrontPoint]) -> Vec<FrontPoint> {
+    let mut front = ParetoFront::new();
+    for &p in points {
+        front.insert(p);
+    }
+    front.into_sorted()
+}
+
+/// A deterministic permutation of `points` driven by `seed` (an
+/// explicit Fisher–Yates so the shuffle itself is reproducible).
+fn shuffled(points: &[FrontPoint], mut seed: u64) -> Vec<FrontPoint> {
+    let mut out = points.to_vec();
+    for i in (1..out.len()).rev() {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let j = (seed >> 33) as usize % (i + 1);
+        out.swap(i, j);
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn front_is_mutually_non_dominated(points in arb_points()) {
+        let front = filter(&points);
+        for a in &front {
+            for b in &front {
+                prop_assert!(
+                    !a.objectives.dominates(&b.objectives),
+                    "front member {} dominates front member {}", a.index, b.index
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn front_keeps_every_non_dominated_input(points in arb_points()) {
+        let front = filter(&points);
+        for p in &points {
+            let dominated = points.iter().any(|q| q.objectives.dominates(&p.objectives));
+            prop_assert_eq!(
+                front.iter().any(|f| f.index == p.index),
+                !dominated,
+                "point {} membership disagrees with its dominance status", p.index
+            );
+        }
+    }
+
+    #[test]
+    fn front_is_insertion_order_independent(points in arb_points(), seed in any::<u64>()) {
+        let canonical = filter(&points);
+        let permuted = filter(&shuffled(&points, seed));
+        prop_assert_eq!(canonical, permuted);
+    }
+
+    #[test]
+    fn filtering_is_idempotent(points in arb_points()) {
+        let once = filter(&points);
+        let twice = filter(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn incremental_filter_matches_brute_force_oracle(points in arb_points()) {
+        prop_assert_eq!(filter(&points), brute_force_front(&points));
+    }
+}
+
+/// Duplicated objective vectors must all survive: equal vectors never
+/// dominate each other, and property 2 depends on it. Pinned
+/// deterministically on top of the random coverage above.
+#[test]
+fn duplicate_vectors_all_survive() {
+    let objectives = Objectives {
+        power_uw: 2000.0,
+        skew_ps: 10.0,
+        sigma_skew_ps: 1.0,
+        track_cost_um: 9000.0,
+    };
+    let points: Vec<FrontPoint> =
+        (0..4).map(|index| FrontPoint { index, objectives }).collect();
+    assert_eq!(filter(&points), points);
+    assert_eq!(brute_force_front(&points), points);
+}

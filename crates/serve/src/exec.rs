@@ -24,9 +24,11 @@ use snr_store::{CacheKey, ContentHasher, Lookup, QuarantineReason, ResultStore, 
 use snr_tech::Technology;
 use snr_variation::{MonteCarlo, VariationError, VariationModel};
 
+use snr_pareto::{FrontPoint, ParetoFront, PointEval, SweepPoint};
+
 use crate::cache::{CacheStatus, Warm, WarmCache};
 use crate::error::ApiError;
-use crate::plan::{DesignInput, LintPlan, Plan, RunPlan, SuiteEntry, SuitePlan};
+use crate::plan::{DesignInput, LintPlan, ParetoPlan, Plan, RunPlan, SuiteEntry, SuitePlan};
 use crate::request::{CacheMode, Method};
 
 /// A progress event emitted while a plan executes. The daemon streams
@@ -56,10 +58,21 @@ pub enum Event {
     /// A durable result-store entry failed integrity verification and was
     /// quarantined; the work was recomputed from scratch.
     StoreQuarantined {
-        /// `run` or `suite`.
+        /// `run`, `suite` or `pareto`.
         scope: &'static str,
         /// Entry identity and the verification step that failed.
         detail: String,
+    },
+    /// One Pareto sweep point finished evaluating (fresh or replayed from
+    /// the result store). The final front is in the response; these
+    /// stream the candidates as they land.
+    FrontPoint {
+        /// The point's index in the sweep's canonical enumeration.
+        index: usize,
+        /// The measured evaluation.
+        eval: PointEval,
+        /// Whether the store served it without recomputation.
+        replayed: bool,
     },
 }
 
@@ -237,6 +250,48 @@ impl ReplayedRun {
     }
 }
 
+/// One member of a rendered Pareto front: the constraint point plus its
+/// measured objectives, in canonical (ascending index) order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParetoFrontRow {
+    /// The constraint point.
+    pub point: SweepPoint,
+    /// The measured objective vector.
+    pub objectives: snr_pareto::Objectives,
+}
+
+/// The result of a `pareto` plan: the non-dominated front over the
+/// evaluated points plus the sweep's bookkeeping. Every field that the
+/// JSON rendering exposes is deterministic — identical for any job
+/// count, and identical whether points were computed or replayed from
+/// the durable store.
+#[derive(Debug, Clone)]
+pub struct ParetoResponse {
+    /// The swept design.
+    pub design: Arc<Design>,
+    /// The technology the sweep used.
+    pub tech: Technology,
+    /// Size of the full canonical enumeration.
+    pub points_total: usize,
+    /// Points scheduled after `max_points` truncation.
+    pub points_planned: usize,
+    /// Points that completed (fresh + replayed).
+    pub evaluated: usize,
+    /// Completed points served from the durable store.
+    pub replayed: usize,
+    /// Completed points whose optimized assignment missed constraints
+    /// (reported, never front members).
+    pub infeasible: usize,
+    /// Whether the deadline cancelled part of the planned sweep.
+    pub cancelled: bool,
+    /// The non-dominated front, ascending by point index.
+    pub front: Vec<ParetoFrontRow>,
+    /// The sweep's budget receipt (`pareto-sweep` phase).
+    pub budget: snr_core::BudgetReport,
+    /// How this sweep interacted with the warm cache.
+    pub cache: CacheStatus,
+}
+
 /// The typed result of executing a plan.
 #[derive(Debug, Clone)]
 pub enum Response {
@@ -248,6 +303,8 @@ pub enum Response {
     Lint(Box<LintResponse>),
     /// A completed suite.
     Suite(SuiteResponse),
+    /// A completed Pareto sweep.
+    Pareto(Box<ParetoResponse>),
 }
 
 /// Executes a plan.
@@ -262,6 +319,7 @@ pub enum Response {
 pub fn execute(plan: &Plan, ctx: &ExecCtx<'_>) -> Result<Response, ApiError> {
     match plan {
         Plan::Run(p) => execute_run_stored(p, ctx),
+        Plan::Pareto(p) => execute_pareto(p, ctx).map(|r| Response::Pareto(Box::new(r))),
         Plan::Lint(p) => execute_lint(p).map(Response::Lint),
         Plan::Suite(p) => execute_suite(p, ctx).map(Response::Suite),
     }
@@ -361,8 +419,12 @@ fn lock_cache(cache: &Mutex<WarmCache>) -> std::sync::MutexGuard<'_, WarmCache> 
 }
 
 /// Parses/generates the design and synthesizes its tree (the cold path).
-fn build_warm(plan: &RunPlan, ctx: &ExecCtx<'_>) -> Result<Arc<Warm>, ApiError> {
-    let design = ctx.phase("parse", || match &plan.input {
+fn build_warm(
+    input: &DesignInput,
+    tech: &Technology,
+    ctx: &ExecCtx<'_>,
+) -> Result<Arc<Warm>, ApiError> {
+    let design = ctx.phase("parse", || match input {
         DesignInput::Bytes(bytes) => {
             load_design(&bytes[..]).map_err(|e| ApiError::invalid(e.to_string()))
         }
@@ -375,7 +437,7 @@ fn build_warm(plan: &RunPlan, ctx: &ExecCtx<'_>) -> Result<Arc<Warm>, ApiError> 
         }
     })?;
     let tree = ctx.phase("cts", || {
-        synthesize(&design, &plan.tech, &CtsOptions::default())
+        synthesize(&design, tech, &CtsOptions::default())
             .map_err(|e| ApiError::infeasible(e.to_string()))
     })?;
     Ok(Arc::new(Warm { design: Arc::new(design), tree: Arc::new(tree) }))
@@ -383,21 +445,24 @@ fn build_warm(plan: &RunPlan, ctx: &ExecCtx<'_>) -> Result<Arc<Warm>, ApiError> 
 
 /// Serves the design+tree from the warm cache or computes them.
 fn acquire_warm(
-    plan: &RunPlan,
+    input: &DesignInput,
+    tech: &Technology,
+    key: CacheKey,
+    cache_mode: CacheMode,
     ctx: &ExecCtx<'_>,
 ) -> Result<(Arc<Warm>, CacheStatus), ApiError> {
-    let cache = match (plan.cache, ctx.cache) {
-        (crate::request::CacheMode::On, Some(cache)) => cache,
-        _ => return Ok((build_warm(plan, ctx)?, CacheStatus::Off)),
+    let cache = match (cache_mode, ctx.cache) {
+        (CacheMode::On, Some(cache)) => cache,
+        _ => return Ok((build_warm(input, tech, ctx)?, CacheStatus::Off)),
     };
-    if let Some(warm) = lock_cache(cache).lookup(plan.key) {
+    if let Some(warm) = lock_cache(cache).lookup(key) {
         return Ok((warm, CacheStatus::Hit));
     }
     // Build outside the lock so a slow miss does not serialize the whole
     // daemon; a concurrent duplicate build is wasted work, never a wrong
     // answer (insert keeps the first entry).
-    let warm = build_warm(plan, ctx)?;
-    lock_cache(cache).insert(plan.key, Arc::clone(&warm));
+    let warm = build_warm(input, tech, ctx)?;
+    lock_cache(cache).insert(key, Arc::clone(&warm));
     Ok((warm, CacheStatus::Miss))
 }
 
@@ -407,7 +472,7 @@ fn execute_run(plan: &RunPlan, ctx: &ExecCtx<'_>) -> Result<Box<RunResponse>, Ap
         panic!("injected fault: poisoned request");
     }
 
-    let (warm, cache_status) = acquire_warm(plan, ctx)?;
+    let (warm, cache_status) = acquire_warm(&plan.input, &plan.tech, plan.key, plan.cache, ctx)?;
     let design = Arc::clone(&warm.design);
     let tree = Arc::clone(&warm.tree);
 
@@ -526,6 +591,194 @@ fn execute_run(plan: &RunPlan, ctx: &ExecCtx<'_>) -> Result<Box<RunResponse>, Ap
         mc_cancelled,
         cache: cache_status,
     }))
+}
+
+/// The section name a pareto-point entry stores.
+const SECTION_EVAL: &str = "eval";
+
+/// Reassembles a point evaluation from a verified store entry. `None`
+/// when the `eval` section is missing, not UTF-8, or written by an
+/// incompatible encoder — callers quarantine, exactly like runs.
+fn pareto_eval_from_sections(sections: snr_store::Sections) -> Option<PointEval> {
+    for (name, bytes) in sections {
+        if name == SECTION_EVAL {
+            let text = String::from_utf8(bytes).ok()?;
+            return snr_pareto::decode_eval(&text);
+        }
+    }
+    None
+}
+
+/// Executes a Pareto sweep: evaluates every planned constraint point
+/// (replaying completed points from the durable store where possible)
+/// and folds the feasible evaluations through the dominance filter.
+///
+/// Determinism contract: each point's evaluation is fully serial and
+/// seeded, so parallelism exists only *across* points — `par_map`
+/// returns results in enumeration order, making the front (and its
+/// rendering) bit-identical for any `--jobs` value, and identical
+/// whether a point was computed fresh or replayed from the store.
+fn execute_pareto(plan: &ParetoPlan, ctx: &ExecCtx<'_>) -> Result<ParetoResponse, ApiError> {
+    let store = active_store(plan.cache, ctx);
+    let (warm, cache_status) =
+        acquire_warm(&plan.input, &plan.tech, plan.key, plan.cache, ctx)?;
+    let design = Arc::clone(&warm.design);
+    let tree = Arc::clone(&warm.tree);
+
+    // The conservative-uniform baseline anchors the relative track-budget
+    // axis; computed once, shared by every point.
+    let baseline_track_um =
+        OptContext::new(&tree, &plan.tech, PowerModel::new(design.freq_ghz()))
+            .conservative_baseline()
+            .power()
+            .track_cost_um();
+
+    let token = if plan.timeout_s > 0.0 {
+        Some(CancelToken::with_deadline(Deadline::after(Duration::from_secs_f64(
+            plan.timeout_s,
+        ))))
+    } else if ctx.on_token.is_some() {
+        Some(CancelToken::new())
+    } else {
+        None
+    };
+    if let (Some(t), Some(hook)) = (&token, ctx.on_token) {
+        hook(t);
+    }
+
+    // `max_points` truncation is a deterministic prefix of the canonical
+    // enumeration, decided before any point is dispatched.
+    let planned = if plan.max_points > 0 {
+        plan.points.len().min(plan.max_points as usize)
+    } else {
+        plan.points.len()
+    };
+    let active = &plan.points[..planned];
+    let par = plan.jobs.unwrap_or_else(Parallelism::serial);
+    let start = Instant::now();
+
+    // `None` slots are cancelled points: a fired deadline drops the whole
+    // point (never a partial result), so everything that *does* land is
+    // identical to what an untimed sweep would have produced.
+    let evals: Vec<Option<(PointEval, bool)>> = ctx.phase("sweep", || {
+        par_map(par, active, |_, point| {
+            let key = store.map(|_| plan.point_key(point));
+            if let (Some(store), Some(key)) = (store, key) {
+                match store.load(StoreKind::ParetoPoint, key) {
+                    Lookup::Hit(sections) => match pareto_eval_from_sections(sections) {
+                        Some(eval) => {
+                            ctx.emit(&Event::FrontPoint {
+                                index: point.index,
+                                eval,
+                                replayed: true,
+                            });
+                            return Some((eval, true));
+                        }
+                        None => {
+                            store.quarantine(
+                                StoreKind::ParetoPoint,
+                                key,
+                                QuarantineReason::BadFraming,
+                            );
+                            ctx.emit(&Event::StoreQuarantined {
+                                scope: "pareto",
+                                detail: format!(
+                                    "pareto-point entry {:016x} missing required sections",
+                                    key.0
+                                ),
+                            });
+                        }
+                    },
+                    Lookup::Quarantined(reason) => {
+                        ctx.emit(&Event::StoreQuarantined {
+                            scope: "pareto",
+                            detail: format!(
+                                "pareto-point entry {:016x} failed verification ({})",
+                                key.0,
+                                reason.as_str()
+                            ),
+                        });
+                    }
+                    Lookup::Miss => {}
+                }
+            }
+            let eval = snr_pareto::evaluate_point(
+                &design,
+                &tree,
+                &plan.tech,
+                point,
+                &plan.eval,
+                baseline_track_um,
+                token.as_ref(),
+            )?;
+            ctx.emit(&Event::FrontPoint { index: point.index, eval, replayed: false });
+            // Every completed point is replay-safe — evaluation is fully
+            // serial and seeded, so even a degraded point (and a point
+            // that completed under a cooperative deadline) is identical
+            // to what any later sweep would recompute. Best-effort: a
+            // full disk loses durability, not the answer.
+            if let (Some(store), Some(key)) = (store, key) {
+                let _ = store.save(
+                    StoreKind::ParetoPoint,
+                    key,
+                    &[(SECTION_EVAL, snr_pareto::encode_eval(&eval).as_bytes())],
+                );
+            }
+            Some((eval, false))
+        })
+    });
+
+    let mut front = ParetoFront::new();
+    let mut evaluated = 0usize;
+    let mut replayed = 0usize;
+    let mut infeasible = 0usize;
+    let mut cancelled = false;
+    for (point, slot) in active.iter().zip(&evals) {
+        match slot {
+            None => cancelled = true,
+            Some((eval, was_replayed)) => {
+                evaluated += 1;
+                if *was_replayed {
+                    replayed += 1;
+                }
+                if eval.meets {
+                    front.insert(FrontPoint { index: point.index, objectives: eval.objectives });
+                } else {
+                    infeasible += 1;
+                }
+            }
+        }
+    }
+
+    let front = front
+        .into_sorted()
+        .into_iter()
+        .map(|fp| ParetoFrontRow {
+            point: plan.points[fp.index],
+            objectives: fp.objectives,
+        })
+        .collect();
+
+    let budget = snr_core::BudgetReport {
+        phase: "pareto-sweep",
+        iterations_done: evaluated as u64,
+        elapsed: start.elapsed(),
+        exhausted: cancelled || planned < plan.points.len(),
+    };
+
+    Ok(ParetoResponse {
+        design,
+        tech: plan.tech.clone(),
+        points_total: plan.points.len(),
+        points_planned: planned,
+        evaluated,
+        replayed,
+        infeasible,
+        cancelled,
+        front,
+        budget,
+        cache: cache_status,
+    })
 }
 
 fn execute_lint(plan: &LintPlan) -> Result<Box<LintResponse>, ApiError> {

@@ -16,11 +16,13 @@ use snr_netlist::{ispd_like_suite, load_design, Design};
 use snr_par::Parallelism;
 use snr_tech::Technology;
 
+use snr_pareto::{EvalConfig, SkewAxis, SweepPoint, SweepSpec};
+
 use crate::cache::{CacheKey, ContentHasher};
 use crate::error::ApiError;
 use crate::request::{
-    CacheMode, DesignSource, LintRequest, Method, Request, RunRequest, SuiteRequest, SuiteSource,
-    TechId,
+    CacheMode, DesignSource, LintRequest, Method, ParetoRequest, Request, RunRequest,
+    SuiteRequest, SuiteSource, TechId,
 };
 
 /// Fingerprint of the CTS options a plan bakes in. There is exactly one
@@ -84,6 +86,70 @@ pub struct RunPlan {
     pub fault: Option<crate::request::ServeFault>,
 }
 
+/// A resolved `pareto` request: the enumerated sweep plus everything one
+/// point evaluation needs.
+#[derive(Debug, Clone)]
+pub struct ParetoPlan {
+    /// Content-hash key for the warm parse+CTS cache (same key space as
+    /// [`RunPlan::key`] — a sweep warms the cache for later runs).
+    pub key: CacheKey,
+    /// The design to parse or generate.
+    pub input: DesignInput,
+    /// Resolved technology model.
+    pub tech: Technology,
+    /// The validated sweep axes.
+    pub spec: SweepSpec,
+    /// The canonical point enumeration (indices are stable names).
+    pub points: Vec<SweepPoint>,
+    /// Sweep-wide evaluation knobs (seeds, MC samples, corners).
+    pub eval: EvalConfig,
+    /// Worker threads across points; `None` = serial.
+    pub jobs: Option<Parallelism>,
+    /// Wall-clock deadline in seconds (0 = off).
+    pub timeout_s: f64,
+    /// Deterministic prefix truncation (0 = all points).
+    pub max_points: u64,
+    /// Cache participation.
+    pub cache: CacheMode,
+}
+
+impl ParetoPlan {
+    /// The durable-store key of one sweep point: the warm key plus every
+    /// knob that shapes the point's objective vector. `jobs`, `timeout_s`
+    /// and `max_points` are deliberately excluded — they change *which*
+    /// points get evaluated, never a point's value — so a truncated or
+    /// killed sweep re-uses every point it completed.
+    pub fn point_key(&self, point: &SweepPoint) -> CacheKey {
+        let mut h = ContentHasher::new();
+        h.chunk(b"pareto-point-v1")
+            .chunk(&self.key.0.to_le_bytes())
+            .chunk(&[u8::from(self.eval.corners)])
+            .chunk(&(self.eval.mc_samples as u64).to_le_bytes())
+            .chunk(&self.eval.mc_seed.to_le_bytes())
+            .chunk(&self.eval.relaxed_skew_budget_ps.to_bits().to_le_bytes())
+            .chunk(&self.eval.arc_seed.to_le_bytes())
+            .chunk(&(self.eval.max_arcs as u64).to_le_bytes())
+            .chunk(&point.slew_margin.to_bits().to_le_bytes());
+        match point.skew {
+            SkewAxis::Global { budget_ps } => {
+                h.chunk(b"global").chunk(&budget_ps.to_bits().to_le_bytes());
+            }
+            SkewAxis::Window { window_ps } => {
+                h.chunk(b"window").chunk(&window_ps.to_bits().to_le_bytes());
+            }
+        }
+        match point.track_frac {
+            None => {
+                h.chunk(b"track-none");
+            }
+            Some(frac) => {
+                h.chunk(b"track-frac").chunk(&frac.to_bits().to_le_bytes());
+            }
+        }
+        h.finish()
+    }
+}
+
 /// A resolved `lint` request.
 #[derive(Debug, Clone)]
 pub struct LintPlan {
@@ -142,6 +208,8 @@ pub struct SuitePlan {
 pub enum Plan {
     /// Full flow on one design.
     Run(RunPlan),
+    /// Constraint-space sweep returning the Pareto front.
+    Pareto(ParetoPlan),
     /// Validation / repair.
     Lint(LintPlan),
     /// The multi-design table.
@@ -240,6 +308,43 @@ fn plan_run(req: &RunRequest) -> Result<RunPlan, ApiError> {
     })
 }
 
+fn plan_pareto(req: &ParetoRequest) -> Result<ParetoPlan, ApiError> {
+    if !req.timeout_s.is_finite() || req.timeout_s < 0.0 {
+        return Err(ApiError::usage(format!(
+            "--timeout must be >= 0 seconds, got {}",
+            req.timeout_s
+        )));
+    }
+    let spec = SweepSpec {
+        slew_margins: req.slew_margins.clone(),
+        skew_budgets_ps: req.skew_budgets_ps.clone(),
+        windows_ps: req.windows_ps.clone(),
+        track_fracs: req.track_fracs.clone(),
+    };
+    spec.validate().map_err(ApiError::usage)?;
+    let input = design_input(&req.design)?;
+    let tech = req.tech.resolve();
+    let key = run_key(&input, &tech);
+    let points = spec.enumerate();
+    let eval = EvalConfig {
+        mc_samples: req.mc_samples,
+        corners: req.corners,
+        ..EvalConfig::default()
+    };
+    Ok(ParetoPlan {
+        key,
+        input,
+        tech,
+        spec,
+        points,
+        eval,
+        jobs: req.jobs.map(Parallelism::new),
+        timeout_s: req.timeout_s,
+        max_points: req.max_points,
+        cache: req.cache,
+    })
+}
+
 fn plan_lint(req: &LintRequest) -> Result<LintPlan, ApiError> {
     let Some(bytes) = source_bytes(&req.design)? else {
         return Err(ApiError::usage("lint needs a design file or inline text"));
@@ -324,6 +429,7 @@ fn plan_suite(req: &SuiteRequest) -> Result<SuitePlan, ApiError> {
 pub fn plan(req: &Request) -> Result<Plan, ApiError> {
     match req {
         Request::Run(r) => plan_run(r).map(Plan::Run),
+        Request::Pareto(r) => plan_pareto(r).map(Plan::Pareto),
         Request::Lint(r) => plan_lint(r).map(Plan::Lint),
         Request::Suite(r) => plan_suite(r).map(Plan::Suite),
     }
@@ -378,6 +484,60 @@ mod tests {
             plan_run(&more_jobs).unwrap().result_key,
             "results are bit-identical per job count, so jobs is excluded"
         );
+    }
+
+    #[test]
+    fn pareto_point_keys_ignore_scheduling_knobs() {
+        let req = |jobs, timeout_s, max_points| {
+            let mut r = ParetoRequest::new(DesignSource::Generate {
+                sinks: 40,
+                seed: 2,
+                freq_ghz: 1.0,
+            });
+            r.jobs = jobs;
+            r.timeout_s = timeout_s;
+            r.max_points = max_points;
+            r
+        };
+        let base = plan_pareto(&req(None, 0.0, 0)).unwrap();
+        let truncated = plan_pareto(&req(Some(8), 30.0, 2)).unwrap();
+        assert_eq!(base.points.len(), truncated.points.len());
+        for (a, b) in base.points.iter().zip(&truncated.points) {
+            assert_eq!(base.point_key(a), truncated.point_key(b));
+        }
+        // Every point of one sweep has a distinct identity.
+        let mut keys: Vec<u64> = base.points.iter().map(|p| base.point_key(p).0).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), base.points.len());
+    }
+
+    #[test]
+    fn pareto_point_keys_track_evaluation_shaping_knobs() {
+        let mut r = ParetoRequest::new(DesignSource::Generate {
+            sinks: 40,
+            seed: 2,
+            freq_ghz: 1.0,
+        });
+        let base = plan_pareto(&r).unwrap();
+        r.mc_samples += 1;
+        let more_mc = plan_pareto(&r).unwrap();
+        r.mc_samples -= 1;
+        r.corners = true;
+        let corners = plan_pareto(&r).unwrap();
+        assert_ne!(base.point_key(&base.points[0]), more_mc.point_key(&more_mc.points[0]));
+        assert_ne!(base.point_key(&base.points[0]), corners.point_key(&corners.points[0]));
+    }
+
+    #[test]
+    fn pareto_rejects_invalid_axes() {
+        let mut r = ParetoRequest::new(DesignSource::Generate {
+            sinks: 40,
+            seed: 2,
+            freq_ghz: 1.0,
+        });
+        r.slew_margins = vec![0.5];
+        assert_eq!(plan_pareto(&r).unwrap_err().code(), crate::ApiCode::Usage);
     }
 
     #[test]

@@ -14,8 +14,12 @@ use snr_core::Outcome;
 use snr_cts::ClockTree;
 use snr_tech::Technology;
 
+use snr_pareto::{SkewAxis, SweepPoint};
+
 use crate::error::ApiError;
-use crate::exec::{Event, LintResponse, Response, RunResponse, SuiteResponse, SuiteRow};
+use crate::exec::{
+    Event, LintResponse, ParetoResponse, Response, RunResponse, SuiteResponse, SuiteRow,
+};
 use crate::json::json_escape;
 
 /// Serializes an [`Outcome`] as a JSON object, including the per-rule
@@ -213,6 +217,124 @@ pub fn suite_json(resp: &SuiteResponse) -> String {
     format!("{{\"rows\": [{}], \"failed\": {}}}", rows, resp.failed)
 }
 
+/// The constraint-point fields of one sweep point, shared by the JSON
+/// front rows: the slew margin, exactly one of `skew_budget_ps` /
+/// `window_ps`, and `track_frac` only when the axis is active.
+fn sweep_point_fields(point: &SweepPoint) -> String {
+    let skew = match point.skew {
+        SkewAxis::Global { budget_ps } => format!("\"skew_budget_ps\": {budget_ps}"),
+        SkewAxis::Window { window_ps } => format!("\"window_ps\": {window_ps}"),
+    };
+    let track = match point.track_frac {
+        Some(frac) => format!(", \"track_frac\": {frac}"),
+        None => String::new(),
+    };
+    format!("\"slew_margin\": {}, {skew}{track}", point.slew_margin)
+}
+
+/// The human rendering of a sweep point's skew constraint.
+fn skew_cell(point: &SweepPoint) -> String {
+    match point.skew {
+        SkewAxis::Global { budget_ps } => format!("budget {budget_ps}ps"),
+        SkewAxis::Window { window_ps } => format!("window ±{window_ps}ps"),
+    }
+}
+
+/// The machine-readable object for a completed Pareto sweep — exactly
+/// the line `smart-ndr pareto --json` prints. Every field is
+/// deterministic modulo a fired deadline: replay counters and elapsed
+/// times are deliberately excluded, so a cold sweep, a store-warm
+/// re-run, and any `--jobs` value all emit byte-identical objects.
+pub fn pareto_json(resp: &ParetoResponse) -> String {
+    let front = resp
+        .front
+        .iter()
+        .map(|row| {
+            format!(
+                concat!(
+                    "{{\"index\": {}, {}, \"power_uw\": {:.6}, \"skew_ps\": {:.6}, ",
+                    "\"sigma_skew_ps\": {:.6}, \"track_cost_um\": {:.3}}}"
+                ),
+                row.point.index,
+                sweep_point_fields(&row.point),
+                row.objectives.power_uw,
+                row.objectives.skew_ps,
+                row.objectives.sigma_skew_ps,
+                row.objectives.track_cost_um,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        concat!(
+            "{{\"design\": {{\"name\": \"{}\", \"sinks\": {}, \"freq_ghz\": {}}}, ",
+            "\"tech\": \"{}\", ",
+            "\"sweep\": {{\"points\": {}, \"planned\": {}, \"evaluated\": {}, ",
+            "\"infeasible\": {}, \"cancelled\": {}, \"exhausted\": {}}}, ",
+            "\"front\": [{}]}}"
+        ),
+        json_escape(resp.design.name()),
+        resp.design.sinks().len(),
+        resp.design.freq_ghz(),
+        json_escape(resp.tech.name()),
+        resp.points_total,
+        resp.points_planned,
+        resp.evaluated,
+        resp.infeasible,
+        resp.cancelled,
+        resp.budget.exhausted,
+        front,
+    )
+}
+
+/// The human rendering of a completed Pareto sweep — exactly the block
+/// plain `smart-ndr pareto` prints (trailing newline included).
+pub fn pareto_human(resp: &ParetoResponse) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "design: {}", resp.design);
+    let _ = writeln!(out, "tech:   {}", resp.tech.name());
+    let _ = writeln!(
+        out,
+        "sweep:  {} of {} points planned, {} evaluated, {} infeasible",
+        resp.points_planned, resp.points_total, resp.evaluated, resp.infeasible
+    );
+    let _ = writeln!(out, "front:  {} non-dominated point(s)", resp.front.len());
+    if !resp.front.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:>5} {:>6} {:<16} {:>6} {:>12} {:>10} {:>10} {:>12}",
+            "idx", "slew", "skew", "track", "power µW", "skew ps", "σ ps", "track µm"
+        );
+        for row in &resp.front {
+            let track = match row.point.track_frac {
+                Some(frac) => format!("{frac}"),
+                None => "-".to_owned(),
+            };
+            let _ = writeln!(
+                out,
+                "{:>5} {:>6} {:<16} {:>6} {:>12.1} {:>10.2} {:>10.2} {:>12.1}",
+                row.point.index,
+                row.point.slew_margin,
+                skew_cell(&row.point),
+                track,
+                row.objectives.power_uw,
+                row.objectives.skew_ps,
+                row.objectives.sigma_skew_ps,
+                row.objectives.track_cost_um,
+            );
+        }
+    }
+    if resp.budget.exhausted {
+        let _ = writeln!(
+            out,
+            "budget: {} exhausted after {} points — front is best-so-far",
+            resp.budget.phase, resp.budget.iterations_done
+        );
+    }
+    out
+}
+
 /// The structured error object for a failed command — exactly the line
 /// the CLI prints on `--json` failures.
 pub fn error_json(err: &ApiError) -> String {
@@ -266,6 +388,11 @@ pub fn response_line(id: u64, resp: &Response) -> String {
         Response::Suite(r) => {
             format!("{{\"id\": {id}, \"ok\": true, \"result\": {}}}", suite_json(r))
         }
+        Response::Pareto(r) => format!(
+            "{{\"id\": {id}, \"ok\": true, \"cache\": \"{}\", \"result\": {}}}",
+            r.cache.as_str(),
+            pareto_json(r)
+        ),
     }
 }
 
@@ -314,6 +441,21 @@ pub fn event_line(id: u64, event: &Event) -> String {
             "{{\"id\": {id}, \"event\": \"store_quarantined\", \"scope\": \"{scope}\", \
              \"detail\": \"{}\"}}",
             json_escape(detail)
+        ),
+        Event::FrontPoint { index, eval, replayed } => format!(
+            concat!(
+                "{{\"id\": {}, \"event\": \"front_point\", \"index\": {}, ",
+                "\"power_uw\": {:.6}, \"skew_ps\": {:.6}, \"sigma_skew_ps\": {:.6}, ",
+                "\"track_cost_um\": {:.3}, \"meets\": {}, \"replayed\": {}}}"
+            ),
+            id,
+            index,
+            eval.objectives.power_uw,
+            eval.objectives.skew_ps,
+            eval.objectives.sigma_skew_ps,
+            eval.objectives.track_cost_um,
+            eval.meets,
+            replayed,
         ),
     }
 }

@@ -187,6 +187,61 @@ impl RunRequest {
     }
 }
 
+/// A `pareto` request: sweep constraint space (slew margin × skew budget
+/// / useful-skew window × track budget) and return the non-dominated
+/// front over (power, skew, robustness, track cost).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoRequest {
+    /// The design to sweep.
+    pub design: DesignSource,
+    /// Technology to run under.
+    pub tech: TechId,
+    /// Slew margins over the conservative baseline (each ≥ 1).
+    pub slew_margins: Vec<f64>,
+    /// Global skew budgets, ps.
+    pub skew_budgets_ps: Vec<f64>,
+    /// Useful-skew window half-widths, ps (may be empty).
+    pub windows_ps: Vec<f64>,
+    /// Track budgets as fractions of the baseline track cost.
+    pub track_fracs: Vec<f64>,
+    /// Enforce feasibility at the slow/fast corners too.
+    pub corners: bool,
+    /// Monte-Carlo sample count for the robustness axis (0 = off).
+    pub mc_samples: usize,
+    /// Worker threads across sweep points; `None` = serial.
+    pub jobs: Option<usize>,
+    /// Cooperative wall-clock deadline in seconds (0 = off); anytime —
+    /// the front over the completed points is returned.
+    pub timeout_s: f64,
+    /// Deterministic truncation: evaluate only the first N points of the
+    /// canonical enumeration (0 = all).
+    pub max_points: u64,
+    /// Cache participation.
+    pub cache: CacheMode,
+}
+
+impl ParetoRequest {
+    /// A request with the default sweep (the table-5 / fig-9 slices
+    /// generalized) for everything but the design.
+    pub fn new(design: DesignSource) -> Self {
+        let spec = snr_pareto::SweepSpec::default_sweep();
+        ParetoRequest {
+            design,
+            tech: TechId::default(),
+            slew_margins: spec.slew_margins,
+            skew_budgets_ps: spec.skew_budgets_ps,
+            windows_ps: spec.windows_ps,
+            track_fracs: spec.track_fracs,
+            corners: false,
+            mc_samples: snr_pareto::EvalConfig::default().mc_samples,
+            jobs: None,
+            timeout_s: 0.0,
+            max_points: 0,
+            cache: CacheMode::default(),
+        }
+    }
+}
+
 /// A `lint` request: validate (and optionally repair) a design without
 /// running the flow.
 #[derive(Debug, Clone, PartialEq)]
@@ -243,6 +298,8 @@ pub struct SuiteRequest {
 pub enum Request {
     /// Full flow on one design.
     Run(RunRequest),
+    /// Constraint-space sweep returning the Pareto front.
+    Pareto(ParetoRequest),
     /// Validation / repair of one design.
     Lint(LintRequest),
     /// The multi-design table.
@@ -335,6 +392,24 @@ fn design_source(obj: &Json) -> Result<DesignSource, ApiError> {
     ))
 }
 
+/// Parses an optional JSON array of numbers (e.g. `"slew_margins":
+/// [1.05, 1.2]`). `None` when the field is absent.
+fn f64_list(obj: &Json, key: &str) -> Result<Option<Vec<f64>>, ApiError> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|v| {
+                v.as_f64().ok_or_else(|| {
+                    ApiError::usage(format!("field {key:?} must contain only numbers"))
+                })
+            })
+            .collect::<Result<Vec<f64>, ApiError>>()
+            .map(Some),
+        Some(_) => Err(ApiError::usage(format!("field {key:?} must be an array of numbers"))),
+    }
+}
+
 fn tech_of(obj: &Json) -> Result<TechId, ApiError> {
     match get_str(obj, "tech")? {
         None => Ok(TechId::default()),
@@ -425,6 +500,29 @@ impl Envelope {
                 }
                 Op::Job(Request::Run(req))
             }
+            "pareto" => {
+                let mut req = ParetoRequest::new(design_source(v)?);
+                req.tech = tech_of(v)?;
+                if let Some(list) = f64_list(v, "slew_margins")? {
+                    req.slew_margins = list;
+                }
+                if let Some(list) = f64_list(v, "skew_budgets")? {
+                    req.skew_budgets_ps = list;
+                }
+                if let Some(list) = f64_list(v, "windows")? {
+                    req.windows_ps = list;
+                }
+                if let Some(list) = f64_list(v, "track_fracs")? {
+                    req.track_fracs = list;
+                }
+                req.corners = v.get("corners").and_then(Json::as_bool).unwrap_or(false);
+                req.mc_samples = get_u64(v, "mc", req.mc_samples as u64)? as usize;
+                req.jobs = jobs_of(v)?;
+                req.timeout_s = get_f64(v, "timeout", 0.0)?;
+                req.max_points = get_u64(v, "max_points", 0)?;
+                req.cache = cache_of(v)?;
+                Op::Job(Request::Pareto(req))
+            }
             "lint" => Op::Job(Request::Lint(LintRequest {
                 design: design_source(v)?,
                 tech: tech_of(v)?,
@@ -472,6 +570,49 @@ mod tests {
         assert_eq!(req.design, DesignSource::Generate { sinks: 40, seed: 1, freq_ghz: 1.0 });
         assert_eq!(req.method, Method::Smart);
         assert_eq!(req.cache, CacheMode::On);
+    }
+
+    #[test]
+    fn parses_a_pareto_request() {
+        let v = Json::parse(
+            r#"{"id": 2, "op": "pareto", "design": {"generate": {"sinks": 60}},
+                "slew_margins": [1.05, 1.2], "skew_budgets": [15, 60], "windows": [],
+                "track_fracs": [0.8], "corners": true, "mc": 4, "max_points": 3}"#,
+        )
+        .unwrap();
+        let env = Envelope::from_json(&v).unwrap();
+        let Op::Job(Request::Pareto(req)) = env.op else { panic!("expected pareto") };
+        assert_eq!(req.slew_margins, vec![1.05, 1.2]);
+        assert_eq!(req.skew_budgets_ps, vec![15.0, 60.0]);
+        assert!(req.windows_ps.is_empty());
+        assert_eq!(req.track_fracs, vec![0.8]);
+        assert!(req.corners);
+        assert_eq!(req.mc_samples, 4);
+        assert_eq!(req.max_points, 3);
+    }
+
+    #[test]
+    fn pareto_defaults_are_the_default_sweep() {
+        let v = Json::parse(r#"{"id": 3, "op": "pareto", "design": {"inline": "x"}}"#).unwrap();
+        let Op::Job(Request::Pareto(req)) = Envelope::from_json(&v).unwrap().op else {
+            panic!("expected pareto")
+        };
+        let spec = snr_pareto::SweepSpec::default_sweep();
+        assert_eq!(req.slew_margins, spec.slew_margins);
+        assert_eq!(req.skew_budgets_ps, spec.skew_budgets_ps);
+        assert_eq!(req.windows_ps, spec.windows_ps);
+        assert!(!req.corners);
+    }
+
+    #[test]
+    fn pareto_list_fields_must_be_numeric_arrays() {
+        for line in [
+            r#"{"id": 1, "op": "pareto", "design": {"inline": "x"}, "slew_margins": "1.1"}"#,
+            r#"{"id": 1, "op": "pareto", "design": {"inline": "x"}, "windows": [true]}"#,
+        ] {
+            let v = Json::parse(line).unwrap();
+            assert!(Envelope::from_json(&v).is_err(), "{line} should fail");
+        }
     }
 
     #[test]

@@ -89,6 +89,7 @@ fn events_bracket_every_phase_in_order() {
             Event::PhaseDone { phase, .. } => format!("done:{phase}"),
             Event::SuiteRow(_) => "row".to_owned(),
             Event::StoreQuarantined { scope, .. } => format!("quarantine:{scope}"),
+            Event::FrontPoint { index, .. } => format!("front:{index}"),
         };
         events.lock().expect("events lock").push(tag);
     };

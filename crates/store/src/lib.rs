@@ -7,6 +7,7 @@
 //! <root>/
 //!   entries/run/<key>.entry        completed run results
 //!   entries/suite/<key>.entry      completed suite rows
+//!   entries/pareto/<key>.entry     evaluated Pareto-sweep points
 //!   corrupt/                       quarantined entries (kept for triage)
 //!   store.lock                     maintenance lock (sweeps only)
 //! ```
@@ -19,7 +20,7 @@
 //! ```text
 //! snr-store 1
 //! key <16 hex digits>
-//! kind <run|suite-row>
+//! kind <run|suite-row|pareto-point>
 //! payload <len> fnv <16 hex digits>
 //! <len payload bytes>
 //! ```
@@ -128,14 +129,20 @@ pub enum StoreKind {
     Run,
     /// One suite-table row.
     SuiteRow,
+    /// One evaluated Pareto-sweep point (exact objective bits).
+    ParetoPoint,
 }
 
 impl StoreKind {
+    /// Every kind, in directory-creation order.
+    pub const ALL: [StoreKind; 3] = [StoreKind::Run, StoreKind::SuiteRow, StoreKind::ParetoPoint];
+
     /// The header spelling.
     pub fn as_str(self) -> &'static str {
         match self {
             StoreKind::Run => "run",
             StoreKind::SuiteRow => "suite-row",
+            StoreKind::ParetoPoint => "pareto-point",
         }
     }
 
@@ -143,6 +150,7 @@ impl StoreKind {
         match self {
             StoreKind::Run => "run",
             StoreKind::SuiteRow => "suite",
+            StoreKind::ParetoPoint => "pareto",
         }
     }
 }
@@ -232,7 +240,7 @@ impl ResultStore {
     ///
     /// Any I/O error creating the store directories.
     pub fn open(root: &Path) -> io::Result<ResultStore> {
-        for kind in [StoreKind::Run, StoreKind::SuiteRow] {
+        for kind in StoreKind::ALL {
             fs::create_dir_all(root.join("entries").join(kind.dir()))?;
         }
         fs::create_dir_all(root.join("corrupt"))?;
@@ -271,7 +279,7 @@ impl ResultStore {
     /// Removes `*.tmp` stage files whose writer pid is dead — debris from
     /// SIGKILLed writers. Live writers' stages are left alone.
     fn sweep_orphan_temps(&self) {
-        for kind in [StoreKind::Run, StoreKind::SuiteRow] {
+        for kind in StoreKind::ALL {
             let dir = self.root.join("entries").join(kind.dir());
             let Ok(listing) = fs::read_dir(&dir) else { continue };
             for entry in listing.filter_map(Result::ok) {

@@ -1,13 +1,12 @@
 #!/usr/bin/env bash
 # Regenerates the performance artifacts: the criterion micro-benchmarks and
-# the BENCH_parallel.json / BENCH_cache.json / BENCH_timing.json records at
-# the repository root.
+# the BENCH_parallel.json / BENCH_cache.json / BENCH_timing.json /
+# BENCH_pareto.json records at the repository root.
 #
 #   scripts/bench.sh            full run (criterion + bench_parallel +
-#                               bench_cache + bench_timing)
-#   scripts/bench.sh --smoke    fast pass: bench_parallel/bench_cache/
-#                               bench_timing --smoke only, writing all three
-#                               records in smoke mode
+#                               bench_cache + bench_timing + bench_pareto)
+#   scripts/bench.sh --smoke    fast pass: the four record writers in
+#                               --smoke mode only
 #
 # Speedups in BENCH_parallel.json depend on spare cores: a single-core
 # machine honestly records ~1x (the parallel paths are still exercised and
@@ -24,6 +23,8 @@ if [ "${1:-}" = "--smoke" ]; then
     cargo run -q --release -p snr-bench --bin bench_cache -- --smoke
     step "bench_timing --smoke"
     cargo run -q --release -p snr-bench --bin bench_timing -- --smoke
+    step "bench_pareto --smoke"
+    cargo run -q --release -p snr-bench --bin bench_pareto -- --smoke
     exit 0
 fi
 
@@ -39,5 +40,8 @@ cargo run -q --release -p snr-bench --bin bench_cache
 step "bench_timing (full)"
 cargo run -q --release -p snr-bench --bin bench_timing
 
+step "bench_pareto (full)"
+cargo run -q --release -p snr-bench --bin bench_pareto
+
 echo
-echo "bench: BENCH_parallel.json, BENCH_cache.json and BENCH_timing.json regenerated"
+echo "bench: BENCH_parallel.json, BENCH_cache.json, BENCH_timing.json and BENCH_pareto.json regenerated"

@@ -128,6 +128,31 @@ grep -q "store: 1 hit(s)" "$T/healed.err" \
 # the checked-in full-mode BENCH_cache.json stays put.
 target/release/bench_cache --smoke --out "$T/BENCH_cache_smoke.json" >/dev/null
 
+step "pareto sweep smoke"
+# Headline contract: the front's JSON bytes are a pure function of the
+# request — identical for any --jobs and replayed from a warm store.
+"$BIN" pareto --sinks 80 --seed 11 --mc 4 --jobs 1 --json > "$T/pareto1.json"
+"$BIN" pareto --sinks 80 --seed 11 --mc 4 --jobs 4 --json > "$T/pareto4.json"
+cmp -s "$T/pareto1.json" "$T/pareto4.json" \
+    || { echo "FAIL: pareto front must not depend on --jobs" >&2; exit 1; }
+grep -q '"power_uw"' "$T/pareto1.json" \
+    || { echo "FAIL: pareto smoke produced an empty front" >&2; exit 1; }
+"$BIN" pareto --sinks 80 --seed 11 --mc 4 --json --store "$T/pstore" \
+    > "$T/pcold.json" 2>/dev/null
+"$BIN" pareto --sinks 80 --seed 11 --mc 4 --json --store "$T/pstore" \
+    > "$T/pwarm.json" 2> "$T/pwarm.err"
+cmp -s "$T/pcold.json" "$T/pwarm.json" \
+    || { echo "FAIL: warm pareto rerun must be byte-identical to cold" >&2; exit 1; }
+cmp -s "$T/pcold.json" "$T/pareto1.json" \
+    || { echo "FAIL: store participation must not change pareto bytes" >&2; exit 1; }
+grep -q "store: 15 hit(s), 0 miss(es), 0 quarantined" "$T/pwarm.err" \
+    || { echo "FAIL: warm pareto rerun must replay every point" >&2; exit 1; }
+# bench_pareto --smoke asserts serial == parallel == store-warm bytes
+# internally; temp output path keeps the checked-in record put.
+target/release/bench_pareto --smoke --out "$T/BENCH_pareto_smoke.json" >/dev/null
+grep -q '"pareto_sweep"' "$T/BENCH_pareto_smoke.json" \
+    || { echo "FAIL: bench_pareto smoke artifact is malformed" >&2; exit 1; }
+
 step "chaos soak + kill-and-resume (scripts/soak.sh)"
 scripts/soak.sh
 

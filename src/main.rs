@@ -7,6 +7,8 @@
 //!                 [--slew-margin 1.1] [--skew-budget 30] [--svg tree.svg] [--mc 200] [--jobs 4]
 //!                 [--timeout 30] [--max-iters 100000] [--store cache/] [--no-cache]
 //! smart-ndr run   --sinks 500 --seed 3            # generate on the fly
+//! smart-ndr pareto --sinks 800 --seed 23 [--slew-margins 1.05,1.25] [--skew-budgets 10,60]
+//!                 [--windows 40,15] [--track-fracs 0.9] [--jobs 4] [--store cache/]
 //! smart-ndr lint  --design design.sndr [--repair [--out fixed.sndr]]   # validate / repair
 //! smart-ndr suite [--designs dir/] [--jobs 4] [--out table.txt [--resume]]
 //!                 [--store cache/] [--no-cache]
@@ -73,12 +75,13 @@ use smart_ndr::power::PowerModel;
 use snr_fsio::{atomic_write, Journal};
 use snr_serve::json::json_escape;
 use snr_serve::render::{
-    error_json, lint_json, run_human, run_json, suite_det_header, suite_header,
+    error_json, lint_json, pareto_human, pareto_json, run_human, run_json, suite_det_header,
+    suite_header,
 };
 use snr_serve::{
     execute, plan, ApiCode, ApiError, CacheMode, DesignSource, Event, ExecCtx, LintRequest,
-    Method, Plan, Request, Response, ResultStore, RunRequest, ServeConfig, SuiteRequest, SuiteRow,
-    SuiteSource, TechId,
+    Method, ParetoRequest, Plan, Request, Response, ResultStore, RunRequest, ServeConfig,
+    SuiteRequest, SuiteRow, SuiteSource, TechId,
 };
 use std::collections::HashMap;
 use std::fs;
@@ -98,6 +101,11 @@ USAGE:
                   [--slew-margin <X>] [--skew-budget <PS>] [--svg <FILE>] [--mc <SAMPLES>]
                   [--save-asg <FILE>] [--jobs <N>] [--json]
                   [--timeout <SECS>] [--max-iters <N>] [--store <DIR>] [--no-cache]
+  smart-ndr pareto (--design <FILE> | --sinks <N> [--seed <S>])
+                  [--tech n45|n32] [--slew-margins 1.05,1.1,1.25]
+                  [--skew-budgets 10,30,60] [--windows 40,15] [--track-fracs 0.9,0.8]
+                  [--corners] [--mc <SAMPLES>] [--jobs <N>] [--json]
+                  [--timeout <SECS>] [--max-points <N>] [--store <DIR>] [--no-cache]
   smart-ndr lint  --design <FILE> [--tech n45|n32] [--repair] [--out <FILE>] [--json]
   smart-ndr suite [--tech n45|n32] [--designs <DIR>] [--jobs <N>]
                   [--out <FILE> [--resume]] [--store <DIR>] [--no-cache]
@@ -106,6 +114,15 @@ USAGE:
   smart-ndr mesh  (--design <FILE> | --sinks <N> [--seed <S>]) [--tech n45|n32]
                   [--grid <N>] [--drivers <K>] [--rule default|2w2s]
   smart-ndr help
+
+PARETO:
+  pareto sweeps the constraint space (slew margins x skew budgets /
+  useful-skew windows x optional track budgets) and prints the
+  non-dominated front over (power, skew, σ-skew, track cost). The
+  front is bit-identical for any --jobs value; --timeout returns the
+  front over the points that completed; --max-points evaluates a
+  deterministic prefix of the sweep. Axis lists are comma-separated
+  (an empty string clears an axis).
 
 SUPERVISION:
   --timeout <SECS>    cooperative wall-clock deadline (0 = off); anytime —
@@ -162,6 +179,7 @@ fn run(args: Vec<String>) -> Result<(), ApiError> {
     match cmd.as_str() {
         "gen" => cmd_gen(&flags),
         "run" => cmd_run(&flags),
+        "pareto" => cmd_pareto(&flags),
         "lint" => cmd_lint(&flags),
         "suite" => cmd_suite(&flags),
         "serve" => cmd_serve(&flags),
@@ -175,7 +193,7 @@ fn run(args: Vec<String>) -> Result<(), ApiError> {
 }
 
 /// Flags that take no value; present means "true".
-const BOOL_FLAGS: &[&str] = &["json", "repair", "resume", "no-cache"];
+const BOOL_FLAGS: &[&str] = &["json", "repair", "resume", "no-cache", "corners"];
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, ApiError> {
     let mut flags = HashMap::new();
@@ -400,6 +418,75 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), ApiError> {
 
     if json {
         println!("{}", run_json(&resp));
+    }
+    store_note(store.as_ref());
+    Ok(())
+}
+
+/// A comma-separated `--<key> a,b,c` list of numbers; `None` when the
+/// flag is absent (keep the request default), `Some(vec![])` for an
+/// explicit empty string (clear the axis).
+fn f64_list_of(
+    flags: &HashMap<String, String>,
+    key: &str,
+) -> Result<Option<Vec<f64>>, ApiError> {
+    let Some(raw) = flags.get(key) else { return Ok(None) };
+    if raw.trim().is_empty() {
+        return Ok(Some(Vec::new()));
+    }
+    raw.split(',')
+        .map(|item| {
+            item.trim()
+                .parse::<f64>()
+                .map_err(|_| ApiError::usage(format!("invalid --{key} value {item:?}")))
+        })
+        .collect::<Result<Vec<f64>, ApiError>>()
+        .map(Some)
+}
+
+/// `smart-ndr pareto`: sweep the constraint space and print the
+/// non-dominated front. Same engine as the daemon's `pareto` op; the
+/// CLI only adds flag parsing and the table rendering.
+fn cmd_pareto(flags: &HashMap<String, String>) -> Result<(), ApiError> {
+    let json = flags.contains_key("json");
+    let mut req = ParetoRequest::new(design_source_of(flags)?);
+    req.tech = tech_of(flags)?;
+    if let Some(v) = f64_list_of(flags, "slew-margins")? {
+        req.slew_margins = v;
+    }
+    if let Some(v) = f64_list_of(flags, "skew-budgets")? {
+        req.skew_budgets_ps = v;
+    }
+    if let Some(v) = f64_list_of(flags, "windows")? {
+        req.windows_ps = v;
+    }
+    if let Some(v) = f64_list_of(flags, "track-fracs")? {
+        req.track_fracs = v;
+    }
+    req.corners = flags.contains_key("corners");
+    req.mc_samples = get_parsed(flags, "mc", req.mc_samples)?;
+    req.jobs = jobs_of(flags)?;
+    req.timeout_s = get_parsed(flags, "timeout", 0.0)?;
+    req.max_points = get_parsed(flags, "max-points", 0)?;
+    req.cache = cache_of(flags);
+
+    let store = store_of(flags);
+    let plan = plan(&Request::Pareto(req))?;
+    let sink = |event: &Event| {
+        if let Event::StoreQuarantined { detail, .. } = event {
+            eprintln!("warning: {detail}; recomputing from scratch");
+        }
+    };
+    let ctx = ExecCtx { cache: None, store: store.as_ref(), sink: Some(&sink), on_token: None };
+    let resp = match execute(&plan, &ctx)? {
+        Response::Pareto(resp) => resp,
+        _ => unreachable!("pareto plans produce pareto responses"),
+    };
+
+    if json {
+        println!("{}", pareto_json(&resp));
+    } else {
+        print!("{}", pareto_human(&resp));
     }
     store_note(store.as_ref());
     Ok(())

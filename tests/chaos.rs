@@ -284,3 +284,80 @@ fn chaos_soak_store_survives_sigkill_mid_run() {
     }
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// The pareto chaos arm (ISSUE 9 acceptance): `pareto --store` processes
+/// SIGKILLed mid-sweep leave only whole per-point entries behind (atomic
+/// staging), so a warm resume replays the completed points and recomputes
+/// the rest — producing the byte-identical front with zero quarantines.
+#[test]
+fn chaos_soak_pareto_store_survives_sigkill_mid_sweep() {
+    let bin = env!("CARGO_BIN_EXE_smart-ndr");
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("smart-ndr-chaos-pareto-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let store = dir.join("store");
+    let store_arg = store.to_str().expect("utf-8 path");
+    let sweep = [
+        "pareto", "--sinks", "80", "--seed", "11", "--slew-margins", "1.05,1.2",
+        "--skew-budgets", "15,60", "--windows", "25", "--mc", "6", "--json",
+    ];
+    let mut args: Vec<&str> = sweep.to_vec();
+    args.extend(["--store", store_arg]);
+
+    // The clean reference front, computed without any store. Pareto JSON
+    // carries no runtime or replay fields, so no normalization is needed.
+    let reference = std::process::Command::new(bin).args(sweep).output().expect("reference");
+    assert!(reference.status.success());
+    let reference = String::from_utf8(reference.stdout).expect("utf-8");
+
+    for seed in 0..24u64 {
+        let mut child = std::process::Command::new(bin)
+            .args(&args)
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .expect("pareto store run spawns");
+        // Seeded kill delay sweeps from "barely started" past "sweep
+        // done"; both sides of the race must be survivable.
+        std::thread::sleep(std::time::Duration::from_micros((seed * seed * 7) % 50_000));
+        let _ = child.kill();
+        let _ = child.wait();
+
+        // Warm resume: replays whatever points persisted, recomputes the
+        // rest, and must land on the byte-identical front either way.
+        let out = std::process::Command::new(bin).args(&args).output().expect("resume run");
+        assert!(out.status.success(), "seed {seed}: resumed sweep failed");
+        let json = String::from_utf8(out.stdout).expect("utf-8");
+        assert_eq!(json, reference, "seed {seed}: resumed front drifted from the reference");
+    }
+
+    // A SIGKILL can tear a temp file but never an entry: zero quarantines.
+    let corpses = std::fs::read_dir(store.join("corrupt")).map(|rd| rd.count()).unwrap_or(0);
+    assert_eq!(corpses, 0, "a torn point write must never become a (quarantined) entry");
+
+    // Settled warm: every point replays (6 points → 6 hits, no misses)
+    // and the front is still the reference's bytes.
+    let warm = std::process::Command::new(bin).args(&args).output().expect("warm run");
+    assert!(warm.status.success());
+    assert_eq!(String::from_utf8(warm.stdout).expect("utf-8"), reference);
+    assert!(
+        String::from_utf8(warm.stderr)
+            .expect("utf-8")
+            .contains("store: 6 hit(s), 0 miss(es), 0 quarantined"),
+        "the settled sweep must replay every point from the store"
+    );
+
+    // The final open swept every dead writer's temp file.
+    let entries = store.join("entries").join("pareto");
+    if let Ok(listing) = std::fs::read_dir(&entries) {
+        for entry in listing.filter_map(Result::ok) {
+            assert!(
+                entry.path().extension().is_some_and(|x| x == "entry"),
+                "stray non-entry file survived the soak: {:?}",
+                entry.path()
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

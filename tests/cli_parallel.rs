@@ -102,6 +102,30 @@ fn monte_carlo_stats_identical_across_job_counts() {
 }
 
 #[test]
+fn pareto_front_identical_across_job_counts() {
+    let front_of = |jobs: &str| {
+        let out = bin()
+            .args([
+                "pareto", "--sinks", "80", "--seed", "11", "--slew-margins", "1.05,1.2",
+                "--skew-budgets", "15,60", "--windows", "25", "--mc", "6", "--jobs", jobs,
+                "--json",
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let serial = front_of("1");
+    assert!(serial.contains("\"front\": ["), "{serial}");
+    assert!(serial.contains("\"power_uw\""), "{serial}");
+    // Each point evaluates fully serial and seeded; parallelism exists
+    // only across points and results fold in enumeration order, so the
+    // whole JSON object — front included — is byte-identical.
+    assert_eq!(serial, front_of("2"), "pareto front must not depend on --jobs");
+    assert_eq!(serial, front_of("8"), "pareto front must not depend on --jobs");
+}
+
+#[test]
 fn short_jobs_alias_accepted() {
     let out = bin()
         .args(["run", "--sinks", "40", "--seed", "5", "--method", "level", "--mc", "8", "-j", "2"])

@@ -245,6 +245,50 @@ fn serve_result_is_byte_identical_to_cli_run_json() {
     );
 }
 
+/// The pareto drift pin: the daemon's `pareto` result object and the
+/// one-shot CLI's `pareto --json` line are byte-identical with no
+/// normalization at all — the pareto rendering carries no runtime or
+/// replay fields by design — and the sweep streams one `front_point`
+/// event per evaluated point.
+#[test]
+fn serve_pareto_result_is_byte_identical_to_cli_json() {
+    let cli_args = [
+        "pareto", "--sinks", "80", "--seed", "11", "--slew-margins", "1.05,1.2",
+        "--skew-budgets", "15,60", "--windows", "25", "--mc", "6", "--json",
+    ];
+    let cli = Command::new(env!("CARGO_BIN_EXE_smart-ndr"))
+        .args(cli_args)
+        .output()
+        .expect("cli runs");
+    assert!(cli.status.success(), "{}", String::from_utf8_lossy(&cli.stderr));
+    let cli_json = String::from_utf8(cli.stdout).expect("utf-8").trim_end().to_owned();
+
+    let mut d = Daemon::spawn(&["--jobs", "2"]);
+    d.send(
+        "{\"op\": \"pareto\", \"id\": 1, \
+         \"design\": {\"generate\": {\"sinks\": 80, \"seed\": 11}}, \
+         \"slew_margins\": [1.05, 1.2], \"skew_budgets\": [15, 60], \
+         \"windows\": [25], \"mc\": 6}",
+    );
+    let line = d.finals_for(&[1])[&1].clone();
+
+    let prefix = "{\"id\": 1, \"ok\": true, \"cache\": \"miss\", \"result\": ";
+    let serve_json = line
+        .strip_prefix(prefix)
+        .and_then(|rest| rest.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("unexpected envelope shape: {line}"));
+    assert_eq!(serve_json, cli_json, "daemon pareto result and CLI --json must not drift");
+
+    // Six sweep points (2 margins × (2 budgets + 1 window)) → six events.
+    let front_events = d
+        .transcript
+        .iter()
+        .filter(|l| l.contains("\"event\": \"front_point\""))
+        .count();
+    assert_eq!(front_events, 6, "one front_point event per point: {:#?}", d.transcript);
+    assert!(d.eof_and_wait().success());
+}
+
 /// `shutdown` stops intake and exits 0 even with stdin still open.
 #[test]
 fn shutdown_request_exits_cleanly() {
