@@ -40,6 +40,7 @@ mod dme;
 mod error;
 mod htree;
 mod io;
+mod ndr_tcl;
 mod options;
 mod topology;
 mod tree;
@@ -52,6 +53,7 @@ pub use dme::{build_buffered_tree, build_unbuffered_tree};
 pub use error::CtsError;
 pub use htree::h_tree;
 pub use io::{load_assignment, save_assignment};
+pub use ndr_tcl::{export_ndr_tcl, import_ndr_tcl};
 pub use options::CtsOptions;
 pub use topology::{bisection_topology, nearest_neighbor_topology, PlanNode, TopologyPlan};
 pub use tree::{Children, ClockTree, Node, NodeId, NodeKind, TreeStats};

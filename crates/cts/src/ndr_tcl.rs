@@ -1,0 +1,268 @@
+//! OpenROAD `create_ndr`/`assign_ndr` Tcl interchange for solved
+//! assignments.
+//!
+//! [`export_ndr_tcl`] renders an [`Assignment`] as the Tcl a physical-
+//! design flow actually consumes: one `create_ndr` per non-default routing
+//! rule with per-layer drawn width/spacing tables (rule multiplier × the
+//! layer's minimum, in µm), followed by one `assign_ndr` per edge routed
+//! with that rule. The output is a pure function of its inputs —
+//! byte-for-byte deterministic, so exported scripts can be diffed, hashed
+//! and stored under content-addressed keys.
+//!
+//! [`import_ndr_tcl`] reads such a script back into an [`Assignment`]
+//! against the same tree and technology, reconstructing the exported
+//! assignment exactly (unlisted edges take the default rule, exactly as
+//! the exporter omitted them). The pair forms the round-trip property the
+//! interop test suite pins: `import(export(a)) == a`.
+
+use crate::{Assignment, ClockTree, CtsError};
+use snr_tech::{RuleId, Technology};
+use std::fmt::Write as _;
+
+/// The interchange revision tag both directions agree on.
+const TCL_VERSION: u32 = 1;
+
+/// An NDR name a Tcl identifier can carry: the rule's display form
+/// (`2W2S`, `1W1S+SH`) with `+` mapped to `_`.
+fn ndr_name(rule: snr_tech::Rule) -> String {
+    format!("NDR_{}", rule.to_string().replace('+', "_"))
+}
+
+/// Renders `asg` as a deterministic OpenROAD `create_ndr`/`assign_ndr`
+/// Tcl script.
+///
+/// Edges (and the root's vacuous slot) holding the default rule are
+/// omitted — the default *is* the technology's standard rule, which needs
+/// no NDR. Every other slot appears as `assign_ndr -ndr <name> -net e<k>`
+/// where `k` is the tree node id below the edge.
+pub fn export_ndr_tcl(
+    design_name: &str,
+    tree: &ClockTree,
+    asg: &Assignment,
+    tech: &Technology,
+) -> String {
+    let rules = tech.rules();
+    let default = rules.default_id();
+    let mut out = String::new();
+    let _ = writeln!(out, "# smart-ndr create_ndr export v{TCL_VERSION}");
+    let _ = writeln!(
+        out,
+        "# design {design_name} tech {} nodes {} default {}",
+        tech.name(),
+        tree.len(),
+        ndr_name(rules.rule(default)),
+    );
+    let _ = writeln!(
+        out,
+        "# default rule {} is the standard rule: no NDR is created for it",
+        rules.rule(default),
+    );
+    for (id, rule) in rules.iter() {
+        if id == default {
+            continue;
+        }
+        let _ = writeln!(out, "create_ndr -name {} \\", ndr_name(rule));
+        let mut width = String::new();
+        let mut spacing = String::new();
+        for layer in tech.layers() {
+            let _ = write!(
+                width,
+                " {} {:.4}",
+                layer.name(),
+                rule.width_mult() * layer.width_min_um()
+            );
+            let _ = write!(
+                spacing,
+                " {} {:.4}",
+                layer.name(),
+                rule.spacing_mult() * layer.spacing_min_um()
+            );
+        }
+        let _ = writeln!(out, "  -width {{{width} }} \\");
+        let _ = writeln!(out, "  -spacing {{{spacing} }}");
+        if rule.is_shielded() {
+            let _ = writeln!(
+                out,
+                "# {} is shielded: route with grounded shield wires alongside",
+                ndr_name(rule)
+            );
+        }
+    }
+    for (i, slot) in (0..asg.len()).map(|i| (i, asg.rule(crate::NodeId(i)))) {
+        if slot == default {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "assign_ndr -ndr {} -net e{i}",
+            ndr_name(rules.rule(slot))
+        );
+    }
+    out
+}
+
+/// Parses a script produced by [`export_ndr_tcl`] back into the
+/// [`Assignment`] it rendered.
+///
+/// # Errors
+///
+/// Returns [`CtsError`] when the header is missing or disagrees with
+/// `tree` (node-count fingerprint), an `assign_ndr` names an NDR the
+/// technology does not define, a net id is out of range, or a net is
+/// assigned twice.
+pub fn import_ndr_tcl(
+    text: &str,
+    tree: &ClockTree,
+    tech: &Technology,
+) -> Result<Assignment, CtsError> {
+    let rules = tech.rules();
+    // Name → id map mirroring the exporter's naming exactly.
+    let by_name: Vec<(String, RuleId)> =
+        rules.iter().map(|(id, r)| (ndr_name(r), id)).collect();
+    let lookup = |name: &str| -> Option<RuleId> {
+        by_name.iter().find(|(n, _)| n == name).map(|(_, id)| *id)
+    };
+
+    let mut nodes: Option<usize> = None;
+    let mut asg = Assignment::uniform(tree, rules.default_id());
+    let mut seen = vec![false; tree.len()];
+    for (idx, raw_line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw_line.trim();
+        if let Some(rest) = line.strip_prefix("# design ") {
+            // "# design <name> tech <tech> nodes <N> default <ndr>"
+            let toks: Vec<&str> = rest.split_whitespace().collect();
+            let n = toks
+                .iter()
+                .position(|t| *t == "nodes")
+                .and_then(|p| toks.get(p + 1))
+                .and_then(|v| v.parse::<usize>().ok())
+                .ok_or_else(|| {
+                    CtsError::new(format!("line {lineno}: malformed export header"))
+                })?;
+            if n != tree.len() {
+                return Err(CtsError::new(format!(
+                    "NDR script was exported for a {n}-node tree, this tree has {} nodes",
+                    tree.len()
+                )));
+            }
+            nodes = Some(n);
+            continue;
+        }
+        if line.is_empty() || line.starts_with('#') || line.starts_with("create_ndr") {
+            continue;
+        }
+        // Multi-line create_ndr continuations.
+        if line.starts_with("-width") || line.starts_with("-spacing") {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("assign_ndr") {
+            let toks: Vec<&str> = rest.split_whitespace().collect();
+            let (name, net) = match toks.as_slice() {
+                ["-ndr", name, "-net", net] => (*name, *net),
+                _ => {
+                    return Err(CtsError::new(format!(
+                        "line {lineno}: malformed assign_ndr: {line:?}"
+                    )))
+                }
+            };
+            let rule = lookup(name).ok_or_else(|| {
+                CtsError::new(format!("line {lineno}: unknown NDR {name:?}"))
+            })?;
+            let slot = net
+                .strip_prefix('e')
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|i| *i < tree.len())
+                .ok_or_else(|| {
+                    CtsError::new(format!("line {lineno}: unknown net {net:?}"))
+                })?;
+            if seen[slot] {
+                return Err(CtsError::new(format!(
+                    "line {lineno}: net {net:?} assigned twice"
+                )));
+            }
+            seen[slot] = true;
+            asg.set(crate::NodeId(slot), rule);
+            continue;
+        }
+        return Err(CtsError::new(format!(
+            "line {lineno}: unrecognized statement: {line:?}"
+        )));
+    }
+    if nodes.is_none() {
+        return Err(CtsError::new(
+            "not a smart-ndr NDR export: missing '# design ... nodes N' header",
+        ));
+    }
+    Ok(asg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{synthesize, CtsOptions};
+    use snr_netlist::BenchmarkSpec;
+
+    fn tree_and_tech() -> (ClockTree, Technology) {
+        let design = BenchmarkSpec::new("ndr", 40).seed(9).build().unwrap();
+        let tech = Technology::n45();
+        let tree = synthesize(&design, &tech, &CtsOptions::default()).unwrap();
+        (tree, tech)
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let (tree, tech) = tree_and_tech();
+        let asg = Assignment::uniform(&tree, tech.rules().most_conservative_id());
+        let a = export_ndr_tcl("d", &tree, &asg, &tech);
+        let b = export_ndr_tcl("d", &tree, &asg, &tech);
+        assert_eq!(a, b);
+        assert!(a.contains("create_ndr -name NDR_2W2S"));
+        assert!(a.contains("assign_ndr -ndr NDR_2W2S -net e1"));
+    }
+
+    #[test]
+    fn width_tables_scale_layer_minimums() {
+        let (tree, tech) = tree_and_tech();
+        let asg = Assignment::uniform(&tree, tech.rules().default_id());
+        let tcl = export_ndr_tcl("d", &tree, &asg, &tech);
+        for layer in tech.layers() {
+            let expect = format!("{} {:.4}", layer.name(), 2.0 * layer.width_min_um());
+            assert!(tcl.contains(&expect), "missing {expect} in:\n{tcl}");
+        }
+        // All-default assignment: rules are still declared, nothing assigned.
+        assert!(!tcl.contains("assign_ndr"));
+    }
+
+    #[test]
+    fn round_trip_reconstructs_exactly() {
+        let (tree, tech) = tree_and_tech();
+        let rules = tech.rules();
+        let mut asg = Assignment::uniform(&tree, rules.default_id());
+        for i in (0..tree.len()).step_by(3) {
+            asg.set(crate::NodeId(i), RuleId(i % rules.len()));
+        }
+        let tcl = export_ndr_tcl("d", &tree, &asg, &tech);
+        let back = import_ndr_tcl(&tcl, &tree, &tech).unwrap();
+        assert_eq!(back, asg);
+    }
+
+    #[test]
+    fn wrong_tree_and_garbage_reject() {
+        let (tree, tech) = tree_and_tech();
+        let asg = Assignment::uniform(&tree, tech.rules().most_conservative_id());
+        let tcl = export_ndr_tcl("d", &tree, &asg, &tech);
+
+        let other = {
+            let d = BenchmarkSpec::new("other", 80).seed(1).build().unwrap();
+            synthesize(&d, &tech, &CtsOptions::default()).unwrap()
+        };
+        assert!(import_ndr_tcl(&tcl, &other, &tech).is_err());
+        assert!(import_ndr_tcl("", &tree, &tech).is_err());
+        assert!(import_ndr_tcl("set x 1\n", &tree, &tech).is_err());
+        let bad_ndr = tcl.replace("NDR_2W2S", "NDR_BOGUS");
+        assert!(import_ndr_tcl(&bad_ndr, &tree, &tech).is_err());
+        let dup = format!("{tcl}assign_ndr -ndr NDR_2W2S -net e1\n");
+        assert!(import_ndr_tcl(&dup, &tree, &tech).is_err());
+    }
+}

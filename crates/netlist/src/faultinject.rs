@@ -336,6 +336,164 @@ pub fn corrupt_bytes(bytes: &[u8], seed: u64) -> Vec<u8> {
     out
 }
 
+/// Which format-aware corruption [`corrupt_import_bytes`] applies to
+/// DEF-lite/ISPD import text (see [`crate::import`]). Unlike the blind
+/// byte damage of [`corrupt_bytes`], these mutations know the grammar's
+/// shape — sections, `;`-terminated statements, numeric fields — so they
+/// reach deeper into the importer's recovery paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ImportFault {
+    /// Splice sections: move, duplicate or drop a whole section block,
+    /// or splice one section's records into another.
+    SectionSplice,
+    /// Swap two whitespace-separated tokens (keywords into numeric
+    /// positions and vice versa).
+    TokenSwap,
+    /// Truncate the file at an arbitrary byte offset.
+    Truncation,
+    /// Flip decimal digits inside numeric fields (value damage that stays
+    /// syntactically valid).
+    DigitFlip,
+}
+
+impl ImportFault {
+    /// All import-format fault categories.
+    pub const ALL: [ImportFault; 4] = [
+        ImportFault::SectionSplice,
+        ImportFault::TokenSwap,
+        ImportFault::Truncation,
+        ImportFault::DigitFlip,
+    ];
+}
+
+/// Returns a seeded format-aware corruption of DEF-lite import text.
+///
+/// One to three mutations of the given category are applied; the result is
+/// a pure function of `(bytes, fault, seed)`. The output may remain
+/// importable by luck — the guaranteed property under test is that feeding
+/// it to [`crate::import_design_with`] never panics or hangs, and any
+/// rejection carries typed `I`-series diagnostics.
+pub fn corrupt_import_bytes(bytes: &[u8], fault: ImportFault, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1517_0DEF);
+    let mut out = bytes.to_vec();
+    let hits = 1 + rng.gen_range(0usize..3);
+    for _ in 0..hits {
+        if out.is_empty() {
+            break;
+        }
+        out = match fault {
+            ImportFault::SectionSplice => splice_sections(out, &mut rng),
+            ImportFault::TokenSwap => swap_tokens(out, &mut rng),
+            ImportFault::Truncation => {
+                let at = rng.gen_range(0..out.len());
+                let mut v = out;
+                v.truncate(at);
+                v
+            }
+            ImportFault::DigitFlip => flip_digits(out, &mut rng),
+        };
+    }
+    out
+}
+
+/// Section-level damage: the line ranges between section keywords are
+/// duplicated, dropped, or swapped wholesale.
+fn splice_sections(bytes: Vec<u8>, rng: &mut StdRng) -> Vec<u8> {
+    let text = String::from_utf8_lossy(&bytes).into_owned();
+    let lines: Vec<&str> = text.lines().collect();
+    if lines.len() < 2 {
+        return bytes;
+    }
+    // Boundaries: lines that open or close a section, plus both ends.
+    let mut cuts = vec![0usize];
+    for (i, l) in lines.iter().enumerate() {
+        let t = l.trim_start();
+        if t.starts_with("END")
+            || t.starts_with("PINS")
+            || t.starts_with("NETS")
+            || t.starts_with("DIEAREA")
+        {
+            cuts.push(i);
+        }
+    }
+    cuts.push(lines.len());
+    cuts.dedup();
+    if cuts.len() < 3 {
+        return bytes;
+    }
+    let pick = rng.gen_range(0..cuts.len() - 1);
+    let (lo, hi) = (cuts[pick], cuts[pick + 1]);
+    let block: Vec<&str> = lines[lo..hi].to_vec();
+    let mut rest: Vec<&str> = Vec::new();
+    rest.extend_from_slice(&lines[..lo]);
+    rest.extend_from_slice(&lines[hi..]);
+    let mut v: Vec<&str> = Vec::new();
+    match rng.gen_range(0usize..3) {
+        // Drop the block.
+        0 => v = rest,
+        // Duplicate the block in place.
+        1 => {
+            v.extend_from_slice(&lines[..hi]);
+            v.extend_from_slice(&block);
+            v.extend_from_slice(&lines[hi..]);
+        }
+        // Splice the block somewhere else.
+        _ => {
+            let at = if rest.is_empty() { 0 } else { rng.gen_range(0..=rest.len()) };
+            v.extend_from_slice(&rest[..at]);
+            v.extend_from_slice(&block);
+            v.extend_from_slice(&rest[at..]);
+        }
+    }
+    let mut joined = v.join("\n");
+    joined.push('\n');
+    joined.into_bytes()
+}
+
+/// Swaps two randomly chosen whitespace-separated tokens.
+fn swap_tokens(bytes: Vec<u8>, rng: &mut StdRng) -> Vec<u8> {
+    let text = String::from_utf8_lossy(&bytes).into_owned();
+    let spans = token_spans(&text);
+    if spans.len() < 2 {
+        return bytes;
+    }
+    let a = rng.gen_range(0..spans.len());
+    let b = rng.gen_range(0..spans.len());
+    let (first, second) = if spans[a].0 <= spans[b].0 { (spans[a], spans[b]) } else { (spans[b], spans[a]) };
+    if first == second {
+        return bytes;
+    }
+    let tok_a = &text[first.0..first.1];
+    let tok_b = &text[second.0..second.1];
+    let mut out = String::with_capacity(text.len());
+    out.push_str(&text[..first.0]);
+    out.push_str(tok_b);
+    out.push_str(&text[first.1..second.0]);
+    out.push_str(tok_a);
+    out.push_str(&text[second.1..]);
+    out.into_bytes()
+}
+
+/// Flips decimal digits in place: syntactically the file stays intact,
+/// but counts, coordinates and capacitances silently change value.
+fn flip_digits(bytes: Vec<u8>, rng: &mut StdRng) -> Vec<u8> {
+    let digit_at: Vec<usize> = bytes
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| b.is_ascii_digit())
+        .map(|(i, _)| i)
+        .collect();
+    if digit_at.is_empty() {
+        return bytes;
+    }
+    let mut out = bytes;
+    for _ in 0..rng.gen_range(1usize..=6) {
+        let i = digit_at[rng.gen_range(0..digit_at.len())];
+        out[i] = b'0' + rng.gen_range(0u32..10) as u8;
+    }
+    out
+}
+
 /// Replaces one randomly chosen whitespace-separated token with
 /// `replacement(rng)`, preserving the rest of the text byte-for-byte.
 fn mutate_token(
@@ -423,6 +581,47 @@ mod tests {
         for seed in 0..64 {
             let bad = corrupt_bytes(&buf, seed);
             let _ = load_design(bad.as_slice());
+        }
+    }
+
+    #[test]
+    fn import_corruption_is_deterministic_and_never_panics_import() {
+        let text = b"\
+DESIGN victim ;
+UNITS DISTANCE MICRONS 1000 ;
+DIEAREA ( 0 0 ) ( 100000 100000 ) ;
+CLOCKROOT ( 50000 0 ) ;
+PINS 2 ;
+  - a ( 10000 10000 ) CAP 5.0 ;
+  - b ( 90000 90000 ) CAP 6.0 ;
+END PINS
+END DESIGN
+";
+        for fault in ImportFault::ALL {
+            for seed in 0..32 {
+                let bad = corrupt_import_bytes(text, fault, seed);
+                assert_eq!(bad, corrupt_import_bytes(text, fault, seed));
+                let _ = crate::import::import_design(&bad);
+            }
+        }
+    }
+
+    #[test]
+    fn import_corruption_usually_takes_effect() {
+        let text = b"\
+DESIGN victim ;
+DIEAREA ( 0 0 ) ( 100000 100000 ) ;
+CLOCKROOT ( 50000 0 ) ;
+PINS 1 ;
+  - a ( 10000 10000 ) CAP 5.0 ;
+END PINS
+END DESIGN
+";
+        for fault in ImportFault::ALL {
+            let changed = (0..32)
+                .filter(|&seed| corrupt_import_bytes(text, fault, seed) != text.to_vec())
+                .count();
+            assert!(changed >= 24, "{fault:?}: only {changed}/32 corruptions changed the bytes");
         }
     }
 

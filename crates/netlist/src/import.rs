@@ -1,0 +1,909 @@
+//! DEF-lite / ISPD-CTS design import: the hostile-input frontier.
+//!
+//! External clock testcases arrive in DEF-flavoured text written by tools
+//! this crate does not control. This module reads a small, documented
+//! subset of that world (statement-oriented, `;`-terminated, DEF keyword
+//! shapes — see DESIGN.md §3.13 for the grammar) into the same
+//! [`RawDesign`] the native `.sndr` reader produces, so everything
+//! downstream — [`RawDesign::validate`], [`RawDesign::repair`],
+//! [`RawDesign::finish`] — is shared with the established pipeline.
+//!
+//! Unlike [`crate::parse_raw`], which fails on the first malformed line
+//! (its input is our own serializer's output), the importer treats every
+//! record as independently suspect:
+//!
+//! * **Per-record recovery** — a mangled pin or net record yields a
+//!   warning-severity [`Diagnostic`] (stable `I`-series code) and is
+//!   skipped; parsing continues. Structural damage (truncation, missing
+//!   required statements, bad units, breached resource limits) is
+//!   error-severity and rejects the file, but still via diagnostics,
+//!   never a panic.
+//! * **Strict resource bounds** — [`ImportLimits`] caps input size, line
+//!   length, tokens per statement, record counts and the diagnostic list
+//!   itself, *before* any allocation trusts a declared count. A hostile
+//!   file costs bounded work and memory.
+//! * **Typed rejection** — every rejection is a
+//!   [`NetlistError::Rejected`] whose diagnostics include at least one
+//!   `I`-series code marking the import boundary, alongside any `G`/`T`/
+//!   `E` findings from the shared validation pass.
+//!
+//! # Examples
+//!
+//! ```
+//! use snr_netlist::import::{import_design, import_design_with, ImportOptions};
+//!
+//! let text = b"\
+//! DESIGN demo ;
+//! UNITS DISTANCE MICRONS 1000 ;
+//! FREQUENCY 1.0 ;
+//! DIEAREA ( 0 0 ) ( 100000 100000 ) ;
+//! CLOCKROOT ( 50000 0 ) ;
+//! PINS 2 ;
+//!   - ff0/clk ( 10000 20000 ) CAP 5.0 ;
+//!   - ff1/clk ( 90000 81000 ) CAP 7.25 ;
+//! END PINS
+//! END DESIGN
+//! ";
+//! let design = import_design(text)?;
+//! assert_eq!(design.sinks().len(), 2);
+//!
+//! // A mangled record is skipped with a diagnostic, not a failure.
+//! let dirty = b"\
+//! DESIGN demo ;
+//! DIEAREA ( 0 0 ) ( 100000 100000 ) ;
+//! CLOCKROOT ( 50000 0 ) ;
+//! PINS 2 ;
+//!   - ff0/clk ( 10000 20000 ) CAP 5.0 ;
+//!   - broken record with no parens ;
+//! END PINS
+//! END DESIGN
+//! ";
+//! let report = import_design_with(dirty, &ImportOptions::default())?;
+//! assert_eq!(report.design.sinks().len(), 1);
+//! assert!(report.diagnostics.iter().any(|d| d.code.id() == "I07"));
+//! # Ok::<(), snr_netlist::NetlistError>(())
+//! ```
+
+use crate::validate::{
+    Bounds, DiagCode, Diagnostic, RawArc, RawDesign, RawSink, Repair, Severity,
+};
+use crate::{Design, NetlistError};
+use std::collections::HashMap;
+
+/// Resource bounds the importer enforces on untrusted input.
+///
+/// Every bound is checked before the corresponding allocation or loop, so
+/// a hostile file can exhaust neither memory nor time. Breaches surface as
+/// error-severity [`DiagCode::ImportLimitExceeded`] diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImportLimits {
+    /// Largest accepted input, bytes.
+    pub max_input_bytes: usize,
+    /// Longest accepted physical line, bytes.
+    pub max_line_bytes: usize,
+    /// Most tokens one statement may span (statements may continue across
+    /// lines until `;`).
+    pub max_statement_tokens: usize,
+    /// Most pin/net records accepted per section — also the cap applied to
+    /// a section's *declared* count before any capacity is reserved.
+    pub max_records: usize,
+    /// Most diagnostics recorded before further findings are summarized
+    /// into a single overflow entry.
+    pub max_diagnostics: usize,
+}
+
+impl Default for ImportLimits {
+    fn default() -> Self {
+        ImportLimits {
+            max_input_bytes: 8 << 20,
+            max_line_bytes: 4096,
+            max_statement_tokens: 64,
+            max_records: 1_000_000,
+            max_diagnostics: 256,
+        }
+    }
+}
+
+/// Knobs for [`import_design_with`]: validation bounds, repair, limits.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ImportOptions {
+    /// Plausibility bounds for the shared validation pass.
+    pub bounds: Bounds,
+    /// When set, run [`RawDesign::repair`] on semantically damaged input
+    /// instead of rejecting it (unrepairable designs still fail).
+    pub repair: bool,
+    /// Resource bounds on the untrusted bytes.
+    pub limits: ImportLimits,
+}
+
+/// What [`import_design_with`] found and did on the way to a [`Design`].
+#[derive(Debug, Clone)]
+pub struct ImportReport {
+    /// The imported (possibly repaired) design.
+    pub design: Design,
+    /// Import-layer and validation findings, in discovery order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Every mutation the repair pass applied (empty when repair was off
+    /// or unneeded).
+    pub repairs: Vec<Repair>,
+}
+
+/// Scale factor and sanity ceiling: coordinates land in integer nm, and
+/// anything beyond ±1e12 nm (a kilometre of silicon) is importer-domain
+/// overflow regardless of the validation bounds.
+const COORD_OVERFLOW_NM: f64 = 1e12;
+
+/// Collects diagnostics under the `max_diagnostics` bound; overflow is
+/// counted and summarized once so a hostile file cannot balloon the list.
+struct DiagSink {
+    diags: Vec<Diagnostic>,
+    cap: usize,
+    dropped: usize,
+    fatal: bool,
+}
+
+impl DiagSink {
+    fn new(cap: usize) -> Self {
+        DiagSink { diags: Vec::new(), cap, dropped: 0, fatal: false }
+    }
+
+    fn push(&mut self, code: DiagCode, severity: Severity, entity: &str, message: String) {
+        if severity == Severity::Error {
+            self.fatal = true;
+        }
+        if self.diags.len() < self.cap {
+            self.diags.push(Diagnostic::new(code, severity, entity, message));
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    fn finish(mut self) -> (Vec<Diagnostic>, bool) {
+        if self.dropped > 0 {
+            self.diags.push(Diagnostic::new(
+                DiagCode::ImportLimitExceeded,
+                Severity::Error,
+                "import",
+                format!(
+                    "diagnostic limit reached; {} further finding(s) suppressed",
+                    self.dropped
+                ),
+            ));
+            self.fatal = true;
+        }
+        (self.diags, self.fatal)
+    }
+}
+
+/// One `;`-terminated statement: its tokens and the 1-based line it began.
+struct Statement {
+    line: usize,
+    tokens: Vec<String>,
+}
+
+/// Splits the input into statements. Punctuation (`(`, `)`, `;`) is
+/// self-delimiting; `#` comments run to end of line; statements continue
+/// across lines until `;`, except `END <WORD>` which closes at end of
+/// line (DEF idiom). Limit breaches abort with an error diagnostic —
+/// returning what was tokenized so far keeps the work bounded.
+fn tokenize(text: &str, limits: &ImportLimits, sink: &mut DiagSink) -> Vec<Statement> {
+    let mut statements = Vec::new();
+    let mut tokens: Vec<String> = Vec::new();
+    let mut start_line = 0usize;
+    for (idx, raw_line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if raw_line.len() > limits.max_line_bytes {
+            sink.push(
+                DiagCode::ImportLimitExceeded,
+                Severity::Error,
+                &format!("line {lineno}"),
+                format!(
+                    "line is {} bytes (limit {}); parsing stopped",
+                    raw_line.len(),
+                    limits.max_line_bytes
+                ),
+            );
+            return statements;
+        }
+        let line = match raw_line.find('#') {
+            Some(pos) => &raw_line[..pos],
+            None => raw_line,
+        };
+        for piece in line.split_whitespace() {
+            // Make the DEF punctuation self-delimiting even when glued.
+            let mut rest = piece;
+            while !rest.is_empty() {
+                let cut = rest.find(['(', ')', ';']);
+                let (word, punct_and_tail) = match cut {
+                    Some(0) => (&rest[..1], &rest[1..]),
+                    Some(p) => (&rest[..p], &rest[p..]),
+                    None => (rest, ""),
+                };
+                rest = punct_and_tail;
+                if word.is_empty() {
+                    continue;
+                }
+                if tokens.is_empty() {
+                    start_line = lineno;
+                }
+                if word == ";" {
+                    if !tokens.is_empty() {
+                        statements.push(Statement {
+                            line: start_line,
+                            tokens: std::mem::take(&mut tokens),
+                        });
+                    }
+                    continue;
+                }
+                tokens.push(word.to_owned());
+                if tokens.len() > limits.max_statement_tokens {
+                    sink.push(
+                        DiagCode::ImportLimitExceeded,
+                        Severity::Error,
+                        &format!("line {start_line}"),
+                        format!(
+                            "statement exceeds {} tokens; parsing stopped",
+                            limits.max_statement_tokens
+                        ),
+                    );
+                    return statements;
+                }
+            }
+        }
+        // DEF's section closers carry no semicolon: `END PINS` is a
+        // complete statement at end of line.
+        if tokens.first().is_some_and(|t| t == "END") {
+            statements.push(Statement { line: start_line, tokens: std::mem::take(&mut tokens) });
+        }
+    }
+    if !tokens.is_empty() {
+        sink.push(
+            DiagCode::ImportTruncated,
+            Severity::Error,
+            &format!("line {start_line}"),
+            "file ends mid-statement (missing ';')".to_owned(),
+        );
+    }
+    statements
+}
+
+/// Parses one f64 token; `None` is the caller's cue to emit a malformed-
+/// record diagnostic.
+fn num(tok: &str) -> Option<f64> {
+    tok.parse::<f64>().ok()
+}
+
+/// Which section the statement cursor is inside.
+enum Section {
+    Header,
+    Pins { declared: Option<usize>, seen: usize },
+    Nets { declared: Option<usize>, seen: usize },
+    /// An unrecognized section being skipped until its `END <name>`.
+    Skipping(String),
+    Done,
+}
+
+/// Reads DEF-lite bytes into a best-effort [`RawDesign`] plus the
+/// import-layer diagnostics. Never fails: structural damage surfaces as
+/// error-severity diagnostics (the second tuple element is `true` when
+/// any were emitted), per-record damage as warnings.
+///
+/// Callers wanting a validated [`Design`] should use
+/// [`import_design_with`], which chains this into the shared
+/// validate → repair → finish pipeline.
+pub fn import_raw(bytes: &[u8], limits: &ImportLimits) -> (RawDesign, Vec<Diagnostic>, bool) {
+    let mut sink = DiagSink::new(limits.max_diagnostics);
+    let mut raw = RawDesign::empty("", 1.0, (0.0, 0.0, 0.0, 0.0), (0.0, 0.0));
+    let mut saw_design = false;
+    let mut saw_die = false;
+    let mut saw_root = false;
+    let mut saw_end_design = false;
+    let mut dbu_per_um = 1000.0f64;
+    let mut pin_ids: HashMap<String, usize> = HashMap::new();
+
+    if bytes.len() > limits.max_input_bytes {
+        sink.push(
+            DiagCode::ImportLimitExceeded,
+            Severity::Error,
+            "input",
+            format!("input is {} bytes (limit {})", bytes.len(), limits.max_input_bytes),
+        );
+        let (diags, fatal) = sink.finish();
+        return (raw, diags, fatal);
+    }
+    let text = String::from_utf8_lossy(bytes);
+    let statements = tokenize(&text, limits, &mut sink);
+
+    // nm per declared-base-unit; recomputed when UNITS lands.
+    let mut scale = 1000.0 / dbu_per_um;
+    let mut section = Section::Header;
+
+    for stmt in &statements {
+        let ent = format!("line {}", stmt.line);
+        let toks: Vec<&str> = stmt.tokens.iter().map(String::as_str).collect();
+        let head = toks[0];
+
+        // Section closers and openers are recognized in any state so a
+        // skipped unknown section cannot swallow the rest of the file.
+        if head == "END" {
+            let closer = toks.get(1).copied();
+            let current = std::mem::replace(&mut section, Section::Header);
+            match (current, closer) {
+                (cur, Some("DESIGN")) => {
+                    if matches!(cur, Section::Pins { .. } | Section::Nets { .. }) {
+                        sink.push(
+                            DiagCode::ImportTruncated,
+                            Severity::Error,
+                            &ent,
+                            "END DESIGN inside an open section".to_owned(),
+                        );
+                    }
+                    saw_end_design = true;
+                    section = Section::Done;
+                }
+                (Section::Pins { declared, seen }, Some("PINS")) => {
+                    if let Some(d) = declared {
+                        if d != seen {
+                            sink.push(
+                                DiagCode::ImportCountMismatch,
+                                Severity::Warning,
+                                &ent,
+                                format!("PINS declared {d} record(s), read {seen}"),
+                            );
+                        }
+                    }
+                }
+                (Section::Nets { declared, seen }, Some("NETS")) => {
+                    if let Some(d) = declared {
+                        if d != seen {
+                            sink.push(
+                                DiagCode::ImportCountMismatch,
+                                Severity::Warning,
+                                &ent,
+                                format!("NETS declared {d} record(s), read {seen}"),
+                            );
+                        }
+                    }
+                }
+                (Section::Skipping(name), Some(word)) if word == name.as_str() => {}
+                (cur, _) => {
+                    sink.push(
+                        DiagCode::ImportMalformedRecord,
+                        Severity::Warning,
+                        &ent,
+                        format!("unmatched section closer: {}", toks.join(" ")),
+                    );
+                    section = cur;
+                }
+            }
+            continue;
+        }
+
+        // Record-count limits are checked before the record is parsed, so
+        // a hostile file cannot grow the design past the bound.
+        let over_limit = match &section {
+            Section::Pins { .. } => raw.sinks.len() >= limits.max_records,
+            Section::Nets { .. } => raw.arcs.len() >= limits.max_records,
+            _ => false,
+        };
+        if over_limit {
+            sink.push(
+                DiagCode::ImportLimitExceeded,
+                Severity::Error,
+                &ent,
+                format!("record limit {} reached; parsing stopped", limits.max_records),
+            );
+            section = Section::Done;
+            break;
+        }
+
+        match &mut section {
+            Section::Skipping(_) => { /* swallow the unknown section's records */ }
+            Section::Done => {
+                sink.push(
+                    DiagCode::ImportMalformedRecord,
+                    Severity::Warning,
+                    &ent,
+                    "content after END DESIGN ignored".to_owned(),
+                );
+            }
+            Section::Header => match head {
+                "VERSION" => { /* accepted and ignored: the grammar is versionless */ }
+                "DESIGN" => {
+                    if let Some(name) = toks.get(1) {
+                        raw.name = (*name).to_owned();
+                        saw_design = true;
+                    } else {
+                        sink.push(
+                            DiagCode::ImportMalformedRecord,
+                            Severity::Warning,
+                            &ent,
+                            "DESIGN statement without a name".to_owned(),
+                        );
+                    }
+                }
+                "UNITS" => {
+                    let dbu = match (toks.get(1), toks.get(2), toks.get(3)) {
+                        (Some(&"DISTANCE"), Some(&"MICRONS"), Some(v)) => num(v),
+                        _ => None,
+                    };
+                    match dbu {
+                        Some(d) if d.is_finite() && d > 0.0 => {
+                            dbu_per_um = d;
+                            scale = 1000.0 / dbu_per_um;
+                            const USUAL: [f64; 7] =
+                                [100.0, 200.0, 400.0, 1000.0, 2000.0, 10000.0, 20000.0];
+                            if !USUAL.contains(&d) {
+                                sink.push(
+                                    DiagCode::ImportUnitMismatch,
+                                    Severity::Warning,
+                                    &ent,
+                                    format!("unusual database unit: {d} per micron"),
+                                );
+                            }
+                        }
+                        _ => sink.push(
+                            DiagCode::ImportUnitMismatch,
+                            Severity::Error,
+                            &ent,
+                            format!("malformed UNITS statement: {}", toks.join(" ")),
+                        ),
+                    }
+                }
+                "FREQUENCY" => match toks.get(1).and_then(|t| num(t)) {
+                    Some(f) => raw.freq_ghz = f,
+                    None => sink.push(
+                        DiagCode::ImportMalformedRecord,
+                        Severity::Warning,
+                        &ent,
+                        "malformed FREQUENCY statement; keeping 1.0 GHz".to_owned(),
+                    ),
+                },
+                "DIEAREA" => {
+                    // DIEAREA ( x0 y0 ) ( x1 y1 )
+                    let nums: Vec<Option<f64>> = match toks.as_slice() {
+                        [_, "(", a, b, ")", "(", c, d, ")"] => {
+                            vec![num(a), num(b), num(c), num(d)]
+                        }
+                        _ => Vec::new(),
+                    };
+                    match nums.as_slice() {
+                        [Some(a), Some(b), Some(c), Some(d)] => {
+                            let corners = [*a, *b, *c, *d].map(|v| v * scale);
+                            if corners.iter().any(|v| !v.is_finite() || v.abs() > COORD_OVERFLOW_NM)
+                            {
+                                sink.push(
+                                    DiagCode::ImportCoordOverflow,
+                                    Severity::Error,
+                                    &ent,
+                                    "DIEAREA coordinate overflows the importer domain"
+                                        .to_owned(),
+                                );
+                            } else {
+                                raw.die = (corners[0], corners[1], corners[2], corners[3]);
+                                saw_die = true;
+                            }
+                        }
+                        _ => sink.push(
+                            DiagCode::ImportMalformedRecord,
+                            Severity::Warning,
+                            &ent,
+                            format!("malformed DIEAREA statement: {}", toks.join(" ")),
+                        ),
+                    }
+                }
+                "CLOCKROOT" => {
+                    let nums = match toks.as_slice() {
+                        [_, "(", a, b, ")"] => (num(a), num(b)),
+                        _ => (None, None),
+                    };
+                    match nums {
+                        (Some(x), Some(y)) => {
+                            let (x, y) = (x * scale, y * scale);
+                            if !x.is_finite()
+                                || !y.is_finite()
+                                || x.abs() > COORD_OVERFLOW_NM
+                                || y.abs() > COORD_OVERFLOW_NM
+                            {
+                                sink.push(
+                                    DiagCode::ImportCoordOverflow,
+                                    Severity::Error,
+                                    &ent,
+                                    "CLOCKROOT coordinate overflows the importer domain"
+                                        .to_owned(),
+                                );
+                            } else {
+                                raw.root = (x, y);
+                                saw_root = true;
+                            }
+                        }
+                        _ => sink.push(
+                            DiagCode::ImportMalformedRecord,
+                            Severity::Warning,
+                            &ent,
+                            format!("malformed CLOCKROOT statement: {}", toks.join(" ")),
+                        ),
+                    }
+                }
+                "PINS" | "NETS" => {
+                    let declared = toks.get(1).and_then(|t| t.parse::<usize>().ok());
+                    if let Some(d) = declared {
+                        if d > limits.max_records {
+                            sink.push(
+                                DiagCode::ImportLimitExceeded,
+                                Severity::Error,
+                                &ent,
+                                format!(
+                                    "{head} declares {d} records (limit {})",
+                                    limits.max_records
+                                ),
+                            );
+                            continue;
+                        }
+                        // Reserve bounded capacity only: the declared count
+                        // is untrusted even under the limit.
+                        let cap = d.min(4096);
+                        if head == "PINS" {
+                            raw.sinks.reserve(cap);
+                        } else {
+                            raw.arcs.reserve(cap);
+                        }
+                    }
+                    section = if head == "PINS" {
+                        Section::Pins { declared, seen: 0 }
+                    } else {
+                        Section::Nets { declared, seen: 0 }
+                    };
+                }
+                "-" => {
+                    sink.push(
+                        DiagCode::ImportMalformedRecord,
+                        Severity::Warning,
+                        &ent,
+                        "record outside any section".to_owned(),
+                    );
+                }
+                other => {
+                    sink.push(
+                        DiagCode::ImportUnknownSection,
+                        Severity::Warning,
+                        &ent,
+                        format!("unknown statement {other:?}; skipping until END {other}"),
+                    );
+                    section = Section::Skipping(other.to_owned());
+                }
+            },
+            Section::Pins { seen, .. } => {
+                // - <name> ( <x> <y> ) CAP <c>
+                *seen += 1;
+                let parsed = match toks.as_slice() {
+                    ["-", name, "(", x, y, ")", "CAP", c] => {
+                        Some(((*name).to_owned(), num(x), num(y), num(c)))
+                    }
+                    _ => None,
+                };
+                let Some((name, Some(x), Some(y), Some(cap_ff))) = parsed else {
+                    sink.push(
+                        DiagCode::ImportMalformedRecord,
+                        Severity::Warning,
+                        &ent,
+                        format!("malformed pin record: {}", toks.join(" ")),
+                    );
+                    continue;
+                };
+                let (x, y) = (x * scale, y * scale);
+                if x.abs() > COORD_OVERFLOW_NM || y.abs() > COORD_OVERFLOW_NM {
+                    sink.push(
+                        DiagCode::ImportCoordOverflow,
+                        Severity::Warning,
+                        &ent,
+                        format!("pin {name:?} coordinate overflows the importer domain"),
+                    );
+                    continue;
+                }
+                if pin_ids.contains_key(&name) {
+                    sink.push(
+                        DiagCode::ImportDuplicatePin,
+                        Severity::Warning,
+                        &ent,
+                        format!("duplicate pin {name:?}; keeping the first record"),
+                    );
+                    continue;
+                }
+                let id = raw.sinks.len();
+                pin_ids.insert(name.clone(), id);
+                raw.sinks.push(RawSink { id, name, x, y, cap_ff });
+            }
+            Section::Nets { seen, .. } => {
+                // - <name> ( <from> <to> ) SETUP <s> HOLD <h>
+                *seen += 1;
+                let parsed = match toks.as_slice() {
+                    ["-", name, "(", from, to, ")", "SETUP", s, "HOLD", h] => {
+                        Some((*name, *from, *to, num(s), num(h)))
+                    }
+                    _ => None,
+                };
+                let Some((name, from, to, Some(setup_ps), Some(hold_ps))) = parsed else {
+                    sink.push(
+                        DiagCode::ImportMalformedRecord,
+                        Severity::Warning,
+                        &ent,
+                        format!("malformed net record: {}", toks.join(" ")),
+                    );
+                    continue;
+                };
+                let (Some(&from_id), Some(&to_id)) = (pin_ids.get(from), pin_ids.get(to))
+                else {
+                    sink.push(
+                        DiagCode::ImportDanglingNet,
+                        Severity::Warning,
+                        &ent,
+                        format!("net {name:?} references undeclared pin(s); skipped"),
+                    );
+                    continue;
+                };
+                raw.arcs.push(RawArc { from: from_id, to: to_id, setup_ps, hold_ps });
+            }
+        }
+    }
+
+    if let Section::Pins { .. } | Section::Nets { .. } | Section::Skipping(_) = section {
+        sink.push(
+            DiagCode::ImportTruncated,
+            Severity::Error,
+            "input",
+            "file ends inside an open section".to_owned(),
+        );
+    } else if !saw_end_design && !sink.fatal {
+        sink.push(
+            DiagCode::ImportTruncated,
+            Severity::Error,
+            "input",
+            "missing END DESIGN".to_owned(),
+        );
+    }
+    for (flag, what) in
+        [(saw_design, "DESIGN"), (saw_die, "DIEAREA"), (saw_root, "CLOCKROOT")]
+    {
+        if !flag {
+            sink.push(
+                DiagCode::ImportMissingSection,
+                Severity::Error,
+                "input",
+                format!("required statement {what} is absent"),
+            );
+        }
+    }
+
+    let (diags, fatal) = sink.finish();
+    (raw, diags, fatal)
+}
+
+/// Imports a DEF-lite/ISPD design, with explicit control over bounds,
+/// repair and resource limits.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Rejected`] carrying every finding when the
+/// input is structurally damaged (truncated, over-limit, missing required
+/// statements) or — with repair off — semantically invalid. Every
+/// rejection's diagnostic list contains at least one `I`-series code.
+pub fn import_design_with(
+    bytes: &[u8],
+    opts: &ImportOptions,
+) -> Result<ImportReport, NetlistError> {
+    let (mut raw, mut diagnostics, fatal) = import_raw(bytes, &opts.limits);
+    if fatal {
+        return Err(NetlistError::Rejected { diagnostics });
+    }
+    diagnostics.extend(raw.validate(&opts.bounds));
+    let mut repairs = Vec::new();
+    if diagnostics.iter().any(|d| d.severity == Severity::Error) {
+        if !opts.repair {
+            diagnostics.push(Diagnostic::new(
+                DiagCode::ImportInvalidDesign,
+                Severity::Error,
+                "design",
+                "imported design failed validation (see accompanying diagnostics; \
+                 re-run with repair to attempt salvage)",
+            ));
+            return Err(NetlistError::Rejected { diagnostics });
+        }
+        repairs = raw.repair(&opts.bounds);
+    } else if opts.repair && !diagnostics.is_empty() {
+        repairs = raw.repair(&opts.bounds);
+    }
+    match raw.finish() {
+        Ok(design) => Ok(ImportReport { design, diagnostics, repairs }),
+        Err(e) => {
+            diagnostics.push(Diagnostic::new(
+                DiagCode::ImportInvalidDesign,
+                Severity::Error,
+                "design",
+                format!("imported design cannot be constructed: {}", e.what()),
+            ));
+            Err(NetlistError::Rejected { diagnostics })
+        }
+    }
+}
+
+/// Imports a DEF-lite/ISPD design with default options (default bounds,
+/// repair off, default limits).
+///
+/// # Errors
+///
+/// As [`import_design_with`].
+pub fn import_design(bytes: &[u8]) -> Result<Design, NetlistError> {
+    import_design_with(bytes, &ImportOptions::default()).map(|r| r.design)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CLEAN: &[u8] = b"\
+VERSION 5.8 ;
+DESIGN demo ;
+UNITS DISTANCE MICRONS 1000 ;
+FREQUENCY 1.5 ;
+DIEAREA ( 0 0 ) ( 100000 100000 ) ;
+CLOCKROOT ( 50000 0 ) ;
+PINS 3 ;
+  - ff0/clk ( 10000 20000 ) CAP 5.0 ;
+  - ff1/clk ( 90000 81000 ) CAP 7.25 ;
+  - ff2/clk ( 40000 40000 ) CAP 6.0 ;
+END PINS
+NETS 1 ;
+  - n0 ( ff0/clk ff1/clk ) SETUP 45 HOLD 30 ;
+END NETS
+END DESIGN
+";
+
+    #[test]
+    fn clean_import_loads() {
+        let report = import_design_with(CLEAN, &ImportOptions::default()).unwrap();
+        assert_eq!(report.design.name(), "demo");
+        assert_eq!(report.design.freq_ghz(), 1.5);
+        assert_eq!(report.design.sinks().len(), 3);
+        assert_eq!(report.design.arcs().len(), 1);
+        assert!(report.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn units_rescale_coordinates() {
+        let text = String::from_utf8_lossy(CLEAN)
+            .replace("MICRONS 1000", "MICRONS 2000")
+            .replace("( 0 0 ) ( 100000 100000 )", "( 0 0 ) ( 200000 200000 )");
+        let design = import_design(text.as_bytes()).unwrap();
+        assert_eq!(design.die().hi().x, 100_000);
+        // 10000 dbu at 2000 dbu/um = 5 um = 5000 nm.
+        assert_eq!(design.sinks()[0].location().x, 5_000);
+    }
+
+    #[test]
+    fn mangled_record_recovers_with_diagnostic() {
+        let text = String::from_utf8_lossy(CLEAN)
+            .replace("- ff2/clk ( 40000 40000 ) CAP 6.0", "- ff2/clk 40000 CAP");
+        let report = import_design_with(text.as_bytes(), &ImportOptions::default()).unwrap();
+        assert_eq!(report.design.sinks().len(), 2);
+        assert!(report.diagnostics.iter().any(|d| d.code == DiagCode::ImportMalformedRecord));
+    }
+
+    #[test]
+    fn truncation_rejects_with_i06() {
+        let text = &CLEAN[..CLEAN.len() - 30];
+        let err = import_design(text).unwrap_err();
+        assert!(err.diagnostics().iter().any(|d| d.code == DiagCode::ImportTruncated));
+    }
+
+    #[test]
+    fn every_rejection_carries_an_i_code() {
+        // Semantic damage only: all pins stacked at one point, off die.
+        let text = b"\
+DESIGN d ;
+DIEAREA ( 0 0 ) ( 100 100 ) ;
+CLOCKROOT ( 50 0 ) ;
+PINS 1 ;
+  - a ( 900000 900000 ) CAP 5.0 ;
+END PINS
+END DESIGN
+";
+        let err = import_design(text).unwrap_err();
+        assert!(err
+            .diagnostics()
+            .iter()
+            .any(|d| d.code.id().starts_with('I')));
+    }
+
+    #[test]
+    fn limits_bound_hostile_input() {
+        let limits = ImportLimits { max_input_bytes: 16, ..ImportLimits::default() };
+        let opts = ImportOptions { limits, ..ImportOptions::default() };
+        let err = import_design_with(CLEAN, &opts).unwrap_err();
+        assert!(err.diagnostics().iter().any(|d| d.code == DiagCode::ImportLimitExceeded));
+
+        let long_line = format!("DESIGN {} ;\n", "x".repeat(8192));
+        let err = import_design(long_line.as_bytes()).unwrap_err();
+        assert!(err.diagnostics().iter().any(|d| d.code == DiagCode::ImportLimitExceeded));
+
+        let greedy = b"DESIGN d ;\nPINS 999999999 ;\nEND PINS\nEND DESIGN\n";
+        let err = import_design(greedy).unwrap_err();
+        assert!(err.diagnostics().iter().any(|d| d.code == DiagCode::ImportLimitExceeded));
+    }
+
+    #[test]
+    fn unknown_sections_skip_without_losing_the_tail() {
+        let text = b"\
+DESIGN d ;
+DIEAREA ( 0 0 ) ( 100000 100000 ) ;
+CLOCKROOT ( 50000 0 ) ;
+BLOCKAGES 2 ;
+  - b0 ( 1 1 ) ( 2 2 ) ;
+END BLOCKAGES
+PINS 1 ;
+  - a ( 10000 10000 ) CAP 5.0 ;
+END PINS
+END DESIGN
+";
+        let report = import_design_with(text, &ImportOptions::default()).unwrap();
+        assert_eq!(report.design.sinks().len(), 1);
+        assert!(report.diagnostics.iter().any(|d| d.code == DiagCode::ImportUnknownSection));
+    }
+
+    #[test]
+    fn duplicate_pin_and_dangling_net_diagnose() {
+        let text = b"\
+DESIGN d ;
+DIEAREA ( 0 0 ) ( 100000 100000 ) ;
+CLOCKROOT ( 50000 0 ) ;
+PINS 2 ;
+  - a ( 10000 10000 ) CAP 5.0 ;
+  - a ( 20000 20000 ) CAP 5.0 ;
+END PINS
+NETS 1 ;
+  - n0 ( a ghost ) SETUP 5 HOLD 5 ;
+END NETS
+END DESIGN
+";
+        let report = import_design_with(text, &ImportOptions::default()).unwrap();
+        assert_eq!(report.design.sinks().len(), 1);
+        assert!(report.design.arcs().is_empty());
+        assert!(report.diagnostics.iter().any(|d| d.code == DiagCode::ImportDuplicatePin));
+        assert!(report.diagnostics.iter().any(|d| d.code == DiagCode::ImportDanglingNet));
+    }
+
+    #[test]
+    fn repair_salvages_semantic_damage() {
+        let text = b"\
+DESIGN d ;
+DIEAREA ( 0 0 ) ( 100000 100000 ) ;
+CLOCKROOT ( 50000 0 ) ;
+PINS 3 ;
+  - a ( 10000 10000 ) CAP 5.0 ;
+  - b ( 20000 20000 ) CAP -4.0 ;
+  - c ( nan 30000 ) CAP 5.0 ;
+END PINS
+END DESIGN
+";
+        assert!(import_design(text).is_err());
+        let opts = ImportOptions { repair: true, ..ImportOptions::default() };
+        let report = import_design_with(text, &opts).unwrap();
+        assert!(!report.repairs.is_empty());
+        assert!(report.design.sinks().len() >= 2);
+    }
+
+    #[test]
+    fn coordinate_overflow_diagnoses() {
+        let text = b"\
+DESIGN d ;
+DIEAREA ( 0 0 ) ( 100000 100000 ) ;
+CLOCKROOT ( 50000 0 ) ;
+PINS 1 ;
+  - a ( 1e300 10000 ) CAP 5.0 ;
+END PINS
+END DESIGN
+";
+        let err = import_design(text).unwrap_err();
+        assert!(err.diagnostics().iter().any(|d| d.code == DiagCode::ImportCoordOverflow));
+    }
+}

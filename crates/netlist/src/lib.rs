@@ -33,6 +33,7 @@ mod error;
 #[cfg(feature = "fault-inject")]
 pub mod faultinject;
 mod generate;
+pub mod import;
 mod io;
 mod sink;
 pub mod validate;
@@ -41,6 +42,7 @@ pub use arcs::{random_timing_arcs, TimingArc};
 pub use design::Design;
 pub use error::{ErrorKind, NetlistError};
 pub use generate::{ispd_like_suite, scaling_specs, BenchmarkSpec};
+pub use import::{import_design, import_design_with, ImportLimits, ImportOptions, ImportReport};
 pub use io::{
     load_design, load_design_with, parse_raw, save_design, LoadOptions, LoadReport, FORMAT_VERSION,
 };

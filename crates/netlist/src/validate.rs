@@ -123,6 +123,34 @@ pub enum DiagCode {
     FreqAboveBound,
     /// A timing-arc setup/hold window is non-finite or negative.
     ArcWindowInvalid,
+    // --- import (DEF-lite / ISPD frontier, see crate::import) ---
+    /// An unrecognized section or top-level statement was skipped.
+    ImportUnknownSection,
+    /// The `UNITS` declaration is missing, malformed or implausible.
+    ImportUnitMismatch,
+    /// Two pin records declare the same pin name.
+    ImportDuplicatePin,
+    /// A net record references a pin name no record declares.
+    ImportDanglingNet,
+    /// A coordinate overflows the importer's numeric domain after unit
+    /// scaling (non-finite or beyond any plausible placement).
+    ImportCoordOverflow,
+    /// The file ended before `END DESIGN` (or inside an open section).
+    ImportTruncated,
+    /// A record did not match its section's grammar and was skipped.
+    ImportMalformedRecord,
+    /// A resource bound (input size, line length, token count, record
+    /// count, diagnostic count) was exceeded; parsing stopped.
+    ImportLimitExceeded,
+    /// A section's declared record count disagrees with the records read.
+    ImportCountMismatch,
+    /// A required header statement (`DESIGN`, `DIEAREA`, `CLOCKROOT`) is
+    /// absent.
+    ImportMissingSection,
+    /// Marker attached when an imported design is rejected downstream
+    /// (validation or finish), so every import rejection carries an
+    /// I-series code alongside the underlying G/T/E findings.
+    ImportInvalidDesign,
 }
 
 impl DiagCode {
@@ -149,7 +177,56 @@ impl DiagCode {
             DiagCode::NonPositiveFreq => "E03",
             DiagCode::FreqAboveBound => "E04",
             DiagCode::ArcWindowInvalid => "E05",
+            DiagCode::ImportUnknownSection => "I01",
+            DiagCode::ImportUnitMismatch => "I02",
+            DiagCode::ImportDuplicatePin => "I03",
+            DiagCode::ImportDanglingNet => "I04",
+            DiagCode::ImportCoordOverflow => "I05",
+            DiagCode::ImportTruncated => "I06",
+            DiagCode::ImportMalformedRecord => "I07",
+            DiagCode::ImportLimitExceeded => "I08",
+            DiagCode::ImportCountMismatch => "I09",
+            DiagCode::ImportMissingSection => "I10",
+            DiagCode::ImportInvalidDesign => "I11",
         }
+    }
+
+    /// Every stable code, in id order — the audit surface for tests that
+    /// pin the external G/T/E/I contract.
+    pub fn all() -> &'static [DiagCode] {
+        &[
+            DiagCode::NonFiniteCoord,
+            DiagCode::CoordOutOfRange,
+            DiagCode::FractionalCoord,
+            DiagCode::CoordOutsideDie,
+            DiagCode::DuplicateSinkPosition,
+            DiagCode::DegenerateDie,
+            DiagCode::RootOutsideDie,
+            DiagCode::NoSinks,
+            DiagCode::DuplicateSinkId,
+            DiagCode::NonDenseSinkIds,
+            DiagCode::ArcSelfLoop,
+            DiagCode::ArcUnknownSink,
+            DiagCode::ArcDuplicate,
+            DiagCode::ArcCycle,
+            DiagCode::ArcFanInExceeded,
+            DiagCode::NonFiniteCap,
+            DiagCode::CapOutOfBounds,
+            DiagCode::NonPositiveFreq,
+            DiagCode::FreqAboveBound,
+            DiagCode::ArcWindowInvalid,
+            DiagCode::ImportUnknownSection,
+            DiagCode::ImportUnitMismatch,
+            DiagCode::ImportDuplicatePin,
+            DiagCode::ImportDanglingNet,
+            DiagCode::ImportCoordOverflow,
+            DiagCode::ImportTruncated,
+            DiagCode::ImportMalformedRecord,
+            DiagCode::ImportLimitExceeded,
+            DiagCode::ImportCountMismatch,
+            DiagCode::ImportMissingSection,
+            DiagCode::ImportInvalidDesign,
+        ]
     }
 }
 
@@ -1151,6 +1228,44 @@ mod tests {
 
     fn has(diags: &[Diagnostic], code: DiagCode) -> bool {
         diags.iter().any(|d| d.code == code)
+    }
+
+    /// The diagnostics audit: every code the crate can emit is listed by
+    /// [`DiagCode::all`], ids are unique and well-formed (one series
+    /// letter + two digits), and each one is documented in the DESIGN.md
+    /// diagnostic tables. A new code that skips the paperwork fails here.
+    #[test]
+    fn every_diagnostic_code_is_unique_and_documented() {
+        let all = DiagCode::all();
+        let mut ids: Vec<&str> = all.iter().map(|c| c.id()).collect();
+        for id in &ids {
+            assert_eq!(id.len(), 3, "{id}: ids are one series letter + two digits");
+            assert!(
+                matches!(id.as_bytes()[0], b'G' | b'T' | b'E' | b'I'),
+                "{id}: unknown series letter"
+            );
+            assert!(id[1..].chars().all(|c| c.is_ascii_digit()), "{id}: malformed id");
+        }
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n, "duplicate diagnostic ids");
+
+        // Every code renders a distinct Display string and survives a
+        // Diagnostic round trip.
+        for code in all {
+            let d = Diagnostic::new(*code, Severity::Warning, "audit", "constructible");
+            assert!(d.to_string().contains(code.id()), "{code} display must carry its id");
+        }
+
+        let design_md = include_str!("../../../DESIGN.md");
+        for code in all {
+            assert!(
+                design_md.contains(&format!("| {} ", code.id())),
+                "diagnostic {} is not documented in DESIGN.md",
+                code.id()
+            );
+        }
     }
 
     #[test]

@@ -28,7 +28,10 @@ use snr_pareto::{FrontPoint, ParetoFront, PointEval, SweepPoint};
 
 use crate::cache::{CacheStatus, Warm, WarmCache};
 use crate::error::ApiError;
-use crate::plan::{DesignInput, LintPlan, ParetoPlan, Plan, RunPlan, SuiteEntry, SuitePlan};
+use crate::plan::{
+    DesignInput, ExportNdrPlan, ImportPlan, LintPlan, ParetoPlan, Plan, RunPlan, SuiteEntry,
+    SuitePlan,
+};
 use crate::request::{CacheMode, Method};
 
 /// A progress event emitted while a plan executes. The daemon streams
@@ -171,6 +174,58 @@ impl LintResponse {
     }
 }
 
+/// The result of an `import` plan: the design the external file became,
+/// plus everything the importer found and fixed along the way.
+#[derive(Debug, Clone)]
+pub struct ImportResponse {
+    /// The imported (possibly repaired) design.
+    pub design: Arc<Design>,
+    /// Import-layer and validation diagnostics, rendered.
+    pub diagnostics: Vec<String>,
+    /// Repair actions taken, rendered.
+    pub repairs: Vec<String>,
+}
+
+impl ImportResponse {
+    /// `clean` or `repaired` — the status word the CLI prints.
+    pub fn status(&self) -> &'static str {
+        if self.repairs.is_empty() {
+            "clean"
+        } else {
+            "repaired"
+        }
+    }
+}
+
+/// The result of an `export_ndr` plan: the solved (or reimported)
+/// assignment and its deterministic Tcl rendering.
+#[derive(Debug, Clone)]
+pub struct ExportNdrResponse {
+    /// The design the assignment is for.
+    pub design: Arc<Design>,
+    /// Its synthesized clock tree.
+    pub tree: Arc<ClockTree>,
+    /// The technology the export used.
+    pub tech: Technology,
+    /// The edge→rule assignment the script encodes.
+    pub assignment: snr_cts::Assignment,
+    /// The rendered `create_ndr`/`assign_ndr` script.
+    pub tcl: String,
+    /// Whether the assignment was reimported from an existing script
+    /// rather than solved.
+    pub reimported: bool,
+}
+
+impl ExportNdrResponse {
+    /// How many slots carry a non-default rule (the `assign_ndr` count).
+    pub fn assigned(&self) -> usize {
+        let default = self.tech.rules().default_id();
+        (0..self.assignment.len())
+            .filter(|i| self.assignment.rule(snr_cts::NodeId(*i)) != default)
+            .count()
+    }
+}
+
 /// One evaluated suite row: an optional stderr diagnostic, the
 /// deterministic table columns (runtime excluded), the measured runtime
 /// (absent for rows restored from a journal), and the FAILED verdict.
@@ -305,6 +360,10 @@ pub enum Response {
     Suite(SuiteResponse),
     /// A completed Pareto sweep.
     Pareto(Box<ParetoResponse>),
+    /// A completed external-design import.
+    Import(Box<ImportResponse>),
+    /// A completed NDR Tcl export (or reimport).
+    ExportNdr(Box<ExportNdrResponse>),
 }
 
 /// Executes a plan.
@@ -322,6 +381,8 @@ pub fn execute(plan: &Plan, ctx: &ExecCtx<'_>) -> Result<Response, ApiError> {
         Plan::Pareto(p) => execute_pareto(p, ctx).map(|r| Response::Pareto(Box::new(r))),
         Plan::Lint(p) => execute_lint(p).map(Response::Lint),
         Plan::Suite(p) => execute_suite(p, ctx).map(Response::Suite),
+        Plan::Import(p) => execute_import(p).map(Response::Import),
+        Plan::ExportNdr(p) => execute_export_ndr(p, ctx).map(Response::ExportNdr),
     }
 }
 
@@ -426,7 +487,11 @@ fn build_warm(
 ) -> Result<Arc<Warm>, ApiError> {
     let design = ctx.phase("parse", || match input {
         DesignInput::Bytes(bytes) => {
-            load_design(&bytes[..]).map_err(|e| ApiError::invalid(e.to_string()))
+            if looks_like_sndr(bytes) {
+                load_design(&bytes[..]).map_err(|e| ApiError::invalid(e.to_string()))
+            } else {
+                import_external(bytes, tech, false).map(|r| r.design)
+            }
         }
         DesignInput::Spec { name, sinks, seed, freq_ghz } => {
             BenchmarkSpec::new(name.clone(), *sinks)
@@ -464,6 +529,26 @@ fn acquire_warm(
     let warm = build_warm(input, tech, ctx)?;
     lock_cache(cache).insert(key, Arc::clone(&warm));
     Ok((warm, CacheStatus::Miss))
+}
+
+/// Builds the optimizer a `method` spelling names, with the run's budget
+/// and parallelism attached where the optimizer supports them. Shared by
+/// `run` and `export_ndr` so the two cannot disagree on what a method
+/// means.
+fn make_optimizer(method: Method, budget: Budget, par: Parallelism) -> Box<dyn NdrOptimizer> {
+    match method {
+        Method::Smart => Box::new(SmartNdr::default().with_budget(budget).with_parallelism(par)),
+        Method::Greedy => {
+            Box::new(GreedyDowngrade::default().with_budget(budget).with_parallelism(par))
+        }
+        Method::Upgrade => {
+            Box::new(GreedyUpgradeRepair::default().with_budget(budget).with_parallelism(par))
+        }
+        Method::Level => Box::new(LevelBased),
+        Method::Uniform => Box::new(Uniform::conservative()),
+        Method::Anneal => Box::new(Annealing::new(20_000, 1).with_budget(budget)),
+        Method::Lagrangian => Box::new(Lagrangian::new().with_budget(budget)),
+    }
 }
 
 fn execute_run(plan: &RunPlan, ctx: &ExecCtx<'_>) -> Result<Box<RunResponse>, ApiError> {
@@ -515,19 +600,7 @@ fn execute_run(plan: &RunPlan, ctx: &ExecCtx<'_>) -> Result<Box<RunResponse>, Ap
     }
 
     let par = plan.jobs.unwrap_or_else(Parallelism::serial);
-    let method: Box<dyn NdrOptimizer> = match plan.method {
-        Method::Smart => Box::new(SmartNdr::default().with_budget(budget).with_parallelism(par)),
-        Method::Greedy => {
-            Box::new(GreedyDowngrade::default().with_budget(budget).with_parallelism(par))
-        }
-        Method::Upgrade => {
-            Box::new(GreedyUpgradeRepair::default().with_budget(budget).with_parallelism(par))
-        }
-        Method::Level => Box::new(LevelBased),
-        Method::Uniform => Box::new(Uniform::conservative()),
-        Method::Anneal => Box::new(Annealing::new(20_000, 1).with_budget(budget)),
-        Method::Lagrangian => Box::new(Lagrangian::new().with_budget(budget)),
-    };
+    let method = make_optimizer(plan.method, budget, par);
 
     let baseline = opt_ctx.conservative_baseline();
     let result = ctx.phase("optimize", || method.optimize(&opt_ctx));
@@ -809,6 +882,109 @@ fn execute_lint(plan: &LintPlan) -> Result<Box<LintResponse>, ApiError> {
     })?;
 
     Ok(Box::new(LintResponse { design: Arc::new(report.design), diagnostics, repairs }))
+}
+
+/// `.sndr` files always open with their `sndr <version>` magic; any other
+/// design bytes are treated as external DEF-lite, so `run`/`suite`/
+/// `pareto`/`export-ndr` accept imported formats directly (strict import —
+/// salvage belongs to the explicit `import --repair`).
+fn looks_like_sndr(bytes: &[u8]) -> bool {
+    let start = bytes.iter().position(|b| !b.is_ascii_whitespace()).unwrap_or(0);
+    bytes[start..].starts_with(b"sndr")
+}
+
+/// Runs the bounded DEF-lite importer over external bytes, mapping a
+/// rejection to a typed error carrying every diagnostic (always at least
+/// one `I`-series code) as error details.
+fn import_external(
+    bytes: &[u8],
+    tech: &Technology,
+    repair: bool,
+) -> Result<snr_netlist::ImportReport, ApiError> {
+    let opts = snr_netlist::ImportOptions {
+        bounds: Bounds::for_tech(tech),
+        repair,
+        limits: snr_netlist::ImportLimits::default(),
+    };
+    snr_netlist::import_design_with(bytes, &opts).map_err(|e| {
+        let details: Vec<String> = e.diagnostics().iter().map(|d| d.to_string()).collect();
+        let hint = match e.kind() {
+            ErrorKind::Parse => " (not a readable DEF-lite/ISPD file)",
+            _ if !details.is_empty() => " (re-run with --repair to attempt salvage)",
+            _ => "",
+        };
+        ApiError::invalid(format!("{e}{hint}")).with_details(details)
+    })
+}
+
+/// Imports an external DEF-lite design through the bounded importer.
+/// Mirrors [`execute_lint`]: a rejection surfaces every diagnostic as
+/// error details (all of them carrying `I`-series codes), and a design
+/// that imports but cannot be synthesized is *infeasible*, not invalid.
+fn execute_import(plan: &ImportPlan) -> Result<Box<ImportResponse>, ApiError> {
+    let report = import_external(&plan.bytes, &plan.tech, plan.repair)?;
+
+    let diagnostics: Vec<String> = report.diagnostics.iter().map(|d| d.to_string()).collect();
+    let repairs: Vec<String> = report.repairs.iter().map(|r| r.to_string()).collect();
+
+    // Same feasibility smoke-check as lint: an importable design the CTS
+    // flow cannot synthesize is a constraint problem, not an input one.
+    synthesize(&report.design, &plan.tech, &CtsOptions::default()).map_err(|e| {
+        let mut details = diagnostics.clone();
+        details.extend(repairs.iter().cloned());
+        ApiError::infeasible(format!("{}: {e}", report.design.name())).with_details(details)
+    })?;
+
+    Ok(Box::new(ImportResponse { design: Arc::new(report.design), diagnostics, repairs }))
+}
+
+/// Solves (or reimports) an assignment and renders it as NDR Tcl. The
+/// solve path is deliberately serial and unbudgeted so the script is a
+/// pure function of (design bytes, tech, method, constraints) — exported
+/// artifacts must be byte-for-byte reproducible.
+fn execute_export_ndr(
+    plan: &ExportNdrPlan,
+    ctx: &ExecCtx<'_>,
+) -> Result<Box<ExportNdrResponse>, ApiError> {
+    let (warm, _) = acquire_warm(&plan.input, &plan.tech, plan.key, CacheMode::On, ctx)?;
+    let design = Arc::clone(&warm.design);
+    let tree = Arc::clone(&warm.tree);
+
+    let assignment = match &plan.from_tcl {
+        Some(text) => snr_cts::import_ndr_tcl(text, &tree, &plan.tech)
+            .map_err(|e| ApiError::invalid(format!("NDR script rejected: {e}")))?,
+        None => {
+            let opt_ctx =
+                OptContext::new(&tree, &plan.tech, PowerModel::new(design.freq_ghz()))
+                    .with_constraints(Constraints::relative(
+                        &tree,
+                        &plan.tech,
+                        plan.slew_margin,
+                        plan.skew_budget_ps,
+                    ));
+            let method =
+                make_optimizer(plan.method, Budget::unlimited(), Parallelism::serial());
+            let out = ctx.phase("optimize", || method.optimize(&opt_ctx));
+            if !out.meets_constraints() {
+                return Err(ApiError::infeasible(format!(
+                    "{}: no feasible assignment under slew margin {} / skew budget {} ps",
+                    design.name(),
+                    plan.slew_margin,
+                    plan.skew_budget_ps
+                )));
+            }
+            out.assignment().clone()
+        }
+    };
+    let tcl = snr_cts::export_ndr_tcl(design.name(), &tree, &assignment, &plan.tech);
+    Ok(Box::new(ExportNdrResponse {
+        design,
+        tree,
+        tech: plan.tech.clone(),
+        assignment,
+        tcl,
+        reimported: plan.from_tcl.is_some(),
+    }))
 }
 
 /// Collapses `s` to one whitespace-normalized reason token stream of at

@@ -21,8 +21,8 @@ use snr_pareto::{EvalConfig, SkewAxis, SweepPoint, SweepSpec};
 use crate::cache::{CacheKey, ContentHasher};
 use crate::error::ApiError;
 use crate::request::{
-    CacheMode, DesignSource, LintRequest, Method, ParetoRequest, Request, RunRequest,
-    SuiteRequest, SuiteSource, TechId,
+    CacheMode, DesignSource, ExportNdrRequest, ImportRequest, LintRequest, Method,
+    ParetoRequest, Request, RunRequest, SuiteRequest, SuiteSource, TechId,
 };
 
 /// Fingerprint of the CTS options a plan bakes in. There is exactly one
@@ -161,6 +161,39 @@ pub struct LintPlan {
     pub repair: bool,
 }
 
+/// A resolved `import` request. The bytes are untrusted — execution hands
+/// them to the bounded DEF-lite importer, never the `.sndr` parser.
+#[derive(Debug, Clone)]
+pub struct ImportPlan {
+    /// Raw DEF-lite bytes to import.
+    pub bytes: Vec<u8>,
+    /// Resolved technology (bounds source).
+    pub tech: Technology,
+    /// Attempt repair.
+    pub repair: bool,
+}
+
+/// A resolved `export_ndr` request.
+#[derive(Debug, Clone)]
+pub struct ExportNdrPlan {
+    /// Content-hash key for the warm parse+CTS cache (same key space as
+    /// [`RunPlan::key`]).
+    pub key: CacheKey,
+    /// The design to parse or generate.
+    pub input: DesignInput,
+    /// Resolved technology model.
+    pub tech: Technology,
+    /// Optimizer producing the assignment (ignored with `from_tcl`).
+    pub method: Method,
+    /// Slew margin over the conservative baseline.
+    pub slew_margin: f64,
+    /// Absolute skew budget in ps.
+    pub skew_budget_ps: f64,
+    /// Text of a previously exported script to reimport, read at plan
+    /// time like design bytes.
+    pub from_tcl: Option<String>,
+}
+
 /// One suite entry: either a loaded design or a load failure to report as
 /// a `FAILED` row.
 #[derive(Debug, Clone)]
@@ -214,6 +247,10 @@ pub enum Plan {
     Lint(LintPlan),
     /// The multi-design table.
     Suite(SuitePlan),
+    /// External DEF-lite import.
+    Import(ImportPlan),
+    /// NDR Tcl export / reimport.
+    ExportNdr(ExportNdrPlan),
 }
 
 /// Reads the bytes behind a design source; `Generate` has no bytes.
@@ -352,6 +389,34 @@ fn plan_lint(req: &LintRequest) -> Result<LintPlan, ApiError> {
     Ok(LintPlan { bytes, tech: req.tech.resolve(), repair: req.repair })
 }
 
+fn plan_import(req: &ImportRequest) -> Result<ImportPlan, ApiError> {
+    let Some(bytes) = source_bytes(&req.design)? else {
+        return Err(ApiError::usage("import needs a design file or inline text"));
+    };
+    Ok(ImportPlan { bytes, tech: req.tech.resolve(), repair: req.repair })
+}
+
+fn plan_export_ndr(req: &ExportNdrRequest) -> Result<ExportNdrPlan, ApiError> {
+    let input = design_input(&req.design)?;
+    let tech = req.tech.resolve();
+    let key = run_key(&input, &tech);
+    let from_tcl = match &req.from_tcl {
+        None => None,
+        Some(path) => Some(fs::read_to_string(path).map_err(|e| {
+            ApiError::invalid(format!("cannot open {path}: {e}"))
+        })?),
+    };
+    Ok(ExportNdrPlan {
+        key,
+        input,
+        tech,
+        method: req.method,
+        slew_margin: req.slew_margin,
+        skew_budget_ps: req.skew_budget_ps,
+        from_tcl,
+    })
+}
+
 /// Lists and pre-loads the designs of a suite request, preserving the
 /// established contract: `.sndr` files sorted by name, unloadable files
 /// becoming `FAILED` rows rather than failing the suite.
@@ -432,6 +497,8 @@ pub fn plan(req: &Request) -> Result<Plan, ApiError> {
         Request::Pareto(r) => plan_pareto(r).map(Plan::Pareto),
         Request::Lint(r) => plan_lint(r).map(Plan::Lint),
         Request::Suite(r) => plan_suite(r).map(Plan::Suite),
+        Request::Import(r) => plan_import(r).map(Plan::Import),
+        Request::ExportNdr(r) => plan_export_ndr(r).map(Plan::ExportNdr),
     }
 }
 
@@ -563,6 +630,41 @@ mod tests {
         ))))
         .unwrap_err();
         assert_eq!(err.code(), crate::ApiCode::InvalidInput);
+    }
+
+    #[test]
+    fn export_ndr_shares_the_run_warm_key() {
+        let run = plan_run(&gen_req(40, 2)).unwrap();
+        let export = plan_export_ndr(&ExportNdrRequest::new(DesignSource::Generate {
+            sinks: 40,
+            seed: 2,
+            freq_ghz: 1.0,
+        }))
+        .unwrap();
+        assert_eq!(run.key, export.key, "an export warms the same cache slot as a run");
+    }
+
+    #[test]
+    fn export_ndr_missing_tcl_is_invalid_input() {
+        let mut req = ExportNdrRequest::new(DesignSource::Generate {
+            sinks: 40,
+            seed: 2,
+            freq_ghz: 1.0,
+        });
+        req.from_tcl = Some("/nonexistent/ndr.tcl".into());
+        let err = plan(&Request::ExportNdr(req)).unwrap_err();
+        assert_eq!(err.code(), crate::ApiCode::InvalidInput);
+    }
+
+    #[test]
+    fn import_needs_bytes() {
+        let err = plan_import(&ImportRequest {
+            design: DesignSource::Generate { sinks: 4, seed: 1, freq_ghz: 1.0 },
+            tech: TechId::N45,
+            repair: false,
+        })
+        .unwrap_err();
+        assert_eq!(err.code(), crate::ApiCode::Usage);
     }
 
     #[test]

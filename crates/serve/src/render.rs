@@ -18,7 +18,8 @@ use snr_pareto::{SkewAxis, SweepPoint};
 
 use crate::error::ApiError;
 use crate::exec::{
-    Event, LintResponse, ParetoResponse, Response, RunResponse, SuiteResponse, SuiteRow,
+    Event, ExportNdrResponse, ImportResponse, LintResponse, ParetoResponse, Response,
+    RunResponse, SuiteResponse, SuiteRow,
 };
 use crate::json::json_escape;
 
@@ -191,6 +192,47 @@ pub fn lint_json(resp: &LintResponse) -> String {
         resp.status(),
         list(&resp.diagnostics),
         list(&resp.repairs),
+    )
+}
+
+/// The machine-readable object for a completed import — exactly the line
+/// `smart-ndr import --json` prints.
+pub fn import_json(resp: &ImportResponse) -> String {
+    let list = |items: &[String]| {
+        items
+            .iter()
+            .map(|s| format!("\"{}\"", json_escape(s)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    format!(
+        concat!(
+            "{{\"design\": \"{}\", \"status\": \"{}\", \"sinks\": {}, ",
+            "\"diagnostics\": [{}], \"repairs\": [{}]}}"
+        ),
+        json_escape(resp.design.name()),
+        resp.status(),
+        resp.design.sinks().len(),
+        list(&resp.diagnostics),
+        list(&resp.repairs),
+    )
+}
+
+/// The machine-readable object for a completed NDR export — exactly the
+/// line `smart-ndr export-ndr --json` prints. The script itself rides
+/// along escaped, so daemon clients need no second channel to fetch it.
+pub fn export_ndr_json(resp: &ExportNdrResponse) -> String {
+    format!(
+        concat!(
+            "{{\"design\": \"{}\", \"tech\": \"{}\", \"nodes\": {}, ",
+            "\"assigned\": {}, \"reimported\": {}, \"ndr_tcl\": \"{}\"}}"
+        ),
+        json_escape(resp.design.name()),
+        json_escape(resp.tech.name()),
+        resp.tree.len(),
+        resp.assigned(),
+        resp.reimported,
+        json_escape(&resp.tcl),
     )
 }
 
@@ -393,6 +435,12 @@ pub fn response_line(id: u64, resp: &Response) -> String {
             r.cache.as_str(),
             pareto_json(r)
         ),
+        Response::Import(r) => {
+            format!("{{\"id\": {id}, \"ok\": true, \"result\": {}}}", import_json(r))
+        }
+        Response::ExportNdr(r) => {
+            format!("{{\"id\": {id}, \"ok\": true, \"result\": {}}}", export_ndr_json(r))
+        }
     }
 }
 

@@ -254,6 +254,57 @@ pub struct LintRequest {
     pub repair: bool,
 }
 
+/// An `import` request: parse an external DEF-lite/ISPD file into the
+/// native design database through the validate → repair → finish
+/// pipeline. The hostile-input counterpart of [`LintRequest`]: the bytes
+/// are untrusted, so the importer enforces resource limits and reports
+/// `I`-series diagnostics instead of panicking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImportRequest {
+    /// The DEF-lite file (or inline text) to import.
+    pub design: DesignSource,
+    /// Technology whose bounds the validation uses.
+    pub tech: TechId,
+    /// Attempt to repair salvageable diagnostics.
+    pub repair: bool,
+}
+
+/// An `export_ndr` request: solve (or reimport) a routing-rule assignment
+/// for one design and render it as OpenROAD `create_ndr`/`assign_ndr`
+/// Tcl. With `from_tcl` set, the named script is parsed back into an
+/// assignment instead of solving — the round-trip path interop checks
+/// use to prove `import(export(a)) == a`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExportNdrRequest {
+    /// The design the assignment is for.
+    pub design: DesignSource,
+    /// Technology to run under.
+    pub tech: TechId,
+    /// Optimizer producing the assignment (ignored with `from_tcl`).
+    pub method: Method,
+    /// Slew margin over the conservative baseline (≥ 1).
+    pub slew_margin: f64,
+    /// Absolute skew budget in ps.
+    pub skew_budget_ps: f64,
+    /// Path of a previously exported script to reimport instead of
+    /// solving.
+    pub from_tcl: Option<String>,
+}
+
+impl ExportNdrRequest {
+    /// A request with the run defaults for everything but the design.
+    pub fn new(design: DesignSource) -> Self {
+        ExportNdrRequest {
+            design,
+            tech: TechId::default(),
+            method: Method::default(),
+            slew_margin: 1.10,
+            skew_budget_ps: 30.0,
+            from_tcl: None,
+        }
+    }
+}
+
 /// Which designs a `suite` request evaluates.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SuiteSource {
@@ -304,6 +355,10 @@ pub enum Request {
     Lint(LintRequest),
     /// The multi-design table.
     Suite(SuiteRequest),
+    /// Import an external DEF-lite/ISPD design.
+    Import(ImportRequest),
+    /// Export (or reimport) an NDR assignment as OpenROAD Tcl.
+    ExportNdr(ExportNdrRequest),
 }
 
 /// A control operation the daemon answers directly, without scheduling.
@@ -528,6 +583,22 @@ impl Envelope {
                 tech: tech_of(v)?,
                 repair: v.get("repair").and_then(Json::as_bool).unwrap_or(false),
             })),
+            "import" => Op::Job(Request::Import(ImportRequest {
+                design: design_source(v)?,
+                tech: tech_of(v)?,
+                repair: v.get("repair").and_then(Json::as_bool).unwrap_or(false),
+            })),
+            "export_ndr" => {
+                let mut req = ExportNdrRequest::new(design_source(v)?);
+                req.tech = tech_of(v)?;
+                if let Some(m) = get_str(v, "method")? {
+                    req.method = Method::parse(m)?;
+                }
+                req.slew_margin = get_f64(v, "slew_margin", req.slew_margin)?;
+                req.skew_budget_ps = get_f64(v, "skew_budget", req.skew_budget_ps)?;
+                req.from_tcl = get_str(v, "from_tcl")?.map(str::to_owned);
+                Op::Job(Request::ExportNdr(req))
+            }
             "suite" => Op::Job(Request::Suite(SuiteRequest {
                 source: match get_str(v, "designs")? {
                     None => SuiteSource::Builtin,
@@ -609,6 +680,43 @@ mod tests {
         for line in [
             r#"{"id": 1, "op": "pareto", "design": {"inline": "x"}, "slew_margins": "1.1"}"#,
             r#"{"id": 1, "op": "pareto", "design": {"inline": "x"}, "windows": [true]}"#,
+        ] {
+            let v = Json::parse(line).unwrap();
+            assert!(Envelope::from_json(&v).is_err(), "{line} should fail");
+        }
+    }
+
+    #[test]
+    fn parses_import_and_export_ndr_requests() {
+        let v = Json::parse(
+            r#"{"id": 4, "op": "import", "design": {"inline": "DESIGN x ;"}, "repair": true}"#,
+        )
+        .unwrap();
+        let Op::Job(Request::Import(req)) = Envelope::from_json(&v).unwrap().op else {
+            panic!("expected import")
+        };
+        assert!(req.repair);
+
+        let v = Json::parse(
+            r#"{"id": 5, "op": "export_ndr", "design": {"path": "d.sndr"},
+                "method": "greedy", "from_tcl": "ndr.tcl"}"#,
+        )
+        .unwrap();
+        let Op::Job(Request::ExportNdr(req)) = Envelope::from_json(&v).unwrap().op else {
+            panic!("expected export_ndr")
+        };
+        assert_eq!(req.method, Method::Greedy);
+        assert_eq!(req.from_tcl.as_deref(), Some("ndr.tcl"));
+    }
+
+    #[test]
+    fn import_and_export_ndr_reject_ill_typed_fields() {
+        for line in [
+            r#"{"id": 1, "op": "import"}"#,
+            r#"{"id": 1, "op": "import", "design": {"inline": "x"}, "tech": 42}"#,
+            r#"{"id": 1, "op": "export_ndr", "design": {"inline": "x"}, "method": "bogus"}"#,
+            r#"{"id": 1, "op": "export_ndr", "design": {"inline": "x"}, "from_tcl": 3}"#,
+            r#"{"id": 1, "op": "export_ndr", "design": {"inline": "x"}, "slew_margin": "wide"}"#,
         ] {
             let v = Json::parse(line).unwrap();
             assert!(Envelope::from_json(&v).is_err(), "{line} should fail");

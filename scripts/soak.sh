@@ -47,5 +47,31 @@ if [ -e "$T/victim.txt.tmp" ]; then
     echo "FAIL: temp file orphaned by the atomic write" >&2; exit 1
 fi
 
+step "kill-and-resume over imported external designs"
+# Same contract, but the pool comes through the DEF import frontier (with
+# the dirty example salvaged by --repair) instead of the generator —
+# imported designs must be first-class suite inputs, crash-safety included.
+mkdir "$T/defpool"
+for def in examples/*.def; do
+    name="$(basename "$def" .def)"
+    repair_flag=""
+    [ "$name" = dirty12 ] && repair_flag="--repair"
+    "$BIN" import --design "$def" $repair_flag \
+        --out "$T/defpool/$name.sndr" >/dev/null
+done
+timeout "$SOAK_TIMEOUT" "$BIN" suite --designs "$T/defpool" --out "$T/dref.txt" >/dev/null
+"$BIN" suite --designs "$T/defpool" --out "$T/dvictim.txt" >/dev/null 2>&1 &
+pid=$!
+sleep 0.2
+kill -9 "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+timeout "$SOAK_TIMEOUT" "$BIN" suite --resume --designs "$T/defpool" --out "$T/dvictim.txt" >/dev/null
+cmp "$T/dref.txt" "$T/dvictim.txt" || {
+    echo "FAIL: resumed imported-suite artifact differs from the uninterrupted run" >&2; exit 1
+}
+if [ -e "$T/dvictim.txt.journal.jsonl" ] || [ -e "$T/dvictim.txt.tmp" ]; then
+    echo "FAIL: journal or temp file outlived the successful imported-suite resume" >&2; exit 1
+fi
+
 echo
 echo "soak: all checks passed"

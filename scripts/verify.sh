@@ -153,6 +153,38 @@ target/release/bench_pareto --smoke --out "$T/BENCH_pareto_smoke.json" >/dev/nul
 grep -q '"pareto_sweep"' "$T/BENCH_pareto_smoke.json" \
     || { echo "FAIL: bench_pareto smoke artifact is malformed" >&2; exit 1; }
 
+step "import / export-ndr interop smoke"
+# Every checked-in DEF example imports (the dirty one needs --repair to
+# write output), solves, exports create_ndr Tcl, and the exported script
+# reimports onto the same tree byte-exactly: assignments saved from the
+# solve and from the reimport must compare identical.
+mkdir -p "$T/imported"
+for def in examples/*.def; do
+    name="$(basename "$def" .def)"
+    repair_flag=""
+    [ "$name" = dirty12 ] && repair_flag="--repair"
+    "$BIN" import --design "$def" $repair_flag --out "$T/imported/$name.sndr" >/dev/null
+    "$BIN" export-ndr --design "$def" --method greedy \
+        --out "$T/$name.tcl" --save-asg "$T/$name.solved.asg" >/dev/null
+    grep -q 'create_ndr -name NDR_' "$T/$name.tcl" \
+        || { echo "FAIL: $name export produced no create_ndr commands" >&2; exit 1; }
+    "$BIN" export-ndr --design "$def" --from-tcl "$T/$name.tcl" \
+        --save-asg "$T/$name.reimported.asg" >/dev/null
+    cmp -s "$T/$name.solved.asg" "$T/$name.reimported.asg" \
+        || { echo "FAIL: $name NDR Tcl round trip changed the assignment" >&2; exit 1; }
+done
+# Imported designs are first-class flow inputs.
+"$BIN" run --design "$T/imported/banks64.sndr" --method greedy >/dev/null
+# Hostile bytes: a truncated DEF is a typed exit-3 rejection, not a crash.
+head -c 200 examples/banks64.def > "$T/truncated.def"
+rc=0; "$BIN" import --design "$T/truncated.def" >/dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 3 ]; then
+    echo "FAIL: truncated DEF should exit 3, got $rc" >&2; exit 1
+fi
+# Quick fuzz smoke: a 32-seed slice of the full tests/import_fuzz.rs soak
+# (the full 256-seed run already happened in the workspace test step).
+IMPORT_FUZZ_CASES=32 cargo test -q --test import_fuzz corrupted_imports >/dev/null
+
 step "chaos soak + kill-and-resume (scripts/soak.sh)"
 scripts/soak.sh
 

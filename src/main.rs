@@ -75,13 +75,13 @@ use smart_ndr::power::PowerModel;
 use snr_fsio::{atomic_write, Journal};
 use snr_serve::json::json_escape;
 use snr_serve::render::{
-    error_json, lint_json, pareto_human, pareto_json, run_human, run_json, suite_det_header,
-    suite_header,
+    error_json, export_ndr_json, import_json, lint_json, pareto_human, pareto_json, run_human,
+    run_json, suite_det_header, suite_header,
 };
 use snr_serve::{
-    execute, plan, ApiCode, ApiError, CacheMode, DesignSource, Event, ExecCtx, LintRequest,
-    Method, ParetoRequest, Plan, Request, Response, ResultStore, RunRequest, ServeConfig,
-    SuiteRequest, SuiteRow, SuiteSource, TechId,
+    execute, plan, ApiCode, ApiError, CacheMode, DesignSource, Event, ExecCtx, ExportNdrRequest,
+    ImportRequest, LintRequest, Method, ParetoRequest, Plan, Request, Response, ResultStore,
+    RunRequest, ServeConfig, SuiteRequest, SuiteRow, SuiteSource, TechId,
 };
 use std::collections::HashMap;
 use std::fs;
@@ -107,6 +107,11 @@ USAGE:
                   [--corners] [--mc <SAMPLES>] [--jobs <N>] [--json]
                   [--timeout <SECS>] [--max-points <N>] [--store <DIR>] [--no-cache]
   smart-ndr lint  --design <FILE> [--tech n45|n32] [--repair] [--out <FILE>] [--json]
+  smart-ndr import --design <FILE.def> [--tech n45|n32] [--repair]
+                  [--out <FILE.sndr>] [--json]
+  smart-ndr export-ndr (--design <FILE> | --sinks <N> [--seed <S>]) [--tech n45|n32]
+                  [--method smart|greedy|...] [--slew-margin <X>] [--skew-budget <PS>]
+                  [--from-tcl <FILE.tcl>] [--out <FILE.tcl>] [--save-asg <FILE>] [--json]
   smart-ndr suite [--tech n45|n32] [--designs <DIR>] [--jobs <N>]
                   [--out <FILE> [--resume]] [--store <DIR>] [--no-cache]
   smart-ndr serve [--jobs <N>] [--queue <N>] [--cache <N>] [--socket <PATH>]
@@ -123,6 +128,14 @@ PARETO:
   front over the points that completed; --max-points evaluates a
   deterministic prefix of the sweep. Axis lists are comma-separated
   (an empty string clears an axis).
+
+IMPORT / EXPORT:
+  import reads an external DEF-lite/ISPD clock-sink file through a
+  bounded, panic-free parser; damaged records are skipped with typed
+  I-series diagnostics and --repair salvages semantic damage. --out
+  writes the canonical .sndr, ready for run/suite/pareto. export-ndr
+  solves an assignment (or reimports one with --from-tcl) and emits
+  deterministic OpenROAD create_ndr/assign_ndr Tcl.
 
 SUPERVISION:
   --timeout <SECS>    cooperative wall-clock deadline (0 = off); anytime —
@@ -181,6 +194,8 @@ fn run(args: Vec<String>) -> Result<(), ApiError> {
         "run" => cmd_run(&flags),
         "pareto" => cmd_pareto(&flags),
         "lint" => cmd_lint(&flags),
+        "import" => cmd_import(&flags),
+        "export-ndr" => cmd_export_ndr(&flags),
         "suite" => cmd_suite(&flags),
         "serve" => cmd_serve(&flags),
         "mesh" => cmd_mesh(&flags),
@@ -548,6 +563,126 @@ fn cmd_lint(flags: &HashMap<String, String>) -> Result<(), ApiError> {
             resp.diagnostics.len(),
             resp.repairs.len(),
         );
+    }
+    Ok(())
+}
+
+/// `smart-ndr import`: bring an external DEF-lite/ISPD design into the
+/// native database. Hostile input is the expected case — the importer is
+/// bounded and recoverable, so this command reports typed I-series
+/// diagnostics instead of crashing. `--out` writes the canonical `.sndr`
+/// so imported designs feed straight into run/suite/pareto (and get
+/// content-byte store keys like any other design).
+fn cmd_import(flags: &HashMap<String, String>) -> Result<(), ApiError> {
+    let path = flags
+        .get("design")
+        .ok_or_else(|| ApiError::usage("import needs --design <FILE>"))?;
+    let json = flags.contains_key("json");
+    let req = Request::Import(ImportRequest {
+        design: DesignSource::Path(path.clone()),
+        tech: tech_of(flags)?,
+        repair: flags.contains_key("repair"),
+    });
+
+    let plan = plan(&req)?;
+    let resp = match execute(&plan, &ExecCtx::oneshot()) {
+        Ok(Response::Import(resp)) => resp,
+        Ok(_) => unreachable!("import plans produce import responses"),
+        Err(err) => {
+            // Like lint: surface every diagnostic before failing.
+            if !json {
+                for d in err.details() {
+                    println!("{d}");
+                }
+            }
+            return Err(err);
+        }
+    };
+
+    if !json {
+        for d in &resp.diagnostics {
+            println!("{d}");
+        }
+        for r in &resp.repairs {
+            println!("{r}");
+        }
+    }
+
+    if let Some(out) = flags.get("out") {
+        let file = fs::File::create(out)
+            .map_err(|e| ApiError::invalid(format!("cannot create {out}: {e}")))?;
+        save_design(&resp.design, file).map_err(|e| ApiError::invalid(e.to_string()))?;
+        if !json {
+            println!("wrote {out}");
+        }
+    }
+
+    if json {
+        println!("{}", import_json(&resp));
+    } else {
+        println!(
+            "{}: imported {} ({} sinks, {} diagnostics, {} repairs)",
+            resp.design.name(),
+            resp.status(),
+            resp.design.sinks().len(),
+            resp.diagnostics.len(),
+            resp.repairs.len(),
+        );
+    }
+    Ok(())
+}
+
+/// `smart-ndr export-ndr`: solve an assignment for a design and emit the
+/// OpenROAD `create_ndr`/`assign_ndr` Tcl a physical-design flow
+/// consumes — or, with `--from-tcl`, parse such a script back and
+/// re-render it (the round-trip path the interop checks diff). The
+/// script goes to `--out` or stdout; `--save-asg` additionally writes
+/// the assignment in the native `.asg` format.
+fn cmd_export_ndr(flags: &HashMap<String, String>) -> Result<(), ApiError> {
+    let json = flags.contains_key("json");
+    let mut req = ExportNdrRequest::new(design_source_of(flags)?);
+    req.tech = tech_of(flags)?;
+    if let Some(m) = flags.get("method") {
+        req.method = Method::parse(m)?;
+    }
+    req.slew_margin = get_parsed(flags, "slew-margin", req.slew_margin)?;
+    req.skew_budget_ps = get_parsed(flags, "skew-budget", req.skew_budget_ps)?;
+    req.from_tcl = flags.get("from-tcl").cloned();
+
+    let plan = plan(&Request::ExportNdr(req))?;
+    let resp = match execute(&plan, &ExecCtx::oneshot())? {
+        Response::ExportNdr(resp) => resp,
+        _ => unreachable!("export-ndr plans produce export-ndr responses"),
+    };
+
+    match flags.get("out") {
+        Some(out) => {
+            fs::write(out, resp.tcl.as_bytes())
+                .map_err(|e| ApiError::invalid(format!("cannot write {out}: {e}")))?;
+            if !json {
+                println!(
+                    "wrote {out} ({} NDR assignment(s) over {} nodes)",
+                    resp.assigned(),
+                    resp.tree.len()
+                );
+            }
+        }
+        None if !json => print!("{}", resp.tcl),
+        None => {}
+    }
+
+    if let Some(path) = flags.get("save-asg") {
+        let file = fs::File::create(path)
+            .map_err(|e| ApiError::invalid(format!("cannot create {path}: {e}")))?;
+        save_assignment(&resp.assignment, &resp.tree, file)
+            .map_err(|e| ApiError::invalid(e.to_string()))?;
+        if !json {
+            println!("wrote {path}");
+        }
+    }
+
+    if json {
+        println!("{}", export_ndr_json(&resp));
     }
     Ok(())
 }

@@ -214,6 +214,72 @@ fn malformed_lines_answer_typed_errors_without_killing_the_daemon() {
     assert!(d.eof_and_wait().success());
 }
 
+/// Hostile requests against the newer ops — `pareto`, `import`,
+/// `export_ndr` — answer typed errors (wrong-typed fields and missing
+/// design are `usage`; unreadable or oversized payloads are
+/// `invalid_input`) and the worker pool survives to serve a healthy
+/// request on the same connection.
+#[test]
+fn hostile_pareto_import_export_requests_answer_typed_errors() {
+    let mut d = Daemon::spawn(&["--jobs", "1"]);
+    // Wrong-typed field on pareto: scalars where arrays belong.
+    d.send(
+        "{\"op\": \"pareto\", \"id\": 20, \
+         \"design\": {\"generate\": {\"sinks\": 40, \"seed\": 1}}, \
+         \"slew_margins\": \"wide\"}",
+    );
+    // Import with no design at all, then with bytes that are not DEF.
+    d.send("{\"op\": \"import\", \"id\": 21}");
+    d.send("{\"op\": \"import\", \"id\": 22, \"design\": {\"inline\": \"not a def file\"}}");
+    // Oversized inline payload: one byte past the importer's input limit.
+    let oversized = "x".repeat(8 * 1024 * 1024 + 1);
+    d.send(&format!(
+        "{{\"op\": \"import\", \"id\": 23, \"design\": {{\"inline\": \"{oversized}\"}}}}"
+    ));
+    // export_ndr with an unknown method, and with a from_tcl that does
+    // not exist on disk.
+    d.send(
+        "{\"op\": \"export_ndr\", \"id\": 24, \
+         \"design\": {\"generate\": {\"sinks\": 40, \"seed\": 1}}, \
+         \"method\": \"bogus\"}",
+    );
+    d.send(
+        "{\"op\": \"export_ndr\", \"id\": 25, \
+         \"design\": {\"generate\": {\"sinks\": 40, \"seed\": 1}}, \
+         \"from_tcl\": \"/nonexistent/no-such.tcl\"}",
+    );
+    // A healthy neighbor: the daemon must still execute real work.
+    d.send(
+        "{\"op\": \"export_ndr\", \"id\": 1, \
+         \"design\": {\"generate\": {\"sinks\": 60, \"seed\": 3}}, \
+         \"method\": \"greedy\"}",
+    );
+
+    let finals = d.finals_for(&[20, 21, 22, 23, 24, 25, 1]);
+    for id in [20u64, 21, 24] {
+        assert!(
+            finals[&id].contains("\"error\": {\"code\": \"usage\""),
+            "id {id}: {}",
+            finals[&id]
+        );
+    }
+    for id in [22u64, 23, 25] {
+        assert!(
+            finals[&id].contains("\"error\": {\"code\": \"invalid_input\""),
+            "id {id}: {}",
+            finals[&id]
+        );
+    }
+    assert!(
+        finals[&23].contains("I08"),
+        "oversized payload must carry the I08 limit diagnostic: {}",
+        finals[&23]
+    );
+    assert!(finals[&1].contains("\"ok\": true"), "{}", finals[&1]);
+    assert!(finals[&1].contains("\"ndr_tcl\""), "{}", finals[&1]);
+    assert!(d.eof_and_wait().success());
+}
+
 /// The drift pin: the daemon's `result` object and the one-shot CLI's
 /// `run --json` line are byte-identical (runtime fields normalized) —
 /// both are rendered by the same serializer, and this test keeps it that

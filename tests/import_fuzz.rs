@@ -1,0 +1,164 @@
+//! Hostile-input soak for the DEF-lite import frontier: format-aware
+//! corruption of a clean external design must never panic or hang the
+//! import → CTS → optimize pipeline. 256 seeded cases per corruption
+//! category. Each case either produces a design (possibly after repair)
+//! that the downstream flow handles with typed errors at worst, or is
+//! rejected with a typed [`NetlistError`] whose diagnostics carry at
+//! least one `I`-series code — the contract `smart-ndr import` exposes
+//! to untrusted files.
+
+use smart_ndr::core::{GreedyDowngrade, NdrOptimizer, OptContext};
+use smart_ndr::cts::{export_ndr_tcl, import_ndr_tcl, synthesize, CtsOptions};
+use smart_ndr::netlist::faultinject::{corrupt_import_bytes, ImportFault};
+use smart_ndr::netlist::{import_design_with, ImportOptions};
+use smart_ndr::power::PowerModel;
+use smart_ndr::tech::Technology;
+
+/// 256 seeds per category by default; `IMPORT_FUZZ_CASES` overrides it so
+/// `scripts/verify.sh` can run a quick 32-seed smoke slice.
+fn cases_per_category() -> u64 {
+    std::env::var("IMPORT_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256)
+}
+
+/// A clean DEF-lite design of the same shape as the checked-in examples:
+/// a grid of sinks on a millimetre die, plus a couple of timing arcs.
+fn clean_def() -> Vec<u8> {
+    let mut text = String::from(
+        "VERSION 5.8 ;\n\
+         DESIGN soak ;\n\
+         UNITS DISTANCE MICRONS 1000 ;\n\
+         FREQUENCY 1.2 ;\n\
+         DIEAREA ( 0 0 ) ( 1000000 1000000 ) ;\n\
+         CLOCKROOT ( 500000 0 ) ;\n\
+         PINS 16 ;\n",
+    );
+    for i in 0..16 {
+        let x = 150_000 + (i % 4) * 230_000;
+        let y = 150_000 + (i / 4) * 230_000;
+        text.push_str(&format!("  - ff{i} ( {x} {y} ) CAP {} ;\n", 5.0 + (i % 7) as f64 * 2.5));
+    }
+    text.push_str(
+        "END PINS\n\
+         NETS 2 ;\n\
+         - n0 ( ff0 ff15 ) SETUP 60 HOLD 30 ;\n\
+         - n1 ( ff3 ff12 ) SETUP 55 HOLD 25 ;\n\
+         END NETS\n\
+         END DESIGN\n",
+    );
+    text.into_bytes()
+}
+
+/// Imports possibly-hostile bytes and drives whatever comes out through
+/// CTS and a greedy NDR optimization. Typed errors at any stage are fine;
+/// only panics (which would abort the test process), hangs (caught by the
+/// harness timeout) and non-finite results are failures.
+fn run_pipeline(bytes: &[u8], repair: bool) -> Result<(), String> {
+    let opts = ImportOptions { repair, ..ImportOptions::default() };
+    let report = import_design_with(bytes, &opts).map_err(|e| e.to_string())?;
+    let design = report.design;
+    let tech = Technology::n45();
+    let tree = synthesize(&design, &tech, &CtsOptions::default()).map_err(|e| e.to_string())?;
+    let ctx = OptContext::new(&tree, &tech, PowerModel::new(design.freq_ghz()));
+    let out = GreedyDowngrade::default().optimize(&ctx);
+    assert!(
+        out.power().total_uw().is_finite(),
+        "optimized power must be finite for any imported design"
+    );
+    Ok(())
+}
+
+/// The soak itself: every corruption category, 256 seeds each, with and
+/// without repair. Zero panics; every import rejection carries a typed
+/// `I`-series diagnostic.
+#[test]
+fn corrupted_imports_never_panic_and_reject_with_i_codes() {
+    let clean = clean_def();
+    let mut imported = 0u64;
+    let mut rejected = 0u64;
+    for fault in ImportFault::ALL {
+        for seed in 0..cases_per_category() {
+            let bytes = corrupt_import_bytes(&clean, fault, seed);
+            for repair in [false, true] {
+                match import_design_with(&bytes, &ImportOptions { repair, ..Default::default() })
+                {
+                    Ok(_) => imported += 1,
+                    Err(e) => {
+                        rejected += 1;
+                        let has_i_code = e
+                            .diagnostics()
+                            .iter()
+                            .any(|d| d.code.id().starts_with('I'));
+                        assert!(
+                            has_i_code,
+                            "{fault:?} seed {seed} (repair={repair}): rejection must carry \
+                             an I-series diagnostic, got: {e}"
+                        );
+                    }
+                }
+                // The full pipeline also must not panic on whatever the
+                // importer accepted.
+                let _ = run_pipeline(&bytes, repair);
+            }
+        }
+    }
+    // The soak must exercise both outcomes, or the corruption (or the
+    // importer) is broken.
+    assert!(imported > 0, "no corrupted input ever imported — corruption too destructive");
+    assert!(rejected > 0, "no corrupted input was ever rejected — corruption too gentle");
+}
+
+/// The clean seed imports, synthesizes and round-trips through the NDR
+/// Tcl exchange exactly — anchoring the soak to a known-good baseline.
+#[test]
+fn clean_seed_imports_and_round_trips_ndr_tcl() {
+    let report =
+        import_design_with(&clean_def(), &ImportOptions::default()).expect("clean def imports");
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    let tech = Technology::n45();
+    let tree = synthesize(&report.design, &tech, &CtsOptions::default()).expect("synthesizes");
+    let ctx = OptContext::new(&tree, &tech, PowerModel::new(report.design.freq_ghz()));
+    let out = GreedyDowngrade::default().optimize(&ctx);
+    let tcl = export_ndr_tcl(report.design.name(), &tree, out.assignment(), &tech);
+    let back = import_ndr_tcl(&tcl, &tree, &tech).expect("exported script reimports");
+    assert_eq!(&back, out.assignment(), "import(export(a)) must equal a");
+}
+
+/// Every checked-in example under `examples/` imports (the dirty one with
+/// warnings only) and synthesizes — the files the docs point users at
+/// must actually work.
+#[test]
+fn checked_in_examples_import_and_synthesize() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/examples");
+    let mut seen = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(dir)
+        .expect("examples/ exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "def"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let bytes = std::fs::read(&path).expect("example readable");
+        let report = import_design_with(&bytes, &ImportOptions::default())
+            .unwrap_or_else(|e| panic!("{} must import: {e}", path.display()));
+        synthesize(&report.design, &Technology::n45(), &CtsOptions::default())
+            .unwrap_or_else(|e| panic!("{} must synthesize: {e}", path.display()));
+        if path.file_name().is_some_and(|n| n == "dirty12.def") {
+            assert!(
+                !report.diagnostics.is_empty(),
+                "dirty12.def exists to exercise recovery; it must diagnose something"
+            );
+        } else {
+            assert!(
+                report.diagnostics.is_empty(),
+                "{} should be clean: {:?}",
+                path.display(),
+                report.diagnostics
+            );
+        }
+        seen += 1;
+    }
+    assert!(seen >= 3, "expected at least 3 checked-in examples, found {seen}");
+}
